@@ -1,0 +1,135 @@
+// Ablation E14: the per-entity latency DISTRIBUTION (birth → consumption,
+// in rounds) behind the throughput averages of Figures 7 and 9. Traffic
+// engineering cares about tails, not means: failures stretch the p99 far
+// more than the median (stranded entities wait out whole failure
+// windows), and the relaxed-coupling extension shifts the entire
+// distribution left. One histogram per regime, with quantiles.
+#include <iostream>
+
+#include "core/choose.hpp"
+#include "failure/failure_model.hpp"
+#include "sim/observers.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cellflow;
+
+/// Observer recording every completed latency into a histogram.
+class LatencyHistogram final : public Observer {
+ public:
+  LatencyHistogram() : histogram_(0.0, 800.0, 40) {}
+
+  void on_round(const System& /*sys*/, const RoundEvents& ev) override {
+    for (const auto& [cell, eid] : ev.injected) {
+      (void)cell;
+      births_.emplace_back(eid, ev.round);
+    }
+    for (const TransferEvent& t : ev.transfers) {
+      if (!t.consumed) continue;
+      for (std::size_t k = 0; k < births_.size(); ++k) {
+        if (births_[k].first == t.entity) {
+          histogram_.add(static_cast<double>(ev.round - births_[k].second));
+          births_.erase(births_.begin() + static_cast<std::ptrdiff_t>(k));
+          break;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] const Histogram& histogram() const noexcept {
+    return histogram_;
+  }
+
+ private:
+  Histogram histogram_;
+  std::vector<std::pair<EntityId, std::uint64_t>> births_;
+};
+
+struct Quantiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  std::uint64_t n = 0;
+};
+
+Quantiles run(double pf, double pr, MovementRule rule, std::uint64_t rounds,
+              std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.side = 8;
+  cfg.params = Params(0.2, 0.05, 0.2);
+  cfg.sources = {CellId{1, 0}};
+  cfg.target = CellId{1, 7};
+  cfg.movement_rule = rule;
+  System sys(cfg, make_choose_policy("random", seed));
+  std::unique_ptr<FailureModel> failures;
+  if (pf > 0.0) {
+    failures = std::make_unique<RandomFailRecover>(pf, pr, seed ^ 0x1A7E);
+  } else {
+    failures = std::make_unique<NoFailures>();
+  }
+  Simulator sim(sys, *failures);
+  LatencyHistogram lat;
+  SafetyMonitor safety;
+  sim.add_observer(lat);
+  sim.add_observer(safety);
+  sim.run(rounds);
+  if (!safety.clean()) {
+    std::cerr << "SAFETY VIOLATION: " << safety.report() << '\n';
+    std::exit(1);
+  }
+  Quantiles q;
+  q.n = lat.histogram().total();
+  if (q.n > 0) {
+    q.p50 = lat.histogram().quantile(0.50);
+    q.p90 = lat.histogram().quantile(0.90);
+    q.p99 = lat.histogram().quantile(0.99);
+  }
+  return q;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs cli(argc, argv);
+  const auto rounds = cli.get_uint("rounds", 10000, "rounds per regime");
+  const auto seed = cli.get_uint("seed", 1, "rng seed");
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  cli.finish();
+
+  std::cout << "=== Ablation: birth->arrival latency distribution ===\n"
+            << "8x8, l=0.2, rs=0.05, v=0.2, straight column, K=" << rounds
+            << "\n\n";
+
+  TextTable table;
+  table.set_header({"regime", "completed", "p50", "p90", "p99"});
+  const struct {
+    const char* name;
+    double pf;
+    double pr;
+    MovementRule rule;
+  } regimes[] = {
+      {"failure-free, coupled", 0.0, 0.0, MovementRule::kCoupled},
+      {"failure-free, relaxed", 0.0, 0.0, MovementRule::kCompacting},
+      {"pf=0.01 pr=0.10, coupled", 0.01, 0.1, MovementRule::kCoupled},
+      {"pf=0.03 pr=0.10, coupled", 0.03, 0.1, MovementRule::kCoupled},
+  };
+  for (const auto& r : regimes) {
+    const Quantiles q = run(r.pf, r.pr, r.rule, rounds, seed);
+    table.add_numeric_row(r.name,
+                          {static_cast<double>(q.n), q.p50, q.p90, q.p99});
+  }
+  std::cout << table.to_string() << '\n';
+  std::cout << "expected shape: relaxed coupling raises the COMPLETED count\n"
+               "~2.3x at an unchanged latency profile (its gain is pure\n"
+               "pipelining: more entities in flight, same per-entity transit\n"
+               "time); failures inflate the tail (p99) far more than the\n"
+               "median (stranded entities wait out whole failure windows).\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Extension bench E11: coupled (paper Figure 6) vs relaxed-coupling
+// (§V future work, MovementRule::kCompacting) movement, over the
+// Figure-7 rs sweep. Compaction lets queues close up during blocked
+// rounds, so cells hold more entities and the pipeline streams denser
+// traffic — bigger wins at small rs (more entities fit per cell). Safety
+// oracles run every round on both variants.
+#include <array>
+#include <iostream>
+
+#include "core/choose.hpp"
+#include "failure/failure_model.hpp"
+#include "sim/experiment.hpp"
+#include "sim/observers.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cellflow;
+
+struct Outcome {
+  double throughput = 0.0;
+  double population = 0.0;
+};
+
+Outcome run(MovementRule rule, double rs, std::uint64_t rounds,
+            std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.side = 8;
+  cfg.params = Params(0.25, rs, 0.1);
+  cfg.sources = {CellId{1, 0}};
+  cfg.target = CellId{1, 7};
+  cfg.movement_rule = rule;
+  System sys(cfg, make_choose_policy("random", seed));
+  NoFailures none;
+  Simulator sim(sys, none);
+  ThroughputMeter meter;
+  SafetyMonitor safety;
+  OccupancyTracker occupancy;
+  sim.add_observer(meter);
+  sim.add_observer(safety);
+  sim.add_observer(occupancy);
+  sim.run(rounds);
+  if (!safety.clean()) {
+    std::cerr << "SAFETY VIOLATION (" << (rule == MovementRule::kCoupled
+                                              ? "coupled"
+                                              : "compacting")
+              << "): " << safety.report() << '\n';
+    std::exit(1);
+  }
+  return Outcome{meter.throughput(), occupancy.population().mean()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs cli(argc, argv);
+  const auto rounds = cli.get_uint("rounds", 2500, "K rounds per run");
+  const auto seed = cli.get_uint("seed", 1, "rng seed");
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  cli.finish();
+
+  std::cout << "=== Extension: relaxed coupling vs coupled movement (SV) ===\n"
+            << "Figure-7 geometry, v=0.1, l=0.25, K=" << rounds << "\n\n";
+
+  TextTable table;
+  table.set_header({"rs", "coupled thr", "relaxed thr", "speedup",
+                    "coupled pop", "relaxed pop"});
+  std::vector<std::array<double, 6>> rows;
+  for (const double rs : {0.05, 0.15, 0.3, 0.5, 0.7}) {
+    const Outcome c = run(MovementRule::kCoupled, rs, rounds, seed);
+    const Outcome r = run(MovementRule::kCompacting, rs, rounds, seed);
+    const double speedup = c.throughput > 0 ? r.throughput / c.throughput : 0;
+    table.add_numeric_row(format_sig(rs, 3),
+                          {c.throughput, r.throughput, speedup, c.population,
+                           r.population});
+    rows.push_back(
+        {rs, c.throughput, r.throughput, speedup, c.population, r.population});
+  }
+  std::cout << table.to_string() << '\n';
+
+  std::cout << "CSV:\n";
+  CsvWriter csv(std::cout);
+  csv.header({"rs", "coupled", "relaxed", "speedup", "coupled_pop",
+              "relaxed_pop"});
+  for (const auto& r : rows)
+    csv.row({r[0], r[1], r[2], r[3], r[4], r[5]});
+
+  std::cout << "\nexpected shape: relaxed >= coupled everywhere; the gap\n"
+               "(and the in-flight population) widens at small rs where\n"
+               "compaction can pack more entities per cell.\n";
+  return 0;
+}

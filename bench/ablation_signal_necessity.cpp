@@ -1,0 +1,114 @@
+// Ablation E8: how necessary is the blocking permission-to-move rule?
+// Run the Figure-7 workload under (a) the paper's blocking Signal and
+// (b) the always-grant strawman, and report throughput plus the number
+// of safety violations detected by the Theorem-5 oracles. The strawman
+// buys a little throughput and breaks the one guarantee the protocol is
+// for — quantifying the paper's §I claim that the policy "turns out to
+// be necessary".
+#include <array>
+#include <iostream>
+
+#include "core/choose.hpp"
+#include "failure/failure_model.hpp"
+#include "sim/experiment.hpp"
+#include "sim/observers.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cellflow;
+
+struct Outcome {
+  double throughput = 0.0;
+  std::uint64_t violations = 0;
+  std::uint64_t first_violation_round = 0;  // 0 = never
+};
+
+Outcome run(SignalRule rule, double rs, double v, std::uint64_t rounds,
+            std::uint64_t seed) {
+  SystemConfig cfg;
+  cfg.side = 8;
+  cfg.params = Params(0.25, rs, v);
+  cfg.sources = {CellId{1, 0}};
+  cfg.target = CellId{1, 7};
+  cfg.signal_rule = rule;
+  System sys(cfg, make_choose_policy("random", seed));
+  NoFailures none;
+  Simulator sim(sys, none);
+  ThroughputMeter meter;
+  SafetyMonitor safety;
+  sim.add_observer(meter);
+  sim.add_observer(safety);
+
+  Outcome out;
+  for (std::uint64_t k = 0; k < rounds; ++k) {
+    sim.step();
+    if (out.first_violation_round == 0 && !safety.clean())
+      out.first_violation_round = k + 1;
+  }
+  out.throughput = meter.throughput();
+  out.violations = safety.violations().size();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs cli(argc, argv);
+  const auto rounds = cli.get_uint("rounds", 2500, "K rounds per run");
+  const auto seed = cli.get_uint("seed", 1, "rng seed");
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  cli.finish();
+
+  std::cout << "=== Ablation: necessity of the blocking Signal rule ===\n"
+            << "reproduces: ICDCS'10 SI claim that permission-to-move\n"
+            << "blocking is necessary for safety\n\n";
+
+  TextTable table;
+  table.set_header({"rs / v", "rule", "throughput", "safety violations",
+                    "first violation (round)"});
+  std::vector<std::array<double, 3>> csv_rows;
+  std::vector<std::string> csv_labels;
+
+  for (const auto& [rs, v] :
+       {std::pair{0.05, 0.1}, std::pair{0.05, 0.25}, std::pair{0.3, 0.2}}) {
+    for (const SignalRule rule :
+         {SignalRule::kBlocking, SignalRule::kAlwaysGrant}) {
+      const Outcome o = run(rule, rs, v, rounds, seed);
+      const std::string rule_name =
+          rule == SignalRule::kBlocking ? "blocking" : "always-grant";
+      table.add_row({format_sig(rs, 3) + " / " + format_sig(v, 3), rule_name,
+                     format_sig(o.throughput, 4),
+                     std::to_string(o.violations),
+                     o.first_violation_round == 0
+                         ? std::string("never")
+                         : std::to_string(o.first_violation_round)});
+      csv_labels.push_back(rule_name);
+      csv_rows.push_back({o.throughput, static_cast<double>(o.violations),
+                          static_cast<double>(o.first_violation_round)});
+    }
+  }
+  std::cout << table.to_string() << '\n';
+
+  std::cout << "CSV:\n";
+  CsvWriter csv(std::cout);
+  csv.header({"rule", "throughput", "violations", "first_violation"});
+  for (std::size_t k = 0; k < csv_rows.size(); ++k) {
+    csv.field(csv_labels[k])
+        .field(csv_rows[k][0])
+        .field(csv_rows[k][1])
+        .field(csv_rows[k][2]);
+    csv.end_row();
+  }
+
+  std::cout << "\nexpected shape: blocking rows show 0 violations at a\n"
+               "small throughput discount; always-grant rows violate\n"
+               "safety within the first few hundred rounds.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation E6: impact of the `choose` realization (DESIGN.md choice #14)
+// on throughput. The paper leaves `choose` nondeterministic; any fair
+// realization preserves the theorems. We compare round-robin, seeded
+// random, and the unfair lowest-id policy on (a) the single-stream
+// Figure-7 workload, where policies should be near-identical, and (b) a
+// three-way merge, where lowest-id starves one stream and loses
+// throughput.
+#include <array>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace cellflow;
+
+// Three-way merge carved into 8×8: sources ⟨0,1⟩, ⟨1,0⟩, ⟨2,1⟩ all feed
+// the merge cell ⟨1,1⟩, which drains up column 1 to the target ⟨1,7⟩.
+WorkloadSpec merge_spec() {
+  WorkloadSpec spec;
+  spec.config.side = 8;
+  spec.config.params = Params(0.2, 0.05, 0.2);
+  spec.config.sources = {CellId{0, 1}, CellId{1, 0}, CellId{2, 1}};
+  spec.config.target = CellId{1, 7};
+  spec.carve_keep = {CellId{0, 1}, CellId{1, 0}, CellId{2, 1}};
+  for (int j = 1; j <= 7; ++j) spec.carve_keep.push_back(CellId{1, j});
+  spec.rounds = 2500;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs cli(argc, argv);
+  const auto rounds = cli.get_uint("rounds", 2500, "K rounds per run");
+  const auto n_seeds = cli.get_uint("seeds", 3, "seeds averaged per point");
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  cli.finish();
+
+  bench::banner("Ablation: token-choice policy",
+                "design choice #14 (the paper's nondeterministic `choose`)");
+
+  const std::vector<std::string> policies = {"round-robin", "random",
+                                             "lowest-id"};
+  const auto seeds = default_seeds(n_seeds);
+
+  TextTable table;
+  table.set_header({"policy", "fig7-single-stream", "three-way-merge"});
+  std::vector<std::array<double, 2>> rows;
+
+  for (const std::string& policy : policies) {
+    WorkloadSpec single = fig7_base(0.05, 0.2);
+    single.rounds = rounds;
+    single.choose_policy = policy;
+
+    WorkloadSpec merge = merge_spec();
+    merge.rounds = rounds;
+    merge.choose_policy = policy;
+
+    const double t_single = bench::mean_throughput(single, seeds);
+    const double t_merge = bench::mean_throughput(merge, seeds);
+    table.add_numeric_row(policy, {t_single, t_merge});
+    rows.push_back({t_single, t_merge});
+  }
+  std::cout << table.to_string() << '\n';
+
+  std::cout << "CSV:\n";
+  CsvWriter csv(std::cout);
+  csv.header({"policy", "fig7_single", "merge3"});
+  for (std::size_t k = 0; k < policies.size(); ++k) {
+    csv.field(policies[k]).field(rows[k][0]).field(rows[k][1]);
+    csv.end_row();
+  }
+
+  std::cout << "\nexpected shape: single-stream column ~equal across\n"
+               "policies; in the merge column the fair policies tie while\n"
+               "lowest-id serves only two of three streams.\n";
+  return 0;
+}

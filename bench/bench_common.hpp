@@ -1,0 +1,28 @@
+// Shared scaffolding for the figure-reproduction benches: consistent
+// banner, seed handling, and table+CSV emission.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace cellflow::bench {
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "=== " << title << " ===\n"
+            << "reproduces: " << paper_ref << '\n'
+            << "(absolute values depend on the realization of the paper's\n"
+            << " nondeterministic choices; compare shapes, not numbers)\n\n";
+}
+
+/// Mean throughput across seeds for a spec (asserting safety internally).
+inline double mean_throughput(const WorkloadSpec& spec,
+                              const std::vector<std::uint64_t>& seeds) {
+  return run_workload_seeds(spec, seeds).mean();
+}
+
+}  // namespace cellflow::bench

@@ -1,0 +1,67 @@
+// Figure 8 reproduction: throughput versus the number of turns along a
+// length-8 path, for four (v, l) configurations at rs = 0.05, K = 2500.
+// Paths with exactly T turns are carved into the 8×8 grid by permanently
+// failing all off-path cells. The paper reports throughput decreasing
+// with turns and saturating once there is effectively one entity per
+// cell.
+//
+// Note: a length-8 simple path has at most 6 interior turns, so the sweep
+// runs T = 0…6 (the paper's x-axis extends to 7; with 8 cells, 6 is the
+// combinatorial maximum).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cellflow;
+  CliArgs cli(argc, argv);
+  const auto rounds = cli.get_uint("rounds", 2500, "K rounds per run");
+  const auto n_seeds = cli.get_uint("seeds", 3, "seeds averaged per point");
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  cli.finish();
+
+  bench::banner("Figure 8: throughput vs turns along a length-8 path",
+                "ICDCS'10 Fig. 8 (8x8, rs=0.05, K=2500, carved paths)");
+
+  struct Config {
+    double v;
+    double l;
+  };
+  const std::vector<Config> configs = {
+      {0.2, 0.2}, {0.1, 0.2}, {0.1, 0.1}, {0.05, 0.1}};
+  const auto seeds = default_seeds(n_seeds);
+
+  TextTable table;
+  table.set_header({"turns", "v=0.2,l=0.2", "v=0.1,l=0.2", "v=0.1,l=0.1",
+                    "v=0.05,l=0.1"});
+  std::vector<std::vector<double>> grid;
+
+  for (std::size_t turns = 0; turns <= 6; ++turns) {
+    std::vector<double> row;
+    for (const Config& c : configs) {
+      WorkloadSpec spec = fig8_base(turns, c.v, c.l);
+      spec.rounds = rounds;
+      spec.choose_policy = "random";
+      row.push_back(bench::mean_throughput(spec, seeds));
+    }
+    table.add_numeric_row(std::to_string(turns), row);
+    grid.push_back(std::move(row));
+  }
+  std::cout << table.to_string() << '\n';
+
+  std::cout << "CSV:\n";
+  CsvWriter csv(std::cout);
+  csv.header({"turns", "v", "l", "throughput"});
+  for (std::size_t t = 0; t <= 6; ++t)
+    for (std::size_t c = 0; c < configs.size(); ++c)
+      csv.row({static_cast<double>(t), configs[c].v, configs[c].l,
+               grid[t][c]});
+
+  std::cout << "\nexpected shape: throughput decreases as turns increase,\n"
+               "then saturates; higher-v configs dominate lower-v ones.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 9 reproduction: throughput under the stochastic fail/recover
+// model — each round every cell fails with probability pf and every
+// failed cell recovers with probability pr. Paper setting: 8×8 grid,
+// initial path of length 8 (we use the Figure-7 geometry: straight column
+// ⟨1,0⟩…⟨1,7⟩, all cells initially alive), rs = 0.05, l = 0.2, v = 0.2,
+// K = 20000, pf ∈ [0.01, 0.05], pr ∈ {0.05, 0.1, 0.15, 0.2}. The target
+// is NOT protected (§IV notes recovery resets dist_tid := 0, so the
+// paper's target does fail).
+//
+// Expected shapes: throughput decreases in pf, increases in pr, with
+// diminishing returns in pr at fixed pf.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cellflow;
+  CliArgs cli(argc, argv);
+  const auto rounds = cli.get_uint("rounds", 20000, "K rounds per run");
+  const auto n_seeds = cli.get_uint("seeds", 3, "seeds averaged per point");
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  cli.finish();
+
+  bench::banner(
+      "Figure 9: throughput vs failure rate pf for several recovery rates pr",
+      "ICDCS'10 Fig. 9 (8x8, rs=0.05, l=0.2, v=0.2, K=20000)");
+
+  const std::vector<double> pf_values = {0.01, 0.015, 0.02, 0.025, 0.03,
+                                         0.035, 0.04, 0.045, 0.05};
+  const std::vector<double> pr_values = {0.05, 0.1, 0.15, 0.2};
+  const auto seeds = default_seeds(n_seeds);
+
+  TextTable table;
+  table.set_header({"pf", "pr=0.05", "pr=0.10", "pr=0.15", "pr=0.20"});
+  std::vector<std::vector<double>> grid;
+
+  for (const double pf : pf_values) {
+    std::vector<double> row;
+    for (const double pr : pr_values) {
+      WorkloadSpec spec = fig9_base(pf, pr);
+      spec.rounds = rounds;
+      spec.choose_policy = "random";
+      row.push_back(bench::mean_throughput(spec, seeds));
+    }
+    table.add_numeric_row(format_sig(pf, 3), row);
+    grid.push_back(std::move(row));
+  }
+  std::cout << table.to_string() << '\n';
+
+  std::cout << "CSV:\n";
+  CsvWriter csv(std::cout);
+  csv.header({"pf", "pr", "throughput"});
+  for (std::size_t r = 0; r < pf_values.size(); ++r)
+    for (std::size_t c = 0; c < pr_values.size(); ++c)
+      csv.row({pf_values[r], pr_values[c], grid[r][c]});
+
+  std::cout << "\nexpected shape: rows decrease as pf grows; columns\n"
+               "increase with pr but with diminishing returns (the paper's\n"
+               "'marginal return on increasing pr').\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Micro-benchmark E7: wall-clock cost of one System::update() round as a
+// function of grid side N and of traffic load, plus the cost of the
+// safety oracle sweep. Uses google-benchmark. This characterizes the
+// simulator itself (how big an instance is laptop-feasible), not the
+// protocol.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/predicates.hpp"
+#include "core/source.hpp"
+#include "core/system.hpp"
+
+namespace {
+
+using namespace cellflow;
+
+System make_system(int side, bool with_source) {
+  SystemConfig cfg;
+  cfg.side = side;
+  cfg.params = Params(0.25, 0.05, 0.2);
+  cfg.sources = with_source ? std::vector<CellId>{CellId{1, 0}}
+                            : std::vector<CellId>{};
+  cfg.target = CellId{1, side - 1};
+  if (with_source) return System(cfg);
+  return System(cfg, nullptr, std::make_unique<NullSource>());
+}
+
+void BM_UpdateEmptyGrid(benchmark::State& state) {
+  System sys = make_system(static_cast<int>(state.range(0)), false);
+  for (auto _ : state) {
+    sys.update();
+    benchmark::DoNotOptimize(sys.round());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sys.grid().cell_count()));
+}
+BENCHMARK(BM_UpdateEmptyGrid)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_UpdateSaturatedTraffic(benchmark::State& state) {
+  System sys = make_system(static_cast<int>(state.range(0)), true);
+  // Warm up to steady-state population before timing.
+  for (int k = 0; k < 500; ++k) sys.update();
+  for (auto _ : state) {
+    sys.update();
+    benchmark::DoNotOptimize(sys.total_arrivals());
+  }
+  state.counters["entities"] = static_cast<double>(sys.entity_count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sys.grid().cell_count()));
+}
+BENCHMARK(BM_UpdateSaturatedTraffic)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SafetyOracleSweep(benchmark::State& state) {
+  System sys = make_system(static_cast<int>(state.range(0)), true);
+  for (int k = 0; k < 500; ++k) sys.update();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_all(sys).empty());
+  }
+}
+BENCHMARK(BM_SafetyOracleSweep)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_ReferenceBfs(benchmark::State& state) {
+  System sys = make_system(static_cast<int>(state.range(0)), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.reference_distances());
+  }
+}
+BENCHMARK(BM_ReferenceBfs)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

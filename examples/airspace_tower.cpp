@@ -1,0 +1,92 @@
+// Airspace tower: the 3-D extension (§V) in the paper's own motivating
+// domain — air traffic. Delivery drones launch from a ground pad, climb
+// through a vertical corridor of 1-unit airspace cells, and land on a
+// rooftop hub at the top. Mid-run, a slab of airspace closes (storm cell
+// = crash failures) forcing a detour through the one remaining gap; the
+// separation guarantee holds throughout, in all three axes.
+//
+// Run:  ./airspace_tower [--rounds=3000] [--nz=8]
+#include <iostream>
+
+#include "flow3d/predicates3.hpp"
+#include "flow3d/system3.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace cellflow;
+
+// Compact per-level rendering: one line per z level, entity counts.
+std::string render_levels(const System3& sys) {
+  std::string out;
+  for (int z = sys.grid().nz() - 1; z >= 0; --z) {
+    out += "z=" + std::to_string(z) + ": ";
+    std::size_t level_count = 0;
+    std::size_t failed = 0;
+    for (int x = 0; x < sys.grid().nx(); ++x) {
+      for (int y = 0; y < sys.grid().ny(); ++y) {
+        const CellState3& c = sys.cell(CellId3{x, y, z});
+        level_count += c.members.size();
+        if (c.failed) ++failed;
+      }
+    }
+    out += std::to_string(level_count) + " drone(s)";
+    if (failed > 0) out += ", " + std::to_string(failed) + " cell(s) closed";
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs cli(argc, argv);
+  const auto rounds = cli.get_uint("rounds", 3000, "rounds to simulate");
+  const auto nz = static_cast<int>(cli.get_uint("nz", 8, "tower height"));
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  cli.finish();
+
+  System3Config cfg;
+  cfg.nx = 4;
+  cfg.ny = 4;
+  cfg.nz = nz;
+  cfg.params = Params(/*l=*/0.25, /*rs=*/0.05, /*v=*/0.2);
+  cfg.sources = {CellId3{1, 1, 0}};           // ground launch pad
+  cfg.target = CellId3{1, 1, nz - 1};         // rooftop hub
+  System3 sys(cfg);
+
+  std::cout << "airspace tower 4x4x" << nz << ": pad <1,1,0> -> hub <1,1,"
+            << nz - 1 << ">\n\n";
+
+  bool clean = true;
+  const int storm_z = nz / 2;
+  for (std::uint64_t k = 0; k < rounds; ++k) {
+    if (k == rounds / 3) {
+      // Storm closes the mid-tower slab except the ⟨3,3⟩ gap.
+      for (int x = 0; x < 4; ++x)
+        for (int y = 0; y < 4; ++y)
+          if (!(x == 3 && y == 3)) sys.fail(CellId3{x, y, storm_z});
+      std::cout << "round " << k << ": storm closes level z=" << storm_z
+                << " (gap at <3,3," << storm_z << ">)\n";
+    }
+    if (k == 2 * rounds / 3) {
+      for (int x = 0; x < 4; ++x)
+        for (int y = 0; y < 4; ++y) sys.recover(CellId3{x, y, storm_z});
+      std::cout << "round " << k << ": storm clears\n";
+    }
+    sys.update();
+    if (!check_all3(sys).empty()) clean = false;
+  }
+
+  std::cout << '\n' << render_levels(sys) << '\n';
+  std::cout << "drones delivered: " << sys.total_arrivals() << " of "
+            << sys.total_injected() << " launched ("
+            << sys.entity_count() << " airborne)\n";
+  std::cout << "3-axis separation (Theorem 5 in 3-D): "
+            << (clean ? "CLEAN every round, storm included" : "VIOLATED")
+            << '\n';
+  return clean ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+// Conveyor warehouse: the paper's second motivating domain — packages
+// routed on a grid of multidirectional conveyor cells (§I cites
+// omniwheel conveyors). A boustrophedon (snake) conveyor line covers the
+// floor; packages enter at the dock and exit at the chute. Midway, a
+// conveyor cell jams (crash failure) — upstream packages *halt with
+// guaranteed spacing* instead of piling up; when the jam is cleared
+// (recovery), flow resumes. Demonstrates Theorem 5 + Theorem 10 in a
+// non-traffic domain.
+//
+// Run:  ./conveyor_warehouse [--width=5] [--rows=4] [--rounds=4000]
+#include <iostream>
+
+#include "failure/failure_model.hpp"
+#include "grid/path.hpp"
+#include "sim/observers.hpp"
+#include "sim/render.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cellflow;
+  CliArgs cli(argc, argv);
+  const auto width = static_cast<int>(cli.get_uint("width", 5, "conveyor cells per lane"));
+  const auto lanes = static_cast<int>(cli.get_uint("lanes", 3, "conveyor lanes"));
+  const auto rounds = cli.get_uint("rounds", 4000, "total rounds");
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  cli.finish();
+
+  // Serpentine lanes are spaced two rows apart (so carving really forces
+  // belt order — see make_serpentine_path).
+  const int side = std::max(width, 2 * lanes - 1);
+  SystemConfig cfg;
+  cfg.side = side;
+  cfg.params = Params(/*l=*/0.2, /*rs=*/0.1, /*v=*/0.2);  // chunky packages
+  cfg.sources = {CellId{0, 0}};  // the dock
+
+  const Grid grid(side);
+  const Path belt = make_serpentine_path(grid, CellId{0, 0}, width, lanes);
+  cfg.target = belt.target();  // the chute
+  System sys(cfg);
+  carve_path(sys, belt);
+
+  std::cout << "Conveyor belt (" << belt.length() << " cells, "
+            << belt.turns() << " turns): " << belt.to_string() << "\n\n";
+
+  // Jam the middle of the belt for the middle half of the run.
+  const CellId jam = belt.cells()[belt.length() / 2];
+  ScriptedFailures failures({{rounds / 4, jam, false},
+                             {rounds / 2, jam, true}});
+
+  Simulator sim(sys, failures);
+  ThroughputMeter meter(rounds / 8);  // windowed series shows the jam dip
+  SafetyMonitor safety;
+  ProgressTracker progress;
+  OccupancyTracker occupancy;
+  sim.add_observer(meter);
+  sim.add_observer(safety);
+  sim.add_observer(progress);
+  sim.add_observer(occupancy);
+  sim.run(rounds);
+
+  std::cout << "final floor state:\n" << render_ascii(sys) << '\n';
+  std::cout << render_summary(sys) << "\n\n";
+
+  std::cout << "windowed throughput (window = " << rounds / 8 << " rounds):\n";
+  for (std::size_t w = 0; w < meter.windowed().size(); ++w) {
+    std::cout << "  window " << w << ": " << meter.windowed()[w];
+    const std::uint64_t lo = w * (rounds / 8);
+    const std::uint64_t hi = (w + 1) * (rounds / 8);
+    if (lo >= rounds / 4 && hi <= rounds / 2) std::cout << "   <-- jammed";
+    std::cout << '\n';
+  }
+
+  std::cout << "\npackages delivered: " << meter.arrivals()
+            << ", mean dock->chute latency: " << progress.latency().mean()
+            << " rounds, peak packages on one cell: "
+            << occupancy.peak_cell_occupancy() << '\n';
+  std::cout << "spacing guarantee (Theorem 5): "
+            << (safety.clean() ? "never violated, including during the jam"
+                               : safety.report())
+            << '\n';
+  return safety.clean() ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// Crossing flows: the §V future-work extension live. Two entity types —
+// eastbound freight and northbound commuters — cross at the center of
+// the grid. Watch the per-flow routing tables disagree at the crossing
+// cell, the token time-share it, and both flows deliver, with the
+// Theorem-5 spacing guarantee intact across types.
+//
+// Run:  ./crossing_flows [--rounds=3000] [--side=7]
+#include <iostream>
+
+#include "multiflow/mf_predicates.hpp"
+#include "multiflow/mf_system.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace cellflow;
+
+// Minimal ASCII rendering for MfSystem: digits = entity count, letter =
+// flow of the occupants (a/b/c…), X = failed, 0/1 targets as A/B.
+std::string render(const MfSystem& sys) {
+  const int n = sys.grid().side();
+  std::string out;
+  for (int j = n - 1; j >= 0; --j) {
+    out += std::to_string(j) + " ";
+    for (int i = 0; i < n; ++i) {
+      const CellId id{i, j};
+      const MfCellState& c = sys.cell(id);
+      char mark = ' ';
+      for (FlowId f = 0; f < sys.flow_count(); ++f)
+        if (sys.flow(f).target == id) mark = static_cast<char>('A' + f);
+      if (c.failed) mark = 'X';
+      char occupant = '.';
+      if (c.has_entities())
+        occupant = static_cast<char>('a' + c.members_flow());
+      out += '[';
+      out += mark;
+      out += occupant;
+      out += std::to_string(c.members.size() % 10);
+      out += ']';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs cli(argc, argv);
+  const auto rounds = cli.get_uint("rounds", 3000, "rounds to simulate");
+  const auto side = static_cast<int>(cli.get_uint("side", 7, "grid side"));
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  cli.finish();
+
+  MfSystemConfig cfg;
+  cfg.side = side;
+  cfg.params = Params(/*l=*/0.2, /*rs=*/0.1, /*v=*/0.1);
+  const int mid = side / 2;
+  cfg.flows = {
+      FlowSpec{CellId{side - 1, mid}, {CellId{0, mid}}},  // freight W→E
+      FlowSpec{CellId{mid, side - 1}, {CellId{mid, 0}}},  // commuters S→N
+  };
+  MfSystem sys(cfg, make_choose_policy("round-robin", 1), /*source_seed=*/1);
+
+  std::cout << "flow a (freight):   <0," << mid << "> -> <" << side - 1 << ','
+            << mid << "> (target A)\n"
+            << "flow b (commuters): <" << mid << ",0> -> <" << mid << ','
+            << side - 1 << "> (target B)\n\n";
+
+  bool clean = true;
+  for (std::uint64_t k = 0; k < rounds; ++k) {
+    sys.update();
+    if (!check_mf_all(sys).empty()) clean = false;
+    if (k == rounds / 2) {
+      std::cout << "midpoint snapshot (round " << sys.round() << "):\n"
+                << render(sys) << '\n';
+    }
+  }
+
+  std::cout << "final snapshot:\n" << render(sys) << '\n';
+  const MfCellState& cross = sys.cell(CellId{mid, mid});
+  std::cout << "crossing cell <" << mid << ',' << mid << "> routing: flow a -> "
+            << to_string(cross.next[0]) << ", flow b -> "
+            << to_string(cross.next[1]) << '\n';
+  std::cout << "deliveries: freight " << sys.arrivals(0) << ", commuters "
+            << sys.arrivals(1) << " over " << rounds << " rounds\n";
+  std::cout << "spacing + flow-purity oracles: "
+            << (clean ? "CLEAN every round" : "VIOLATED") << '\n';
+  return clean ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Highway corridor: the motivating scenario of the paper's introduction —
+// high-density, high-velocity traffic where vehicles couple into a moving
+// lattice. A long straight corridor of cells carries saturating traffic;
+// we sweep the coupling velocity and report the throughput/latency/
+// occupancy frontier, illustrating the paper's phase-transition framing:
+// beyond the signaling-limited regime, raising v no longer buys
+// throughput.
+//
+// Run:  ./highway_corridor [--length=12] [--rounds=6000]
+#include <iostream>
+
+#include "failure/failure_model.hpp"
+#include "grid/path.hpp"
+#include "sim/observers.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cellflow;
+  CliArgs cli(argc, argv);
+  const auto length = static_cast<int>(cli.get_uint("length", 12, "corridor cells"));
+  const auto rounds = cli.get_uint("rounds", 6000, "rounds per sweep point");
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  cli.finish();
+
+  std::cout << "Highway corridor: " << length << " cells, saturating onramp, "
+            << rounds << " rounds per velocity\n\n";
+
+  TextTable table;
+  table.set_header({"v", "throughput", "mean latency", "mean population",
+                    "blocked cells/round"});
+
+  for (const double v : {0.05, 0.1, 0.15, 0.2, 0.25}) {
+    SystemConfig cfg;
+    cfg.side = length;
+    cfg.params = Params(/*l=*/0.25, /*rs=*/0.05, v);
+    cfg.sources = {CellId{0, 0}};
+    cfg.target = CellId{length - 1, 0};
+    System sys(cfg);
+    // Carve the corridor row so this really is a 1-lane highway.
+    const Path corridor = make_straight_path(
+        sys.grid(), CellId{0, 0}, Direction::kEast,
+        static_cast<std::size_t>(length));
+    carve_path(sys, corridor);
+
+    NoFailures none;
+    Simulator sim(sys, none);
+    ThroughputMeter meter;
+    ProgressTracker progress;
+    OccupancyTracker occupancy;
+    BlockingStats blocking;
+    SafetyMonitor safety;
+    sim.add_observer(meter);
+    sim.add_observer(progress);
+    sim.add_observer(occupancy);
+    sim.add_observer(blocking);
+    sim.add_observer(safety);
+    sim.run(rounds);
+
+    if (!safety.clean()) {
+      std::cerr << "SAFETY VIOLATION\n" << safety.report() << '\n';
+      return 1;
+    }
+    table.add_numeric_row(format_sig(v, 3),
+                          {meter.throughput(), progress.latency().mean(),
+                           occupancy.population().mean(),
+                           blocking.mean_blocked_per_round()});
+  }
+  std::cout << table.to_string()
+            << "\nreading: throughput rises with v until signaling\n"
+               "(permission-to-move) becomes the bottleneck; latency falls\n"
+               "with v; the blocked-cells column shows the cost of safety.\n";
+  return 0;
+}

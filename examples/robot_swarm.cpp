@@ -1,0 +1,132 @@
+// Robot swarm over virtual stationary automata: §I's third motivating
+// scenario — "even where the entities are active and cells are not, the
+// entities can cooperate to emulate a virtual active cell expressly for
+// the purposes of distributed coordination" (the VSA idea of Dolev/
+// Gilbert/Lynch/Mitra/Nolte the paper cites).
+//
+// Here the protocol's System is the *virtual* layer: its entities are
+// waypoint carriers. Each physical robot runs a simple first-order
+// kinematic controller (max speed u ≥ v) chasing the waypoint of its
+// virtual twin. The demo reports the tracking error between the physical
+// swarm and the virtual plan — small when u comfortably exceeds the cell
+// velocity v, demonstrating that the discrete protocol can drive
+// continuous robots while its safety margin absorbs the tracking error
+// (choose rs > 2·max-error and physical robots never collide).
+//
+// Run:  ./robot_swarm [--rounds=1200] [--speed=0.3] [--substeps=5]
+#include <cmath>
+#include <iostream>
+#include <unordered_map>
+
+#include "failure/failure_model.hpp"
+#include "sim/observers.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace cellflow;
+
+struct Robot {
+  Vec2 position;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs cli(argc, argv);
+  const auto rounds = cli.get_uint("rounds", 1200, "protocol rounds");
+  const double speed =
+      cli.get_double("speed", 0.3, "robot max speed per round (>= v)");
+  const auto substeps =
+      cli.get_uint("substeps", 5, "kinematic integration steps per round");
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  cli.finish();
+
+  SystemConfig cfg;
+  cfg.side = 6;
+  cfg.params = Params(/*l=*/0.2, /*rs=*/0.15, /*v=*/0.1);
+  cfg.sources = {CellId{1, 0}};
+  cfg.target = CellId{4, 5};
+  System sys(cfg);
+
+  NoFailures none;
+  Simulator sim(sys, none);
+  SafetyMonitor safety;
+  sim.add_observer(safety);
+
+  std::unordered_map<EntityId, Robot> robots;
+  RunningStats tracking_error;
+  std::uint64_t retired = 0;
+
+  for (std::uint64_t k = 0; k < rounds; ++k) {
+    sim.step();
+
+    // Spawn physical robots for newly injected virtual entities; retire
+    // robots whose twin was consumed.
+    for (const auto& [cell, eid] : sys.last_events().injected) {
+      (void)cell;
+      // Find the twin's position.
+      for (const CellState& c : sys.cells()) {
+        if (const Entity* e = c.find(eid)) {
+          robots.emplace(eid, Robot{e->center});
+          break;
+        }
+      }
+    }
+    for (const TransferEvent& t : sys.last_events().transfers) {
+      if (t.consumed) {
+        robots.erase(t.entity);
+        ++retired;
+      }
+    }
+
+    // Kinematic tracking: each robot chases its virtual twin's current
+    // position with speed-limited straight-line motion. The error is
+    // sampled at every kinematic substep — the robot is at its farthest
+    // from the twin right after the twin's discrete jump, and converges
+    // within the round when speed > v.
+    for (auto& [eid, robot] : robots) {
+      const Entity* twin = nullptr;
+      for (const CellState& c : sys.cells()) {
+        if ((twin = c.find(eid)) != nullptr) break;
+      }
+      if (twin == nullptr) continue;
+      const double step_budget = speed / static_cast<double>(substeps);
+      for (std::uint64_t s = 0; s < substeps; ++s) {
+        tracking_error.add(l2_distance(twin->center, robot.position));
+        const Vec2 delta = twin->center - robot.position;
+        const double dist = l2_distance(twin->center, robot.position);
+        if (dist < 1e-12) break;
+        const double hop = std::min(step_budget, dist);
+        robot.position += (hop / dist) * delta;
+      }
+    }
+  }
+
+  std::cout << "virtual plan: " << sys.total_arrivals()
+            << " deliveries; physical robots retired: " << retired << '\n'
+            << "robots still in the field: " << robots.size() << '\n';
+  std::cout << "tracking error (robot vs virtual twin): mean "
+            << tracking_error.mean() << ", max " << tracking_error.max()
+            << " (cell velocity v = " << cfg.params.velocity()
+            << ", robot speed " << speed << ")\n";
+  // The worst single-round twin displacement is v + l: v of motion plus
+  // the flush snap at a cell hand-off (Figure 6's entry placement). A
+  // robot with speed > v + l therefore re-converges within the round,
+  // and the max tracking error stays below that bound.
+  const double bound = cfg.params.velocity() + cfg.params.entity_length();
+  std::cout << "error bound v + l = " << bound << ": "
+            << (tracking_error.max() <= bound + 1e-9 ? "HELD" : "EXCEEDED")
+            << '\n';
+  std::cout << "virtual-layer safety: "
+            << (safety.clean() ? "CLEAN" : safety.report()) << '\n';
+  std::cout << "(deploy rule of thumb: pick rs > 2*(v + l) - or robot\n"
+            << " speed >> v - so physical separation inherits the virtual\n"
+            << " layer's guarantee minus twice the tracking error)\n";
+  return safety.clean() ? 0 : 1;
+}

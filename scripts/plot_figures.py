@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Plot the reproduced figures from the benches' CSV output.
+
+Usage:
+    # 1. capture bench output
+    ./build/bench/fig7_throughput_vs_rs   > results/fig7.txt
+    ./build/bench/fig8_throughput_vs_turns > results/fig8.txt
+    ./build/bench/fig9_throughput_vs_failures > results/fig9.txt
+    # 2. plot (requires matplotlib)
+    python3 scripts/plot_figures.py results/
+
+Each bench prints an aligned table followed by a "CSV:" section; this
+script extracts the CSV block and renders one PNG per figure next to the
+input file, styled loosely after the paper's Figures 7-9.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+import sys
+
+
+def extract_csv(path: pathlib.Path) -> list[dict[str, str]]:
+    """Return the rows of the CSV block embedded in a bench's output."""
+    lines = path.read_text().splitlines()
+    try:
+        start = lines.index("CSV:") + 1
+    except ValueError:
+        raise SystemExit(f"{path}: no 'CSV:' block found")
+    block: list[str] = []
+    for line in lines[start:]:
+        if not line or "," not in line:
+            break
+        block.append(line)
+    reader = csv.DictReader(io.StringIO("\n".join(block)))
+    return list(reader)
+
+
+def series_by(rows, key_field, x_field, y_field):
+    """Group rows into {series_key: ([x...], [y...])}."""
+    out: dict[str, tuple[list[float], list[float]]] = {}
+    for row in rows:
+        key = row[key_field]
+        xs, ys = out.setdefault(key, ([], []))
+        xs.append(float(row[x_field]))
+        ys.append(float(row[y_field]))
+    return out
+
+
+def plot(path: pathlib.Path, spec) -> None:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    rows = extract_csv(path)
+    fig, ax = plt.subplots(figsize=(6, 4.2))
+    for key, (xs, ys) in sorted(series_by(rows, *spec["group"]).items()):
+        ax.plot(xs, ys, marker="o", label=f"{spec['legend']}={key}")
+    ax.set_xlabel(spec["xlabel"])
+    ax.set_ylabel("throughput (entities/round)")
+    ax.set_title(spec["title"])
+    ax.legend()
+    ax.grid(True, alpha=0.3)
+    out = path.with_suffix(".png")
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+SPECS = {
+    "fig7.txt": {
+        "group": ("v", "rs", "throughput"),
+        "legend": "v",
+        "xlabel": "safety spacing rs",
+        "title": "Fig. 7: throughput vs rs (8x8, l=0.25, K=2500)",
+    },
+    "fig8.txt": {
+        "group": ("v", "turns", "throughput"),
+        "legend": "v",
+        "xlabel": "turns along length-8 path",
+        "title": "Fig. 8: throughput vs path turns (rs=0.05, K=2500)",
+    },
+    "fig9.txt": {
+        "group": ("pr", "pf", "throughput"),
+        "legend": "pr",
+        "xlabel": "failure probability pf",
+        "title": "Fig. 9: throughput under fail/recover (K=20000)",
+    },
+}
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        raise SystemExit(__doc__)
+    results = pathlib.Path(sys.argv[1])
+    plotted = 0
+    for name, spec in SPECS.items():
+        path = results / name
+        if path.exists():
+            plot(path, spec)
+            plotted += 1
+        else:
+            print(f"skipping {path} (not found)")
+    if plotted == 0:
+        raise SystemExit("nothing to plot — run the benches first")
+
+
+if __name__ == "__main__":
+    main()

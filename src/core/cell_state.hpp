@@ -1,0 +1,60 @@
+// Per-cell protocol state — the variables of Cell_{i,j} (paper Figure 3):
+//
+//   Members  : Set[P]   := {}      entities located in the cell
+//   NEPrev   : Set[ID⊥] := {}      nonempty neighbors whose next points here
+//   next, signal, token : ID⊥ := ⊥
+//   dist     : N∞       := ∞       (target: 0)
+//   failed   : B        := false
+//
+// Members/dist/next/signal are the *shared* variables a neighbor may read
+// (Figure 2); token/NEPrev/failed are private. The System automaton owns a
+// CellState per cell; the read/write discipline of the three update phases
+// lives in route.hpp / signal.hpp / move.hpp / system.hpp.
+#pragma once
+
+#include <vector>
+
+#include "core/entity.hpp"
+#include "util/dist_value.hpp"
+#include "util/ids.hpp"
+
+namespace cellflow {
+
+struct CellState {
+  /// Members_{i,j}. Order is insertion order; identity is Entity::id.
+  std::vector<Entity> members;
+
+  /// dist_{i,j}: estimated hop distance to the target. Initially ∞
+  /// (Dist's default); the target cell is initialized to 0.
+  Dist dist = Dist::infinity();
+
+  /// next_{i,j}: the neighbor this cell tries to move its entities toward.
+  OptCellId next;
+
+  /// token_{i,j}: the nonempty predecessor currently being served (mutual
+  /// exclusion / fairness token of the Signal function).
+  OptCellId token;
+
+  /// signal_{i,j}: the neighbor (if any) granted permission to move its
+  /// entities toward this cell this round; ⊥ blocks all predecessors.
+  OptCellId signal;
+
+  /// NEPrev_{i,j}: nonempty neighbors with next = this cell, as computed
+  /// by the most recent Signal phase (kept for observability/tests).
+  std::vector<CellId> ne_prev;
+
+  /// failed_{i,j}: crash flag. A failed cell does nothing — it never moves
+  /// its entities and neighbors read dist = ∞ / signal = ⊥ from it.
+  bool failed = false;
+
+  [[nodiscard]] bool has_entities() const noexcept { return !members.empty(); }
+
+  /// Finds a member by id; nullptr if absent.
+  [[nodiscard]] const Entity* find(EntityId id) const noexcept {
+    for (const Entity& e : members)
+      if (e.id == id) return &e;
+    return nullptr;
+  }
+};
+
+}  // namespace cellflow

@@ -1,0 +1,45 @@
+#include "core/choose.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace cellflow {
+
+CellId RoundRobinChoose::choose(CellId /*self*/,
+                                std::span<const CellId> candidates,
+                                OptCellId previous) {
+  CF_EXPECTS(!candidates.empty());
+  CF_EXPECTS(std::is_sorted(candidates.begin(), candidates.end()));
+  if (!previous.has_value()) return candidates.front();
+  // First candidate strictly greater than the previous token, cyclically.
+  const auto it =
+      std::upper_bound(candidates.begin(), candidates.end(), *previous);
+  return it == candidates.end() ? candidates.front() : *it;
+}
+
+CellId RandomChoose::choose(CellId /*self*/,
+                            std::span<const CellId> candidates,
+                            OptCellId /*previous*/) {
+  CF_EXPECTS(!candidates.empty());
+  return candidates[static_cast<std::size_t>(rng_.below(candidates.size()))];
+}
+
+CellId LowestIdChoose::choose(CellId /*self*/,
+                              std::span<const CellId> candidates,
+                              OptCellId /*previous*/) {
+  CF_EXPECTS(!candidates.empty());
+  return candidates.front();
+}
+
+std::unique_ptr<ChoosePolicy> make_choose_policy(std::string_view name,
+                                                 std::uint64_t seed) {
+  if (name == "round-robin") return std::make_unique<RoundRobinChoose>();
+  if (name == "random") return std::make_unique<RandomChoose>(seed);
+  if (name == "lowest-id") return std::make_unique<LowestIdChoose>();
+  throw std::runtime_error("unknown choose policy: " + std::string(name));
+}
+
+}  // namespace cellflow

@@ -1,0 +1,75 @@
+// Token-choice policies.
+//
+// The paper's Signal function (Figure 5) uses nondeterministic `choose`
+// twice: acquiring a token when it is ⊥ (line 3) and rotating it after a
+// grant (lines 10–12). Any realization is correct for *safety*; for
+// *progress* (Lemma 9) the choice must be fair — every nonempty
+// predecessor must be chosen infinitely often. We provide:
+//
+//   * RoundRobinChoose (default) — cycles through candidates in id order
+//     relative to the previous token. Deterministic and fair.
+//   * RandomChoose — uniform over candidates from a seeded stream.
+//     Fair with probability 1; used to reproduce the paper's
+//     nondeterminism statistically.
+//   * LowestIdChoose — always the smallest id. Deliberately UNFAIR: with
+//     more than one competing predecessor it can starve the larger id.
+//     Kept as an ablation (bench/ablation_token_policy) and as a negative
+//     test for the fairness assumption in Lemma 9.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace cellflow {
+
+/// Strategy for the Signal function's `choose`.
+class ChoosePolicy {
+ public:
+  virtual ~ChoosePolicy() = default;
+
+  /// Picks one of `candidates` (precondition: nonempty, sorted unique
+  /// ascending). `previous` is the token being rotated away from, or ⊥ on
+  /// first acquisition. `self` identifies the choosing cell so stateful
+  /// policies can keep independent per-cell streams.
+  [[nodiscard]] virtual CellId choose(CellId self,
+                                      std::span<const CellId> candidates,
+                                      OptCellId previous) = 0;
+};
+
+/// Deterministic fair rotation: the smallest candidate strictly greater
+/// than `previous` in id order, wrapping to the smallest overall.
+class RoundRobinChoose final : public ChoosePolicy {
+ public:
+  [[nodiscard]] CellId choose(CellId self, std::span<const CellId> candidates,
+                              OptCellId previous) override;
+};
+
+/// Uniformly random choice from a seeded generator (deterministic given
+/// the seed and call sequence).
+class RandomChoose final : public ChoosePolicy {
+ public:
+  explicit RandomChoose(std::uint64_t seed) : rng_(seed) {}
+
+  [[nodiscard]] CellId choose(CellId self, std::span<const CellId> candidates,
+                              OptCellId previous) override;
+
+ private:
+  Xoshiro256 rng_;
+};
+
+/// Always the smallest id — unfair on purpose (see file comment).
+class LowestIdChoose final : public ChoosePolicy {
+ public:
+  [[nodiscard]] CellId choose(CellId self, std::span<const CellId> candidates,
+                              OptCellId previous) override;
+};
+
+/// Factory from a name ("round-robin" | "random" | "lowest-id"), used by
+/// CLI-configurable binaries. Throws on unknown names.
+[[nodiscard]] std::unique_ptr<ChoosePolicy> make_choose_policy(
+    std::string_view name, std::uint64_t seed);
+
+}  // namespace cellflow

@@ -1,0 +1,24 @@
+// Entities: the moving objects of the model (cars, packages, robots…).
+// Each occupies an l×l square centered at `center` (paper §II-B) and
+// carries an identifier unique for the lifetime of a System.
+#pragma once
+
+#include "geometry/rect.hpp"
+#include "geometry/vec2.hpp"
+#include "util/ids.hpp"
+
+namespace cellflow {
+
+struct Entity {
+  EntityId id;
+  Vec2 center;
+
+  /// The l×l square footprint.
+  [[nodiscard]] Rect footprint(double entity_length) const {
+    return Rect::square(center, entity_length);
+  }
+
+  friend bool operator==(const Entity&, const Entity&) noexcept = default;
+};
+
+}  // namespace cellflow

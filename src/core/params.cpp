@@ -1,0 +1,36 @@
+#include "core/params.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cellflow {
+
+Params::Params(double entity_length, double safety_gap, double velocity)
+    : l_(entity_length), rs_(safety_gap), v_(velocity) {
+  CF_EXPECTS_MSG(feasible(entity_length, safety_gap, velocity),
+                 "parameters must satisfy 0 < v < l < 1, rs > 0, rs + l < 1");
+}
+
+bool Params::feasible(double entity_length, double safety_gap,
+                      double velocity) noexcept {
+  // §II-B states v < l, yet Figure 7 itself evaluates v = l = 0.25. The
+  // proofs only need v ≤ l (Lemma 4's contradiction requires just
+  // v < l + rs), so we accept the boundary case the paper's own
+  // evaluation uses.
+  return velocity > 0.0 && velocity <= entity_length && entity_length < 1.0 &&
+         safety_gap > 0.0 && safety_gap + entity_length < 1.0;
+}
+
+std::string Params::to_string() const {
+  std::ostringstream os;
+  os << "Params{l=" << l_ << ", rs=" << rs_ << ", v=" << v_ << ", d=" << center_spacing() << '}';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Params& p) {
+  return os << p.to_string();
+}
+
+}  // namespace cellflow

@@ -1,0 +1,53 @@
+// Protocol parameters (paper §II-B).
+//
+// The specification uses three parameters:
+//   l  — side length of an entity's square footprint,
+//   rs — minimum required inter-entity gap along each axis,
+//   v  — cell velocity: distance an entity moves in one round.
+// Well-formedness (required by the paper): v < l < 1 and rs + l < 1
+// (we accept v = l, which Figure 7's own v = l = 0.25 configuration uses;
+// see Params::feasible for why that is sound).
+//   * v < l ensures an entity cannot jump across the d-wide safety strip
+//     in one round (used in Lemma 4),
+//   * rs + l < 1 ensures entities fit inside a unit cell with the gap.
+// The derived center-spacing requirement is d = rs + l.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace cellflow {
+
+class Params {
+ public:
+  /// Validates and constructs. Throws ContractViolation when the paper's
+  /// constraints (0 < v < l < 1, 0 < rs, rs + l < 1) are violated.
+  Params(double entity_length, double safety_gap, double velocity);
+
+  /// l: entity side length.
+  [[nodiscard]] double entity_length() const noexcept { return l_; }
+  /// rs: required inter-entity edge gap per axis.
+  [[nodiscard]] double safety_gap() const noexcept { return rs_; }
+  /// v: per-round displacement of a moving cell's entities.
+  [[nodiscard]] double velocity() const noexcept { return v_; }
+  /// d = rs + l: required center spacing per axis.
+  [[nodiscard]] double center_spacing() const noexcept { return rs_ + l_; }
+
+  /// True iff (l, rs, v) satisfy the paper's constraints; used by sweeps
+  /// to skip infeasible parameter combinations without throwing.
+  [[nodiscard]] static bool feasible(double entity_length, double safety_gap,
+                                     double velocity) noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Params&, const Params&) noexcept = default;
+
+ private:
+  double l_;
+  double rs_;
+  double v_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Params& p);
+
+}  // namespace cellflow

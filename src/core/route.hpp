@@ -1,0 +1,43 @@
+// The Route function (paper Figure 4) as a pure per-cell step.
+//
+//   if ¬failed_{i,j} ∧ ⟨i,j⟩ ≠ tid then
+//     dist_{i,j} := ( min over ⟨m,n⟩ ∈ Nbrs_{i,j} of dist_{m,n} ) + 1
+//     if dist_{i,j} = ∞ then next_{i,j} := ⊥
+//     else next_{i,j} := argmin over ⟨m,n⟩ ∈ Nbrs_{i,j} of (dist_{m,n}, ⟨m,n⟩)
+//
+// This is a synchronous distance-vector (Bellman–Ford) update: each round
+// every non-faulty cell recomputes from its neighbors' *previous-round*
+// estimates, ties broken by neighbor id. Failed neighbors report ∞
+// (fail sets dist := ∞ — "neighbors do not receive a timely response").
+// It is self-stabilizing: dist/next are recomputed from scratch every
+// round, so arbitrary corruption is washed out (Lemma 6 / Corollary 7).
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "util/dist_value.hpp"
+#include "util/ids.hpp"
+
+namespace cellflow {
+
+/// One neighbor's identifier together with its previous-round dist value
+/// as read over the (modeled) shared variable.
+struct NeighborDist {
+  CellId id;
+  Dist dist;
+};
+
+struct RouteResult {
+  Dist dist;
+  OptCellId next;
+};
+
+/// Computes the new (dist, next) for a non-faulty, non-target cell.
+/// `neighbor_dists` holds every in-grid neighbor (any order). The caller
+/// (System) is responsible for skipping failed cells and the target —
+/// their dist/next are pinned by fail() and initialization respectively.
+[[nodiscard]] RouteResult route_step(
+    std::span<const NeighborDist> neighbor_dists);
+
+}  // namespace cellflow

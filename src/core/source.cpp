@@ -1,0 +1,52 @@
+#include "core/source.hpp"
+
+#include "util/check.hpp"
+
+namespace cellflow {
+
+std::optional<Vec2> EntryEdgeSource::propose(const Grid& grid,
+                                             const Params& params, CellId self,
+                                             const CellState& state) {
+  const double half = params.entity_length() / 2.0;
+  const auto i = static_cast<double>(self.i);
+  const auto j = static_cast<double>(self.j);
+  if (!state.next.has_value()) {
+    return Vec2{i + 0.5, j + 0.5};
+  }
+  // Flush against the edge opposite the travel direction, centered on the
+  // perpendicular axis.
+  const Direction toward = grid.direction_between(self, *state.next);
+  switch (opposite(toward)) {
+    case Direction::kEast: return Vec2{i + 1.0 - half, j + 0.5};
+    case Direction::kWest: return Vec2{i + half, j + 0.5};
+    case Direction::kNorth: return Vec2{i + 0.5, j + 1.0 - half};
+    case Direction::kSouth: return Vec2{i + 0.5, j + half};
+  }
+  return std::nullopt;
+}
+
+RateLimitedSource::RateLimitedSource(double rate, std::uint64_t seed)
+    : rate_(rate), rng_(seed) {
+  CF_EXPECTS(rate >= 0.0 && rate <= 1.0);
+}
+
+std::optional<Vec2> RateLimitedSource::propose(const Grid& grid,
+                                               const Params& params,
+                                               CellId self,
+                                               const CellState& state) {
+  if (!rng_.bernoulli(rate_)) return std::nullopt;
+  return inner_.propose(grid, params, self, state);
+}
+
+std::optional<Vec2> BoundedSource::propose(const Grid& grid,
+                                           const Params& params, CellId self,
+                                           const CellState& state) {
+  if (remaining_ == 0) return std::nullopt;
+  return inner_.propose(grid, params, self, state);
+}
+
+void BoundedSource::note_accepted() noexcept {
+  if (remaining_ > 0) --remaining_;
+}
+
+}  // namespace cellflow

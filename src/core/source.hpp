@@ -1,0 +1,100 @@
+// Source (entity-injection) policies.
+//
+// The paper (§II-B, end of Move) specifies only that each source cell
+// "adds at most one entity in each round to Members such that the addition
+// does not violate the minimum gap requirement", plus the fairness
+// assumption of §III-B(b): the source must not perpetually block a
+// nonempty non-faulty neighbor. A policy *proposes* a placement; the
+// System accepts it only if it keeps the cell safe (gap requirement +
+// Invariant 1 bounds) and does not fill the entry strip toward the
+// neighbor currently being served (`token`) — that last guard is how we
+// discharge assumption (b) by construction.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "core/cell_state.hpp"
+#include "core/params.hpp"
+#include "geometry/vec2.hpp"
+#include "grid/grid.hpp"
+#include "util/rng.hpp"
+
+namespace cellflow {
+
+/// Strategy deciding where (and whether) a source cell spawns an entity
+/// this round. Returning nullopt skips the round.
+class SourcePolicy {
+ public:
+  virtual ~SourcePolicy() = default;
+
+  /// Proposes a center for a new entity on source cell `self`. The System
+  /// validates safety; a proposal that would be unsafe is dropped for the
+  /// round (not retried elsewhere), matching "at most one per round".
+  [[nodiscard]] virtual std::optional<Vec2> propose(
+      const Grid& grid, const Params& params, CellId self,
+      const CellState& state) = 0;
+
+  /// Called by the System when a proposal passed validation and the entity
+  /// was actually created. Default: nothing.
+  virtual void note_accepted() noexcept {}
+};
+
+/// Injects at the center of the edge *opposite* the cell's current `next`
+/// direction (entities then traverse the whole cell, as a car entering a
+/// highway segment would). Falls back to the cell center while `next` is ⊥
+/// (e.g. before routing stabilizes).
+class EntryEdgeSource final : public SourcePolicy {
+ public:
+  [[nodiscard]] std::optional<Vec2> propose(const Grid& grid,
+                                            const Params& params, CellId self,
+                                            const CellState& state) override;
+};
+
+/// EntryEdgeSource gated by a Bernoulli coin: injects with probability
+/// `rate` per round. Models lighter offered load.
+class RateLimitedSource final : public SourcePolicy {
+ public:
+  /// Precondition: 0 <= rate <= 1.
+  RateLimitedSource(double rate, std::uint64_t seed);
+
+  [[nodiscard]] std::optional<Vec2> propose(const Grid& grid,
+                                            const Params& params, CellId self,
+                                            const CellState& state) override;
+
+ private:
+  EntryEdgeSource inner_;
+  double rate_;
+  Xoshiro256 rng_;
+};
+
+/// EntryEdgeSource that stops after `budget` successful injections system-
+/// wide; used by progress tests that track a finite population to the
+/// target. The System reports acceptance via note_accepted().
+class BoundedSource final : public SourcePolicy {
+ public:
+  explicit BoundedSource(std::uint64_t budget) : remaining_(budget) {}
+
+  [[nodiscard]] std::optional<Vec2> propose(const Grid& grid,
+                                            const Params& params, CellId self,
+                                            const CellState& state) override;
+
+  void note_accepted() noexcept override;
+  [[nodiscard]] std::uint64_t remaining() const noexcept { return remaining_; }
+
+ private:
+  EntryEdgeSource inner_;
+  std::uint64_t remaining_;
+};
+
+/// Never injects. Useful for closed-system experiments seeded by hand.
+class NullSource final : public SourcePolicy {
+ public:
+  [[nodiscard]] std::optional<Vec2> propose(const Grid&, const Params&,
+                                            CellId, const CellState&) override {
+    return std::nullopt;
+  }
+};
+
+}  // namespace cellflow

@@ -1,0 +1,303 @@
+#include "core/system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/move.hpp"
+#include "core/route.hpp"
+#include "core/signal.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace cellflow {
+
+System::System(SystemConfig config, std::unique_ptr<ChoosePolicy> choose,
+               std::unique_ptr<SourcePolicy> source)
+    : config_(std::move(config)),
+      grid_(config_.side),
+      cells_(grid_.cell_count()),
+      choose_(choose ? std::move(choose)
+                     : std::make_unique<RoundRobinChoose>()),
+      source_(source ? std::move(source)
+                     : std::make_unique<EntryEdgeSource>()) {
+  CF_EXPECTS_MSG(grid_.contains(config_.target), "target outside grid");
+  for (const CellId s : config_.sources) {
+    CF_EXPECTS_MSG(grid_.contains(s), "source outside grid");
+    CF_EXPECTS_MSG(s != config_.target, "a cell cannot be source and target");
+  }
+  // Initial state (Figure 3): everything ⊥/∞/empty except the target's
+  // distance, which anchors the routing computation at 0.
+  cells_[grid_.index_of(config_.target)].dist = Dist::zero();
+  dist_snapshot_.resize(cells_.size());
+}
+
+std::size_t System::entity_count() const noexcept {
+  std::size_t n = 0;
+  for (const CellState& c : cells_) n += c.members.size();
+  return n;
+}
+
+CellMask System::alive_mask() const {
+  CellMask m(grid_);
+  for (std::size_t k = 0; k < cells_.size(); ++k)
+    if (!cells_[k].failed) m.set(grid_.id_of(k));
+  return m;
+}
+
+std::vector<Dist> System::reference_distances() const {
+  return path_distances(grid_, alive_mask(), config_.target);
+}
+
+CellMask System::tc_mask() const {
+  return target_connected(grid_, alive_mask(), config_.target);
+}
+
+void System::fail(CellId id) {
+  CF_EXPECTS(grid_.contains(id));
+  CellState& c = cells_[grid_.index_of(id)];
+  c.failed = true;
+  c.dist = Dist::infinity();  // neighbors stop hearing from it
+  c.next = std::nullopt;
+  // "A failed cell … never communicates": in the message-passing reading,
+  // neighbors read no grant from it, so its shared signal must present
+  // as ⊥. The private token and NEPrev are simply lost.
+  c.signal = std::nullopt;
+  c.token = std::nullopt;
+  c.ne_prev.clear();
+}
+
+void System::recover(CellId id) {
+  CF_EXPECTS(grid_.contains(id));
+  CellState& c = cells_[grid_.index_of(id)];
+  if (!c.failed) return;
+  c.failed = false;
+  // Reset to initial protocol state (§IV); Route repairs dist/next within
+  // O(N²) rounds (Corollary 7). The target re-anchors at 0 so routing can
+  // re-stabilize toward it.
+  c.dist = (id == config_.target) ? Dist::zero() : Dist::infinity();
+  c.next = std::nullopt;
+  c.token = std::nullopt;
+  c.signal = std::nullopt;
+  c.ne_prev.clear();
+  // Members are retained: entities that were frozen on the failed cell
+  // resume their journey.
+}
+
+const RoundEvents& System::update() {
+  events_ = RoundEvents{};
+  events_.round = round_;
+
+  run_route_phase();
+  if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterRoute);
+  run_signal_phase();
+  if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterSignal);
+  run_move_phase();
+  if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterMove);
+  run_inject_phase();
+  if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterInject);
+
+  ++round_;
+  return events_;
+}
+
+void System::run_route_phase() {
+  // Phase-parallel Bellman–Ford: every cell reads its neighbors'
+  // *previous-round* dist, so snapshot them first (Figure 4 semantics).
+  for (std::size_t k = 0; k < cells_.size(); ++k)
+    dist_snapshot_[k] = cells_[k].dist;
+
+  for (std::size_t k = 0; k < cells_.size(); ++k) {
+    CellState& c = cells_[k];
+    const CellId id = grid_.id_of(k);
+    if (c.failed) continue;
+    if (id == config_.target) {
+      // The target anchors routing: dist pinned to 0, next to ⊥. Pinning
+      // every round (rather than only at init/recover) also washes out
+      // adversarial corruption of the target's control state.
+      c.dist = Dist::zero();
+      c.next = std::nullopt;
+      continue;
+    }
+
+    NeighborDist nds[4];
+    std::size_t n = 0;
+    for (const Direction d : kAllDirections) {
+      if (const auto nb = grid_.neighbor(id, d))
+        nds[n++] = NeighborDist{*nb, dist_snapshot_[grid_.index_of(*nb)]};
+    }
+    const RouteResult r = route_step(std::span<const NeighborDist>(nds, n));
+    c.dist = r.dist;
+    c.next = r.next;
+  }
+}
+
+void System::run_signal_phase() {
+  // Signal reads neighbors' fresh `next` (phase 1 output) and pre-Move
+  // Members; it writes only its own ne_prev/token/signal, so per-cell
+  // in-place updates are race-free under the synchronous semantics.
+  for (std::size_t k = 0; k < cells_.size(); ++k) {
+    CellState& c = cells_[k];
+    if (c.failed) continue;
+    const CellId id = grid_.id_of(k);
+
+    SignalInputs in;
+    in.self = id;
+    in.members = c.members;
+    in.token = c.token;
+    for (const Direction d : kAllDirections) {
+      const auto nb = grid_.neighbor(id, d);
+      if (!nb) continue;
+      const CellState& nc = cells_[grid_.index_of(*nb)];
+      if (nc.failed) continue;  // a failed cell never communicates
+      if (nc.next == OptCellId{id} && nc.has_entities())
+        in.ne_prev.push_back(*nb);
+    }
+    std::sort(in.ne_prev.begin(), in.ne_prev.end());
+
+    const bool had_candidate =
+        in.token.has_value() || !in.ne_prev.empty();
+    SignalResult r =
+        config_.signal_rule == SignalRule::kBlocking
+            ? signal_step(std::move(in), config_.params, *choose_)
+            : signal_step_always_grant(std::move(in), *choose_);
+    if (had_candidate && !r.signal.has_value())
+      events_.blocked.push_back(id);
+    c.signal = r.signal;
+    c.token = r.token;
+    c.ne_prev = std::move(r.ne_prev);
+  }
+}
+
+void System::run_move_phase() {
+  // All cells decide and move simultaneously (Figure 6 guard:
+  // signal_{next_{i,j}} = ⟨i,j⟩), so: first apply every cell's own
+  // displacement and pull out the boundary-crossers, then deliver the
+  // crossers. Delivery order cannot matter — placements only append to
+  // destination Members, whose own movement has already been applied.
+  struct PendingTransfer {
+    Entity entity;
+    CellId from;
+    CellId to;
+  };
+  std::vector<PendingTransfer> pending;
+
+  for (std::size_t k = 0; k < cells_.size(); ++k) {
+    CellState& c = cells_[k];
+    if (c.failed || !c.next.has_value()) continue;
+    const CellId id = grid_.id_of(k);
+    const CellId dest = *c.next;
+    const CellState& dc = cells_[grid_.index_of(dest)];
+    const bool permitted = dc.signal == OptCellId{id};
+
+    MoveResult mr;
+    if (config_.movement_rule == MovementRule::kCoupled) {
+      if (!permitted) continue;  // Figure 6: move only with permission
+      events_.moved.push_back(id);
+      mr = move_step(id, dest, std::move(c.members), config_.params);
+    } else {
+      // §V relaxed coupling: compact every round; cross only when
+      // permitted; never compact into our own promised strip.
+      if (c.members.empty()) continue;
+      if (permitted) events_.moved.push_back(id);
+      CompactionContext ctx;
+      ctx.may_cross = permitted;
+      if (c.signal.has_value())
+        ctx.promised_strip = grid_.direction_between(id, *c.signal);
+      mr = compact_move_step(id, dest, std::move(c.members), config_.params,
+                             ctx);
+    }
+    c.members = std::move(mr.staying);
+    for (Entity& e : mr.crossed)
+      pending.push_back(PendingTransfer{e, id, dest});
+  }
+
+  for (PendingTransfer& t : pending) {
+    TransferEvent ev{t.entity.id, t.from, t.to, /*consumed=*/false};
+    if (t.to == config_.target) {
+      ev.consumed = true;
+      ++total_arrivals_;
+      ++events_.arrivals;
+      // Figure 6 line 11: the entity is not added to any cell — consumed.
+    } else {
+      cells_[grid_.index_of(t.to)].members.push_back(t.entity);
+    }
+    events_.transfers.push_back(ev);
+  }
+}
+
+void System::run_inject_phase() {
+  for (const CellId s : config_.sources) {
+    CellState& c = cells_[grid_.index_of(s)];
+    if (c.failed) continue;
+    const auto center = source_->propose(grid_, config_.params, s, c);
+    if (!center.has_value()) continue;
+    if (!injection_is_safe(s, *center)) continue;
+    const EntityId id{next_entity_id_++};
+    c.members.push_back(Entity{id, *center});
+    source_->note_accepted();
+    events_.injected.emplace_back(s, id);
+  }
+}
+
+bool System::injection_is_safe(CellId id, Vec2 center) const {
+  const Params& p = config_.params;
+  const double half = p.entity_length() / 2.0;
+  const double d = p.center_spacing();
+  const auto i = static_cast<double>(id.i);
+  const auto j = static_cast<double>(id.j);
+
+  // Invariant 1 bounds: the entity must lie wholly inside the cell.
+  if (center.x - half < i || center.x + half > i + 1.0 ||
+      center.y - half < j || center.y + half > j + 1.0)
+    return false;
+
+  // Gap requirement (Safe_{i,j}): spacing ≥ d along some axis vs. every
+  // existing member.
+  const CellState& c = cells_[grid_.index_of(id)];
+  for (const Entity& q : c.members) {
+    if (std::abs(center.x - q.center.x) < d &&
+        std::abs(center.y - q.center.y) < d)
+      return false;
+  }
+
+  // Fairness guard (assumption (b) of §III-B): never fill the entry strip
+  // toward the neighbor currently being served, so injection cannot
+  // perpetually re-block it.
+  if (c.token.has_value()) {
+    std::vector<Entity> with_new(c.members.begin(), c.members.end());
+    with_new.push_back(Entity{EntityId{~0ULL}, center});
+    const bool was_clear = entry_strip_clear(id, *c.token, c.members, p);
+    const bool still_clear = entry_strip_clear(id, *c.token, with_new, p);
+    if (was_clear && !still_clear) return false;
+  }
+  return true;
+}
+
+EntityId System::seed_entity(CellId id, Vec2 center) {
+  CF_EXPECTS(grid_.contains(id));
+  CF_EXPECTS_MSG(injection_is_safe(id, center),
+                 "seed_entity: placement violates the gap requirement or "
+                 "Invariant-1 bounds");
+  const EntityId eid{next_entity_id_++};
+  cells_[grid_.index_of(id)].members.push_back(Entity{eid, center});
+  return eid;
+}
+
+EntityId System::seed_entity_unchecked(CellId id, Vec2 center) {
+  CF_EXPECTS(grid_.contains(id));
+  const EntityId eid{next_entity_id_++};
+  cells_[grid_.index_of(id)].members.push_back(Entity{eid, center});
+  return eid;
+}
+
+void System::corrupt_control_state(CellId id, Dist dist, OptCellId next,
+                                   OptCellId token, OptCellId signal) {
+  CF_EXPECTS(grid_.contains(id));
+  CellState& c = cells_[grid_.index_of(id)];
+  c.dist = dist;
+  c.next = next;
+  c.token = token;
+  c.signal = signal;
+}
+
+}  // namespace cellflow

@@ -1,0 +1,222 @@
+// The System automaton (paper §II-B): the synchronous composition of all
+// N² cell state machines, plus the environment actions.
+//
+// Transitions:
+//   * fail(⟨i,j⟩)    — crash: failed := true, dist := ∞, next := ⊥ and,
+//                      because a failed cell "never communicates",
+//                      neighbors subsequently read signal = ⊥ from it
+//                      (we clear signal/token so the shared-variable model
+//                      matches the message-passing reading of the paper).
+//                      Members freeze in place.
+//   * recover(⟨i,j⟩) — §IV's recovery: failed := false with protocol state
+//                      reset to initial values (target: dist := 0).
+//   * update()       — one synchronous round, atomically:
+//                        phase 1  Route  (all cells, reading previous-round
+//                                         neighbor dists — Figure 4)
+//                        phase 2  Signal (all cells, reading the fresh next
+//                                         values and pre-Move Members —
+//                                         Figure 5)
+//                        phase 3  Move   (all cells simultaneously, then
+//                                         transfers applied — Figure 6)
+//                        phase 4  source injection (≤1 entity per source,
+//                                         validated for safety)
+//
+// The phase structure mirrors the proof of Lemma 3, which speaks of the
+// intermediate states x →Route→ xR →Signal→ xS →Move→ x′. A PhaseHook can
+// observe exactly those intermediate states (the safety test suite checks
+// predicate H at the xS point, where the paper asserts it).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/cell_state.hpp"
+#include "core/choose.hpp"
+#include "core/params.hpp"
+#include "core/source.hpp"
+#include "grid/grid.hpp"
+#include "grid/mask.hpp"
+#include "util/ids.hpp"
+
+namespace cellflow {
+
+/// Which grant rule Signal uses. The paper argues its blocking
+/// permission-to-move policy is *necessary* for safety; kAlwaysGrant is
+/// the broken strawman that grants without the entry-strip check, kept so
+/// the necessity claim is demonstrable (bench/ablation_signal_necessity
+/// and tests/test_signal_necessity.cpp show it violates Theorem 5).
+enum class SignalRule {
+  kBlocking,     ///< Figure 5 as published (the protocol)
+  kAlwaysGrant,  ///< UNSAFE ablation: grant the token holder unconditionally
+};
+
+/// Which movement rule Move uses. kCoupled is the paper's protocol (all
+/// entities of a cell move identically, only with permission).
+/// kCompacting is the §V "relaxed coupling" extension: entities advance
+/// independently within the cell (see core/move.hpp's compact_move_step),
+/// preserving safety and progress while letting queues close up during
+/// blocked rounds.
+enum class MovementRule {
+  kCoupled,     ///< Figure 6 as published
+  kCompacting,  ///< §V relaxed-coupling extension
+};
+
+/// Static configuration of a System.
+struct SystemConfig {
+  int side = 8;                      ///< N: grid is N×N
+  Params params{0.25, 0.05, 0.1};    ///< l, rs, v
+  CellId target{1, 7};               ///< tid (consumes entities)
+  std::vector<CellId> sources{CellId{1, 0}};  ///< SID (produce entities)
+  SignalRule signal_rule = SignalRule::kBlocking;
+  MovementRule movement_rule = MovementRule::kCoupled;
+};
+
+/// One entity hand-off between adjacent cells during a round. A transfer
+/// into the target is a *consumption*: the entity leaves the system.
+struct TransferEvent {
+  EntityId entity;
+  CellId from;
+  CellId to;
+  bool consumed = false;
+};
+
+/// Everything that happened in one update() round, for observers.
+struct RoundEvents {
+  std::uint64_t round = 0;
+  std::vector<TransferEvent> transfers;
+  /// Cells that applied a movement this round (had permission).
+  std::vector<CellId> moved;
+  /// Cells holding a token whose grant was *blocked* (signal forced to ⊥
+  /// by an occupied entry strip) — Figure 5 line 14.
+  std::vector<CellId> blocked;
+  /// Entities created by sources this round.
+  std::vector<std::pair<CellId, EntityId>> injected;
+  /// Arrivals (= transfers with consumed == true).
+  std::uint64_t arrivals = 0;
+};
+
+/// Phases of update(), in execution order, for PhaseHook.
+enum class UpdatePhase { kAfterRoute, kAfterSignal, kAfterMove, kAfterInject };
+
+class System {
+ public:
+  /// Hook invoked with the System frozen at each intermediate state of the
+  /// current round. Observing only — the hook must not mutate the System.
+  using PhaseHook = std::function<void(const System&, UpdatePhase)>;
+
+  /// Builds the initial state: all cells empty and non-faulty, dist = ∞
+  /// except dist_target = 0, all pointers ⊥ (paper Figure 3).
+  /// `choose`/`source` default to RoundRobinChoose / EntryEdgeSource.
+  explicit System(SystemConfig config,
+                  std::unique_ptr<ChoosePolicy> choose = nullptr,
+                  std::unique_ptr<SourcePolicy> source = nullptr);
+
+  // --- observation ---------------------------------------------------
+
+  [[nodiscard]] const Grid& grid() const noexcept { return grid_; }
+  [[nodiscard]] const Params& params() const noexcept { return config_.params; }
+  [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
+  [[nodiscard]] CellId target() const noexcept { return config_.target; }
+  [[nodiscard]] std::span<const CellId> sources() const noexcept {
+    return config_.sources;
+  }
+
+  [[nodiscard]] const CellState& cell(CellId id) const {
+    return cells_[grid_.index_of(id)];
+  }
+  [[nodiscard]] std::span<const CellState> cells() const noexcept {
+    return cells_;
+  }
+
+  /// Rounds executed so far.
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  /// Entities consumed by the target since construction.
+  [[nodiscard]] std::uint64_t total_arrivals() const noexcept {
+    return total_arrivals_;
+  }
+  /// Entities currently in the system.
+  [[nodiscard]] std::size_t entity_count() const noexcept;
+  /// Entities ever injected.
+  [[nodiscard]] std::uint64_t total_injected() const noexcept {
+    return next_entity_id_;
+  }
+
+  /// N F(x) as a mask (true = non-faulty).
+  [[nodiscard]] CellMask alive_mask() const;
+  /// ρ(x, ·) over the current failure pattern (reference BFS oracle).
+  [[nodiscard]] std::vector<Dist> reference_distances() const;
+  /// TC(x): target-connected cells under the current failure pattern.
+  [[nodiscard]] CellMask tc_mask() const;
+
+  // --- transitions ----------------------------------------------------
+
+  /// fail(⟨i,j⟩). Idempotent. Precondition: id is on the grid.
+  void fail(CellId id);
+
+  /// §IV recovery. Idempotent (no-op on non-failed cells).
+  void recover(CellId id);
+
+  /// One synchronous round. Returns what happened (also retrievable via
+  /// last_events()).
+  const RoundEvents& update();
+
+  /// Events of the most recent update().
+  [[nodiscard]] const RoundEvents& last_events() const noexcept {
+    return events_;
+  }
+
+  /// Registers an intermediate-state observer (replaces any previous).
+  void set_phase_hook(PhaseHook hook) { phase_hook_ = std::move(hook); }
+
+  // --- direct state access (testing / fault injection) -----------------
+
+  /// Places an entity directly (bypassing sources). Used by tests and
+  /// examples to set up initial configurations. Throws if the position is
+  /// outside cell `id`'s Invariant-1 bounds or violates the gap
+  /// requirement against existing members.
+  EntityId seed_entity(CellId id, Vec2 center);
+
+  /// Places an entity without any safety validation. Exists so tests can
+  /// construct *unsafe* states and prove the §III-A oracles actually
+  /// detect them; never used by the protocol or the benches.
+  EntityId seed_entity_unchecked(CellId id, Vec2 center);
+
+  /// Adversarial state corruption for self-stabilization experiments:
+  /// overwrite the *protocol* variables (dist/next/token/signal) of a
+  /// cell. Members and failed are preserved — the stabilization theorems
+  /// are about control state, and corrupting Members could by itself break
+  /// Safe, which no protocol can repair. See tests/test_self_stabilization.
+  void corrupt_control_state(CellId id, Dist dist, OptCellId next,
+                             OptCellId token, OptCellId signal);
+
+ private:
+  void run_route_phase();
+  void run_signal_phase();
+  void run_move_phase();
+  void run_inject_phase();
+
+  /// True iff adding an entity centered at `center` to cell `id` keeps the
+  /// cell safe: Invariant-1 bounds, pairwise gap ≥ d, and (fairness guard,
+  /// see source.hpp) the entry strip toward the current token stays clear.
+  [[nodiscard]] bool injection_is_safe(CellId id, Vec2 center) const;
+
+  SystemConfig config_;
+  Grid grid_;
+  std::vector<CellState> cells_;
+  std::unique_ptr<ChoosePolicy> choose_;
+  std::unique_ptr<SourcePolicy> source_;
+  PhaseHook phase_hook_;
+
+  std::uint64_t round_ = 0;
+  std::uint64_t total_arrivals_ = 0;
+  std::uint64_t next_entity_id_ = 0;
+  RoundEvents events_;
+
+  // Scratch buffers reused across rounds to avoid per-round allocation.
+  std::vector<Dist> dist_snapshot_;
+};
+
+}  // namespace cellflow

@@ -1,0 +1,110 @@
+// Failure environments.
+//
+// The paper's analysis (§III) treats fail(⟨i,j⟩) as an environment action
+// with two regimes: an arbitrary-but-finite failure sequence (for the
+// stabilization results), and §IV's stochastic regime where every cell
+// fails with probability pf and every failed cell recovers with
+// probability pr, independently per round (Figure 9). A FailureModel is
+// asked once per round, *before* the System's update(), to drive the
+// fail/recover transitions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/system.hpp"
+#include "grid/path.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace cellflow {
+
+class FailureModel {
+ public:
+  virtual ~FailureModel() = default;
+
+  /// Applies this round's fail/recover transitions to `sys`.
+  virtual void apply(System& sys) = 0;
+
+  /// True once the model will never issue another fail transition — the
+  /// paper's "new failures cease" point, after which the stabilization
+  /// guarantees (Lemma 6, Theorem 10) kick in. Stochastic models return
+  /// false forever.
+  [[nodiscard]] virtual bool quiescent() const noexcept { return true; }
+};
+
+/// The failure-free environment.
+class NoFailures final : public FailureModel {
+ public:
+  void apply(System&) override {}
+};
+
+/// A scripted schedule of fail/recover actions at specific rounds, for
+/// deterministic stabilization experiments ("fail these 3 cells at round
+/// 50, recover one at round 200").
+class ScriptedFailures final : public FailureModel {
+ public:
+  struct Action {
+    std::uint64_t round;
+    CellId cell;
+    bool recover = false;  // false = fail
+  };
+
+  /// Actions may be given in any order; they are applied at the matching
+  /// System round.
+  explicit ScriptedFailures(std::vector<Action> actions);
+
+  void apply(System& sys) override;
+  [[nodiscard]] bool quiescent() const noexcept override;
+
+  /// Round after which no more *fail* actions remain (the xf of §III-C);
+  /// 0 when the script contains no fails.
+  [[nodiscard]] std::uint64_t last_fail_round() const noexcept {
+    return last_fail_round_;
+  }
+
+ private:
+  std::vector<Action> actions_;  // sorted by round
+  std::size_t cursor_ = 0;
+  std::uint64_t last_fail_round_ = 0;
+};
+
+/// §IV's stochastic model: each round every non-faulty cell fails with
+/// probability pf and every faulty cell recovers with probability pr,
+/// i.i.d. across cells and rounds. `protect_target` exempts the target
+/// (assumption (a) of §III-B); Figure 9's experiment does not protect it
+/// (recovery explicitly resets dist_tid, so the paper's target does fail).
+class RandomFailRecover final : public FailureModel {
+ public:
+  RandomFailRecover(double pf, double pr, std::uint64_t seed,
+                    bool protect_target = false);
+
+  void apply(System& sys) override;
+  [[nodiscard]] bool quiescent() const noexcept override { return false; }
+
+  [[nodiscard]] std::uint64_t total_failures() const noexcept {
+    return total_failures_;
+  }
+  [[nodiscard]] std::uint64_t total_recoveries() const noexcept {
+    return total_recoveries_;
+  }
+
+ private:
+  double pf_;
+  double pr_;
+  Xoshiro256 rng_;
+  bool protect_target_;
+  std::uint64_t total_failures_ = 0;
+  std::uint64_t total_recoveries_ = 0;
+};
+
+/// Permanently fails every cell NOT on `path` (at round 0, once). This
+/// carves the path into the grid so Route has exactly one choice at every
+/// hop — how the Figure-8 experiments force a prescribed number of turns.
+void carve_path(System& sys, const Path& path);
+
+/// Permanently fails every cell not in `keep`.
+void carve_mask(System& sys, const CellMask& keep);
+
+}  // namespace cellflow

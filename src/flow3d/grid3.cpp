@@ -1,0 +1,56 @@
+#include "flow3d/grid3.hpp"
+
+#include <sstream>
+
+namespace cellflow {
+
+std::string to_string(CellId3 id) {
+  std::ostringstream os;
+  os << '<' << id.x << ',' << id.y << ',' << id.z << '>';
+  return os.str();
+}
+
+std::string to_string(const OptCellId3& id) {
+  return id.has_value() ? to_string(*id) : std::string("_|_");
+}
+
+std::vector<CellId3> Grid3::neighbors(CellId3 id) const {
+  CF_EXPECTS(contains(id));
+  std::vector<CellId3> out;
+  out.reserve(6);
+  for (const Direction3 d : kAllDirections3) {
+    if (const auto n = neighbor(id, d)) out.push_back(*n);
+  }
+  return out;
+}
+
+bool Grid3::are_neighbors(CellId3 a, CellId3 b) const noexcept {
+  int nonzero = 0;
+  int total = 0;
+  for (int axis = 0; axis < 3; ++axis) {
+    const int delta = a[axis] - b[axis];
+    const int mag = delta >= 0 ? delta : -delta;
+    if (mag > 0) ++nonzero;
+    total += mag;
+  }
+  return nonzero == 1 && total == 1;
+}
+
+Direction3 Grid3::direction_between(CellId3 from, CellId3 to) const {
+  CF_EXPECTS_MSG(are_neighbors(from, to), "cells do not share a face");
+  for (int axis = 0; axis < 3; ++axis) {
+    if (to[axis] != from[axis])
+      return Direction3{axis, to[axis] > from[axis] ? 1 : -1};
+  }
+  CF_CHECK(false);
+  return Direction3{};
+}
+
+std::vector<CellId3> Grid3::all_cells() const {
+  std::vector<CellId3> out;
+  out.reserve(cell_count());
+  for (std::size_t k = 0; k < cell_count(); ++k) out.push_back(id_of(k));
+  return out;
+}
+
+}  // namespace cellflow

@@ -1,0 +1,99 @@
+#include "flow3d/predicates3.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace cellflow {
+
+std::optional<Violation3> check_safe3(const System3& sys, double eps) {
+  const double d = sys.params().center_spacing();
+  for (const CellId3 id : sys.grid().all_cells()) {
+    const auto& members = sys.cell(id).members;
+    for (std::size_t a = 0; a < members.size(); ++a) {
+      for (std::size_t b = a + 1; b < members.size(); ++b) {
+        bool separated = false;
+        for (int axis = 0; axis < 3; ++axis) {
+          if (std::abs(members[a].center[axis] - members[b].center[axis]) >=
+              d - eps) {
+            separated = true;
+            break;
+          }
+        }
+        if (!separated) {
+          return Violation3{"Safe", id,
+                            to_string(members[a].id) + " vs " +
+                                to_string(members[b].id)};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation3> check_bounds3(const System3& sys, double eps) {
+  const double half = sys.params().entity_length() / 2.0;
+  for (const CellId3 id : sys.grid().all_cells()) {
+    for (const Entity3& p : sys.cell(id).members) {
+      for (int axis = 0; axis < 3; ++axis) {
+        const auto base = static_cast<double>(id[axis]);
+        if (p.center[axis] - half < base - eps ||
+            p.center[axis] + half > base + 1.0 + eps) {
+          return Violation3{"Invariant1", id, to_string(p.id)};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation3> check_disjoint3(const System3& sys) {
+  std::unordered_set<EntityId> seen;
+  for (const CellId3 id : sys.grid().all_cells()) {
+    for (const Entity3& p : sys.cell(id).members) {
+      if (!seen.insert(p.id).second)
+        return Violation3{"Invariant2", id, to_string(p.id)};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation3> check_h3(const System3& sys, double eps) {
+  const double half = sys.params().entity_length() / 2.0;
+  const double d = sys.params().center_spacing() - eps;
+  for (const CellId3 id : sys.grid().all_cells()) {
+    const CellState3& c = sys.cell(id);
+    if (!c.signal.has_value()) continue;
+    const CellId3 t = *c.signal;
+    if (!sys.grid().are_neighbors(id, t))
+      return Violation3{"H", id, "signal points at a non-neighbor"};
+    int axis = 0;
+    for (int a = 0; a < 3; ++a)
+      if (t[a] != id[a]) axis = a;
+    const int sign = t[axis] > id[axis] ? 1 : -1;
+    const auto base = static_cast<double>(id[axis]);
+    for (const Entity3& p : c.members) {
+      const bool ok = sign > 0 ? p.center[axis] + half <= base + 1.0 - d
+                               : p.center[axis] - half >= base + d;
+      if (!ok) {
+        return Violation3{"H", id,
+                          "strip toward " + to_string(t) + " occupied by " +
+                              to_string(p.id)};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Violation3> check_all3(const System3& sys, double eps) {
+  std::vector<Violation3> out;
+  if (auto v = check_safe3(sys, eps)) out.push_back(*std::move(v));
+  if (auto v = check_bounds3(sys, eps)) out.push_back(*std::move(v));
+  if (auto v = check_disjoint3(sys)) out.push_back(*std::move(v));
+  return out;
+}
+
+std::string to_string(const Violation3& v) {
+  return v.predicate + " violated at " + to_string(v.cell) + ": " + v.detail;
+}
+
+}  // namespace cellflow

@@ -1,0 +1,34 @@
+// §III-A oracles lifted to the 3-D extension: Safe (center separation ≥ d
+// along SOME of the three axes), Invariant 1 (members inside their cube),
+// Invariant 2 (disjoint membership), and predicate H (granted signal ⇒
+// entry strip clear).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flow3d/system3.hpp"
+
+namespace cellflow {
+
+struct Violation3 {
+  std::string predicate;
+  CellId3 cell;
+  std::string detail;
+};
+
+[[nodiscard]] std::optional<Violation3> check_safe3(const System3& sys,
+                                                    double eps = 1e-9);
+[[nodiscard]] std::optional<Violation3> check_bounds3(const System3& sys,
+                                                      double eps = 1e-9);
+[[nodiscard]] std::optional<Violation3> check_disjoint3(const System3& sys);
+[[nodiscard]] std::optional<Violation3> check_h3(const System3& sys,
+                                                 double eps = 1e-9);
+
+[[nodiscard]] std::vector<Violation3> check_all3(const System3& sys,
+                                                 double eps = 1e-9);
+
+[[nodiscard]] std::string to_string(const Violation3& v);
+
+}  // namespace cellflow

@@ -1,0 +1,61 @@
+// Closed 1-D intervals. Used by the safety monitors to reason about the
+// axis projections of entity squares (an l×l entity projects to an
+// interval of width l on each axis).
+#pragma once
+
+#include "util/check.hpp"
+
+namespace cellflow {
+
+/// Closed interval [lo, hi]. Invariant: lo <= hi.
+class Interval {
+ public:
+  constexpr Interval(double lo, double hi) : lo_(lo), hi_(hi) {
+    CF_EXPECTS_MSG(lo <= hi, "interval endpoints out of order");
+  }
+
+  /// Interval of width `width` centered at `center`.
+  static constexpr Interval centered(double center, double width) {
+    CF_EXPECTS(width >= 0.0);
+    return Interval(center - width / 2.0, center + width / 2.0);
+  }
+
+  [[nodiscard]] constexpr double lo() const noexcept { return lo_; }
+  [[nodiscard]] constexpr double hi() const noexcept { return hi_; }
+  [[nodiscard]] constexpr double length() const noexcept { return hi_ - lo_; }
+  [[nodiscard]] constexpr double center() const noexcept {
+    return (lo_ + hi_) / 2.0;
+  }
+
+  [[nodiscard]] constexpr bool contains(double x) const noexcept {
+    return lo_ <= x && x <= hi_;
+  }
+  [[nodiscard]] constexpr bool contains(Interval other) const noexcept {
+    return lo_ <= other.lo_ && other.hi_ <= hi_;
+  }
+
+  /// True when the closed intervals share at least one point.
+  [[nodiscard]] constexpr bool intersects(Interval other) const noexcept {
+    return lo_ <= other.hi_ && other.lo_ <= hi_;
+  }
+
+  /// True when the *open* interiors overlap (touching edges don't count) —
+  /// the right notion for "two entity squares physically overlap".
+  [[nodiscard]] constexpr bool overlaps_interior(Interval other) const noexcept {
+    return lo_ < other.hi_ && other.lo_ < hi_;
+  }
+
+  /// Distance between the intervals (0 if they intersect).
+  [[nodiscard]] constexpr double gap_to(Interval other) const noexcept {
+    if (intersects(other)) return 0.0;
+    return lo_ > other.hi_ ? lo_ - other.hi_ : other.lo_ - hi_;
+  }
+
+  friend constexpr bool operator==(Interval, Interval) noexcept = default;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+}  // namespace cellflow

@@ -1,0 +1,69 @@
+// Axis-aligned rectangles: cells are unit squares, entities are l×l
+// squares (paper §II). The safety monitors use rectangle overlap checks as
+// an independent oracle for the center-spacing predicate.
+#pragma once
+
+#include "geometry/interval.hpp"
+#include "geometry/vec2.hpp"
+#include "util/check.hpp"
+
+namespace cellflow {
+
+/// Axis-aligned rectangle given by its two axis intervals.
+class Rect {
+ public:
+  constexpr Rect(Interval x, Interval y) : x_(x), y_(y) {}
+
+  /// Square of side `side` centered at `center` — an entity's footprint.
+  static constexpr Rect square(Vec2 center, double side) {
+    return Rect(Interval::centered(center.x, side),
+                Interval::centered(center.y, side));
+  }
+
+  /// The unit square of cell ⟨i,j⟩ with bottom-left corner (i, j).
+  static constexpr Rect unit_cell(int i, int j) {
+    const auto fi = static_cast<double>(i);
+    const auto fj = static_cast<double>(j);
+    return Rect(Interval(fi, fi + 1.0), Interval(fj, fj + 1.0));
+  }
+
+  [[nodiscard]] constexpr Interval x() const noexcept { return x_; }
+  [[nodiscard]] constexpr Interval y() const noexcept { return y_; }
+  [[nodiscard]] constexpr Vec2 center() const noexcept {
+    return {x_.center(), y_.center()};
+  }
+  [[nodiscard]] constexpr double width() const noexcept { return x_.length(); }
+  [[nodiscard]] constexpr double height() const noexcept { return y_.length(); }
+  [[nodiscard]] constexpr double area() const noexcept {
+    return width() * height();
+  }
+
+  [[nodiscard]] constexpr bool contains(Vec2 p) const noexcept {
+    return x_.contains(p.x) && y_.contains(p.y);
+  }
+  [[nodiscard]] constexpr bool contains(const Rect& r) const noexcept {
+    return x_.contains(r.x_) && y_.contains(r.y_);
+  }
+
+  /// Open-interior overlap: true iff the rectangles share area (not just
+  /// an edge or corner).
+  [[nodiscard]] constexpr bool overlaps(const Rect& r) const noexcept {
+    return x_.overlaps_interior(r.x_) && y_.overlaps_interior(r.y_);
+  }
+
+  /// L∞ gap between the rectangles: the largest g such that the two are
+  /// separated by g along some axis. 0 when they overlap on both axes.
+  [[nodiscard]] constexpr double linf_gap(const Rect& r) const noexcept {
+    const double gx = x_.gap_to(r.x_);
+    const double gy = y_.gap_to(r.y_);
+    return gx > gy ? gx : gy;
+  }
+
+  friend constexpr bool operator==(const Rect&, const Rect&) noexcept = default;
+
+ private:
+  Interval x_;
+  Interval y_;
+};
+
+}  // namespace cellflow

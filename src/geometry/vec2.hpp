@@ -1,0 +1,57 @@
+// 2-D vector/point type. Entity centers live in the Euclidean plane
+// (paper §II-B: entity p has center (px, py) ∈ R²).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+#include <string>
+#include <sstream>
+
+namespace cellflow {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(double s, Vec2 v) noexcept {
+    return {s * v.x, s * v.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 v, double s) noexcept { return s * v; }
+  constexpr Vec2& operator+=(Vec2 v) noexcept {
+    x += v.x;
+    y += v.y;
+    return *this;
+  }
+  friend constexpr bool operator==(Vec2, Vec2) noexcept = default;
+};
+
+/// L∞ (Chebyshev) distance — the natural metric for the paper's
+/// axis-separation safety predicate.
+[[nodiscard]] inline double linf_distance(Vec2 a, Vec2 b) noexcept {
+  return std::max(std::abs(a.x - b.x), std::abs(a.y - b.y));
+}
+
+/// Manhattan (L1) distance.
+[[nodiscard]] inline double l1_distance(Vec2 a, Vec2 b) noexcept {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Euclidean (L2) distance.
+[[nodiscard]] inline double l2_distance(Vec2 a, Vec2 b) noexcept {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+inline std::string to_string(Vec2 v) {
+  std::ostringstream os;
+  os << '(' << v.x << ", " << v.y << ')';
+  return os.str();
+}
+
+}  // namespace cellflow

@@ -1,0 +1,40 @@
+#include "grid/grid.hpp"
+
+namespace cellflow {
+
+const char* to_cstring(Direction d) noexcept {
+  switch (d) {
+    case Direction::kEast: return "east";
+    case Direction::kWest: return "west";
+    case Direction::kNorth: return "north";
+    case Direction::kSouth: return "south";
+  }
+  return "?";
+}
+
+std::vector<CellId> Grid::neighbors(CellId id) const {
+  CF_EXPECTS(contains(id));
+  std::vector<CellId> out;
+  out.reserve(4);
+  for (const Direction d : kAllDirections) {
+    if (const auto n = neighbor(id, d)) out.push_back(*n);
+  }
+  return out;
+}
+
+Direction Grid::direction_between(CellId from, CellId to) const {
+  CF_EXPECTS_MSG(are_neighbors(from, to), "cells are not adjacent");
+  if (to.i == from.i + 1) return Direction::kEast;
+  if (to.i == from.i - 1) return Direction::kWest;
+  if (to.j == from.j + 1) return Direction::kNorth;
+  return Direction::kSouth;
+}
+
+std::vector<CellId> Grid::all_cells() const {
+  std::vector<CellId> out;
+  out.reserve(cell_count());
+  for (std::size_t k = 0; k < cell_count(); ++k) out.push_back(id_of(k));
+  return out;
+}
+
+}  // namespace cellflow

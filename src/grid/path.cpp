@@ -1,0 +1,140 @@
+#include "grid/path.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cellflow {
+
+Path::Path(const Grid& grid, std::vector<CellId> cells)
+    : cells_(std::move(cells)) {
+  CF_EXPECTS_MSG(!cells_.empty(), "path must have at least one cell");
+  for (const CellId c : cells_)
+    CF_EXPECTS_MSG(grid.contains(c), "path cell outside grid");
+  for (std::size_t k = 0; k + 1 < cells_.size(); ++k)
+    CF_EXPECTS_MSG(grid.are_neighbors(cells_[k], cells_[k + 1]),
+                   "path cells not consecutive neighbors");
+  auto sorted = cells_;
+  std::sort(sorted.begin(), sorted.end());
+  CF_EXPECTS_MSG(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                     sorted.end(),
+                 "path revisits a cell");
+}
+
+std::size_t Path::turns() const noexcept {
+  std::size_t t = 0;
+  for (std::size_t k = 1; k + 1 < cells_.size(); ++k) {
+    const int di_in = cells_[k].i - cells_[k - 1].i;
+    const int dj_in = cells_[k].j - cells_[k - 1].j;
+    const int di_out = cells_[k + 1].i - cells_[k].i;
+    const int dj_out = cells_[k + 1].j - cells_[k].j;
+    if (di_in != di_out || dj_in != dj_out) ++t;
+  }
+  return t;
+}
+
+bool Path::contains(CellId id) const noexcept {
+  return std::find(cells_.begin(), cells_.end(), id) != cells_.end();
+}
+
+OptCellId Path::successor(CellId id) const noexcept {
+  const auto it = std::find(cells_.begin(), cells_.end(), id);
+  if (it == cells_.end() || it + 1 == cells_.end()) return std::nullopt;
+  return *(it + 1);
+}
+
+std::string Path::to_string() const {
+  std::ostringstream os;
+  for (std::size_t k = 0; k < cells_.size(); ++k) {
+    if (k != 0) os << " -> ";
+    os << cellflow::to_string(cells_[k]);
+  }
+  return os.str();
+}
+
+Path make_straight_path(const Grid& grid, CellId start, Direction dir,
+                        std::size_t cells) {
+  CF_EXPECTS(cells >= 1);
+  std::vector<CellId> ids;
+  ids.reserve(cells);
+  const auto [di, dj] = step_of(dir);
+  for (std::size_t k = 0; k < cells; ++k)
+    ids.push_back(CellId{start.i + static_cast<std::int32_t>(k) * di,
+                         start.j + static_cast<std::int32_t>(k) * dj});
+  return Path(grid, std::move(ids));
+}
+
+Path make_turning_path(const Grid& grid, CellId start, Direction first,
+                       Direction second, std::size_t cells,
+                       std::size_t turns) {
+  CF_EXPECTS(cells >= 2);
+  CF_EXPECTS_MSG(turns <= cells - 2, "too many turns for this length");
+  const auto [fi, fj] = step_of(first);
+  const auto [si, sj] = step_of(second);
+  CF_EXPECTS_MSG(fi * si + fj * sj == 0, "directions must be perpendicular");
+
+  const std::size_t segments = turns + 1;
+  const std::size_t edges = cells - 1;
+  // Every segment gets one edge; the surplus is dealt round-robin from the
+  // first segment so early runs are longest.
+  std::vector<std::size_t> seg_len(segments, 1);
+  std::size_t surplus = edges - segments;
+  for (std::size_t s = 0; surplus > 0; s = (s + 1) % segments, --surplus)
+    ++seg_len[s];
+
+  std::vector<CellId> ids;
+  ids.reserve(cells);
+  ids.push_back(start);
+  CellId cur = start;
+  for (std::size_t s = 0; s < segments; ++s) {
+    const bool use_first = (s % 2 == 0);
+    const int di = use_first ? fi : si;
+    const int dj = use_first ? fj : sj;
+    for (std::size_t e = 0; e < seg_len[s]; ++e) {
+      cur = CellId{cur.i + di, cur.j + dj};
+      ids.push_back(cur);
+    }
+  }
+  Path path(grid, std::move(ids));
+  CF_ENSURES(path.length() == cells);
+  CF_ENSURES(path.turns() == turns);
+  return path;
+}
+
+Path make_serpentine_path(const Grid& grid, CellId start, int width,
+                          int lanes) {
+  CF_EXPECTS(width >= 2);
+  CF_EXPECTS(lanes >= 1);
+  std::vector<CellId> ids;
+  for (int lane = 0; lane < lanes; ++lane) {
+    const int j = start.j + 2 * lane;
+    const bool eastbound = (lane % 2 == 0);
+    for (int c = 0; c < width; ++c) {
+      const int i = eastbound ? start.i + c : start.i + width - 1 - c;
+      ids.push_back(CellId{i, j});
+    }
+    if (lane + 1 < lanes) {
+      // Connector cell above this lane's exit end.
+      const int exit_i = eastbound ? start.i + width - 1 : start.i;
+      ids.push_back(CellId{exit_i, j + 1});
+    }
+  }
+  return Path(grid, std::move(ids));
+}
+
+Path make_snake_path(const Grid& grid, CellId start, int width, int rows) {
+  CF_EXPECTS(width >= 1);
+  CF_EXPECTS(rows >= 1);
+  std::vector<CellId> ids;
+  ids.reserve(static_cast<std::size_t>(width) * static_cast<std::size_t>(rows));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < width; ++c) {
+      const int i = (r % 2 == 0) ? start.i + c : start.i + width - 1 - c;
+      ids.push_back(CellId{i, start.j + r});
+    }
+  }
+  return Path(grid, std::move(ids));
+}
+
+}  // namespace cellflow

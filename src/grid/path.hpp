@@ -1,0 +1,89 @@
+// Paths over the grid and path builders.
+//
+// The evaluation (§IV) studies throughput against two path properties:
+// length (number of cells) and *complexity*, measured in number of turns
+// (Figure 8 uses length-8 paths with varying turn counts). The builders
+// here construct simple paths with an exact number of turns; benches then
+// carve the path into the grid by permanently failing all off-path cells,
+// which is the only way the distance-vector Route protocol can be forced
+// to follow a prescribed shape.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "util/ids.hpp"
+
+namespace cellflow {
+
+/// A simple path: a sequence of pairwise-distinct, consecutively-adjacent
+/// cells. The first cell is conventionally the source, the last the target.
+class Path {
+ public:
+  /// Validates adjacency and distinctness; throws ContractViolation
+  /// otherwise. Precondition: at least one cell, all within `grid`.
+  Path(const Grid& grid, std::vector<CellId> cells);
+
+  [[nodiscard]] const std::vector<CellId>& cells() const noexcept {
+    return cells_;
+  }
+  /// Number of cells (the paper's "path length": the Fig. 7 path
+  /// ⟨1,0⟩…⟨1,7⟩ is called length 8).
+  [[nodiscard]] std::size_t length() const noexcept { return cells_.size(); }
+
+  [[nodiscard]] CellId source() const noexcept { return cells_.front(); }
+  [[nodiscard]] CellId target() const noexcept { return cells_.back(); }
+
+  /// Number of turns: interior cells where the incoming and outgoing
+  /// directions differ. A straight path has 0; a length-L path has at
+  /// most L−2.
+  [[nodiscard]] std::size_t turns() const noexcept;
+
+  /// True iff `id` lies on the path.
+  [[nodiscard]] bool contains(CellId id) const noexcept;
+
+  /// Successor of `id` along the path, or nullopt for the target /
+  /// non-members.
+  [[nodiscard]] OptCellId successor(CellId id) const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<CellId> cells_;
+};
+
+/// Straight path of `cells` cells from `start` in direction `dir`.
+/// Precondition: the whole path fits in the grid.
+[[nodiscard]] Path make_straight_path(const Grid& grid, CellId start,
+                                      Direction dir, std::size_t cells);
+
+/// Simple path of exactly `cells` cells and exactly `turns` turns,
+/// alternating between `first` and `second` (which must be perpendicular).
+/// Segments are as long as possible early (a "staircase" with a long
+/// first run). Preconditions: cells >= 2, turns <= cells − 2, and the
+/// result must fit in the grid (throws otherwise).
+[[nodiscard]] Path make_turning_path(const Grid& grid, CellId start,
+                                     Direction first, Direction second,
+                                     std::size_t cells, std::size_t turns);
+
+/// Boustrophedon ("snake") path visiting `rows` contiguous rows of width
+/// `width` starting at `start` heading east. NOTE: consecutive rows are
+/// laterally adjacent, so when this shape is carved into a grid, Route
+/// still takes shortest paths *across* rows — use make_serpentine_path
+/// when the path order itself must be enforced.
+[[nodiscard]] Path make_snake_path(const Grid& grid, CellId start, int width,
+                                   int rows);
+
+/// Serpentine path whose lanes are spaced two rows apart and joined by
+/// single connector cells at alternating ends: carved into a grid, every
+/// hop of the path is the unique way forward, so Route must follow the
+/// lane order exactly (a real conveyor line). Occupies rows
+/// start.j, start.j+2, …, start.j+2(lanes−1) plus the connectors between
+/// them. Preconditions: width ≥ 2, lanes ≥ 1, fits in the grid.
+[[nodiscard]] Path make_serpentine_path(const Grid& grid, CellId start,
+                                        int width, int lanes);
+
+}  // namespace cellflow

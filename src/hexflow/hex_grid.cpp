@@ -1,0 +1,59 @@
+#include "hexflow/hex_grid.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace cellflow {
+
+std::string to_string(HexId id) {
+  std::ostringstream os;
+  os << "<q" << id.q << ",r" << id.r << '>';
+  return os.str();
+}
+
+std::string to_string(const OptHexId& id) {
+  return id.has_value() ? to_string(*id) : std::string("_|_");
+}
+
+std::vector<HexId> HexGrid::neighbors(HexId id) const {
+  CF_EXPECTS(contains(id));
+  std::vector<HexId> out;
+  out.reserve(6);
+  for (int k = 0; k < 6; ++k) {
+    if (const auto n = neighbor(id, k)) out.push_back(*n);
+  }
+  return out;
+}
+
+bool HexGrid::are_neighbors(HexId a, HexId b) const noexcept {
+  const std::int32_t dq = b.q - a.q;
+  const std::int32_t dr = b.r - a.r;
+  for (const auto& d : kHexDirections) {
+    if (d[0] == dq && d[1] == dr) return true;
+  }
+  return false;
+}
+
+Vec2 HexGrid::edge_normal(HexId from, HexId to) const {
+  CF_EXPECTS_MSG(are_neighbors(from, to), "cells do not share an edge");
+  const Vec2 delta = center(to) - center(from);
+  const double len = std::hypot(delta.x, delta.y);
+  return Vec2{delta.x / len, delta.y / len};
+}
+
+int HexGrid::hex_distance(HexId a, HexId b) const noexcept {
+  // Axial-coordinate hex distance via the cube-coordinate identity.
+  const int dq = a.q - b.q;
+  const int dr = a.r - b.r;
+  const int ds = -dq - dr;
+  return (std::abs(dq) + std::abs(dr) + std::abs(ds)) / 2;
+}
+
+std::vector<HexId> HexGrid::all_cells() const {
+  std::vector<HexId> out;
+  out.reserve(cell_count());
+  for (std::size_t k = 0; k < cell_count(); ++k) out.push_back(id_of(k));
+  return out;
+}
+
+}  // namespace cellflow

@@ -1,0 +1,246 @@
+#include "msg/msg_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/move.hpp"
+#include "core/route.hpp"
+#include "core/signal.hpp"
+#include "util/check.hpp"
+
+namespace cellflow {
+
+MessageSystem::MessageSystem(MsgSystemConfig config)
+    : config_(std::move(config)),
+      grid_(config_.side),
+      processes_(grid_.cell_count()) {
+  CF_EXPECTS_MSG(grid_.contains(config_.target), "target outside grid");
+  for (const CellId s : config_.sources) {
+    CF_EXPECTS_MSG(grid_.contains(s), "source outside grid");
+    CF_EXPECTS_MSG(s != config_.target, "a cell cannot be source and target");
+  }
+  processes_[grid_.index_of(config_.target)].state.dist = Dist::zero();
+}
+
+std::size_t MessageSystem::entity_count() const noexcept {
+  std::size_t n = 0;
+  for (const MessageProcess& p : processes_) n += p.state.members.size();
+  return n;
+}
+
+void MessageSystem::fail(CellId id) {
+  CF_EXPECTS(grid_.contains(id));
+  CellState& s = processes_[grid_.index_of(id)].state;
+  s.failed = true;
+  s.dist = Dist::infinity();
+  s.next = std::nullopt;
+  s.signal = std::nullopt;
+  s.token = std::nullopt;
+  s.ne_prev.clear();
+}
+
+void MessageSystem::recover(CellId id) {
+  CF_EXPECTS(grid_.contains(id));
+  CellState& s = processes_[grid_.index_of(id)].state;
+  if (!s.failed) return;
+  s.failed = false;
+  s.dist = (id == config_.target) ? Dist::zero() : Dist::infinity();
+  s.next = std::nullopt;
+  s.token = std::nullopt;
+  s.signal = std::nullopt;
+  s.ne_prev.clear();
+}
+
+void MessageSystem::update() {
+  const std::uint64_t before = network_.total_messages();
+  exchange_dists();
+  exchange_intents();
+  exchange_grants_and_move();
+  inject();
+  last_round_messages_ = network_.total_messages() - before;
+  ++round_;
+}
+
+void MessageSystem::exchange_dists() {
+  // Every live process broadcasts its previous-round dist to its
+  // neighbors; a crashed process is silent.
+  for (std::size_t k = 0; k < processes_.size(); ++k) {
+    const MessageProcess& p = processes_[k];
+    if (p.state.failed) continue;
+    const CellId id = grid_.id_of(k);
+    for (const CellId nb : grid_.neighbors(id))
+      network_.send(Message{id, nb, DistAnnounce{p.state.dist}});
+  }
+  auto inboxes = network_.deliver_all(grid_);
+
+  // Local Route step. A neighbor that stayed silent reads as dist = ∞
+  // (paper footnote 1) — which is exactly what NOT listing it achieves,
+  // except route_step needs every neighbor present; so synthesize ∞
+  // entries for silent neighbors.
+  for (std::size_t k = 0; k < processes_.size(); ++k) {
+    MessageProcess& p = processes_[k];
+    if (p.state.failed) continue;
+    const CellId id = grid_.id_of(k);
+    p.heard_dists.clear();
+    for (const Message& m : inboxes[k]) {
+      if (const auto* ann = std::get_if<DistAnnounce>(&m.payload))
+        p.heard_dists.push_back(NeighborDistView{m.sender, ann->dist});
+    }
+    if (id == config_.target) {
+      p.state.dist = Dist::zero();
+      p.state.next = std::nullopt;
+      continue;
+    }
+    std::vector<NeighborDist> nds;
+    for (const CellId nb : grid_.neighbors(id)) {
+      const auto it = std::find_if(
+          p.heard_dists.begin(), p.heard_dists.end(),
+          [nb](const NeighborDistView& v) { return v.id == nb; });
+      nds.push_back(NeighborDist{
+          nb, it == p.heard_dists.end() ? Dist::infinity() : it->dist});
+    }
+    const RouteResult r = route_step(nds);
+    p.state.dist = r.dist;
+    p.state.next = r.next;
+  }
+}
+
+void MessageSystem::exchange_intents() {
+  for (std::size_t k = 0; k < processes_.size(); ++k) {
+    const MessageProcess& p = processes_[k];
+    if (p.state.failed) continue;
+    const CellId id = grid_.id_of(k);
+    for (const CellId nb : grid_.neighbors(id)) {
+      network_.send(Message{
+          id, nb, IntentAnnounce{p.state.next, p.state.has_entities()}});
+    }
+  }
+  auto inboxes = network_.deliver_all(grid_);
+
+  // Local Signal step: NEPrev = senders whose intent names me and who
+  // carry entities.
+  for (std::size_t k = 0; k < processes_.size(); ++k) {
+    MessageProcess& p = processes_[k];
+    if (p.state.failed) continue;
+    const CellId id = grid_.id_of(k);
+    p.heard_wanting.clear();
+    for (const Message& m : inboxes[k]) {
+      if (const auto* intent = std::get_if<IntentAnnounce>(&m.payload)) {
+        if (intent->next == OptCellId{id} && intent->has_entities)
+          p.heard_wanting.push_back(m.sender);
+      }
+    }
+    std::sort(p.heard_wanting.begin(), p.heard_wanting.end());
+
+    SignalInputs in;
+    in.self = id;
+    in.members = p.state.members;
+    in.ne_prev = p.heard_wanting;
+    in.token = p.state.token;
+    SignalResult r = signal_step(std::move(in), config_.params, choose_);
+    p.state.signal = r.signal;
+    p.state.token = r.token;
+    p.state.ne_prev = std::move(r.ne_prev);
+  }
+}
+
+void MessageSystem::exchange_grants_and_move() {
+  for (std::size_t k = 0; k < processes_.size(); ++k) {
+    const MessageProcess& p = processes_[k];
+    if (p.state.failed) continue;
+    const CellId id = grid_.id_of(k);
+    for (const CellId nb : grid_.neighbors(id))
+      network_.send(Message{id, nb, GrantAnnounce{p.state.signal}});
+  }
+  auto grant_inboxes = network_.deliver_all(grid_);
+
+  // Move decisions from received grants; transfers become messages.
+  for (std::size_t k = 0; k < processes_.size(); ++k) {
+    MessageProcess& p = processes_[k];
+    if (p.state.failed) continue;
+    const CellId id = grid_.id_of(k);
+    p.heard_grant_from_next = false;
+    if (p.state.next.has_value()) {
+      for (const Message& m : grant_inboxes[k]) {
+        if (m.sender != *p.state.next) continue;
+        if (const auto* g = std::get_if<GrantAnnounce>(&m.payload)) {
+          if (g->signal == OptCellId{id}) p.heard_grant_from_next = true;
+        }
+      }
+    }
+    if (!p.heard_grant_from_next) continue;
+
+    MoveResult mr = move_step(id, *p.state.next, std::move(p.state.members),
+                              config_.params);
+    p.state.members = std::move(mr.staying);
+    for (Entity& e : mr.crossed)
+      network_.send(Message{id, *p.state.next, EntityTransfer{e}});
+  }
+
+  auto transfer_inboxes = network_.deliver_all(grid_);
+  for (std::size_t k = 0; k < processes_.size(); ++k) {
+    MessageProcess& p = processes_[k];
+    const CellId id = grid_.id_of(k);
+    for (Message& m : transfer_inboxes[k]) {
+      if (auto* t = std::get_if<EntityTransfer>(&m.payload)) {
+        if (id == config_.target) {
+          ++total_arrivals_;  // consumed; the entity leaves the system
+        } else {
+          // A crashed process cannot receive — but a transfer to a
+          // crashed process is impossible: its silence means no grant
+          // was ever heard from it.
+          CF_CHECK_MSG(!p.state.failed, "transfer into a crashed process");
+          p.state.members.push_back(t->entity);
+        }
+      }
+    }
+  }
+}
+
+bool MessageSystem::injection_is_safe(CellId id, Vec2 center) const {
+  const Params& prm = config_.params;
+  const double half = prm.entity_length() / 2.0;
+  const double d = prm.center_spacing();
+  const auto i = static_cast<double>(id.i);
+  const auto j = static_cast<double>(id.j);
+  if (center.x - half < i || center.x + half > i + 1.0 ||
+      center.y - half < j || center.y + half > j + 1.0)
+    return false;
+  const CellState& c = processes_[grid_.index_of(id)].state;
+  for (const Entity& q : c.members) {
+    if (std::abs(center.x - q.center.x) < d &&
+        std::abs(center.y - q.center.y) < d)
+      return false;
+  }
+  if (c.token.has_value()) {
+    std::vector<Entity> with_new(c.members.begin(), c.members.end());
+    with_new.push_back(Entity{EntityId{~0ULL}, center});
+    const bool was_clear = entry_strip_clear(id, *c.token, c.members, prm);
+    const bool still_clear = entry_strip_clear(id, *c.token, with_new, prm);
+    if (was_clear && !still_clear) return false;
+  }
+  return true;
+}
+
+void MessageSystem::inject() {
+  const double half = config_.params.entity_length() / 2.0;
+  for (const CellId s : config_.sources) {
+    CellState& c = processes_[grid_.index_of(s)].state;
+    if (c.failed) continue;
+    const auto i = static_cast<double>(s.i);
+    const auto j = static_cast<double>(s.j);
+    Vec2 center{i + 0.5, j + 0.5};
+    if (c.next.has_value()) {
+      switch (opposite(grid_.direction_between(s, *c.next))) {
+        case Direction::kEast: center = {i + 1.0 - half, j + 0.5}; break;
+        case Direction::kWest: center = {i + half, j + 0.5}; break;
+        case Direction::kNorth: center = {i + 0.5, j + 1.0 - half}; break;
+        case Direction::kSouth: center = {i + 0.5, j + half}; break;
+      }
+    }
+    if (!injection_is_safe(s, center)) continue;
+    c.members.push_back(Entity{EntityId{next_entity_id_++}, center});
+  }
+}
+
+}  // namespace cellflow

@@ -1,0 +1,118 @@
+// The message-passing realization of System (paper §II-B's "actual
+// message-passing implementation"). Each cell is a MessageProcess owning
+// ONLY its local Figure-3 state; all interaction goes through SyncNetwork
+// messages (see network.hpp for the three-exchange round structure).
+//
+// Equivalence: on identical configurations (same grid, parameters,
+// sources, round-robin choose) and identical fail/recover schedules,
+// MessageSystem produces the *exact same execution* as the shared-
+// variable System — entity for entity, position for position, round for
+// round. tests/test_msg_system.cpp locks this in; it is the evidence
+// that the shared-variable automaton of §II faithfully models the
+// distributed implementation.
+//
+// Crash model: a failed process is silent (sends nothing, processes
+// nothing). Neighbors that miss its DistAnnounce read dist = ∞
+// (footnote 1); missing GrantAnnounce reads as signal = ⊥ — no permission
+// can be derived from silence.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/cell_state.hpp"
+#include "core/choose.hpp"
+#include "core/params.hpp"
+#include "grid/grid.hpp"
+#include "msg/network.hpp"
+#include "util/ids.hpp"
+
+namespace cellflow {
+
+/// Minimal view of a neighbor's announced dist.
+struct NeighborDistView {
+  CellId id;
+  Dist dist;
+};
+
+/// One distributed process: the protocol state of a single cell plus the
+/// per-round views it assembled from received messages. It never touches
+/// another process's state.
+struct MessageProcess {
+  CellState state;  // Figure-3 variables, local only
+
+  // Views assembled from the current round's inboxes:
+  std::vector<NeighborDistView> heard_dists;
+  std::vector<CellId> heard_wanting;  // NEPrev candidates
+  bool heard_grant_from_next = false;  // did next grant me this round?
+};
+
+struct MsgSystemConfig {
+  int side = 8;
+  Params params{0.25, 0.05, 0.1};
+  CellId target{1, 7};
+  std::vector<CellId> sources{CellId{1, 0}};
+};
+
+class MessageSystem {
+ public:
+  explicit MessageSystem(MsgSystemConfig config);
+
+  [[nodiscard]] const Grid& grid() const noexcept { return grid_; }
+  [[nodiscard]] const Params& params() const noexcept {
+    return config_.params;
+  }
+  [[nodiscard]] CellId target() const noexcept { return config_.target; }
+
+  [[nodiscard]] const CellState& cell(CellId id) const {
+    return processes_[grid_.index_of(id)].state;
+  }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] std::uint64_t total_arrivals() const noexcept {
+    return total_arrivals_;
+  }
+  [[nodiscard]] std::uint64_t total_injected() const noexcept {
+    return next_entity_id_;
+  }
+  [[nodiscard]] std::size_t entity_count() const noexcept;
+
+  /// Messages sent since construction / during the last round.
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return network_.total_messages();
+  }
+  [[nodiscard]] std::uint64_t last_round_messages() const noexcept {
+    return last_round_messages_;
+  }
+
+  /// Crash: the process goes silent. (Its local variables are also set
+  /// per the paper's fail action so a later inspection matches System.)
+  void fail(CellId id);
+  /// §IV recovery: the process restarts from initial protocol state,
+  /// keeping its physical entities.
+  void recover(CellId id);
+
+  /// One protocol round = three message exchanges (see network.hpp).
+  void update();
+
+ private:
+  void exchange_dists();
+  void exchange_intents();
+  void exchange_grants_and_move();
+  void inject();
+  [[nodiscard]] bool injection_is_safe(CellId id, Vec2 center) const;
+
+  MsgSystemConfig config_;
+  Grid grid_;
+  std::vector<MessageProcess> processes_;
+  SyncNetwork network_;
+  RoundRobinChoose choose_;  // stateless, per-call; same as System default
+
+  std::uint64_t round_ = 0;
+  std::uint64_t total_arrivals_ = 0;
+  std::uint64_t next_entity_id_ = 0;
+  std::uint64_t last_round_messages_ = 0;
+};
+
+}  // namespace cellflow

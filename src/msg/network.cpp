@@ -1,0 +1,23 @@
+#include "msg/network.hpp"
+
+#include "grid/grid.hpp"
+
+namespace cellflow {
+
+void SyncNetwork::send(Message m) {
+  in_flight_.push_back(std::move(m));
+  ++total_messages_;
+}
+
+std::vector<std::vector<Message>> SyncNetwork::deliver_all(const Grid& grid) {
+  std::vector<std::vector<Message>> inboxes(grid.cell_count());
+  last_exchange_ = in_flight_.size();
+  for (Message& m : in_flight_) {
+    CF_EXPECTS_MSG(grid.contains(m.receiver), "message to unknown process");
+    inboxes[grid.index_of(m.receiver)].push_back(std::move(m));
+  }
+  in_flight_.clear();
+  return inboxes;
+}
+
+}  // namespace cellflow

@@ -1,0 +1,96 @@
+// Synchronous message-passing substrate for the distributed realization
+// of the protocol (paper §II-B):
+//
+//   "What this means for an actual message-passing implementation is the
+//    following. At the beginning of each round, Cell_{i,j} broadcasts
+//    messages containing the values of these variables and receives
+//    similar values from its neighbors."
+//
+// One protocol round decomposes into three synchronous exchanges, one per
+// subroutine, because Signal reads the *fresh* next values and Move reads
+// the *fresh* signal values:
+//
+//   exchange 1:  DistAnnounce{dist}          → Route inputs
+//   exchange 2:  IntentAnnounce{next, nonempty} → Signal inputs (NEPrev)
+//   exchange 3:  GrantAnnounce{signal}       → Move guard
+//                EntityTransfer{entity}      → Members hand-off
+//
+// Crash semantics fall out naturally: a crashed process sends nothing,
+// and a neighbor that misses a DistAnnounce treats the sender's dist as
+// ∞ — exactly footnote 1 of the paper ("dist = ∞ can be interpreted as
+// its neighbors not receiving a timely response").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "core/entity.hpp"
+#include "util/check.hpp"
+#include "util/dist_value.hpp"
+#include "util/ids.hpp"
+
+namespace cellflow {
+
+/// Exchange 1 payload: routing estimate.
+struct DistAnnounce {
+  Dist dist;
+};
+
+/// Exchange 2 payload: forwarding intent and occupancy.
+struct IntentAnnounce {
+  OptCellId next;
+  bool has_entities = false;
+};
+
+/// Exchange 3 payload: permission grant.
+struct GrantAnnounce {
+  OptCellId signal;
+};
+
+/// Exchange 3 payload: an entity crossing into the addressee.
+struct EntityTransfer {
+  Entity entity;
+};
+
+using Payload =
+    std::variant<DistAnnounce, IntentAnnounce, GrantAnnounce, EntityTransfer>;
+
+struct Message {
+  CellId sender;
+  CellId receiver;
+  Payload payload;
+};
+
+/// A synchronous round-based network: messages sent during an exchange
+/// are delivered together at the exchange barrier; nothing persists
+/// across exchanges. Single address space, but the only way cells
+/// interact through it is by value — there is no shared state.
+class SyncNetwork {
+ public:
+  /// Queues a message for the current exchange.
+  void send(Message m);
+
+  /// Exchange barrier: delivers and clears the queue. Returns one inbox
+  /// per process, indexed by `grid.index_of(receiver)`. The round driver
+  /// calls this once per exchange and hands each process its inbox.
+  [[nodiscard]] std::vector<std::vector<Message>> deliver_all(
+      const class Grid& grid);
+
+  /// Messages sent since construction (all exchanges).
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return total_messages_;
+  }
+  /// Messages sent during the most recently delivered exchange.
+  [[nodiscard]] std::uint64_t last_exchange_messages() const noexcept {
+    return last_exchange_;
+  }
+
+ private:
+  std::vector<Message> in_flight_;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t last_exchange_ = 0;
+};
+
+}  // namespace cellflow

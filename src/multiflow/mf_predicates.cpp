@@ -1,0 +1,85 @@
+#include "multiflow/mf_predicates.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace cellflow {
+
+std::optional<MfViolation> check_mf_safe(const MfSystem& sys, double eps) {
+  const double d = sys.params().center_spacing();
+  for (const CellId id : sys.grid().all_cells()) {
+    const auto& members = sys.cell(id).members;
+    for (std::size_t a = 0; a < members.size(); ++a) {
+      for (std::size_t b = a + 1; b < members.size(); ++b) {
+        const Vec2 pa = members[a].entity.center;
+        const Vec2 pb = members[b].entity.center;
+        if (std::abs(pa.x - pb.x) < d - eps &&
+            std::abs(pa.y - pb.y) < d - eps) {
+          return MfViolation{"Safe", id,
+                             to_string(members[a].entity.id) + " vs " +
+                                 to_string(members[b].entity.id)};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<MfViolation> check_mf_bounds(const MfSystem& sys, double eps) {
+  const double half = sys.params().entity_length() / 2.0;
+  for (const CellId id : sys.grid().all_cells()) {
+    const auto i = static_cast<double>(id.i);
+    const auto j = static_cast<double>(id.j);
+    for (const MfEntity& m : sys.cell(id).members) {
+      const Vec2 p = m.entity.center;
+      const bool ok = p.x - half >= i - eps && p.x + half <= i + 1.0 + eps &&
+                      p.y - half >= j - eps && p.y + half <= j + 1.0 + eps;
+      if (!ok) {
+        return MfViolation{"Invariant1", id, to_string(m.entity.id)};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<MfViolation> check_mf_disjoint(const MfSystem& sys) {
+  std::unordered_set<EntityId> seen;
+  for (const CellId id : sys.grid().all_cells()) {
+    for (const MfEntity& m : sys.cell(id).members) {
+      if (!seen.insert(m.entity.id).second) {
+        return MfViolation{"Invariant2", id, to_string(m.entity.id)};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<MfViolation> check_mf_purity(const MfSystem& sys) {
+  for (const CellId id : sys.grid().all_cells()) {
+    const auto& members = sys.cell(id).members;
+    for (const MfEntity& m : members) {
+      if (m.flow != members.front().flow) {
+        return MfViolation{"FlowPurity", id,
+                           "mixed flows " +
+                               std::to_string(members.front().flow) + "/" +
+                               std::to_string(m.flow)};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<MfViolation> check_mf_all(const MfSystem& sys, double eps) {
+  std::vector<MfViolation> out;
+  if (auto v = check_mf_safe(sys, eps)) out.push_back(*std::move(v));
+  if (auto v = check_mf_bounds(sys, eps)) out.push_back(*std::move(v));
+  if (auto v = check_mf_disjoint(sys)) out.push_back(*std::move(v));
+  if (auto v = check_mf_purity(sys)) out.push_back(*std::move(v));
+  return out;
+}
+
+std::string to_string(const MfViolation& v) {
+  return v.predicate + " violated at " + to_string(v.cell) + ": " + v.detail;
+}
+
+}  // namespace cellflow

@@ -1,0 +1,41 @@
+// Safety oracles for the multi-flow extension: the §III-A predicates
+// lifted to MfSystem, plus the extension's own flow-purity invariant.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "multiflow/mf_system.hpp"
+
+namespace cellflow {
+
+struct MfViolation {
+  std::string predicate;
+  CellId cell;
+  std::string detail;
+};
+
+/// Theorem 5 lifted: pairwise center spacing ≥ d along some axis, within
+/// every cell (flow tags are irrelevant to geometry).
+[[nodiscard]] std::optional<MfViolation> check_mf_safe(const MfSystem& sys,
+                                                       double eps = 1e-9);
+
+/// Invariant 1 lifted: members inside their cell.
+[[nodiscard]] std::optional<MfViolation> check_mf_bounds(const MfSystem& sys,
+                                                         double eps = 1e-9);
+
+/// Invariant 2 lifted: no entity id in two cells.
+[[nodiscard]] std::optional<MfViolation> check_mf_disjoint(
+    const MfSystem& sys);
+
+/// The extension's invariant: every cell's members share one flow.
+[[nodiscard]] std::optional<MfViolation> check_mf_purity(const MfSystem& sys);
+
+/// All of the above; empty = clean.
+[[nodiscard]] std::vector<MfViolation> check_mf_all(const MfSystem& sys,
+                                                    double eps = 1e-9);
+
+[[nodiscard]] std::string to_string(const MfViolation& v);
+
+}  // namespace cellflow

@@ -1,0 +1,130 @@
+#include "sim/experiment.hpp"
+
+#include "core/choose.hpp"
+#include "core/source.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace cellflow {
+
+RunResult run_workload(const WorkloadSpec& spec, std::uint64_t seed) {
+  // Derive decorrelated seeds for each stochastic component.
+  SplitMix64 seeder(seed);
+  const std::uint64_t choose_seed = seeder.next();
+  const std::uint64_t source_seed = seeder.next();
+  const std::uint64_t failure_seed = seeder.next();
+
+  auto choose = make_choose_policy(spec.choose_policy, choose_seed);
+  std::unique_ptr<SourcePolicy> source;
+  if (spec.source_rate >= 1.0) {
+    source = std::make_unique<EntryEdgeSource>();
+  } else {
+    source = std::make_unique<RateLimitedSource>(spec.source_rate, source_seed);
+  }
+
+  System sys(spec.config, std::move(choose), std::move(source));
+
+  CF_EXPECTS_MSG(spec.carve_path.empty() || spec.carve_keep.empty(),
+                 "carve_path and carve_keep are mutually exclusive");
+  if (!spec.carve_path.empty()) {
+    const Path path(sys.grid(), spec.carve_path);
+    carve_path(sys, path);
+  } else if (!spec.carve_keep.empty()) {
+    carve_mask(sys, CellMask::of(sys.grid(), spec.carve_keep));
+  }
+
+  std::unique_ptr<FailureModel> failures;
+  if (spec.pf > 0.0 || spec.pr > 0.0) {
+    failures = std::make_unique<RandomFailRecover>(
+        spec.pf, spec.pr, failure_seed, spec.protect_target);
+  } else {
+    failures = std::make_unique<NoFailures>();
+  }
+
+  Simulator sim(sys, *failures);
+  ThroughputMeter throughput;
+  SafetyMonitor safety;
+  BlockingStats blocking;
+  OccupancyTracker occupancy;
+  ProgressTracker progress;
+  sim.add_observer(throughput);
+  sim.add_observer(safety);
+  sim.add_observer(blocking);
+  sim.add_observer(occupancy);
+  sim.add_observer(progress);
+
+  sim.run(spec.rounds);
+
+  RunResult r;
+  r.throughput = throughput.throughput();
+  r.arrivals = throughput.arrivals();
+  r.injected = sys.total_injected();
+  r.mean_latency = progress.latency().mean();
+  r.mean_blocked = blocking.mean_blocked_per_round();
+  r.mean_population = occupancy.population().mean();
+  r.safety_clean = safety.clean();
+  if (!r.safety_clean) r.safety_report = safety.report();
+  return r;
+}
+
+RunningStats run_workload_seeds(const WorkloadSpec& spec,
+                                std::span<const std::uint64_t> seeds) {
+  CF_EXPECTS(!seeds.empty());
+  RunningStats stats;
+  for (const std::uint64_t seed : seeds) {
+    const RunResult r = run_workload(spec, seed);
+    CF_CHECK_MSG(r.safety_clean, "safety violation during experiment: " +
+                                     r.safety_report);
+    stats.add(r.throughput);
+  }
+  return stats;
+}
+
+WorkloadSpec fig7_base(double rs, double v) {
+  WorkloadSpec spec;
+  spec.config.side = 8;
+  spec.config.params = Params(0.25, rs, v);
+  spec.config.sources = {CellId{1, 0}};
+  spec.config.target = CellId{1, 7};
+  spec.rounds = 2500;
+  return spec;
+}
+
+WorkloadSpec fig8_base(std::size_t turns, double v, double l) {
+  WorkloadSpec spec;
+  spec.config.side = 8;
+  spec.config.params = Params(l, 0.05, v);
+  spec.rounds = 2500;
+  // Length-8 staircase with the requested number of turns, carved into the
+  // grid (all off-path cells failed) so routing must follow it.
+  const Grid grid(8);
+  const Path path = make_turning_path(grid, CellId{0, 0}, Direction::kNorth,
+                                      Direction::kEast, 8, turns);
+  spec.config.sources = {path.source()};
+  spec.config.target = path.target();
+  spec.carve_path = path.cells();
+  return spec;
+}
+
+WorkloadSpec fig9_base(double pf, double pr) {
+  WorkloadSpec spec;
+  spec.config.side = 8;
+  spec.config.params = Params(0.2, 0.05, 0.2);
+  spec.config.sources = {CellId{1, 0}};
+  spec.config.target = CellId{1, 7};
+  spec.rounds = 20000;
+  spec.pf = pf;
+  spec.pr = pr;
+  return spec;
+}
+
+std::vector<std::uint64_t> default_seeds(std::size_t count) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  SplitMix64 sm(0xCE11F10Cull);
+  for (std::size_t k = 0; k < count; ++k) seeds.push_back(sm.next());
+  return seeds;
+}
+
+}  // namespace cellflow

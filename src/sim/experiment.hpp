@@ -1,0 +1,96 @@
+// The experiment harness shared by every benchmark binary: builds a
+// System + FailureModel from a declarative WorkloadSpec, runs it for K
+// rounds, and reports throughput (optionally aggregated over seeds).
+//
+// Each of the paper's figures is one sweep over WorkloadSpecs — see
+// bench/fig7_throughput_vs_rs.cpp etc.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "failure/failure_model.hpp"
+#include "grid/path.hpp"
+#include "sim/observers.hpp"
+#include "util/stats.hpp"
+
+namespace cellflow {
+
+/// Declarative description of one simulation run.
+struct WorkloadSpec {
+  SystemConfig config;
+
+  /// Cells to fail permanently at round 0 (everything NOT on the path),
+  /// forcing Route along a prescribed shape — used by Figure 8. Empty:
+  /// the full grid is alive. Must form a simple path.
+  std::vector<CellId> carve_path;
+
+  /// Like carve_path but an arbitrary kept set (may branch — used for
+  /// merge topologies). Mutually exclusive with carve_path.
+  std::vector<CellId> carve_keep;
+
+  /// Token-choice policy name ("round-robin" | "random" | "lowest-id").
+  std::string choose_policy = "round-robin";
+
+  /// Per-round injection probability at each source (1.0 = saturating
+  /// load, the paper's setting: "entities are added to the source cell").
+  double source_rate = 1.0;
+
+  /// §IV stochastic failure model; both 0 disables it (Figures 7–8).
+  double pf = 0.0;
+  double pr = 0.0;
+  bool protect_target = false;
+
+  /// K: number of rounds over which throughput is measured.
+  /// (Protocol-variant knobs — SignalRule, MovementRule — live inside
+  /// `config`; set them there to run ablation variants through the
+  /// harness.)
+  std::uint64_t rounds = 2500;
+};
+
+/// Everything measured in one run.
+struct RunResult {
+  double throughput = 0.0;        ///< arrivals / rounds
+  std::uint64_t arrivals = 0;
+  std::uint64_t injected = 0;
+  double mean_latency = 0.0;      ///< birth→consumption, completed entities
+  double mean_blocked = 0.0;      ///< blocked cells per round
+  double mean_population = 0.0;   ///< entities in flight
+  bool safety_clean = true;       ///< no oracle violations observed
+  std::string safety_report;      ///< nonempty iff !safety_clean
+};
+
+/// Runs one workload with the given seed (drives the random choose policy,
+/// source coin, and fail/recover model). Every run checks the §III-A
+/// safety oracles each round; a violation is reported, never silently
+/// ignored.
+[[nodiscard]] RunResult run_workload(const WorkloadSpec& spec,
+                                     std::uint64_t seed);
+
+/// Runs the workload once per seed and aggregates throughput.
+[[nodiscard]] RunningStats run_workload_seeds(const WorkloadSpec& spec,
+                                              std::span<const std::uint64_t>
+                                                  seeds);
+
+/// The Figure-7 base workload (paper §IV): 8×8 grid, SID = {⟨1,0⟩},
+/// tid = ⟨1,7⟩, l = 0.25, K = 2500; entities follow the straight column
+/// path ⟨1,0⟩…⟨1,7⟩ of length 8.
+[[nodiscard]] WorkloadSpec fig7_base(double rs, double v);
+
+/// The Figure-8 workload: length-8 path with `turns` turns carved into the
+/// 8×8 grid, rs = 0.05, K = 2500.
+[[nodiscard]] WorkloadSpec fig8_base(std::size_t turns, double v, double l);
+
+/// The Figure-9 workload: straight length-8 path, rs = 0.05, l = 0.2,
+/// v = 0.2, K = 20000, stochastic fail/recover (pf, pr).
+[[nodiscard]] WorkloadSpec fig9_base(double pf, double pr);
+
+/// Default seed list used by the benches (deterministic).
+[[nodiscard]] std::vector<std::uint64_t> default_seeds(std::size_t count);
+
+}  // namespace cellflow

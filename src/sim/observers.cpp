@@ -1,0 +1,115 @@
+#include "sim/observers.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cellflow {
+
+void ThroughputMeter::on_round(const System& /*sys*/, const RoundEvents& ev) {
+  ++rounds_;
+  arrivals_ += ev.arrivals;
+  if (window_ == 0) return;
+  window_arrivals_ += ev.arrivals;
+  if (++window_rounds_ == window_) {
+    windowed_.push_back(static_cast<double>(window_arrivals_) /
+                        static_cast<double>(window_));
+    window_arrivals_ = 0;
+    window_rounds_ = 0;
+  }
+}
+
+double ThroughputMeter::throughput() const noexcept {
+  return rounds_ == 0
+             ? 0.0
+             : static_cast<double>(arrivals_) / static_cast<double>(rounds_);
+}
+
+void SafetyMonitor::on_round(const System& sys, const RoundEvents& /*ev*/) {
+  for (auto& v : check_all(sys)) violations_.push_back(std::move(v));
+}
+
+void SafetyMonitor::on_phase(const System& sys, UpdatePhase phase) {
+  // Lemma 3 asserts H exactly at the post-Signal point of each round.
+  if (phase != UpdatePhase::kAfterSignal) return;
+  if (auto v = check_h_predicate(sys)) violations_.push_back(*std::move(v));
+}
+
+std::string SafetyMonitor::report(std::size_t limit) const {
+  std::ostringstream os;
+  os << violations_.size() << " violation(s)";
+  const std::size_t n = std::min(limit, violations_.size());
+  for (std::size_t k = 0; k < n; ++k)
+    os << "\n  " << to_string(violations_[k]);
+  return os.str();
+}
+
+bool RoutingStabilizationMonitor::agreement(const System& sys) {
+  const auto rho = sys.reference_distances();
+  const Grid& grid = sys.grid();
+  for (const CellId id : grid.all_cells()) {
+    const Dist expect = rho[grid.index_of(id)];
+    if (expect.is_infinite()) continue;  // not target-connected: no claim
+    const CellState& c = sys.cell(id);
+    if (c.failed) continue;  // ρ finite requires alive; defensive
+    if (c.dist != expect) return false;
+    if (id == sys.target()) continue;
+    // next must point at a neighbor one hop closer (Lemma 6's fixed path).
+    if (!c.next.has_value()) return false;
+    const Dist nb_rho = rho[grid.index_of(*c.next)];
+    if (nb_rho.is_infinite() || nb_rho.plus_one() != expect) return false;
+  }
+  return true;
+}
+
+void RoutingStabilizationMonitor::on_round(const System& sys,
+                                           const RoundEvents& ev) {
+  const bool now = agreement(sys);
+  if (now && !agrees_) agree_since_ = ev.round;
+  if (!now) agree_since_.reset();
+  agrees_ = now;
+}
+
+std::optional<std::uint64_t> RoutingStabilizationMonitor::stabilized_at()
+    const noexcept {
+  return agrees_ ? agree_since_ : std::nullopt;
+}
+
+void BlockingStats::on_round(const System& /*sys*/, const RoundEvents& ev) {
+  ++rounds_;
+  moves_ += ev.moved.size();
+  blocks_ += ev.blocked.size();
+}
+
+double BlockingStats::mean_blocked_per_round() const noexcept {
+  return rounds_ == 0
+             ? 0.0
+             : static_cast<double>(blocks_) / static_cast<double>(rounds_);
+}
+
+double BlockingStats::mean_moving_per_round() const noexcept {
+  return rounds_ == 0
+             ? 0.0
+             : static_cast<double>(moves_) / static_cast<double>(rounds_);
+}
+
+void OccupancyTracker::on_round(const System& sys, const RoundEvents& /*ev*/) {
+  population_.add(static_cast<double>(sys.entity_count()));
+  for (const CellState& c : sys.cells())
+    peak_cell_ = std::max(peak_cell_, c.members.size());
+}
+
+void ProgressTracker::on_round(const System& /*sys*/, const RoundEvents& ev) {
+  for (const auto& [cell, eid] : ev.injected) {
+    (void)cell;
+    birth_round_.emplace(eid, ev.round);
+  }
+  for (const TransferEvent& t : ev.transfers) {
+    if (!t.consumed) continue;
+    const auto it = birth_round_.find(t.entity);
+    if (it == birth_round_.end()) continue;  // seeded, not injected
+    latency_.add(static_cast<double>(ev.round - it->second));
+    birth_round_.erase(it);
+  }
+}
+
+}  // namespace cellflow

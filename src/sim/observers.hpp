@@ -1,0 +1,164 @@
+// Observers: per-round instrumentation attached to a Simulator.
+//
+// Observers are passive — they read the System and the RoundEvents after
+// each round (and optionally the intermediate phase states) and accumulate
+// measurements. Everything reported in EXPERIMENTS.md flows through one of
+// these.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/predicates.hpp"
+#include "core/system.hpp"
+#include "util/stats.hpp"
+
+namespace cellflow {
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  /// Called after every completed round.
+  virtual void on_round(const System& sys, const RoundEvents& ev) = 0;
+
+  /// Called at the System's intermediate phase points (see UpdatePhase).
+  /// Default: ignore.
+  virtual void on_phase(const System& /*sys*/, UpdatePhase /*phase*/) {}
+
+  /// Called once when the simulation ends.
+  virtual void on_finish(const System& /*sys*/) {}
+};
+
+/// K-round throughput (§IV): arrivals at the target over the observed
+/// rounds, divided by the number of rounds. Also keeps a windowed series
+/// so convergence of the estimate can be inspected.
+class ThroughputMeter final : public Observer {
+ public:
+  /// `window` is the width of the windowed-throughput series (0 = off).
+  explicit ThroughputMeter(std::uint64_t window = 0) : window_(window) {}
+
+  void on_round(const System& sys, const RoundEvents& ev) override;
+
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+  [[nodiscard]] std::uint64_t arrivals() const noexcept { return arrivals_; }
+  /// Arrivals / rounds; 0 before the first round.
+  [[nodiscard]] double throughput() const noexcept;
+  /// Windowed throughput samples (one per full window).
+  [[nodiscard]] const std::vector<double>& windowed() const noexcept {
+    return windowed_;
+  }
+
+ private:
+  std::uint64_t window_;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t window_arrivals_ = 0;
+  std::uint64_t window_rounds_ = 0;
+  std::vector<double> windowed_;
+};
+
+/// Evaluates the §III-A safety oracles every round (Safe, Invariants 1–2,
+/// footprint separation) and predicate H at the post-Signal phase point.
+/// Collects violations instead of throwing so a test can report them all.
+class SafetyMonitor final : public Observer {
+ public:
+  void on_round(const System& sys, const RoundEvents& ev) override;
+  void on_phase(const System& sys, UpdatePhase phase) override;
+
+  [[nodiscard]] bool clean() const noexcept { return violations_.empty(); }
+  [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+  /// First few violations, formatted (test-failure messages).
+  [[nodiscard]] std::string report(std::size_t limit = 5) const;
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+/// Watches the distributed dist/next values converge to the BFS reference
+/// (Lemma 6 / Corollary 7). Each round it checks whether every
+/// target-connected cell's dist equals ρ and next points along a shortest
+/// path; records the first round of an agreement that then persisted to
+/// the end of the run.
+class RoutingStabilizationMonitor final : public Observer {
+ public:
+  void on_round(const System& sys, const RoundEvents& ev) override;
+
+  /// Round at which agreement last became true (and held through the final
+  /// observed round); nullopt if never agreed or not holding at the end.
+  [[nodiscard]] std::optional<std::uint64_t> stabilized_at() const noexcept;
+  [[nodiscard]] bool currently_agrees() const noexcept { return agrees_; }
+
+ private:
+  static bool agreement(const System& sys);
+
+  bool agrees_ = false;
+  std::optional<std::uint64_t> agree_since_;
+};
+
+/// Per-round movement/blocking counters: how often cells had permission,
+/// how often a token grant was blocked by an occupied strip.
+class BlockingStats final : public Observer {
+ public:
+  void on_round(const System& sys, const RoundEvents& ev) override;
+
+  [[nodiscard]] std::uint64_t total_moves() const noexcept { return moves_; }
+  [[nodiscard]] std::uint64_t total_blocks() const noexcept { return blocks_; }
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+  /// Mean blocked cells per round.
+  [[nodiscard]] double mean_blocked_per_round() const noexcept;
+  /// Mean moving cells per round.
+  [[nodiscard]] double mean_moving_per_round() const noexcept;
+
+ private:
+  std::uint64_t moves_ = 0;
+  std::uint64_t blocks_ = 0;
+  std::uint64_t rounds_ = 0;
+};
+
+/// Tracks the entity population and per-cell occupancy.
+class OccupancyTracker final : public Observer {
+ public:
+  void on_round(const System& sys, const RoundEvents& ev) override;
+
+  [[nodiscard]] const RunningStats& population() const noexcept {
+    return population_;
+  }
+  /// Peak simultaneous entities in any single cell.
+  [[nodiscard]] std::size_t peak_cell_occupancy() const noexcept {
+    return peak_cell_;
+  }
+
+ private:
+  RunningStats population_;
+  std::size_t peak_cell_ = 0;
+};
+
+/// Birth-to-consumption latency per entity (rounds), via injection and
+/// consumed-transfer events.
+class ProgressTracker final : public Observer {
+ public:
+  void on_round(const System& sys, const RoundEvents& ev) override;
+
+  [[nodiscard]] const RunningStats& latency() const noexcept {
+    return latency_;
+  }
+  /// Entities injected but not yet consumed.
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return birth_round_.size();
+  }
+  [[nodiscard]] std::uint64_t completed() const noexcept {
+    return static_cast<std::uint64_t>(latency_.count());
+  }
+
+ private:
+  std::unordered_map<EntityId, std::uint64_t> birth_round_;
+  RunningStats latency_;
+};
+
+}  // namespace cellflow

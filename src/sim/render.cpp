@@ -1,0 +1,77 @@
+#include "sim/render.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cellflow {
+
+namespace {
+
+char marker_for(const System& sys, CellId id) {
+  if (sys.cell(id).failed) return 'X';
+  if (id == sys.target()) return 'T';
+  const auto srcs = sys.sources();
+  if (std::find(srcs.begin(), srcs.end(), id) != srcs.end()) return 'S';
+  return ' ';
+}
+
+char arrow_for(const System& sys, CellId id) {
+  const OptCellId next = sys.cell(id).next;
+  if (!next.has_value()) return ' ';
+  if (next->i > id.i) return '>';
+  if (next->i < id.i) return '<';
+  if (next->j > id.j) return '^';
+  return 'v';
+}
+
+}  // namespace
+
+std::string render_ascii(const System& sys, const RenderOptions& opts) {
+  const int n = sys.grid().side();
+  std::ostringstream os;
+  for (int j = n - 1; j >= 0; --j) {
+    os << j << (j < 10 ? "  " : " ");
+    for (int i = 0; i < n; ++i) {
+      const CellId id{i, j};
+      const CellState& c = sys.cell(id);
+      os << '[' << marker_for(sys, id);
+      if (opts.show_dist) {
+        if (c.dist.is_infinite()) {
+          os << " ~";
+        } else if (c.dist.hops() < 100) {
+          os << (c.dist.hops() < 10 ? " " : "") << c.dist.hops();
+        } else {
+          os << "##";
+        }
+      } else {
+        const std::size_t count = c.members.size();
+        if (count == 0) {
+          os << " .";
+        } else if (count < 10) {
+          os << ' ' << count;
+        } else {
+          os << "#+";
+        }
+      }
+      os << (opts.show_next_arrows ? arrow_for(sys, id) : ' ') << ']';
+    }
+    os << '\n';
+  }
+  os << "   ";
+  for (int i = 0; i < n; ++i) os << "  " << i << (i < 10 ? "  " : " ");
+  os << '\n';
+  return os.str();
+}
+
+std::string render_summary(const System& sys) {
+  std::size_t failed = 0;
+  for (const CellState& c : sys.cells())
+    if (c.failed) ++failed;
+  std::ostringstream os;
+  os << "round " << sys.round() << ": " << sys.entity_count()
+     << " entities in flight, " << sys.total_arrivals() << " arrived, "
+     << failed << '/' << sys.grid().cell_count() << " cells failed";
+  return os.str();
+}
+
+}  // namespace cellflow

@@ -1,0 +1,27 @@
+// ASCII rendering of a System state in the style of the paper's Figure 1:
+// grid cells with the target (T), sources (S), failed cells (X), per-cell
+// entity counts, and next-pointer arrows. Meant for terminals, examples,
+// and debugging dumps attached to test failures.
+#pragma once
+
+#include <string>
+
+#include "core/system.hpp"
+
+namespace cellflow {
+
+struct RenderOptions {
+  bool show_next_arrows = true;  ///< draw ^v<> for each cell's next
+  bool show_dist = false;        ///< print dist instead of entity count
+};
+
+/// Multi-line drawing, row N−1 at the top (y grows upward, as in Fig. 1).
+/// Each cell renders as a fixed-width box, e.g. "[S 2>]": marker, entity
+/// count (or dist), next-arrow.
+[[nodiscard]] std::string render_ascii(const System& sys,
+                                       const RenderOptions& opts = {});
+
+/// One-line summary: round, entities, arrivals, failed-cell count.
+[[nodiscard]] std::string render_summary(const System& sys);
+
+}  // namespace cellflow

@@ -1,0 +1,31 @@
+#include "sim/simulator.hpp"
+
+namespace cellflow {
+
+Simulator::Simulator(System& sys, FailureModel& failures)
+    : sys_(sys), failures_(failures) {
+  sys_.set_phase_hook([this](const System& s, UpdatePhase phase) {
+    for (Observer* o : observers_) o->on_phase(s, phase);
+  });
+}
+
+Simulator::~Simulator() { sys_.set_phase_hook(nullptr); }
+
+void Simulator::add_observer(Observer& obs) { observers_.push_back(&obs); }
+
+void Simulator::step() {
+  failures_.apply(sys_);
+  const RoundEvents& ev = sys_.update();
+  for (Observer* o : observers_) o->on_round(sys_, ev);
+}
+
+void Simulator::run(std::uint64_t rounds) {
+  for (std::uint64_t k = 0; k < rounds; ++k) step();
+  finish();
+}
+
+void Simulator::finish() {
+  for (Observer* o : observers_) o->on_finish(sys_);
+}
+
+}  // namespace cellflow

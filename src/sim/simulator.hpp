@@ -1,0 +1,64 @@
+// The Simulator: drives a System for K rounds under a FailureModel,
+// fanning events out to Observers. Per round:
+//
+//   1. failure_model.apply(sys)   — environment fail/recover transitions
+//   2. sys.update()               — the protocol's atomic round
+//   3. observer.on_round(...)     — instrumentation
+//
+// (Intermediate-phase callbacks are forwarded through System's PhaseHook.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/system.hpp"
+#include "failure/failure_model.hpp"
+#include "sim/observers.hpp"
+
+namespace cellflow {
+
+class Simulator {
+ public:
+  /// Non-owning: the System and FailureModel must outlive the Simulator.
+  Simulator(System& sys, FailureModel& failures);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Attaches an observer (non-owning; must outlive the Simulator's runs).
+  void add_observer(Observer& obs);
+
+  /// Executes exactly one round.
+  void step();
+
+  /// Executes `rounds` rounds, then notifies observers' on_finish.
+  void run(std::uint64_t rounds);
+
+  /// Runs until `predicate(sys)` is true after a round, or `max_rounds`
+  /// elapse. Returns true iff the predicate fired. on_finish is notified
+  /// either way.
+  template <typename Pred>
+  bool run_until(Pred&& predicate, std::uint64_t max_rounds) {
+    for (std::uint64_t k = 0; k < max_rounds; ++k) {
+      step();
+      if (predicate(static_cast<const System&>(sys_))) {
+        finish();
+        return true;
+      }
+    }
+    finish();
+    return false;
+  }
+
+  [[nodiscard]] const System& system() const noexcept { return sys_; }
+
+ private:
+  void finish();
+
+  System& sys_;
+  FailureModel& failures_;
+  std::vector<Observer*> observers_;
+};
+
+}  // namespace cellflow

@@ -1,0 +1,76 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace cellflow {
+
+void TraceRecorder::on_round(const System& sys, const RoundEvents& ev) {
+  const auto cells = sys.cells();
+  if (prev_failed_.size() != cells.size()) {
+    // First observed round: treat the pre-round state as all-alive so the
+    // initial carve (if any) shows up as explicit fail records.
+    prev_failed_.assign(cells.size(), false);
+  }
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    if (cells[k].failed != prev_failed_[k]) {
+      TraceRecord r;
+      r.round = ev.round;
+      r.kind = cells[k].failed ? TraceRecord::Kind::kFail
+                               : TraceRecord::Kind::kRecover;
+      r.cell = sys.grid().id_of(k);
+      records_.push_back(r);
+      prev_failed_[k] = cells[k].failed;
+    }
+  }
+  for (const auto& [cell, eid] : ev.injected) {
+    TraceRecord r;
+    r.round = ev.round;
+    r.kind = TraceRecord::Kind::kInject;
+    r.cell = cell;
+    r.entity = eid;
+    records_.push_back(r);
+  }
+  for (const TransferEvent& t : ev.transfers) {
+    TraceRecord r;
+    r.round = ev.round;
+    r.kind = t.consumed ? TraceRecord::Kind::kConsume
+                        : TraceRecord::Kind::kTransfer;
+    r.cell = t.from;
+    r.other = t.to;
+    r.entity = t.entity;
+    records_.push_back(r);
+  }
+}
+
+std::string to_string(const TraceRecord& r) {
+  std::ostringstream os;
+  os << r.round << ' ';
+  switch (r.kind) {
+    case TraceRecord::Kind::kFail:
+      os << "fail " << to_string(r.cell);
+      break;
+    case TraceRecord::Kind::kRecover:
+      os << "recover " << to_string(r.cell);
+      break;
+    case TraceRecord::Kind::kInject:
+      os << "inject " << to_string(r.entity) << " at " << to_string(r.cell);
+      break;
+    case TraceRecord::Kind::kTransfer:
+      os << "transfer " << to_string(r.entity) << ' ' << to_string(r.cell)
+         << " -> " << to_string(r.other);
+      break;
+    case TraceRecord::Kind::kConsume:
+      os << "consume " << to_string(r.entity) << ' ' << to_string(r.cell)
+         << " -> " << to_string(r.other);
+      break;
+  }
+  return os.str();
+}
+
+std::string TraceRecorder::serialize() const {
+  std::ostringstream os;
+  for (const TraceRecord& r : records_) os << to_string(r) << '\n';
+  return os.str();
+}
+
+}  // namespace cellflow

@@ -1,0 +1,59 @@
+// Execution traces: a compact round-by-round journal of everything
+// observable that happened (failures, recoveries, injections, transfers,
+// consumptions, grants). Uses:
+//   * determinism/replay tests — two runs from the same seeds must produce
+//     byte-identical traces;
+//   * debugging — the ascii_playback example prints a trace alongside the
+//     grid renders;
+//   * regression pinning — golden traces for tiny scenarios.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/observers.hpp"
+
+namespace cellflow {
+
+/// One journal entry.
+struct TraceRecord {
+  enum class Kind {
+    kFail,      // cell became failed this round
+    kRecover,   // cell recovered this round
+    kInject,    // entity created at a source
+    kTransfer,  // entity handed to a neighbor cell
+    kConsume,   // entity consumed by the target
+  };
+
+  std::uint64_t round = 0;
+  Kind kind = Kind::kTransfer;
+  CellId cell;           // fail/recover/inject: the cell; transfers: from
+  CellId other;          // transfers: destination (unused otherwise)
+  EntityId entity;       // inject/transfer/consume
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// Observer that accumulates TraceRecords. Failures/recoveries are
+/// detected by diffing the failed flags round-over-round (they are
+/// environment actions, not System events).
+class TraceRecorder final : public Observer {
+ public:
+  void on_round(const System& sys, const RoundEvents& ev) override;
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// One line per record: "round kind args...".
+  [[nodiscard]] std::string serialize() const;
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::vector<bool> prev_failed_;  // lazily sized on first round
+};
+
+[[nodiscard]] std::string to_string(const TraceRecord& r);
+
+}  // namespace cellflow

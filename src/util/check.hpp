@@ -1,0 +1,72 @@
+// Contract-checking macros used at public API boundaries.
+//
+// The C++ Core Guidelines (I.6, I.8, E.12) recommend stating preconditions
+// and postconditions explicitly. Until contracts land in the language we use
+// lightweight macros that throw `cellflow::ContractViolation`: throwing (as
+// opposed to aborting) keeps violations testable from gtest and lets a
+// simulation embedder decide how to react.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cellflow {
+
+/// Thrown when a CF_EXPECTS/CF_ENSURES/CF_CHECK contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace cellflow
+
+/// Precondition check. Active in all build types: simulation correctness
+/// depends on these and their cost is negligible next to the round loop.
+#define CF_EXPECTS(cond)                                                      \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::cellflow::detail::contract_fail("precondition", #cond, __FILE__,      \
+                                        __LINE__, "");                        \
+  } while (false)
+
+#define CF_EXPECTS_MSG(cond, msg)                                             \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::cellflow::detail::contract_fail("precondition", #cond, __FILE__,      \
+                                        __LINE__, (msg));                     \
+  } while (false)
+
+/// Postcondition check.
+#define CF_ENSURES(cond)                                                      \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::cellflow::detail::contract_fail("postcondition", #cond, __FILE__,     \
+                                        __LINE__, "");                        \
+  } while (false)
+
+/// Internal-invariant check (mid-function).
+#define CF_CHECK(cond)                                                        \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::cellflow::detail::contract_fail("invariant", #cond, __FILE__,         \
+                                        __LINE__, "");                        \
+  } while (false)
+
+#define CF_CHECK_MSG(cond, msg)                                               \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::cellflow::detail::contract_fail("invariant", #cond, __FILE__,         \
+                                        __LINE__, (msg));                     \
+  } while (false)

@@ -1,0 +1,129 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace cellflow {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error("cli: " + msg);
+}
+
+bool looks_like_flag(std::string_view s) {
+  return s.size() > 2 && s.substr(0, 2) == "--";
+}
+
+}  // namespace
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int k = 1; k < argc; ++k) {
+    std::string_view arg = argv[k];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (!looks_like_flag(arg)) fail("expected --flag, got '" + std::string(arg) + "'");
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_.emplace(std::string(arg.substr(0, eq)),
+                      std::string(arg.substr(eq + 1)));
+    } else if (k + 1 < argc && !looks_like_flag(argv[k + 1])) {
+      values_.emplace(std::string(arg), std::string(argv[k + 1]));
+      ++k;
+    } else {
+      values_.emplace(std::string(arg), "true");  // bare boolean
+    }
+  }
+}
+
+std::optional<std::string> CliArgs::raw(std::string_view name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+void CliArgs::note(std::string_view name, std::string_view help,
+                   std::string fallback) {
+  registered_.emplace(std::string(name),
+                      FlagDoc{std::string(help), std::move(fallback)});
+}
+
+double CliArgs::get_double(std::string_view name, double fallback,
+                           std::string_view help) {
+  note(name, help, std::to_string(fallback));
+  const auto v = raw(name);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    fail("flag --" + std::string(name) + " expects a number, got '" + *v + "'");
+  }
+}
+
+std::int64_t CliArgs::get_int(std::string_view name, std::int64_t fallback,
+                              std::string_view help) {
+  note(name, help, std::to_string(fallback));
+  const auto v = raw(name);
+  if (!v) return fallback;
+  std::int64_t out = 0;
+  const auto res = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (res.ec != std::errc{} || res.ptr != v->data() + v->size())
+    fail("flag --" + std::string(name) + " expects an integer, got '" + *v + "'");
+  return out;
+}
+
+std::uint64_t CliArgs::get_uint(std::string_view name, std::uint64_t fallback,
+                                std::string_view help) {
+  note(name, help, std::to_string(fallback));
+  const auto v = raw(name);
+  if (!v) return fallback;
+  std::uint64_t out = 0;
+  const auto res = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (res.ec != std::errc{} || res.ptr != v->data() + v->size())
+    fail("flag --" + std::string(name) + " expects a non-negative integer, got '" +
+         *v + "'");
+  return out;
+}
+
+bool CliArgs::get_bool(std::string_view name, bool fallback,
+                       std::string_view help) {
+  note(name, help, fallback ? "true" : "false");
+  const auto v = raw(name);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  fail("flag --" + std::string(name) + " expects a boolean, got '" + *v + "'");
+}
+
+std::string CliArgs::get_string(std::string_view name,
+                                std::string_view fallback,
+                                std::string_view help) {
+  note(name, help, std::string(fallback));
+  const auto v = raw(name);
+  return v ? *v : std::string(fallback);
+}
+
+std::string CliArgs::help_text() const {
+  std::ostringstream os;
+  os << "flags:\n";
+  for (const auto& [name, doc] : registered_) {
+    os << "  --" << name << " (default " << doc.fallback << ')';
+    if (!doc.help.empty()) os << "  " << doc.help;
+    os << '\n';
+  }
+  return os.str();
+}
+
+void CliArgs::finish() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (registered_.find(name) == registered_.end())
+      fail("unknown flag --" + name);
+  }
+}
+
+}  // namespace cellflow

@@ -1,0 +1,64 @@
+// Tiny command-line flag parser for the example and benchmark binaries.
+//
+// Supports `--name=value`, `--name value`, and bare boolean `--name`.
+// Unknown flags are an error (surfacing typos beats silently ignoring
+// them), and `--help` prints the registered flags. Kept deliberately
+// small — the binaries need a dozen numeric knobs, not a framework.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cellflow {
+
+/// Parsed argv. Construct, register defaults via get_* calls, then call
+/// `finish()` to reject unknown flags.
+class CliArgs {
+ public:
+  /// Parses argv (argv[0] is skipped). Throws std::runtime_error on
+  /// malformed input.
+  CliArgs(int argc, const char* const* argv);
+
+  /// Typed getters; each registers the flag (for --help / unknown-flag
+  /// detection) and returns the parsed value or `fallback`.
+  [[nodiscard]] double get_double(std::string_view name, double fallback,
+                                  std::string_view help = "");
+  [[nodiscard]] std::int64_t get_int(std::string_view name,
+                                     std::int64_t fallback,
+                                     std::string_view help = "");
+  [[nodiscard]] std::uint64_t get_uint(std::string_view name,
+                                       std::uint64_t fallback,
+                                       std::string_view help = "");
+  [[nodiscard]] bool get_bool(std::string_view name, bool fallback,
+                              std::string_view help = "");
+  [[nodiscard]] std::string get_string(std::string_view name,
+                                       std::string_view fallback,
+                                       std::string_view help = "");
+
+  /// True if --help was passed; callers should print `help_text()` and exit.
+  [[nodiscard]] bool help_requested() const noexcept { return help_; }
+  [[nodiscard]] std::string help_text() const;
+
+  /// Throws if any flag on the command line was never registered.
+  void finish() const;
+
+ private:
+  struct FlagDoc {
+    std::string help;
+    std::string fallback;
+  };
+
+  [[nodiscard]] std::optional<std::string> raw(std::string_view name) const;
+  void note(std::string_view name, std::string_view help,
+            std::string fallback);
+
+  std::map<std::string, std::string, std::less<>> values_;
+  std::map<std::string, FlagDoc, std::less<>> registered_;
+  bool help_ = false;
+};
+
+}  // namespace cellflow

@@ -1,0 +1,106 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cellflow {
+
+void CsvWriter::header(std::initializer_list<std::string_view> names) {
+  CF_EXPECTS_MSG(!header_written_ && rows_ == 0 && at_row_start_,
+                 "header must be first");
+  for (const auto n : names) field(n);
+  end_row();
+  header_written_ = true;
+  rows_ = 0;  // header does not count as a data row
+}
+
+void CsvWriter::sep() {
+  if (!at_row_start_) *out_ << ',';
+  at_row_start_ = false;
+}
+
+std::string CsvWriter::quote(std::string_view s) {
+  const bool needs = s.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs) return std::string(s);
+  std::string q = "\"";
+  for (const char c : s) {
+    if (c == '"') q += '"';
+    q += c;
+  }
+  q += '"';
+  return q;
+}
+
+CsvWriter& CsvWriter::field(std::string_view s) {
+  sep();
+  *out_ << quote(s);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v) {
+  sep();
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v,
+                                 std::chars_format::general, 10);
+  out_->write(buf, res.ptr - buf);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t v) {
+  sep();
+  *out_ << v;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::int64_t v) {
+  sep();
+  *out_ << v;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  *out_ << '\n';
+  at_row_start_ = true;
+  ++rows_;
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  for (const double v : values) field(v);
+  end_row();
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t k = 0; k < line.size(); ++k) {
+    const char c = line[k];
+    if (in_quotes) {
+      if (c == '"') {
+        if (k + 1 < line.size() && line[k + 1] == '"') {
+          cur += '"';
+          ++k;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // swallow CR of CRLF
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace cellflow

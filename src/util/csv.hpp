@@ -1,0 +1,53 @@
+// Minimal CSV emission (RFC-4180 quoting) used by the benchmark harness so
+// every figure's series can be re-plotted from a file as well as read off
+// the console table.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cellflow {
+
+/// Streams rows to an std::ostream. The writer owns no buffer and never
+/// seeks, so it works with files, stringstreams, and stdout alike.
+class CsvWriter {
+ public:
+  /// The stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes the header row. Precondition: called at most once, before rows.
+  void header(std::initializer_list<std::string_view> names);
+
+  /// Appends one field to the current row (quoting if needed).
+  CsvWriter& field(std::string_view s);
+  CsvWriter& field(double v);
+  CsvWriter& field(std::uint64_t v);
+  CsvWriter& field(std::int64_t v);
+
+  /// Terminates the current row.
+  void end_row();
+
+  /// Convenience: an entire row of doubles.
+  void row(std::initializer_list<double> values);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void sep();
+  static std::string quote(std::string_view s);
+
+  std::ostream* out_;
+  bool at_row_start_ = true;
+  bool header_written_ = false;
+  std::size_t rows_ = 0;
+};
+
+/// Parses one CSV line into fields (handles RFC-4180 quoting); used by
+/// round-trip tests and the trace replayer.
+[[nodiscard]] std::vector<std::string> parse_csv_line(std::string_view line);
+
+}  // namespace cellflow

@@ -1,0 +1,12 @@
+#include "util/dist_value.hpp"
+
+#include <ostream>
+
+namespace cellflow {
+
+std::ostream& operator<<(std::ostream& os, Dist d) {
+  if (d.is_infinite()) return os << "inf";
+  return os << d.hops();
+}
+
+}  // namespace cellflow

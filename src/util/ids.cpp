@@ -1,0 +1,15 @@
+#include "util/ids.hpp"
+
+#include <ostream>
+
+namespace cellflow {
+
+std::ostream& operator<<(std::ostream& os, CellId id) {
+  return os << '<' << id.i << ',' << id.j << '>';
+}
+
+std::ostream& operator<<(std::ostream& os, EntityId id) {
+  return os << 'p' << id.value;
+}
+
+}  // namespace cellflow

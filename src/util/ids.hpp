@@ -1,0 +1,78 @@
+// Strongly-typed identifiers for the cellular-flow model.
+//
+// The paper indexes cells by pairs ⟨i,j⟩ ∈ [N−1]×[N−1] and entities by an
+// abstract infinite set P. We use small value types with total orderings:
+// the protocol's Route function breaks distance ties by comparing neighbor
+// identifiers (Figure 4), so CellId ordering is part of the algorithm, not
+// a convenience.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace cellflow {
+
+/// Identifier of a cell: ⟨i,j⟩, the bottom-left corner of its unit square.
+/// Ordered lexicographically (i first) — this is the tie-break order used
+/// by Route's argmin (Figure 4, line 4).
+struct CellId {
+  std::int32_t i = 0;
+  std::int32_t j = 0;
+
+  friend constexpr auto operator<=>(const CellId&, const CellId&) = default;
+};
+
+/// ID⊥ from the paper: either a cell identifier or ⊥ (absent).
+using OptCellId = std::optional<CellId>;
+
+/// Identifier of an entity, unique over the lifetime of a System
+/// (entities consumed by the target never reuse an id).
+struct EntityId {
+  std::uint64_t value = 0;
+
+  friend constexpr auto operator<=>(const EntityId&, const EntityId&) = default;
+};
+
+/// Human-readable "⟨i,j⟩" (ASCII "<i,j>") form, as in the paper's figures.
+inline std::string to_string(CellId id) {
+  std::ostringstream os;
+  os << '<' << id.i << ',' << id.j << '>';
+  return os.str();
+}
+
+inline std::string to_string(const OptCellId& id) {
+  return id.has_value() ? to_string(*id) : std::string("_|_");
+}
+
+inline std::string to_string(EntityId id) {
+  std::ostringstream os;
+  os << 'p' << id.value;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, CellId id);
+std::ostream& operator<<(std::ostream& os, EntityId id);
+
+}  // namespace cellflow
+
+template <>
+struct std::hash<cellflow::CellId> {
+  std::size_t operator()(const cellflow::CellId& id) const noexcept {
+    // Cells live on small grids; mix i into the high half.
+    const auto a = static_cast<std::uint64_t>(static_cast<std::uint32_t>(id.i));
+    const auto b = static_cast<std::uint64_t>(static_cast<std::uint32_t>(id.j));
+    return std::hash<std::uint64_t>{}((a << 32) | b);
+  }
+};
+
+template <>
+struct std::hash<cellflow::EntityId> {
+  std::size_t operator()(const cellflow::EntityId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

@@ -1,0 +1,43 @@
+#include "util/log.hpp"
+
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+namespace cellflow {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+std::ostream* g_sink = nullptr;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::level() noexcept { return g_level; }
+void Logger::set_level(LogLevel level) noexcept { g_level = level; }
+void Logger::set_sink(std::ostream* sink) noexcept { g_sink = sink; }
+
+void Logger::write(LogLevel level, std::string_view message) {
+  std::ostream& out = g_sink != nullptr ? *g_sink : std::clog;
+  out << '[' << level_name(level) << "] " << message << '\n';
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  throw std::runtime_error("unknown log level: " + std::string(name));
+}
+
+}  // namespace cellflow

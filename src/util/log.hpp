@@ -1,0 +1,64 @@
+// Leveled logging for the simulator and example binaries.
+//
+// Deliberately minimal: a process-wide level, a sink ostream, and a macro
+// that avoids formatting cost when the level is disabled. The simulator
+// uses Debug for per-round detail, Info for phase summaries, and Warn for
+// recoverable configuration anomalies.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string_view>
+
+namespace cellflow {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide logging configuration. Not thread-safe by design — the
+/// simulator is single-threaded; set the level before spawning anything.
+class Logger {
+ public:
+  static LogLevel level() noexcept;
+  static void set_level(LogLevel level) noexcept;
+
+  /// Redirects output (default std::clog). Pass nullptr to restore default.
+  static void set_sink(std::ostream* sink) noexcept;
+
+  /// Emits one line: "[LEVEL] message". Internal — use the CF_LOG macro.
+  static void write(LogLevel level, std::string_view message);
+
+  [[nodiscard]] static bool enabled(LogLevel level) noexcept {
+    return level >= Logger::level();
+  }
+};
+
+/// Parses "debug"/"info"/"warn"/"error"/"off"; throws on anything else.
+[[nodiscard]] LogLevel parse_log_level(std::string_view name);
+
+}  // namespace cellflow
+
+/// Usage: CF_LOG(kInfo) << "round " << r << " done";
+/// The stream expression is not evaluated when the level is disabled.
+#define CF_LOG(level_suffix)                                                \
+  if (!::cellflow::Logger::enabled(::cellflow::LogLevel::level_suffix)) {  \
+  } else                                                                    \
+    ::cellflow::detail::LogLine(::cellflow::LogLevel::level_suffix).stream()
+
+namespace cellflow::detail {
+
+/// RAII line buffer: flushes to Logger::write on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::write(level_, os_.str()); }
+
+  std::ostringstream& stream() noexcept { return os_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace cellflow::detail

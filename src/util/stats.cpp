@@ -1,0 +1,167 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cellflow {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_);
+  const auto m = static_cast<double>(other.n_);
+  mean_ += delta * m / (n + m);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const noexcept {
+  return n_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStats::ci95_halfwidth() const noexcept {
+  return 1.96 * stderr_mean();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  CF_EXPECTS(bins > 0);
+  CF_EXPECTS(lo < hi);
+}
+
+void Histogram::add(double x) noexcept {
+  const double span = hi_ - lo_;
+  auto b = static_cast<std::ptrdiff_t>(
+      std::floor((x - lo_) / span * static_cast<double>(counts_.size())));
+  b = std::clamp<std::ptrdiff_t>(
+      b, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(b)];
+  ++total_;
+}
+
+std::uint64_t Histogram::bin_count(std::size_t b) const {
+  CF_EXPECTS(b < counts_.size());
+  return counts_[b];
+}
+
+double Histogram::bin_lo(std::size_t b) const {
+  CF_EXPECTS(b < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(b) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t b) const {
+  CF_EXPECTS(b < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(b + 1) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::quantile(double q) const {
+  CF_EXPECTS(q >= 0.0 && q <= 1.0);
+  CF_EXPECTS(total_ > 0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto c = static_cast<double>(counts_[b]);
+    if (cum + c >= target) {
+      const double frac = c == 0.0 ? 0.0 : (target - cum) / c;
+      return bin_lo(b) + frac * (bin_hi(b) - bin_lo(b));
+    }
+    cum += c;
+  }
+  return hi_;
+}
+
+std::string Histogram::to_ascii(std::size_t width) const {
+  std::uint64_t peak = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b)
+    peak = std::max(peak, counts_[b]);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar =
+        peak == 0 ? std::size_t{0}
+                  : static_cast<std::size_t>(
+                        static_cast<double>(counts_[b]) /
+                        static_cast<double>(peak) * static_cast<double>(width));
+    os << '[';
+    os.precision(4);
+    os << bin_lo(b) << ", " << bin_hi(b) << ") ";
+    os << std::string(bar, '#') << ' ' << counts_[b] << '\n';
+  }
+  return os.str();
+}
+
+double mean_of(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev_of(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean_of(xs);
+  double s = 0.0;
+  for (const double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double ols_slope(std::span<const double> xs, std::span<const double> ys) {
+  CF_EXPECTS(xs.size() == ys.size());
+  CF_EXPECTS(xs.size() >= 2);
+  const double mx = mean_of(xs);
+  const double my = mean_of(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    sxy += (xs[k] - mx) * (ys[k] - my);
+    sxx += (xs[k] - mx) * (xs[k] - mx);
+  }
+  CF_EXPECTS_MSG(sxx > 0.0, "x values are constant");
+  return sxy / sxx;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  CF_EXPECTS(xs.size() == ys.size());
+  CF_EXPECTS(xs.size() >= 2);
+  const double mx = mean_of(xs);
+  const double my = mean_of(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    sxy += (xs[k] - mx) * (ys[k] - my);
+    sxx += (xs[k] - mx) * (xs[k] - mx);
+    syy += (ys[k] - my) * (ys[k] - my);
+  }
+  CF_EXPECTS_MSG(sxx > 0.0 && syy > 0.0, "degenerate series");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace cellflow

@@ -1,0 +1,93 @@
+// Statistics substrate used by observers, the experiment harness, and the
+// benchmark tables: streaming moments (Welford), extrema, confidence
+// intervals across seeds, and fixed-width histograms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cellflow {
+
+/// Streaming accumulator for count/mean/variance/min/max.
+/// Numerically stable (Welford's algorithm); O(1) space.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merge another accumulator (Chan et al. parallel combination).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  /// Mean of the observations. Returns 0 when empty.
+  [[nodiscard]] double mean() const noexcept;
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 points.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean; 0 for fewer than 2 points.
+  [[nodiscard]] double stderr_mean() const noexcept;
+  /// Half-width of an approximate 95% confidence interval on the mean
+  /// (normal approximation, 1.96 sigma/sqrt(n)).
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bin. Used by latency observers.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t b) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Left edge of bin b.
+  [[nodiscard]] double bin_lo(std::size_t b) const;
+  [[nodiscard]] double bin_hi(std::size_t b) const;
+
+  /// Value below which fraction q of samples lie (linear within-bin
+  /// interpolation). Precondition: 0 <= q <= 1 and total() > 0.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Multi-line ASCII rendering (for example binaries).
+  [[nodiscard]] std::string to_ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Mean of a span; 0 when empty.
+[[nodiscard]] double mean_of(std::span<const double> xs) noexcept;
+/// Sample standard deviation of a span; 0 for fewer than 2 elements.
+[[nodiscard]] double stddev_of(std::span<const double> xs) noexcept;
+
+/// Ordinary least-squares slope of y against x.
+/// Precondition: xs.size() == ys.size() and at least 2 points with
+/// non-constant x. Used by trend assertions in tests.
+[[nodiscard]] double ols_slope(std::span<const double> xs,
+                               std::span<const double> ys);
+
+/// Pearson correlation coefficient; precondition as ols_slope.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+}  // namespace cellflow

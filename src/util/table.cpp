@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cellflow {
+
+std::string format_sig(double v, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void TextTable::set_header(std::vector<std::string> names) {
+  CF_EXPECTS(!names.empty());
+  header_ = std::move(names);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  CF_EXPECTS_MSG(cells.size() == header_.size(),
+                 "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_numeric_row(std::string label,
+                                const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(std::move(label));
+  for (const double v : values) cells.push_back(format_sig(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  CF_EXPECTS_MSG(!header_.empty(), "table has no header");
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << "  ";
+      os << std::setw(static_cast<int>(width[c]))
+         << (c == 0 ? std::left : std::right) << row[c];
+      os << std::right;
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w;
+  total += 2 * (width.size() - 1);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace cellflow

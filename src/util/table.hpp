@@ -1,0 +1,41 @@
+// Aligned console tables. The benchmark binaries print every reproduced
+// figure as a right-aligned numeric table whose rows mirror the paper's
+// series, so the output is directly comparable to the figures.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cellflow {
+
+/// Accumulates rows of strings and renders them with per-column widths.
+class TextTable {
+ public:
+  /// Sets the column headers; resets nothing else. Must be called before
+  /// add_row so column count is known.
+  void set_header(std::vector<std::string> names);
+
+  /// Appends one row. Precondition: size matches the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience row builder: first cell is a label, remaining cells are
+  /// numbers rendered with `precision` significant digits.
+  void add_numeric_row(std::string label, const std::vector<double>& values,
+                       int precision = 4);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a rule under the header; columns separated by two spaces.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats v with `precision` significant digits (benchmark table cells).
+[[nodiscard]] std::string format_sig(double v, int precision = 4);
+
+}  // namespace cellflow

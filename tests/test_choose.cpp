@@ -1,0 +1,101 @@
+// Tests for the token-choice policies (the `choose` of Figure 5).
+#include "core/choose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cellflow {
+namespace {
+
+const CellId kSelf{1, 1};
+const std::vector<CellId> kThree = {{0, 1}, {1, 0}, {2, 1}};
+
+TEST(RoundRobin, FirstAcquisitionTakesSmallest) {
+  RoundRobinChoose rr;
+  EXPECT_EQ(rr.choose(kSelf, kThree, std::nullopt), (CellId{0, 1}));
+}
+
+TEST(RoundRobin, RotatesCyclically) {
+  RoundRobinChoose rr;
+  EXPECT_EQ(rr.choose(kSelf, kThree, CellId{0, 1}), (CellId{1, 0}));
+  EXPECT_EQ(rr.choose(kSelf, kThree, CellId{1, 0}), (CellId{2, 1}));
+  EXPECT_EQ(rr.choose(kSelf, kThree, CellId{2, 1}), (CellId{0, 1}));  // wrap
+}
+
+TEST(RoundRobin, PreviousNotInCandidatesStillAdvances) {
+  RoundRobinChoose rr;
+  // Previous ⟨0,2⟩ sorts between ⟨0,1⟩ and ⟨1,0⟩.
+  EXPECT_EQ(rr.choose(kSelf, kThree, CellId{0, 2}), (CellId{1, 0}));
+  // Previous above everything wraps to the front.
+  EXPECT_EQ(rr.choose(kSelf, kThree, CellId{9, 9}), (CellId{0, 1}));
+}
+
+TEST(RoundRobin, VisitsEveryCandidateOncePerCycle) {
+  RoundRobinChoose rr;
+  std::map<CellId, int> visits;
+  OptCellId prev;
+  for (int k = 0; k < 9; ++k) {
+    const CellId c = rr.choose(kSelf, kThree, prev);
+    ++visits[c];
+    prev = c;
+  }
+  for (const CellId c : kThree) EXPECT_EQ(visits[c], 3);
+}
+
+TEST(RoundRobin, EmptyCandidatesViolatesContract) {
+  RoundRobinChoose rr;
+  EXPECT_THROW((void)rr.choose(kSelf, {}, std::nullopt), ContractViolation);
+}
+
+TEST(RoundRobin, UnsortedCandidatesViolateContract) {
+  RoundRobinChoose rr;
+  const std::vector<CellId> bad = {{2, 1}, {0, 1}};
+  EXPECT_THROW((void)rr.choose(kSelf, bad, std::nullopt), ContractViolation);
+}
+
+TEST(RandomChoose, StaysInCandidateSet) {
+  RandomChoose rc(123);
+  for (int k = 0; k < 200; ++k) {
+    const CellId c = rc.choose(kSelf, kThree, std::nullopt);
+    EXPECT_TRUE(c == kThree[0] || c == kThree[1] || c == kThree[2]);
+  }
+}
+
+TEST(RandomChoose, DeterministicUnderSeed) {
+  RandomChoose a(7);
+  RandomChoose b(7);
+  for (int k = 0; k < 100; ++k)
+    EXPECT_EQ(a.choose(kSelf, kThree, std::nullopt),
+              b.choose(kSelf, kThree, std::nullopt));
+}
+
+TEST(RandomChoose, EventuallyPicksEveryone) {
+  RandomChoose rc(99);
+  std::map<CellId, int> visits;
+  for (int k = 0; k < 300; ++k) ++visits[rc.choose(kSelf, kThree, std::nullopt)];
+  for (const CellId c : kThree) EXPECT_GT(visits[c], 50);
+}
+
+TEST(LowestId, AlwaysSmallest) {
+  LowestIdChoose lc;
+  for (int k = 0; k < 5; ++k)
+    EXPECT_EQ(lc.choose(kSelf, kThree, CellId{2, 1}), (CellId{0, 1}));
+}
+
+TEST(Factory, BuildsEachPolicy) {
+  EXPECT_NE(make_choose_policy("round-robin", 0), nullptr);
+  EXPECT_NE(make_choose_policy("random", 1), nullptr);
+  EXPECT_NE(make_choose_policy("lowest-id", 2), nullptr);
+}
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW((void)make_choose_policy("fifo", 0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cellflow

@@ -1,0 +1,94 @@
+// Tests for the CLI flag parser used by examples and benches.
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+namespace cellflow {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsFormParsesAllTypes) {
+  auto cli = make({"--rs=0.05", "--rounds=2500", "--verbose=true",
+                   "--policy=random", "--delta=-3"});
+  EXPECT_DOUBLE_EQ(cli.get_double("rs", 0.0), 0.05);
+  EXPECT_EQ(cli.get_uint("rounds", 0), 2500u);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_EQ(cli.get_string("policy", "x"), "random");
+  EXPECT_EQ(cli.get_int("delta", 0), -3);
+  cli.finish();
+}
+
+TEST(Cli, SpaceSeparatedValueForm) {
+  auto cli = make({"--rs", "0.1", "--name", "fig7"});
+  EXPECT_DOUBLE_EQ(cli.get_double("rs", 0.0), 0.1);
+  EXPECT_EQ(cli.get_string("name", ""), "fig7");
+  cli.finish();
+}
+
+TEST(Cli, BareFlagIsBooleanTrue) {
+  auto cli = make({"--fast"});
+  EXPECT_TRUE(cli.get_bool("fast", false));
+  cli.finish();
+}
+
+TEST(Cli, MissingFlagsFallBack) {
+  auto cli = make({});
+  EXPECT_DOUBLE_EQ(cli.get_double("rs", 0.25), 0.25);
+  EXPECT_EQ(cli.get_uint("rounds", 99), 99u);
+  EXPECT_FALSE(cli.get_bool("fast", false));
+  EXPECT_EQ(cli.get_string("policy", "round-robin"), "round-robin");
+}
+
+TEST(Cli, UnknownFlagRejectedAtFinish) {
+  auto cli = make({"--tpyo=1"});
+  (void)cli.get_double("typo", 0.0);
+  EXPECT_THROW(cli.finish(), std::runtime_error);
+}
+
+TEST(Cli, MalformedNumberRejected) {
+  auto cli = make({"--rs=abc"});
+  EXPECT_THROW((void)cli.get_double("rs", 0.0), std::runtime_error);
+  auto cli2 = make({"--rounds=12x"});
+  EXPECT_THROW((void)cli2.get_uint("rounds", 0), std::runtime_error);
+  auto cli3 = make({"--flag=maybe"});
+  EXPECT_THROW((void)cli3.get_bool("flag", false), std::runtime_error);
+}
+
+TEST(Cli, NonFlagPositionalRejected) {
+  std::array<const char*, 2> argv = {"prog", "stray"};
+  EXPECT_THROW(CliArgs(2, argv.data()), std::runtime_error);
+}
+
+TEST(Cli, HelpRequestedDetected) {
+  auto cli = make({"--help"});
+  EXPECT_TRUE(cli.help_requested());
+  auto cli2 = make({"-h"});
+  EXPECT_TRUE(cli2.help_requested());
+}
+
+TEST(Cli, HelpTextListsRegisteredFlags) {
+  auto cli = make({});
+  (void)cli.get_double("rs", 0.05, "safety spacing");
+  (void)cli.get_uint("rounds", 2500, "rounds to simulate");
+  const std::string help = cli.help_text();
+  EXPECT_NE(help.find("--rs"), std::string::npos);
+  EXPECT_NE(help.find("safety spacing"), std::string::npos);
+  EXPECT_NE(help.find("--rounds"), std::string::npos);
+}
+
+TEST(Cli, NegativeNumberAsSpaceSeparatedValue) {
+  // "-3" must not be mistaken for a flag.
+  auto cli = make({"--delta", "-3"});
+  EXPECT_EQ(cli.get_int("delta", 0), -3);
+}
+
+}  // namespace
+}  // namespace cellflow

@@ -1,0 +1,110 @@
+// Tests for CSV emission and parsing (RFC-4180 quoting round-trips).
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cellflow {
+namespace {
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.header({"x", "y"});
+  w.row({1.0, 2.5});
+  w.row({3.0, 4.0});
+  EXPECT_EQ(os.str(), "x,y\n1,2.5\n3,4\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(CsvWriter, MixedFieldTypes) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.field("label").field(std::uint64_t{42}).field(std::int64_t{-7}).field(0.5);
+  w.end_row();
+  EXPECT_EQ(os.str(), "label,42,-7,0.5\n");
+}
+
+TEST(CsvWriter, QuotesFieldsWithCommas) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.field("a,b").field("plain");
+  w.end_row();
+  EXPECT_EQ(os.str(), "\"a,b\",plain\n");
+}
+
+TEST(CsvWriter, EscapesEmbeddedQuotes) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.field("say \"hi\"");
+  w.end_row();
+  EXPECT_EQ(os.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.field("line1\nline2");
+  w.end_row();
+  EXPECT_EQ(os.str(), "\"line1\nline2\"\n");
+}
+
+TEST(CsvWriter, HeaderAfterRowsViolatesContract) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({1.0});
+  EXPECT_THROW(w.header({"x"}), ContractViolation);
+}
+
+TEST(ParseCsvLine, SplitsPlainFields) {
+  const auto fields = parse_csv_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(ParseCsvLine, EmptyFieldsPreserved) {
+  const auto fields = parse_csv_line("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(ParseCsvLine, UnquotesQuotedFields) {
+  const auto fields = parse_csv_line("\"a,b\",c");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "c");
+}
+
+TEST(ParseCsvLine, HandlesDoubledQuotes) {
+  const auto fields = parse_csv_line("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(ParseCsvLine, SwallowsCarriageReturn) {
+  const auto fields = parse_csv_line("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(CsvRoundTrip, WriteThenParse) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.field("weird,\"value\"").field("multi\nline").field(3.25);
+  w.end_row();
+  std::string line = os.str();
+  line.pop_back();  // trailing newline
+  const auto fields = parse_csv_line(line);
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "weird,\"value\"");
+  EXPECT_EQ(fields[1], "multi\nline");
+  EXPECT_EQ(fields[2], "3.25");
+}
+
+}  // namespace
+}  // namespace cellflow

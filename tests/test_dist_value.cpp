@@ -1,0 +1,90 @@
+// Unit tests for Dist (N∞ with saturating successor) — the value type
+// behind the paper's dist variable.
+#include "util/dist_value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cellflow {
+namespace {
+
+TEST(DistValue, DefaultIsInfinity) {
+  const Dist d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.is_finite());
+  EXPECT_EQ(d, Dist::infinity());
+}
+
+TEST(DistValue, ZeroIsFinite) {
+  const Dist d = Dist::zero();
+  EXPECT_TRUE(d.is_finite());
+  EXPECT_EQ(d.hops(), 0u);
+}
+
+TEST(DistValue, FiniteRoundTripsHops) {
+  for (const std::uint64_t h : {0ull, 1ull, 7ull, 1000000ull}) {
+    EXPECT_EQ(Dist::finite(h).hops(), h);
+    EXPECT_TRUE(Dist::finite(h).is_finite());
+  }
+}
+
+TEST(DistValue, PlusOneIncrementsFinite) {
+  EXPECT_EQ(Dist::zero().plus_one(), Dist::finite(1));
+  EXPECT_EQ(Dist::finite(41).plus_one(), Dist::finite(42));
+}
+
+TEST(DistValue, PlusOneSaturatesAtInfinity) {
+  EXPECT_TRUE(Dist::infinity().plus_one().is_infinite());
+  // Repeated saturation stays put.
+  Dist d = Dist::infinity();
+  for (int k = 0; k < 10; ++k) d = d.plus_one();
+  EXPECT_TRUE(d.is_infinite());
+}
+
+TEST(DistValue, OrderingPutsInfinityLast) {
+  EXPECT_LT(Dist::zero(), Dist::finite(1));
+  EXPECT_LT(Dist::finite(1), Dist::finite(2));
+  EXPECT_LT(Dist::finite(1000000), Dist::infinity());
+  EXPECT_LE(Dist::infinity(), Dist::infinity());
+  EXPECT_GT(Dist::infinity(), Dist::zero());
+}
+
+TEST(DistValue, EqualityIsByValue) {
+  EXPECT_EQ(Dist::finite(3), Dist::finite(3));
+  EXPECT_NE(Dist::finite(3), Dist::finite(4));
+  EXPECT_NE(Dist::finite(3), Dist::infinity());
+}
+
+TEST(DistValue, HopsOnInfinityViolatesContract) {
+  EXPECT_THROW((void)Dist::infinity().hops(), ContractViolation);
+}
+
+TEST(DistValue, ToStringFormats) {
+  EXPECT_EQ(to_string(Dist::finite(12)), "12");
+  EXPECT_EQ(to_string(Dist::infinity()), "inf");
+}
+
+TEST(DistValue, StreamOperatorMatchesToString) {
+  std::ostringstream os;
+  os << Dist::finite(5) << ' ' << Dist::infinity();
+  EXPECT_EQ(os.str(), "5 inf");
+}
+
+// Property: plus_one is monotone — a < b implies a+1 <= b+1.
+TEST(DistValue, PlusOneIsMonotone) {
+  const Dist values[] = {Dist::zero(), Dist::finite(1), Dist::finite(100),
+                         Dist::infinity()};
+  for (const Dist a : values) {
+    for (const Dist b : values) {
+      if (a < b) {
+        EXPECT_LE(a.plus_one(), b.plus_one());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cellflow

@@ -1,0 +1,122 @@
+// Tests for the experiment harness shared by the benchmark binaries.
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/path.hpp"
+
+namespace cellflow {
+namespace {
+
+TEST(Workload, Fig7BaseMatchesPaperSetting) {
+  const WorkloadSpec spec = fig7_base(0.05, 0.1);
+  EXPECT_EQ(spec.config.side, 8);
+  EXPECT_DOUBLE_EQ(spec.config.params.entity_length(), 0.25);
+  EXPECT_DOUBLE_EQ(spec.config.params.safety_gap(), 0.05);
+  EXPECT_DOUBLE_EQ(spec.config.params.velocity(), 0.1);
+  EXPECT_EQ(spec.config.target, (CellId{1, 7}));
+  ASSERT_EQ(spec.config.sources.size(), 1u);
+  EXPECT_EQ(spec.config.sources[0], (CellId{1, 0}));
+  EXPECT_EQ(spec.rounds, 2500u);
+  EXPECT_TRUE(spec.carve_path.empty());
+}
+
+TEST(Workload, Fig8BaseCarvesLengthEightPath) {
+  for (const std::size_t turns : {0u, 3u, 6u}) {
+    const WorkloadSpec spec = fig8_base(turns, 0.2, 0.2);
+    ASSERT_EQ(spec.carve_path.size(), 8u);
+    const Grid grid(8);
+    const Path path(grid, spec.carve_path);
+    EXPECT_EQ(path.turns(), turns);
+    EXPECT_EQ(spec.config.target, path.target());
+    ASSERT_EQ(spec.config.sources.size(), 1u);
+    EXPECT_EQ(spec.config.sources[0], path.source());
+    EXPECT_DOUBLE_EQ(spec.config.params.safety_gap(), 0.05);
+  }
+}
+
+TEST(Workload, Fig9BaseMatchesPaperSetting) {
+  const WorkloadSpec spec = fig9_base(0.03, 0.15);
+  EXPECT_DOUBLE_EQ(spec.pf, 0.03);
+  EXPECT_DOUBLE_EQ(spec.pr, 0.15);
+  EXPECT_EQ(spec.rounds, 20000u);
+  EXPECT_DOUBLE_EQ(spec.config.params.entity_length(), 0.2);
+  EXPECT_DOUBLE_EQ(spec.config.params.velocity(), 0.2);
+  EXPECT_FALSE(spec.protect_target);
+}
+
+TEST(RunWorkload, DeterministicUnderSeed) {
+  WorkloadSpec spec = fig7_base(0.05, 0.2);
+  spec.rounds = 600;
+  const RunResult a = run_workload(spec, 7);
+  const RunResult b = run_workload(spec, 7);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+}
+
+TEST(RunWorkload, ReportsConsistentCounters) {
+  WorkloadSpec spec = fig7_base(0.05, 0.2);
+  spec.rounds = 800;
+  const RunResult r = run_workload(spec, 3);
+  EXPECT_TRUE(r.safety_clean) << r.safety_report;
+  EXPECT_GT(r.arrivals, 0u);
+  EXPECT_GE(r.injected, r.arrivals);
+  EXPECT_NEAR(r.throughput, static_cast<double>(r.arrivals) / 800.0, 1e-12);
+  EXPECT_GT(r.mean_latency, 0.0);
+  EXPECT_GT(r.mean_population, 0.0);
+}
+
+TEST(RunWorkload, RandomPolicyVariesWithSeed) {
+  WorkloadSpec spec = fig7_base(0.05, 0.2);
+  spec.rounds = 600;
+  spec.choose_policy = "random";
+  spec.pf = 0.02;
+  spec.pr = 0.1;
+  const RunResult a = run_workload(spec, 1);
+  const RunResult b = run_workload(spec, 2);
+  // Different seeds drive different failure patterns; arrival counts
+  // almost surely differ.
+  EXPECT_NE(a.arrivals, b.arrivals);
+}
+
+TEST(RunWorkload, SourceRateScalesInjection) {
+  WorkloadSpec full = fig7_base(0.05, 0.2);
+  full.rounds = 1000;
+  WorkloadSpec half = full;
+  half.source_rate = 0.1;
+  const RunResult rf = run_workload(full, 5);
+  const RunResult rh = run_workload(half, 5);
+  EXPECT_GT(rf.injected, rh.injected);
+  EXPECT_GT(rh.injected, 0u);
+}
+
+TEST(RunWorkloadSeeds, AggregatesAcrossSeeds) {
+  WorkloadSpec spec = fig7_base(0.05, 0.2);
+  spec.rounds = 500;
+  spec.choose_policy = "random";
+  const auto seeds = default_seeds(4);
+  const RunningStats stats = run_workload_seeds(spec, seeds);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_GT(stats.mean(), 0.0);
+  EXPECT_GE(stats.max(), stats.min());
+}
+
+TEST(DefaultSeeds, StableAndDistinct) {
+  const auto a = default_seeds(5);
+  const auto b = default_seeds(5);
+  EXPECT_EQ(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = i + 1; j < a.size(); ++j) EXPECT_NE(a[i], a[j]);
+}
+
+TEST(RunWorkload, CarvedWorkloadConfinesTraffic) {
+  WorkloadSpec spec = fig8_base(4, 0.2, 0.2);
+  spec.rounds = 600;
+  const RunResult r = run_workload(spec, 9);
+  EXPECT_TRUE(r.safety_clean);
+  EXPECT_GT(r.arrivals, 0u);
+}
+
+}  // namespace
+}  // namespace cellflow

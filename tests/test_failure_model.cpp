@@ -1,0 +1,159 @@
+// Tests for the failure environments (scripted, stochastic, carving).
+#include "failure/failure_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/path.hpp"
+#include "helpers.hpp"
+
+namespace cellflow {
+namespace {
+
+const Params kP(0.2, 0.1, 0.1);
+
+TEST(NoFailuresModel, IsQuiescentAndInert) {
+  System sys = testing::make_column_system(4, kP);
+  NoFailures none;
+  EXPECT_TRUE(none.quiescent());
+  none.apply(sys);
+  EXPECT_EQ(sys.alive_mask().count(), 16u);
+}
+
+TEST(ScriptedFailures, AppliesAtExactRounds) {
+  System sys = testing::make_column_system(4, kP);
+  ScriptedFailures script({{3, CellId{2, 2}, false},
+                           {7, CellId{0, 0}, false},
+                           {10, CellId{2, 2}, true}});
+  for (int round = 0; round < 12; ++round) {
+    script.apply(sys);
+    sys.update();
+    if (round == 3) {
+      EXPECT_TRUE(sys.cell(CellId{2, 2}).failed);
+    }
+    if (round == 6) {
+      EXPECT_FALSE(sys.cell(CellId{0, 0}).failed);
+    }
+    if (round == 7) {
+      EXPECT_TRUE(sys.cell(CellId{0, 0}).failed);
+    }
+    if (round == 10) {
+      EXPECT_FALSE(sys.cell(CellId{2, 2}).failed);
+    }
+  }
+  EXPECT_TRUE(sys.cell(CellId{0, 0}).failed);  // never recovered
+}
+
+TEST(ScriptedFailures, OutOfOrderInputIsSorted) {
+  System sys = testing::make_column_system(4, kP);
+  ScriptedFailures script({{9, CellId{0, 0}, false}, {2, CellId{3, 3}, false}});
+  EXPECT_EQ(script.last_fail_round(), 9u);
+  for (int round = 0; round < 3; ++round) {
+    script.apply(sys);
+    sys.update();
+  }
+  EXPECT_TRUE(sys.cell(CellId{3, 3}).failed);
+  EXPECT_FALSE(sys.cell(CellId{0, 0}).failed);
+}
+
+TEST(ScriptedFailures, QuiescenceAfterLastFail) {
+  System sys = testing::make_column_system(4, kP);
+  ScriptedFailures script({{1, CellId{0, 0}, false}, {5, CellId{0, 0}, true}});
+  EXPECT_FALSE(script.quiescent());
+  for (int round = 0; round < 3; ++round) {
+    script.apply(sys);
+    sys.update();
+  }
+  EXPECT_TRUE(script.quiescent());  // only a recover remains
+}
+
+TEST(RandomFailRecover, RatesMatchStatistically) {
+  System sys = testing::make_column_system(8, kP);
+  RandomFailRecover model(0.05, 0.25, 99);
+  std::uint64_t failed_rounds = 0;
+  std::uint64_t cell_rounds = 0;
+  for (int round = 0; round < 2000; ++round) {
+    model.apply(sys);
+    sys.update();
+    for (const CellState& c : sys.cells()) {
+      ++cell_rounds;
+      if (c.failed) ++failed_rounds;
+    }
+  }
+  // Stationary failed fraction = pf / (pf + pr) = 0.05 / 0.3 ≈ 0.167.
+  const double frac =
+      static_cast<double>(failed_rounds) / static_cast<double>(cell_rounds);
+  EXPECT_NEAR(frac, 0.167, 0.04);
+  EXPECT_GT(model.total_failures(), 0u);
+  EXPECT_GT(model.total_recoveries(), 0u);
+  EXPECT_FALSE(model.quiescent());
+}
+
+TEST(RandomFailRecover, ProtectTargetExemptsTarget) {
+  System sys = testing::make_column_system(6, kP);
+  RandomFailRecover model(0.5, 0.1, 7, /*protect_target=*/true);
+  for (int round = 0; round < 200; ++round) {
+    model.apply(sys);
+    EXPECT_FALSE(sys.cell(sys.target()).failed);
+    sys.update();
+  }
+}
+
+TEST(RandomFailRecover, UnprotectedTargetCanFailAndRecover) {
+  System sys = testing::make_column_system(6, kP);
+  RandomFailRecover model(0.5, 0.5, 7, /*protect_target=*/false);
+  bool target_failed_once = false;
+  for (int round = 0; round < 200; ++round) {
+    model.apply(sys);
+    if (sys.cell(sys.target()).failed) target_failed_once = true;
+    sys.update();
+  }
+  EXPECT_TRUE(target_failed_once);
+  // §IV: recovery of tid resets dist_tid = 0 so routing can re-anchor.
+  if (!sys.cell(sys.target()).failed) {
+    EXPECT_EQ(sys.cell(sys.target()).dist, Dist::zero());
+  }
+}
+
+TEST(RandomFailRecover, InvalidProbabilitiesRejected) {
+  EXPECT_THROW(RandomFailRecover(-0.1, 0.5, 1), ContractViolation);
+  EXPECT_THROW(RandomFailRecover(0.5, 1.5, 1), ContractViolation);
+}
+
+TEST(RandomFailRecover, DeterministicUnderSeed) {
+  auto run = [](std::uint64_t seed) {
+    System sys = testing::make_column_system(6, kP);
+    RandomFailRecover model(0.1, 0.2, seed);
+    for (int round = 0; round < 100; ++round) {
+      model.apply(sys);
+      sys.update();
+    }
+    std::string fingerprint;
+    for (const CellState& c : sys.cells())
+      fingerprint += c.failed ? 'X' : '.';
+    return fingerprint;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(CarvePath, FailsExactlyOffPathCells) {
+  System sys = testing::make_column_system(8, kP);
+  const Path path = make_turning_path(sys.grid(), CellId{1, 0},
+                                      Direction::kNorth, Direction::kEast, 8, 2);
+  carve_path(sys, path);
+  for (const CellId id : sys.grid().all_cells())
+    EXPECT_EQ(sys.cell(id).failed, !path.contains(id)) << to_string(id);
+  EXPECT_EQ(sys.alive_mask().count(), 8u);
+}
+
+TEST(CarveMask, KeepsExactlyMaskedCells) {
+  System sys = testing::make_column_system(4, kP);
+  const CellMask keep = CellMask::of(sys.grid(), {{1, 0}, {1, 1}, {1, 2}, {1, 3}});
+  carve_mask(sys, keep);
+  EXPECT_EQ(sys.alive_mask().count(), 4u);
+  EXPECT_FALSE(sys.cell(CellId{0, 0}).failed == false);
+  EXPECT_FALSE(sys.cell(CellId{1, 2}).failed);
+}
+
+}  // namespace
+}  // namespace cellflow

@@ -1,0 +1,149 @@
+// Tests for the geometry substrate: Vec2, Interval, Rect. The rectangle
+// overlap/gap logic is the independent oracle behind the footprint
+// separation checks, so it gets careful edge-case coverage.
+#include <gtest/gtest.h>
+
+#include "geometry/interval.hpp"
+#include "geometry/rect.hpp"
+#include "geometry/vec2.hpp"
+#include "util/check.hpp"
+
+namespace cellflow {
+namespace {
+
+TEST(Vec2, ArithmeticOps) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{0.5, -1.0};
+  EXPECT_EQ(a + b, (Vec2{1.5, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{0.5, 3.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  Vec2 c = a;
+  c += b;
+  EXPECT_EQ(c, (Vec2{1.5, 1.0}));
+}
+
+TEST(Vec2, Distances) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(l2_distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(l1_distance(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(linf_distance(a, b), 4.0);
+}
+
+TEST(Interval, CenteredConstruction) {
+  const Interval iv = Interval::centered(2.0, 1.0);
+  EXPECT_DOUBLE_EQ(iv.lo(), 1.5);
+  EXPECT_DOUBLE_EQ(iv.hi(), 2.5);
+  EXPECT_DOUBLE_EQ(iv.center(), 2.0);
+  EXPECT_DOUBLE_EQ(iv.length(), 1.0);
+}
+
+TEST(Interval, InvalidEndpointsRejected) {
+  EXPECT_THROW(Interval(2.0, 1.0), ContractViolation);
+  EXPECT_THROW(Interval::centered(0.0, -1.0), ContractViolation);
+}
+
+TEST(Interval, ContainsPointsAndIntervals) {
+  const Interval iv(0.0, 2.0);
+  EXPECT_TRUE(iv.contains(0.0));
+  EXPECT_TRUE(iv.contains(2.0));
+  EXPECT_FALSE(iv.contains(2.0001));
+  EXPECT_TRUE(iv.contains(Interval(0.5, 1.5)));
+  EXPECT_FALSE(iv.contains(Interval(1.5, 2.5)));
+}
+
+TEST(Interval, IntersectsIncludesTouching) {
+  EXPECT_TRUE(Interval(0.0, 1.0).intersects(Interval(1.0, 2.0)));
+  EXPECT_FALSE(Interval(0.0, 1.0).intersects(Interval(1.1, 2.0)));
+}
+
+TEST(Interval, InteriorOverlapExcludesTouching) {
+  EXPECT_FALSE(Interval(0.0, 1.0).overlaps_interior(Interval(1.0, 2.0)));
+  EXPECT_TRUE(Interval(0.0, 1.0).overlaps_interior(Interval(0.9, 2.0)));
+}
+
+TEST(Interval, GapIsSymmetricAndZeroOnOverlap) {
+  const Interval a(0.0, 1.0);
+  const Interval b(1.5, 2.0);
+  EXPECT_DOUBLE_EQ(a.gap_to(b), 0.5);
+  EXPECT_DOUBLE_EQ(b.gap_to(a), 0.5);
+  EXPECT_DOUBLE_EQ(a.gap_to(Interval(0.5, 0.7)), 0.0);
+}
+
+TEST(Rect, SquareFootprint) {
+  const Rect r = Rect::square(Vec2{1.0, 2.0}, 0.25);
+  EXPECT_DOUBLE_EQ(r.x().lo(), 0.875);
+  EXPECT_DOUBLE_EQ(r.x().hi(), 1.125);
+  EXPECT_DOUBLE_EQ(r.width(), 0.25);
+  EXPECT_DOUBLE_EQ(r.height(), 0.25);
+  EXPECT_EQ(r.center(), (Vec2{1.0, 2.0}));
+  EXPECT_NEAR(r.area(), 0.0625, 1e-15);
+}
+
+TEST(Rect, UnitCellGeometry) {
+  const Rect cell = Rect::unit_cell(2, 3);
+  EXPECT_DOUBLE_EQ(cell.x().lo(), 2.0);
+  EXPECT_DOUBLE_EQ(cell.x().hi(), 3.0);
+  EXPECT_DOUBLE_EQ(cell.y().lo(), 3.0);
+  EXPECT_DOUBLE_EQ(cell.y().hi(), 4.0);
+  EXPECT_TRUE(cell.contains(Vec2{2.5, 3.5}));
+  EXPECT_FALSE(cell.contains(Vec2{1.9, 3.5}));
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect cell = Rect::unit_cell(0, 0);
+  EXPECT_TRUE(cell.contains(Rect::square(Vec2{0.5, 0.5}, 0.25)));
+  // An entity sticking over the boundary is not contained.
+  EXPECT_FALSE(cell.contains(Rect::square(Vec2{0.95, 0.5}, 0.25)));
+}
+
+TEST(Rect, OverlapRequiresSharedArea) {
+  const Rect a = Rect::square(Vec2{0.0, 0.0}, 1.0);
+  // Sharing only an edge is not overlap.
+  EXPECT_FALSE(a.overlaps(Rect::square(Vec2{1.0, 0.0}, 1.0)));
+  // Sharing only a corner is not overlap.
+  EXPECT_FALSE(a.overlaps(Rect::square(Vec2{1.0, 1.0}, 1.0)));
+  EXPECT_TRUE(a.overlaps(Rect::square(Vec2{0.9, 0.0}, 1.0)));
+}
+
+TEST(Rect, LinfGapMatchesAxisSeparation) {
+  const Rect a = Rect::square(Vec2{0.0, 0.0}, 0.2);
+  // Separated by 0.3 along x (edges at 0.1 and 0.4).
+  const Rect b = Rect::square(Vec2{0.5, 0.0}, 0.2);
+  EXPECT_NEAR(a.linf_gap(b), 0.3, 1e-12);
+  EXPECT_NEAR(b.linf_gap(a), 0.3, 1e-12);
+  // Overlapping on both axes: gap 0.
+  const Rect c = Rect::square(Vec2{0.05, 0.05}, 0.2);
+  EXPECT_DOUBLE_EQ(a.linf_gap(c), 0.0);
+}
+
+TEST(Rect, LinfGapPicksLargerAxis) {
+  const Rect a = Rect::square(Vec2{0.0, 0.0}, 0.2);
+  const Rect b = Rect::square(Vec2{0.5, 1.0}, 0.2);  // x gap 0.3, y gap 0.8
+  EXPECT_NEAR(a.linf_gap(b), 0.8, 1e-12);
+}
+
+// Property sweep: for entity-sized squares placed with center spacing
+// exactly d = rs + l along one axis, the footprint gap is exactly rs —
+// the geometric fact the Safe predicate relies on.
+class SafetySpacingGeometry
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(SafetySpacingGeometry, CenterSpacingDImpliesEdgeGapRs) {
+  const auto [l, rs] = GetParam();
+  const double d = l + rs;
+  const Rect a = Rect::square(Vec2{0.3, 0.7}, l);
+  const Rect b = Rect::square(Vec2{0.3 + d, 0.7}, l);
+  EXPECT_NEAR(a.linf_gap(b), rs, 1e-12);
+  EXPECT_FALSE(a.overlaps(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, SafetySpacingGeometry,
+    ::testing::Values(std::pair{0.25, 0.05}, std::pair{0.2, 0.05},
+                      std::pair{0.1, 0.05}, std::pair{0.25, 0.3},
+                      std::pair{0.1, 0.6}, std::pair{0.25, 0.7}));
+
+}  // namespace
+}  // namespace cellflow

@@ -1,0 +1,89 @@
+// Golden-trace regression: a tiny, fully deterministic scenario whose
+// complete event trace is pinned verbatim. Any change to the round
+// semantics — phase ordering, tie-breaking, strip arithmetic, transfer
+// placement — shows up here as a diff, with the expected trace readable
+// enough to re-derive by hand from the paper's Figures 4–6.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+#include "failure/failure_model.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace cellflow {
+namespace {
+
+// 3×3 grid, l = 0.25, rs = 0.25 (d = 0.5), v = 0.25. One entity seeded at
+// the center of ⟨0,0⟩; target ⟨2,0⟩ straight east.
+//
+// Hand derivation of the expected rounds (half = l/2 = 0.125):
+//   round 0: Route wavefront: dist(⟨1,0⟩) = 1 from the target's 0; ⟨0,0⟩
+//            still reads the ∞ snapshot → next = ⊥. No movement.
+//   round 1: ⟨0,0⟩ adopts next = ⟨1,0⟩; ⟨1,0⟩ acquires the token and
+//            grants (its west strip is empty). Move: px 0.5 → 0.75
+//            (edge 0.875, no cross).
+//   round 2: grant again; px 0.75 → 1.0, edge 1.125 > 1 → TRANSFER,
+//            placed flush at px = 1.125.
+//   rounds 3–5: target grants ⟨1,0⟩ every round;
+//            px 1.125 → 1.375 → 1.625 → 1.875 (edge 2.0, not > 2: stays).
+//   round 6: px → 2.125, edge 2.25 > 2 → CONSUMED by the target.
+TEST(GoldenTrace, SingleEntityEastCorridor) {
+  SystemConfig cfg;
+  cfg.side = 3;
+  cfg.params = Params(0.25, 0.25, 0.25);
+  cfg.sources = {};
+  cfg.target = CellId{2, 0};
+  System sys(cfg, nullptr, std::make_unique<NullSource>());
+  sys.seed_entity(CellId{0, 0}, Vec2{0.5, 0.5});
+
+  NoFailures none;
+  Simulator sim(sys, none);
+  TraceRecorder trace;
+  sim.add_observer(trace);
+  sim.run(12);
+
+  const std::string expected =
+      "2 transfer p0 <0,0> -> <1,0>\n"
+      "6 consume p0 <1,0> -> <2,0>\n";
+  EXPECT_EQ(trace.serialize(), expected);
+  EXPECT_EQ(sys.total_arrivals(), 1u);
+}
+
+// The same corridor with a failure at the midpoint: the entity must wait
+// (fail round and recovery round pinned in the trace). Row 0 is carved
+// (all j > 0 cells permanently failed) so no reroute around the failure
+// exists — progress must wait for recovery.
+TEST(GoldenTrace, CorridorWithFailureWindow) {
+  SystemConfig cfg;
+  cfg.side = 3;
+  cfg.params = Params(0.25, 0.25, 0.25);
+  cfg.sources = {};
+  cfg.target = CellId{2, 0};
+  System sys(cfg, nullptr, std::make_unique<NullSource>());
+  for (const CellId id : sys.grid().all_cells())
+    if (id.j != 0) sys.fail(id);
+  sys.seed_entity(CellId{0, 0}, Vec2{0.5, 0.5});
+
+  ScriptedFailures failures({{1, CellId{1, 0}, false},
+                             {6, CellId{1, 0}, true}});
+  Simulator sim(sys, failures);
+  TraceRecorder trace;
+  sim.add_observer(trace);
+  sim.run(20);
+
+  const std::string got = trace.serialize();
+  EXPECT_NE(got.find("1 fail <1,0>"), std::string::npos) << got;
+  EXPECT_NE(got.find("6 recover <1,0>"), std::string::npos) << got;
+  // The transfer and consumption happen strictly after recovery.
+  const auto recover_pos = got.find("6 recover");
+  const auto transfer_pos = got.find("transfer p0");
+  const auto consume_pos = got.find("consume p0");
+  ASSERT_NE(transfer_pos, std::string::npos) << got;
+  ASSERT_NE(consume_pos, std::string::npos) << got;
+  EXPECT_GT(transfer_pos, recover_pos);
+  EXPECT_GT(consume_pos, transfer_pos);
+  EXPECT_EQ(sys.total_arrivals(), 1u);
+}
+
+}  // namespace
+}  // namespace cellflow

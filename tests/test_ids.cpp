@@ -1,0 +1,78 @@
+// Unit tests for CellId / EntityId — in particular the lexicographic
+// ordering that Route's tie-break (Figure 4) depends on.
+#include "util/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+namespace cellflow {
+namespace {
+
+TEST(CellId, LexicographicOrderingIFirst) {
+  EXPECT_LT((CellId{0, 5}), (CellId{1, 0}));
+  EXPECT_LT((CellId{1, 0}), (CellId{1, 1}));
+  EXPECT_EQ((CellId{2, 3}), (CellId{2, 3}));
+  EXPECT_NE((CellId{2, 3}), (CellId{3, 2}));
+}
+
+TEST(CellId, SortProducesRouteTieBreakOrder) {
+  // Figure 4's argmin ties are broken by id: ⟨i−1,j⟩ < ⟨i,j−1⟩ < ⟨i,j+1⟩
+  // < ⟨i+1,j⟩ for interior cells.
+  std::vector<CellId> nbrs = {{2, 1}, {0, 1}, {1, 0}, {1, 2}};
+  std::sort(nbrs.begin(), nbrs.end());
+  const std::vector<CellId> expect = {{0, 1}, {1, 0}, {1, 2}, {2, 1}};
+  EXPECT_EQ(nbrs, expect);
+}
+
+TEST(CellId, ToStringUsesAngleForm) {
+  EXPECT_EQ(to_string(CellId{2, 7}), "<2,7>");
+  EXPECT_EQ(to_string(CellId{-1, 0}), "<-1,0>");
+}
+
+TEST(CellId, OptionalToStringShowsBottom) {
+  EXPECT_EQ(to_string(OptCellId{}), "_|_");
+  EXPECT_EQ(to_string(OptCellId{CellId{1, 2}}), "<1,2>");
+}
+
+TEST(CellId, StreamOperator) {
+  std::ostringstream os;
+  os << CellId{4, 2};
+  EXPECT_EQ(os.str(), "<4,2>");
+}
+
+TEST(CellId, HashDistinguishesTransposes) {
+  const std::hash<CellId> h;
+  EXPECT_NE(h(CellId{1, 2}), h(CellId{2, 1}));
+}
+
+TEST(CellId, UsableInUnorderedSet) {
+  std::unordered_set<CellId> s;
+  for (int i = 0; i < 10; ++i)
+    for (int j = 0; j < 10; ++j) s.insert(CellId{i, j});
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_TRUE(s.contains(CellId{3, 7}));
+  EXPECT_FALSE(s.contains(CellId{10, 0}));
+}
+
+TEST(EntityId, OrderingAndEquality) {
+  EXPECT_LT(EntityId{1}, EntityId{2});
+  EXPECT_EQ(EntityId{7}, EntityId{7});
+  EXPECT_NE(EntityId{7}, EntityId{8});
+}
+
+TEST(EntityId, ToStringUsesPPrefix) {
+  EXPECT_EQ(to_string(EntityId{42}), "p42");
+}
+
+TEST(EntityId, UsableInUnorderedSet) {
+  std::unordered_set<EntityId> s;
+  for (std::uint64_t k = 0; k < 100; ++k) s.insert(EntityId{k});
+  EXPECT_EQ(s.size(), 100u);
+}
+
+}  // namespace
+}  // namespace cellflow

@@ -1,0 +1,79 @@
+// Tests for the logging facility.
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cellflow {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::set_sink(&sink_);
+    saved_level_ = Logger::level();
+  }
+  void TearDown() override {
+    Logger::set_sink(nullptr);
+    Logger::set_level(saved_level_);
+  }
+  std::ostringstream sink_;
+  LogLevel saved_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, EmitsAtOrAboveLevel) {
+  Logger::set_level(LogLevel::kInfo);
+  CF_LOG(kInfo) << "hello " << 42;
+  CF_LOG(kWarn) << "careful";
+  EXPECT_NE(sink_.str().find("[INFO] hello 42"), std::string::npos);
+  EXPECT_NE(sink_.str().find("[WARN] careful"), std::string::npos);
+}
+
+TEST_F(LogTest, SuppressesBelowLevel) {
+  Logger::set_level(LogLevel::kError);
+  CF_LOG(kDebug) << "invisible";
+  CF_LOG(kInfo) << "also invisible";
+  CF_LOG(kWarn) << "still invisible";
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Logger::set_level(LogLevel::kOff);
+  CF_LOG(kError) << "nope";
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST_F(LogTest, StreamExpressionNotEvaluatedWhenDisabled) {
+  Logger::set_level(LogLevel::kError);
+  int evaluations = 0;
+  const auto expensive = [&]() {
+    ++evaluations;
+    return std::string("costly");
+  };
+  CF_LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  CF_LOG(kError) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, EnabledReflectsLevel) {
+  Logger::set_level(LogLevel::kWarn);
+  EXPECT_FALSE(Logger::enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Logger::enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Logger::enabled(LogLevel::kError));
+}
+
+TEST(ParseLogLevel, AllNamesAndErrors) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_THROW((void)parse_log_level("verbose"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cellflow

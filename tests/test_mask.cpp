@@ -1,0 +1,134 @@
+// Tests for CellMask and the BFS reference oracle (path distance ρ and the
+// target-connected set TC from §III-B).
+#include "grid/mask.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/path.hpp"
+
+namespace cellflow {
+namespace {
+
+TEST(CellMask, DefaultAllFalse) {
+  const Grid g(4);
+  const CellMask m(g);
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_FALSE(m.test(CellId{0, 0}));
+}
+
+TEST(CellMask, AllAndOf) {
+  const Grid g(3);
+  EXPECT_EQ(CellMask::all(g).count(), 9u);
+  const CellMask m = CellMask::of(g, {{0, 0}, {2, 2}});
+  EXPECT_EQ(m.count(), 2u);
+  EXPECT_TRUE(m.test(CellId{0, 0}));
+  EXPECT_TRUE(m.test(CellId{2, 2}));
+  EXPECT_FALSE(m.test(CellId{1, 1}));
+}
+
+TEST(CellMask, SetAndClear) {
+  const Grid g(3);
+  CellMask m(g);
+  m.set(CellId{1, 1});
+  EXPECT_TRUE(m.test(CellId{1, 1}));
+  m.set(CellId{1, 1}, false);
+  EXPECT_FALSE(m.test(CellId{1, 1}));
+}
+
+TEST(CellMask, ComplementAndIntersection) {
+  const Grid g(2);
+  const CellMask m = CellMask::of(g, {{0, 0}, {1, 1}});
+  const CellMask inv = ~m;
+  EXPECT_EQ(inv.count(), 2u);
+  EXPECT_TRUE(inv.test(CellId{1, 0}));
+  EXPECT_EQ((m & inv).count(), 0u);
+  EXPECT_EQ((m & CellMask::all(g)).count(), 2u);
+}
+
+TEST(CellMask, SetCellsRowMajor) {
+  const Grid g(3);
+  const CellMask m = CellMask::of(g, {{2, 0}, {0, 1}});
+  const auto cells = m.set_cells();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0], (CellId{2, 0}));
+  EXPECT_EQ(cells[1], (CellId{0, 1}));
+}
+
+TEST(PathDistances, AllAliveEqualsManhattan) {
+  const Grid g(5);
+  const CellId tid{2, 3};
+  const auto rho = path_distances(g, CellMask::all(g), tid);
+  for (const CellId id : g.all_cells()) {
+    ASSERT_TRUE(rho[g.index_of(id)].is_finite());
+    EXPECT_EQ(rho[g.index_of(id)].hops(),
+              static_cast<std::uint64_t>(g.manhattan(id, tid)));
+  }
+}
+
+TEST(PathDistances, FailedCellsAreInfinite) {
+  const Grid g(3);
+  CellMask alive = CellMask::all(g);
+  alive.set(CellId{1, 1}, false);
+  const auto rho = path_distances(g, alive, CellId{0, 0});
+  EXPECT_TRUE(rho[g.index_of(CellId{1, 1})].is_infinite());
+  // Detour around the failed center: ⟨2,2⟩ still reachable in 4 hops.
+  EXPECT_EQ(rho[g.index_of(CellId{2, 2})], Dist::finite(4));
+}
+
+TEST(PathDistances, WallDisconnectsRegion) {
+  const Grid g(4);
+  CellMask alive = CellMask::all(g);
+  // Vertical wall at i = 2 disconnects i = 3 column from target at ⟨0,0⟩.
+  for (int j = 0; j < 4; ++j) alive.set(CellId{2, j}, false);
+  const auto rho = path_distances(g, alive, CellId{0, 0});
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_TRUE(rho[g.index_of(CellId{3, j})].is_infinite());
+    EXPECT_TRUE(rho[g.index_of(CellId{2, j})].is_infinite());
+  }
+  EXPECT_TRUE(rho[g.index_of(CellId{1, 2})].is_finite());
+}
+
+TEST(PathDistances, FailedTargetMakesEverythingInfinite) {
+  const Grid g(3);
+  CellMask alive = CellMask::all(g);
+  alive.set(CellId{1, 1}, false);
+  const auto rho = path_distances(g, alive, CellId{1, 1});
+  for (const CellId id : g.all_cells())
+    EXPECT_TRUE(rho[g.index_of(id)].is_infinite());
+}
+
+TEST(PathDistances, DetourCostsExtra) {
+  const Grid g(5);
+  CellMask alive = CellMask::all(g);
+  // U-shaped wall forcing a detour from ⟨0,2⟩ to target ⟨4,2⟩.
+  alive.set(CellId{2, 1}, false);
+  alive.set(CellId{2, 2}, false);
+  alive.set(CellId{2, 3}, false);
+  const auto rho = path_distances(g, alive, CellId{4, 2});
+  // Straight-line distance is 4; the wall forces a dip to j=0 (or j=4)
+  // and back: 1 + 2 + 2 + 2 + 1 = 8 hops.
+  EXPECT_EQ(rho[g.index_of(CellId{0, 2})], Dist::finite(8));
+}
+
+TEST(TargetConnected, CarvedPathOnlyPathIsConnected) {
+  const Grid g(8);
+  const Path p = make_turning_path(g, CellId{0, 0}, Direction::kNorth,
+                                   Direction::kEast, 8, 3);
+  const CellMask alive = CellMask::of(g, p.cells());
+  const CellMask tc = target_connected(g, alive, p.target());
+  EXPECT_EQ(tc.count(), p.length());
+  for (const CellId c : p.cells()) EXPECT_TRUE(tc.test(c));
+}
+
+TEST(TargetConnected, IslandExcluded) {
+  const Grid g(4);
+  CellMask alive = CellMask::all(g);
+  for (int j = 0; j < 4; ++j) alive.set(CellId{2, j}, false);
+  const CellMask tc = target_connected(g, alive, CellId{0, 0});
+  EXPECT_FALSE(tc.test(CellId{3, 0}));
+  EXPECT_TRUE(tc.test(CellId{1, 3}));
+  EXPECT_EQ(tc.count(), 8u);  // two alive columns i=0,1
+}
+
+}  // namespace
+}  // namespace cellflow

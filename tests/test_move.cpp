@@ -1,0 +1,155 @@
+// Unit tests for the Move function (Figure 6): displacement, boundary
+// crossing, and entry placement in all four directions.
+#include "core/move.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace cellflow {
+namespace {
+
+// l = 0.2, rs = 0.1, v = 0.1; cell ⟨2,3⟩ spans [2,3]×[3,4].
+const Params kP(0.2, 0.1, 0.1);
+const CellId kSelf{2, 3};
+
+Entity at(double x, double y, std::uint64_t id = 0) {
+  return Entity{EntityId{id}, Vec2{x, y}};
+}
+
+TEST(CrossesBoundary, EastRequiresEdgePastLine) {
+  // Crossing east iff px + l/2 > 3, i.e. px > 2.9.
+  EXPECT_FALSE(crosses_boundary(kSelf, CellId{3, 3}, at(2.9, 3.5), kP));
+  EXPECT_TRUE(crosses_boundary(kSelf, CellId{3, 3}, at(2.901, 3.5), kP));
+}
+
+TEST(CrossesBoundary, WestRequiresEdgeBelowLine) {
+  EXPECT_FALSE(crosses_boundary(kSelf, CellId{1, 3}, at(2.1, 3.5), kP));
+  EXPECT_TRUE(crosses_boundary(kSelf, CellId{1, 3}, at(2.099, 3.5), kP));
+}
+
+TEST(CrossesBoundary, NorthAndSouth) {
+  EXPECT_TRUE(crosses_boundary(kSelf, CellId{2, 4}, at(2.5, 3.95), kP));
+  EXPECT_FALSE(crosses_boundary(kSelf, CellId{2, 4}, at(2.5, 3.9), kP));
+  EXPECT_TRUE(crosses_boundary(kSelf, CellId{2, 2}, at(2.5, 3.05), kP));
+  EXPECT_FALSE(crosses_boundary(kSelf, CellId{2, 2}, at(2.5, 3.1), kP));
+}
+
+TEST(CrossesBoundary, NonNeighborViolatesContract) {
+  EXPECT_THROW((void)crosses_boundary(kSelf, CellId{4, 3}, at(2.5, 3.5), kP),
+               ContractViolation);
+}
+
+TEST(PlaceAtEntry, FlushPlacementAllDirections) {
+  // Eastward into ⟨3,3⟩: px := 3 + l/2 = 3.1; py preserved.
+  Entity e = place_at_entry(kSelf, CellId{3, 3}, at(3.05, 3.62), kP);
+  EXPECT_DOUBLE_EQ(e.center.x, 3.1);
+  EXPECT_DOUBLE_EQ(e.center.y, 3.62);
+  // Westward into ⟨1,3⟩: px := 1 + 1 − l/2 = 1.9.
+  e = place_at_entry(kSelf, CellId{1, 3}, at(1.95, 3.62), kP);
+  EXPECT_DOUBLE_EQ(e.center.x, 1.9);
+  // Northward into ⟨2,4⟩: py := 4 + l/2 = 4.1; px preserved.
+  e = place_at_entry(kSelf, CellId{2, 4}, at(2.33, 4.05), kP);
+  EXPECT_DOUBLE_EQ(e.center.y, 4.1);
+  EXPECT_DOUBLE_EQ(e.center.x, 2.33);
+  // Southward into ⟨2,2⟩: py := 2 + 1 − l/2 = 2.9.
+  e = place_at_entry(kSelf, CellId{2, 2}, at(2.33, 2.95), kP);
+  EXPECT_DOUBLE_EQ(e.center.y, 2.9);
+}
+
+TEST(PlaceAtEntry, ResultSatisfiesInvariant1Bounds) {
+  // Flush placement leaves the entity wholly inside the destination cell.
+  const Entity e = place_at_entry(kSelf, CellId{3, 3}, at(3.02, 3.5), kP);
+  const double half = kP.entity_length() / 2.0;
+  EXPECT_GE(e.center.x - half, 3.0);
+  EXPECT_LE(e.center.x + half, 4.0);
+}
+
+TEST(MoveStep, AdvancesAllEntitiesByV) {
+  const auto r = move_step(kSelf, CellId{3, 3},
+                           {at(2.3, 3.5, 1), at(2.6, 3.5, 2)}, kP);
+  ASSERT_EQ(r.staying.size(), 2u);
+  EXPECT_TRUE(r.crossed.empty());
+  EXPECT_DOUBLE_EQ(r.staying[0].center.x, 2.4);
+  EXPECT_DOUBLE_EQ(r.staying[1].center.x, 2.7);
+  EXPECT_DOUBLE_EQ(r.staying[0].center.y, 3.5);  // perpendicular untouched
+}
+
+TEST(MoveStep, NegativeDirections) {
+  const auto west = move_step(kSelf, CellId{1, 3}, {at(2.5, 3.5)}, kP);
+  EXPECT_DOUBLE_EQ(west.staying[0].center.x, 2.4);
+  const auto south = move_step(kSelf, CellId{2, 2}, {at(2.5, 3.5)}, kP);
+  EXPECT_DOUBLE_EQ(south.staying[0].center.y, 3.4);
+}
+
+TEST(MoveStep, CrosserIsExtractedAndPlaced) {
+  // px = 2.85 + 0.1 = 2.95; edge 2.95 + 0.1 = 3.05 > 3 → crossed east.
+  const auto r = move_step(kSelf, CellId{3, 3}, {at(2.85, 3.5, 7)}, kP);
+  EXPECT_TRUE(r.staying.empty());
+  ASSERT_EQ(r.crossed.size(), 1u);
+  EXPECT_EQ(r.crossed[0].id, EntityId{7});
+  EXPECT_DOUBLE_EQ(r.crossed[0].center.x, 3.1);  // flush at entry
+  EXPECT_DOUBLE_EQ(r.crossed[0].center.y, 3.5);
+}
+
+TEST(MoveStep, ExactTouchDoesNotCross) {
+  // px = 2.8 + 0.1 = 2.9; edge exactly at 3.0 → strict '>' fails, stays.
+  const auto r = move_step(kSelf, CellId{3, 3}, {at(2.8, 3.5)}, kP);
+  ASSERT_EQ(r.staying.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.staying[0].center.x, 2.9);
+}
+
+TEST(MoveStep, AbreastEntitiesCrossTogetherKeepingSeparation) {
+  // Two entities at the same x, y-separated by d = 0.3: both cross east
+  // simultaneously, both land flush, y separation preserved (proof of
+  // Theorem 5 relies on this).
+  const auto r = move_step(kSelf, CellId{3, 3},
+                           {at(2.95, 3.3, 1), at(2.95, 3.6, 2)}, kP);
+  ASSERT_EQ(r.crossed.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.crossed[0].center.x, r.crossed[1].center.x);
+  EXPECT_NEAR(std::abs(r.crossed[0].center.y - r.crossed[1].center.y), 0.3,
+              1e-12);
+}
+
+TEST(MoveStep, MixedStayAndCross) {
+  const auto r = move_step(
+      kSelf, CellId{2, 4}, {at(2.5, 3.95, 1), at(2.5, 3.6, 2)}, kP);
+  ASSERT_EQ(r.staying.size(), 1u);
+  ASSERT_EQ(r.crossed.size(), 1u);
+  EXPECT_EQ(r.crossed[0].id, EntityId{1});
+  EXPECT_EQ(r.staying[0].id, EntityId{2});
+  EXPECT_DOUBLE_EQ(r.crossed[0].center.y, 4.1);
+}
+
+TEST(MoveStep, EmptyCellNoEffect) {
+  const auto r = move_step(kSelf, CellId{3, 3}, {}, kP);
+  EXPECT_TRUE(r.staying.empty());
+  EXPECT_TRUE(r.crossed.empty());
+}
+
+TEST(MoveStep, NonNeighborViolatesContract) {
+  EXPECT_THROW((void)move_step(kSelf, CellId{4, 4}, {}, kP),
+               ContractViolation);
+  EXPECT_THROW((void)move_step(kSelf, kSelf, {}, kP), ContractViolation);
+}
+
+// Property: one move_step displaces every surviving entity by exactly v
+// along the motion axis and 0 along the other, for all four directions.
+class MoveDisplacement : public ::testing::TestWithParam<CellId> {};
+
+TEST_P(MoveDisplacement, ExactlyV) {
+  const CellId toward = GetParam();
+  const Entity start = at(2.5, 3.5);
+  const auto r = move_step(kSelf, toward, {start}, kP);
+  ASSERT_EQ(r.staying.size(), 1u);
+  const Vec2 delta = r.staying[0].center - start.center;
+  EXPECT_NEAR(l1_distance(Vec2{}, delta), kP.velocity(), 1e-12);
+  EXPECT_TRUE(delta.x == 0.0 || delta.y == 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDirections, MoveDisplacement,
+                         ::testing::Values(CellId{3, 3}, CellId{1, 3},
+                                           CellId{2, 4}, CellId{2, 2}));
+
+}  // namespace
+}  // namespace cellflow

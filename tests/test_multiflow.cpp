@@ -1,0 +1,260 @@
+// Tests for the multi-flow extension (§V future work): per-flow routing,
+// flow-pure admission, safety, fairness between flows, progress of
+// crossing flows, and the documented head-on deadlock regime.
+#include "multiflow/mf_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "multiflow/mf_predicates.hpp"
+#include "util/check.hpp"
+
+namespace cellflow {
+namespace {
+
+const Params kP(0.2, 0.1, 0.1);  // d = 0.3
+
+// Two flows crossing on an open 7×7 grid: flow 0 west→east along row 3,
+// flow 1 south→north along column 3; both pass the center.
+MfSystemConfig crossing_config() {
+  MfSystemConfig cfg;
+  cfg.side = 7;
+  cfg.params = kP;
+  cfg.flows = {FlowSpec{CellId{6, 3}, {CellId{0, 3}}},
+               FlowSpec{CellId{3, 6}, {CellId{3, 0}}}};
+  return cfg;
+}
+
+MfSystem make(MfSystemConfig cfg, std::uint64_t seed = 1) {
+  return MfSystem(std::move(cfg), make_choose_policy("random", seed), seed);
+}
+
+TEST(MfSystem, ConfigValidation) {
+  MfSystemConfig empty;
+  empty.flows = {};
+  EXPECT_THROW(make(empty), ContractViolation);
+
+  MfSystemConfig dup = crossing_config();
+  dup.flows[1].target = dup.flows[0].target;
+  EXPECT_THROW(make(dup), ContractViolation);
+
+  MfSystemConfig self_target = crossing_config();
+  self_target.flows[0].sources = {self_target.flows[0].target};
+  EXPECT_THROW(make(self_target), ContractViolation);
+
+  MfSystemConfig outside = crossing_config();
+  outside.flows[0].target = CellId{9, 9};
+  EXPECT_THROW(make(outside), ContractViolation);
+}
+
+TEST(MfSystem, PerFlowRoutingConvergesToPerFlowBfs) {
+  MfSystem sys = make(crossing_config());
+  for (int k = 0; k < 20; ++k) sys.update();
+  for (FlowId f = 0; f < 2; ++f) {
+    const auto rho = sys.reference_distances(f);
+    for (const CellId id : sys.grid().all_cells()) {
+      EXPECT_EQ(sys.cell(id).dist[f], rho[sys.grid().index_of(id)])
+          << "flow " << f << " at " << to_string(id);
+    }
+  }
+}
+
+TEST(MfSystem, FlowsRouteToTheirOwnTargets) {
+  MfSystem sys = make(crossing_config());
+  for (int k = 0; k < 20; ++k) sys.update();
+  // At the crossing cell the two flows' next pointers diverge.
+  const MfCellState& center = sys.cell(CellId{3, 3});
+  ASSERT_TRUE(center.next[0].has_value());
+  ASSERT_TRUE(center.next[1].has_value());
+  EXPECT_EQ(*center.next[0], (CellId{4, 3}));  // east toward ⟨6,3⟩
+  EXPECT_EQ(*center.next[1], (CellId{3, 4}));  // north toward ⟨3,6⟩
+}
+
+TEST(MfSystem, BothCrossingFlowsDeliver) {
+  MfSystem sys = make(crossing_config());
+  for (int k = 0; k < 3000; ++k) sys.update();
+  EXPECT_GT(sys.arrivals(0), 20u);
+  EXPECT_GT(sys.arrivals(1), 20u);
+  EXPECT_EQ(sys.total_arrivals(), sys.arrivals(0) + sys.arrivals(1));
+}
+
+TEST(MfSystem, AllOraclesHoldThroughCrossingTraffic) {
+  MfSystem sys = make(crossing_config());
+  for (int k = 0; k < 1500; ++k) {
+    sys.update();
+    const auto vs = check_mf_all(sys);
+    ASSERT_TRUE(vs.empty()) << to_string(vs.front()) << " at round " << k;
+  }
+}
+
+TEST(MfSystem, ThreeAcyclicFlowsAllDeliver) {
+  // Three flows whose wait-for relation is acyclic: flow 0 (row 3, W→E)
+  // waits only on flow 1; flow 1 (column 3, S→N) waits only on flow 2's
+  // transit past its target; flow 2 (row 6, E→W) waits on nobody —
+  // flow-1 entities reaching ⟨3,6⟩ are *consumed*, never parked. An
+  // acyclic wait-for graph means every flow stays live.
+  MfSystemConfig cfg;
+  cfg.side = 7;
+  cfg.params = kP;
+  cfg.flows = {FlowSpec{CellId{6, 3}, {CellId{0, 3}}},
+               FlowSpec{CellId{3, 6}, {CellId{3, 0}}},
+               FlowSpec{CellId{0, 6}, {CellId{6, 6}}}};
+  MfSystem sys = make(std::move(cfg), 7);
+  for (int k = 0; k < 2500; ++k) {
+    sys.update();
+    ASSERT_FALSE(check_mf_purity(sys).has_value()) << "round " << k;
+    ASSERT_FALSE(check_mf_safe(sys).has_value()) << "round " << k;
+  }
+  EXPECT_GT(sys.arrivals(0), 0u);
+  EXPECT_GT(sys.arrivals(1), 0u);
+  EXPECT_GT(sys.arrivals(2), 0u);
+}
+
+TEST(MfSystem, DocumentedThreeFlowGridlockRegime) {
+  // The second documented limitation (alongside the head-on corridor):
+  // three flows arranged so their wait-for relation is CYCLIC — flow 0's
+  // row-3 stream waits on flow 1 at ⟨3,3⟩, flow 1's column waits on
+  // flow 2 parked across row 6, and flow 2's path wraps around through
+  // flow 0's source cell. Shortest-path routing with id tie-breaks walks
+  // straight into the cycle and the system gridlocks — *safely*:
+  // spacing and purity hold forever, throughput freezes. Deadlock-free
+  // multi-commodity routing is exactly the open problem the paper's §V
+  // points at.
+  MfSystemConfig cfg;
+  cfg.side = 7;
+  cfg.params = kP;
+  cfg.flows = {FlowSpec{CellId{6, 3}, {CellId{0, 3}}},
+               FlowSpec{CellId{3, 6}, {CellId{3, 0}}},
+               FlowSpec{CellId{0, 0}, {CellId{6, 6}}}};
+  MfSystem sys = make(std::move(cfg), 7);
+  for (int k = 0; k < 1200; ++k) {
+    sys.update();
+    ASSERT_FALSE(check_mf_purity(sys).has_value()) << "round " << k;
+    ASSERT_FALSE(check_mf_safe(sys).has_value()) << "round " << k;
+  }
+  const std::uint64_t frozen = sys.total_arrivals();
+  const std::size_t pop = sys.entity_count();
+  for (int k = 0; k < 400; ++k) sys.update();
+  EXPECT_EQ(sys.total_arrivals(), frozen);
+  EXPECT_EQ(sys.entity_count(), pop);
+  EXPECT_GT(pop, 0u);
+}
+
+TEST(MfSystem, TargetsOfOtherFlowsAreTraversable) {
+  // Flow 1's route passes straight through flow 0's target cell.
+  MfSystemConfig cfg;
+  cfg.side = 5;
+  cfg.params = kP;
+  // Flow 0 target at the center of column 2; flow 1 runs up column 2.
+  cfg.flows = {FlowSpec{CellId{2, 2}, {CellId{0, 2}}},
+               FlowSpec{CellId{2, 4}, {CellId{2, 0}}}};
+  MfSystem sys = make(std::move(cfg), 3);
+  // Carve column 2 for flow 1 by failing everything except column 2 and
+  // row 2 — keep it open; easier: run on the open grid and check flow 1
+  // delivers (its shortest path is through ⟨2,2⟩).
+  for (int k = 0; k < 2000; ++k) sys.update();
+  EXPECT_GT(sys.arrivals(1), 10u);
+  // And flow 0's own entities are consumed at ⟨2,2⟩, not stuck.
+  EXPECT_GT(sys.arrivals(0), 10u);
+}
+
+TEST(MfSystem, SeedEntityEnforcesPurity) {
+  MfSystem sys = make(crossing_config());
+  sys.seed_entity(CellId{2, 2}, 0, Vec2{2.5, 2.5});
+  EXPECT_THROW((void)sys.seed_entity(CellId{2, 2}, 1, Vec2{2.5, 2.85}),
+               ContractViolation);
+  EXPECT_NO_THROW((void)sys.seed_entity(CellId{2, 2}, 0, Vec2{2.5, 2.85}));
+}
+
+TEST(MfSystem, SeedEntityEnforcesGapAndBounds) {
+  MfSystem sys = make(crossing_config());
+  sys.seed_entity(CellId{2, 2}, 0, Vec2{2.5, 2.5});
+  EXPECT_THROW((void)sys.seed_entity(CellId{2, 2}, 0, Vec2{2.6, 2.6}),
+               ContractViolation);
+  EXPECT_THROW((void)sys.seed_entity(CellId{2, 2}, 0, Vec2{2.05, 2.5}),
+               ContractViolation);
+}
+
+TEST(MfSystem, FailAndRecoverPerFlowRouting) {
+  MfSystem sys = make(crossing_config());
+  for (int k = 0; k < 20; ++k) sys.update();
+  sys.fail(CellId{3, 3});
+  for (int k = 0; k < 30; ++k) sys.update();
+  // Both flows route around the failed crossing.
+  for (FlowId f = 0; f < 2; ++f) {
+    const auto rho = sys.reference_distances(f);
+    for (const CellId id : sys.grid().all_cells()) {
+      if (rho[sys.grid().index_of(id)].is_finite()) {
+        EXPECT_EQ(sys.cell(id).dist[f], rho[sys.grid().index_of(id)]);
+      }
+    }
+  }
+  sys.recover(CellId{3, 3});
+  for (int k = 0; k < 30; ++k) sys.update();
+  EXPECT_EQ(sys.cell(CellId{3, 3}).dist[0],
+            sys.reference_distances(0)[sys.grid().index_of(CellId{3, 3})]);
+}
+
+TEST(MfSystem, SingleFlowMatchesBaseProtocolBehavior) {
+  // With one flow the extension must behave like the base System:
+  // entities stream from source to target with safety intact.
+  MfSystemConfig cfg;
+  cfg.side = 6;
+  cfg.params = kP;
+  cfg.flows = {FlowSpec{CellId{1, 5}, {CellId{1, 0}}}};
+  MfSystem sys = make(std::move(cfg), 5);
+  for (int k = 0; k < 1200; ++k) {
+    sys.update();
+    ASSERT_FALSE(check_mf_safe(sys).has_value());
+  }
+  EXPECT_GT(sys.arrivals(0), 30u);
+}
+
+TEST(MfSystem, DocumentedHeadOnDeadlockRegime) {
+  // The regime that makes the generalization future work in the paper:
+  // two flows facing each other in a single-lane corridor. Once entities
+  // of both flows are in the corridor cells, flow-pure admission means
+  // neither side can ever pass the other: throughput stalls, but safety
+  // still holds (the extension degrades gracefully, it does not crash).
+  MfSystemConfig cfg;
+  cfg.side = 5;
+  cfg.params = kP;
+  cfg.flows = {FlowSpec{CellId{4, 0}, {CellId{0, 0}}},   // eastbound
+               FlowSpec{CellId{0, 0}, {CellId{4, 0}}}};  // westbound
+  MfSystem sys = make(std::move(cfg), 11);
+  // Wall the corridor: only row 0 alive.
+  for (const CellId id : sys.grid().all_cells())
+    if (id.j != 0) sys.fail(id);
+
+  for (int k = 0; k < 2000; ++k) {
+    sys.update();
+    ASSERT_FALSE(check_mf_safe(sys).has_value());
+    ASSERT_FALSE(check_mf_purity(sys).has_value());
+  }
+  // Entities are parked in the corridor; deliveries stopped long ago.
+  const std::uint64_t at_2000 = sys.total_arrivals();
+  for (int k = 0; k < 500; ++k) sys.update();
+  EXPECT_EQ(sys.total_arrivals(), at_2000);  // deadlocked, safely
+  EXPECT_GT(sys.entity_count(), 0u);
+}
+
+TEST(MfSystem, InjectionRespectsPurityAtSharedSourceCell) {
+  // Two flows with the SAME source cell: injections must never mix flows
+  // in that cell.
+  MfSystemConfig cfg;
+  cfg.side = 5;
+  cfg.params = kP;
+  cfg.flows = {FlowSpec{CellId{4, 4}, {CellId{0, 0}}},
+               FlowSpec{CellId{4, 0}, {CellId{0, 0}}}};
+  MfSystem sys = make(std::move(cfg), 13);
+  for (int k = 0; k < 1000; ++k) {
+    sys.update();
+    ASSERT_FALSE(check_mf_purity(sys).has_value()) << "round " << k;
+  }
+  // Both flows still get serviced over time (the empty-cell windows let
+  // either flow claim the source).
+  EXPECT_GT(sys.arrivals(0), 0u);
+  EXPECT_GT(sys.arrivals(1), 0u);
+}
+
+}  // namespace
+}  // namespace cellflow

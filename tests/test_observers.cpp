@@ -1,0 +1,174 @@
+// Tests for the observer/instrumentation layer.
+#include "sim/observers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "failure/failure_model.hpp"
+#include "helpers.hpp"
+#include "sim/simulator.hpp"
+
+namespace cellflow {
+namespace {
+
+const Params kP(0.2, 0.1, 0.1);
+
+TEST(ThroughputMeter, CountsArrivalsOverRounds) {
+  System sys = testing::make_column_system(6, kP);
+  NoFailures none;
+  Simulator sim(sys, none);
+  ThroughputMeter meter;
+  sim.add_observer(meter);
+  sim.run(1000);
+  EXPECT_EQ(meter.rounds(), 1000u);
+  EXPECT_EQ(meter.arrivals(), sys.total_arrivals());
+  EXPECT_DOUBLE_EQ(meter.throughput(),
+                   static_cast<double>(meter.arrivals()) / 1000.0);
+  EXPECT_GT(meter.throughput(), 0.0);
+}
+
+TEST(ThroughputMeter, EmptyMeterReportsZero) {
+  const ThroughputMeter meter;
+  EXPECT_DOUBLE_EQ(meter.throughput(), 0.0);
+  EXPECT_EQ(meter.rounds(), 0u);
+}
+
+TEST(ThroughputMeter, WindowedSeriesHasExpectedShape) {
+  System sys = testing::make_column_system(6, kP);
+  NoFailures none;
+  Simulator sim(sys, none);
+  ThroughputMeter meter(100);
+  sim.add_observer(meter);
+  sim.run(1000);
+  ASSERT_EQ(meter.windowed().size(), 10u);
+  // Warmup: the first window (pipeline filling) has lower throughput than
+  // the steady-state tail.
+  const auto& w = meter.windowed();
+  EXPECT_LT(w.front(), w.back() + 1e-12);
+  // Windowed means average to the global throughput.
+  double sum = 0.0;
+  for (const double x : w) sum += x;
+  EXPECT_NEAR(sum / 10.0, meter.throughput(), 1e-9);
+}
+
+TEST(SafetyMonitor, CleanOnHealthyRun) {
+  System sys = testing::make_column_system(5, kP);
+  NoFailures none;
+  Simulator sim(sys, none);
+  SafetyMonitor safety;
+  sim.add_observer(safety);
+  sim.run(300);
+  EXPECT_TRUE(safety.clean());
+  EXPECT_EQ(safety.report(), "0 violation(s)");
+}
+
+TEST(SafetyMonitor, FlagsInjectedViolation) {
+  System sys = testing::make_column_system(5, kP);
+  sys.seed_entity_unchecked(CellId{3, 3}, Vec2{3.5, 3.5});
+  sys.seed_entity_unchecked(CellId{3, 3}, Vec2{3.55, 3.55});
+  NoFailures none;
+  Simulator sim(sys, none);
+  SafetyMonitor safety;
+  sim.add_observer(safety);
+  sim.run(1);
+  EXPECT_FALSE(safety.clean());
+  EXPECT_NE(safety.report().find("Safe"), std::string::npos);
+}
+
+TEST(RoutingStabilizationMonitor, DetectsConvergenceRound) {
+  System sys = testing::make_column_system(8, kP);
+  NoFailures none;
+  Simulator sim(sys, none);
+  RoutingStabilizationMonitor monitor;
+  sim.add_observer(monitor);
+  sim.run(50);
+  ASSERT_TRUE(monitor.stabilized_at().has_value());
+  // Fresh 8×8 grid converges within the Manhattan diameter (13) + 1.
+  EXPECT_LE(*monitor.stabilized_at(), 14u);
+}
+
+TEST(RoutingStabilizationMonitor, ResetsOnTopologyChange) {
+  System sys = testing::make_column_system(6, kP);
+  ScriptedFailures failures({{30, CellId{1, 3}, false}});
+  Simulator sim(sys, failures);
+  RoutingStabilizationMonitor monitor;
+  sim.add_observer(monitor);
+  sim.run(200);
+  ASSERT_TRUE(monitor.stabilized_at().has_value());
+  EXPECT_GE(*monitor.stabilized_at(), 30u);
+}
+
+TEST(BlockingStats, CountsMovesAndBlocks) {
+  System sys = testing::make_column_system(6, kP);
+  NoFailures none;
+  Simulator sim(sys, none);
+  BlockingStats stats;
+  sim.add_observer(stats);
+  sim.run(500);
+  EXPECT_EQ(stats.rounds(), 500u);
+  EXPECT_GT(stats.total_moves(), 0u);
+  EXPECT_GT(stats.total_blocks(), 0u);  // saturating source must block sometimes
+  EXPECT_GT(stats.mean_moving_per_round(), 0.0);
+  EXPECT_GT(stats.mean_blocked_per_round(), 0.0);
+}
+
+TEST(OccupancyTracker, TracksPopulationAndPeak) {
+  System sys = testing::make_column_system(6, kP);
+  NoFailures none;
+  Simulator sim(sys, none);
+  OccupancyTracker occ;
+  sim.add_observer(occ);
+  sim.run(500);
+  EXPECT_EQ(occ.population().count(), 500u);
+  EXPECT_GT(occ.population().mean(), 0.0);
+  EXPECT_GE(occ.peak_cell_occupancy(), 1u);
+  // d = 0.3 on a unit cell: at most a 4-per-axis lattice even in theory.
+  EXPECT_LE(occ.peak_cell_occupancy(), 16u);
+}
+
+TEST(ProgressTracker, MeasuresLatencies) {
+  System sys = testing::make_column_system(6, kP);
+  NoFailures none;
+  Simulator sim(sys, none);
+  ProgressTracker progress;
+  sim.add_observer(progress);
+  sim.run(1200);
+  EXPECT_GT(progress.completed(), 0u);
+  // 5 cells of travel at v = 0.1 with signaling overhead: latency must be
+  // at least 1/v per cell traversed (≥ ~40 rounds) and finite.
+  EXPECT_GT(progress.latency().mean(), 30.0);
+  EXPECT_LT(progress.latency().mean(), 2000.0);
+  EXPECT_LE(progress.latency().min(), progress.latency().mean());
+}
+
+TEST(ProgressTracker, InFlightMatchesSystemPopulation) {
+  System sys = testing::make_column_system(6, kP);
+  NoFailures none;
+  Simulator sim(sys, none);
+  ProgressTracker progress;
+  sim.add_observer(progress);
+  sim.run(700);
+  EXPECT_EQ(progress.in_flight(), sys.entity_count());
+}
+
+TEST(Simulator, RunUntilStopsEarly) {
+  System sys = testing::make_column_system(6, kP);
+  NoFailures none;
+  Simulator sim(sys, none);
+  const bool fired = sim.run_until(
+      [](const System& s) { return s.total_arrivals() >= 3; }, 5000);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sys.total_arrivals(), 3u);
+}
+
+TEST(Simulator, RunUntilRespectsMaxRounds) {
+  System sys = testing::make_column_system(6, kP);
+  NoFailures none;
+  Simulator sim(sys, none);
+  const bool fired = sim.run_until(
+      [](const System&) { return false; }, 50);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sys.round(), 50u);
+}
+
+}  // namespace
+}  // namespace cellflow

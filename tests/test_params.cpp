@@ -1,0 +1,79 @@
+// Tests for the parameter constraints of §II-B.
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace cellflow {
+namespace {
+
+TEST(Params, PaperDefaultsAreFeasible) {
+  // Figure 7: l = 0.25, rs ∈ [0.05, 0.7], v ∈ {0.05, 0.1, 0.2, 0.25}.
+  EXPECT_NO_THROW(Params(0.25, 0.05, 0.1));
+  EXPECT_NO_THROW(Params(0.25, 0.7, 0.25));
+  // Figure 8 configs.
+  EXPECT_NO_THROW(Params(0.2, 0.05, 0.2));
+  EXPECT_NO_THROW(Params(0.1, 0.05, 0.05));
+  // Figure 9 config.
+  EXPECT_NO_THROW(Params(0.2, 0.05, 0.2));
+}
+
+TEST(Params, AccessorsAndDerivedSpacing) {
+  const Params p(0.25, 0.05, 0.1);
+  EXPECT_DOUBLE_EQ(p.entity_length(), 0.25);
+  EXPECT_DOUBLE_EQ(p.safety_gap(), 0.05);
+  EXPECT_DOUBLE_EQ(p.velocity(), 0.1);
+  EXPECT_DOUBLE_EQ(p.center_spacing(), 0.3);
+}
+
+TEST(Params, VelocityEqualToLengthAccepted) {
+  // Figure 7 runs v = l = 0.25; see Params::feasible for the rationale.
+  EXPECT_NO_THROW(Params(0.25, 0.05, 0.25));
+}
+
+TEST(Params, VelocityAboveLengthRejected) {
+  EXPECT_THROW(Params(0.2, 0.05, 0.25), ContractViolation);
+}
+
+TEST(Params, EntityMustFitWithGap) {
+  // rs + l must be < 1.
+  EXPECT_THROW(Params(0.5, 0.5, 0.1), ContractViolation);
+  EXPECT_THROW(Params(0.25, 0.75, 0.1), ContractViolation);
+  EXPECT_NO_THROW(Params(0.25, 0.74, 0.1));
+}
+
+TEST(Params, NonPositiveValuesRejected) {
+  EXPECT_THROW(Params(0.25, 0.05, 0.0), ContractViolation);
+  EXPECT_THROW(Params(0.25, 0.05, -0.1), ContractViolation);
+  EXPECT_THROW(Params(0.25, 0.0, 0.1), ContractViolation);
+  EXPECT_THROW(Params(0.0, 0.05, 0.0), ContractViolation);
+}
+
+TEST(Params, EntityLengthOneRejected) {
+  EXPECT_THROW(Params(1.0, 0.05, 0.1), ContractViolation);
+}
+
+TEST(Params, FeasibleMirrorsConstructor) {
+  EXPECT_TRUE(Params::feasible(0.25, 0.05, 0.1));
+  EXPECT_TRUE(Params::feasible(0.25, 0.05, 0.25));
+  EXPECT_FALSE(Params::feasible(0.25, 0.05, 0.3));
+  EXPECT_FALSE(Params::feasible(0.25, 0.75, 0.1));
+  EXPECT_FALSE(Params::feasible(0.25, -0.1, 0.1));
+}
+
+TEST(Params, ToStringMentionsAllValues) {
+  const std::string s = Params(0.25, 0.05, 0.1).to_string();
+  EXPECT_NE(s.find("l=0.25"), std::string::npos);
+  EXPECT_NE(s.find("rs=0.05"), std::string::npos);
+  EXPECT_NE(s.find("v=0.1"), std::string::npos);
+  EXPECT_NE(s.find("d=0.3"), std::string::npos);
+}
+
+TEST(Params, EqualityByValue) {
+  EXPECT_EQ(Params(0.25, 0.05, 0.1), Params(0.25, 0.05, 0.1));
+  EXPECT_NE(Params(0.25, 0.05, 0.1), Params(0.25, 0.05, 0.2));
+}
+
+}  // namespace
+}  // namespace cellflow

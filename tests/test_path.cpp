@@ -1,0 +1,212 @@
+// Tests for Path and the path builders behind the Figure-8 experiments.
+#include "grid/path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grid/mask.hpp"
+#include "util/check.hpp"
+
+namespace cellflow {
+namespace {
+
+TEST(Path, ValidStraightLine) {
+  const Grid g(8);
+  const Path p(g, {{1, 0}, {1, 1}, {1, 2}, {1, 3}});
+  EXPECT_EQ(p.length(), 4u);
+  EXPECT_EQ(p.turns(), 0u);
+  EXPECT_EQ(p.source(), (CellId{1, 0}));
+  EXPECT_EQ(p.target(), (CellId{1, 3}));
+}
+
+TEST(Path, RejectsNonAdjacentCells) {
+  const Grid g(8);
+  EXPECT_THROW(Path(g, {{0, 0}, {0, 2}}), ContractViolation);
+  EXPECT_THROW(Path(g, {{0, 0}, {1, 1}}), ContractViolation);  // diagonal
+}
+
+TEST(Path, RejectsRevisits) {
+  const Grid g(8);
+  EXPECT_THROW(Path(g, {{0, 0}, {0, 1}, {0, 0}}), ContractViolation);
+}
+
+TEST(Path, RejectsOutOfGridCells) {
+  const Grid g(2);
+  EXPECT_THROW(Path(g, {{1, 1}, {1, 2}}), ContractViolation);
+}
+
+TEST(Path, RejectsEmpty) {
+  const Grid g(2);
+  EXPECT_THROW(Path(g, {}), ContractViolation);
+}
+
+TEST(Path, SingleCellPathIsLegal) {
+  const Grid g(2);
+  const Path p(g, {CellId{0, 0}});
+  EXPECT_EQ(p.length(), 1u);
+  EXPECT_EQ(p.turns(), 0u);
+}
+
+TEST(Path, TurnCounting) {
+  const Grid g(8);
+  // N, N, E, E, N: turns at index 2 and 4.
+  const Path p(g, {{0, 0}, {0, 1}, {0, 2}, {1, 2}, {2, 2}, {2, 3}});
+  EXPECT_EQ(p.turns(), 2u);
+}
+
+TEST(Path, ContainsAndSuccessor) {
+  const Grid g(8);
+  const Path p(g, {{1, 0}, {1, 1}, {2, 1}});
+  EXPECT_TRUE(p.contains(CellId{1, 1}));
+  EXPECT_FALSE(p.contains(CellId{0, 0}));
+  EXPECT_EQ(p.successor(CellId{1, 0}), OptCellId(CellId{1, 1}));
+  EXPECT_EQ(p.successor(CellId{1, 1}), OptCellId(CellId{2, 1}));
+  EXPECT_EQ(p.successor(CellId{2, 1}), OptCellId{});  // target
+  EXPECT_EQ(p.successor(CellId{5, 5}), OptCellId{});  // non-member
+}
+
+TEST(Path, ToStringShowsArrowChain) {
+  const Grid g(4);
+  const Path p(g, {{0, 0}, {0, 1}});
+  EXPECT_EQ(p.to_string(), "<0,0> -> <0,1>");
+}
+
+TEST(MakeStraightPath, BuildsRequestedLine) {
+  const Grid g(8);
+  const Path p = make_straight_path(g, CellId{1, 0}, Direction::kNorth, 8);
+  EXPECT_EQ(p.length(), 8u);
+  EXPECT_EQ(p.turns(), 0u);
+  EXPECT_EQ(p.source(), (CellId{1, 0}));
+  EXPECT_EQ(p.target(), (CellId{1, 7}));
+}
+
+TEST(MakeStraightPath, OutOfGridThrows) {
+  const Grid g(4);
+  EXPECT_THROW((void)make_straight_path(g, CellId{0, 0}, Direction::kNorth, 5),
+               ContractViolation);
+}
+
+TEST(MakeTurningPath, ZeroTurnsIsStraight) {
+  const Grid g(8);
+  const Path p = make_turning_path(g, CellId{0, 0}, Direction::kNorth,
+                                   Direction::kEast, 8, 0);
+  EXPECT_EQ(p.length(), 8u);
+  EXPECT_EQ(p.turns(), 0u);
+  EXPECT_EQ(p.target(), (CellId{0, 7}));
+}
+
+TEST(MakeTurningPath, MaxTurnsIsStaircase) {
+  const Grid g(8);
+  const Path p = make_turning_path(g, CellId{0, 0}, Direction::kNorth,
+                                   Direction::kEast, 8, 6);
+  EXPECT_EQ(p.length(), 8u);
+  EXPECT_EQ(p.turns(), 6u);
+}
+
+TEST(MakeTurningPath, TooManyTurnsRejected) {
+  const Grid g(8);
+  EXPECT_THROW((void)make_turning_path(g, CellId{0, 0}, Direction::kNorth,
+                                       Direction::kEast, 8, 7),
+               ContractViolation);
+}
+
+TEST(MakeTurningPath, ParallelDirectionsRejected) {
+  const Grid g(8);
+  EXPECT_THROW((void)make_turning_path(g, CellId{0, 0}, Direction::kNorth,
+                                       Direction::kSouth, 8, 2),
+               ContractViolation);
+}
+
+// The Figure-8 sweep: every turn count 0…6 must be constructible at
+// length 8 inside an 8×8 grid from the corner.
+class TurningPathSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TurningPathSweep, ExactTurnsAndLength) {
+  const Grid g(8);
+  const std::size_t turns = GetParam();
+  const Path p = make_turning_path(g, CellId{0, 0}, Direction::kNorth,
+                                   Direction::kEast, 8, turns);
+  EXPECT_EQ(p.length(), 8u);
+  EXPECT_EQ(p.turns(), turns);
+  EXPECT_EQ(p.source(), (CellId{0, 0}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig8Turns, TurningPathSweep,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 6u));
+
+// Longer lengths used by the path-length-independence ablation.
+class TurningPathLengths
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(TurningPathLengths, BuildsOn16Grid) {
+  const Grid g(16);
+  const auto [cells, turns] = GetParam();
+  const Path p = make_turning_path(g, CellId{0, 0}, Direction::kNorth,
+                                   Direction::kEast, cells, turns);
+  EXPECT_EQ(p.length(), cells);
+  EXPECT_EQ(p.turns(), turns);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LengthTurnGrid, TurningPathLengths,
+    ::testing::Values(std::pair{3u, 1u}, std::pair{6u, 4u}, std::pair{10u, 0u},
+                      std::pair{12u, 5u}, std::pair{14u, 9u},
+                      std::pair{16u, 14u}));
+
+TEST(MakeSnakePath, CoversRowsBoustrophedon) {
+  const Grid g(4);
+  const Path p = make_snake_path(g, CellId{0, 0}, 4, 3);
+  EXPECT_EQ(p.length(), 12u);
+  // Row 0 eastward, row 1 westward, row 2 eastward.
+  EXPECT_EQ(p.cells()[0], (CellId{0, 0}));
+  EXPECT_EQ(p.cells()[3], (CellId{3, 0}));
+  EXPECT_EQ(p.cells()[4], (CellId{3, 1}));
+  EXPECT_EQ(p.cells()[7], (CellId{0, 1}));
+  EXPECT_EQ(p.cells()[8], (CellId{0, 2}));
+  EXPECT_EQ(p.turns(), 4u);  // two turns at each row change
+}
+
+TEST(MakeSerpentinePath, LanesSpacedTwoApartWithConnectors) {
+  const Grid g(8);
+  const Path p = make_serpentine_path(g, CellId{0, 0}, 4, 3);
+  // 3 lanes of 4 + 2 connectors = 14 cells.
+  EXPECT_EQ(p.length(), 14u);
+  EXPECT_EQ(p.source(), (CellId{0, 0}));
+  EXPECT_EQ(p.cells()[3], (CellId{3, 0}));  // lane 0 exit
+  EXPECT_EQ(p.cells()[4], (CellId{3, 1}));  // connector
+  EXPECT_EQ(p.cells()[5], (CellId{3, 2}));  // lane 1 entry (westbound)
+  EXPECT_EQ(p.cells()[8], (CellId{0, 2}));  // lane 1 exit
+  EXPECT_EQ(p.cells()[9], (CellId{0, 3}));  // connector
+  EXPECT_EQ(p.target(), (CellId{3, 4}));
+}
+
+TEST(MakeSerpentinePath, CarvedShapeHasNoShortcuts) {
+  // The defining property vs make_snake_path: along the carved serpentine
+  // the BFS distance from source to target equals the path length − 1
+  // (no lateral shortcuts between lanes).
+  const Grid g(8);
+  const Path p = make_serpentine_path(g, CellId{0, 0}, 5, 3);
+  const CellMask alive = CellMask::of(g, p.cells());
+  const auto rho = path_distances(g, alive, p.target());
+  EXPECT_EQ(rho[g.index_of(p.source())],
+            Dist::finite(p.length() - 1));
+}
+
+TEST(MakeSerpentinePath, PreconditionsEnforced) {
+  const Grid g(8);
+  EXPECT_THROW((void)make_serpentine_path(g, CellId{0, 0}, 1, 2),
+               ContractViolation);
+  EXPECT_THROW((void)make_serpentine_path(g, CellId{0, 0}, 4, 0),
+               ContractViolation);
+  EXPECT_THROW((void)make_serpentine_path(g, CellId{0, 0}, 9, 2),
+               ContractViolation);  // too wide for the grid
+}
+
+TEST(MakeSnakePath, DegenerateSingleColumn) {
+  const Grid g(4);
+  const Path p = make_snake_path(g, CellId{2, 0}, 1, 4);
+  EXPECT_EQ(p.length(), 4u);
+  EXPECT_EQ(p.turns(), 0u);
+}
+
+}  // namespace
+}  // namespace cellflow

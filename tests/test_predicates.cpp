@@ -1,0 +1,161 @@
+// Tests for the §III-A safety oracles: they must accept good states and,
+// crucially, *detect* bad ones (via seed_entity_unchecked, which bypasses
+// the protocol's own validation).
+#include "core/predicates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace cellflow {
+namespace {
+
+const Params kP(0.2, 0.1, 0.1);  // d = 0.3
+
+TEST(SafeOracle, EmptySystemIsSafe) {
+  const System sys = testing::make_column_system(4, kP);
+  EXPECT_FALSE(check_safe(sys).has_value());
+  EXPECT_TRUE(safe_cell(sys, CellId{0, 0}));
+}
+
+TEST(SafeOracle, AxisSeparationSuffices) {
+  System sys = testing::make_closed_system(4, kP, CellId{3, 3});
+  sys.seed_entity(CellId{0, 0}, Vec2{0.15, 0.5});
+  sys.seed_entity(CellId{0, 0}, Vec2{0.5, 0.5});   // x-separated by 0.35 > d
+  sys.seed_entity(CellId{0, 0}, Vec2{0.15, 0.85});  // y-separated by 0.35 > d
+  EXPECT_FALSE(check_safe(sys).has_value());
+}
+
+TEST(SafeOracle, DetectsTooClosePair) {
+  System sys = testing::make_closed_system(4, kP, CellId{3, 3});
+  sys.seed_entity_unchecked(CellId{1, 1}, Vec2{1.5, 1.5});
+  sys.seed_entity_unchecked(CellId{1, 1}, Vec2{1.7, 1.6});  // < d both axes
+  const auto v = check_safe(sys);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->predicate, "Safe");
+  EXPECT_EQ(v->cell, (CellId{1, 1}));
+  EXPECT_FALSE(safe_cell(sys, CellId{1, 1}));
+}
+
+TEST(SafeOracle, CrossCellProximityIsAllowed) {
+  // Entities in adjacent cells may be closer than d (the paper notes
+  // adjacent-cell edges can be spaced < rs); Safe is per-cell.
+  System sys = testing::make_closed_system(4, kP, CellId{3, 3});
+  sys.seed_entity(CellId{0, 0}, Vec2{0.9, 0.5});
+  sys.seed_entity(CellId{1, 0}, Vec2{1.1, 0.5});
+  EXPECT_FALSE(check_safe(sys).has_value());
+}
+
+TEST(BoundsOracle, DetectsEntityOutsideCell) {
+  System sys = testing::make_closed_system(4, kP, CellId{3, 3});
+  sys.seed_entity_unchecked(CellId{1, 1}, Vec2{1.05, 1.5});  // sticks west
+  const auto v = check_members_in_bounds(sys);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->predicate, "Invariant1");
+}
+
+TEST(BoundsOracle, FlushPlacementIsInBounds) {
+  System sys = testing::make_closed_system(4, kP, CellId{3, 3});
+  sys.seed_entity(CellId{1, 1}, Vec2{1.1, 1.5});  // exactly flush
+  EXPECT_FALSE(check_members_in_bounds(sys).has_value());
+}
+
+TEST(DisjointOracle, CleanOnDistinctEntities) {
+  System sys = testing::make_closed_system(4, kP, CellId{3, 3});
+  sys.seed_entity(CellId{0, 0}, Vec2{0.5, 0.5});
+  sys.seed_entity(CellId{1, 1}, Vec2{1.5, 1.5});
+  EXPECT_FALSE(check_members_disjoint(sys).has_value());
+}
+
+TEST(HOracle, CleanWhenNoSignals) {
+  const System sys = testing::make_column_system(4, kP);
+  EXPECT_FALSE(check_h_predicate(sys).has_value());
+}
+
+TEST(HOracle, DetectsGrantWithOccupiedStrip) {
+  System sys = testing::make_closed_system(4, kP, CellId{3, 3});
+  // Entity in the west strip of ⟨1,1⟩ (px − l/2 < 1 + d ⇔ px < 1.4)...
+  sys.seed_entity_unchecked(CellId{1, 1}, Vec2{1.2, 1.5});
+  // ...while signal points west.
+  sys.corrupt_control_state(CellId{1, 1}, Dist::finite(4), CellId{1, 2},
+                            std::nullopt, CellId{0, 1});
+  const auto v = check_h_predicate(sys);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->predicate, "H");
+}
+
+TEST(HOracle, AcceptsGrantWithClearStrip) {
+  System sys = testing::make_closed_system(4, kP, CellId{3, 3});
+  sys.seed_entity_unchecked(CellId{1, 1}, Vec2{1.5, 1.5});  // px ≥ 1.4 ok
+  sys.corrupt_control_state(CellId{1, 1}, Dist::finite(4), CellId{1, 2},
+                            std::nullopt, CellId{0, 1});
+  EXPECT_FALSE(check_h_predicate(sys).has_value());
+}
+
+TEST(HOracle, DetectsSignalAtNonNeighbor) {
+  System sys = testing::make_closed_system(4, kP, CellId{3, 3});
+  sys.corrupt_control_state(CellId{1, 1}, Dist::finite(4), std::nullopt,
+                            std::nullopt, CellId{3, 3});
+  const auto v = check_h_predicate(sys);
+  ASSERT_TRUE(v.has_value());
+}
+
+TEST(FootprintOracle, DetectsPhysicalOverlap) {
+  System sys = testing::make_closed_system(4, kP, CellId{3, 3});
+  sys.seed_entity_unchecked(CellId{2, 2}, Vec2{2.5, 2.5});
+  sys.seed_entity_unchecked(CellId{2, 2}, Vec2{2.6, 2.5});  // overlap (l=0.2)
+  const auto v = check_footprints_separated(sys);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->predicate, "FootprintOverlap");
+}
+
+TEST(FootprintOracle, DetectsSubRsGap) {
+  System sys = testing::make_closed_system(4, kP, CellId{3, 3});
+  sys.seed_entity_unchecked(CellId{2, 2}, Vec2{2.3, 2.5});
+  // Edge gap 0.05 < rs = 0.1 (no overlap though).
+  sys.seed_entity_unchecked(CellId{2, 2}, Vec2{2.55, 2.5});
+  const auto v = check_footprints_separated(sys);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->predicate, "FootprintGap");
+}
+
+TEST(CheckAll, AggregatesAcrossOracles) {
+  System sys = testing::make_closed_system(4, kP, CellId{3, 3});
+  EXPECT_TRUE(check_all(sys).empty());
+  sys.seed_entity_unchecked(CellId{1, 1}, Vec2{1.5, 1.5});
+  sys.seed_entity_unchecked(CellId{1, 1}, Vec2{1.55, 1.55});
+  const auto vs = check_all(sys);
+  // Safe and FootprintOverlap both fire.
+  EXPECT_GE(vs.size(), 2u);
+}
+
+TEST(ViolationToString, MentionsPredicateAndCell) {
+  const Violation v{"Safe", CellId{1, 2}, "p0 vs p1"};
+  const std::string s = to_string(v);
+  EXPECT_NE(s.find("Safe"), std::string::npos);
+  EXPECT_NE(s.find("<1,2>"), std::string::npos);
+  EXPECT_NE(s.find("p0 vs p1"), std::string::npos);
+}
+
+// Consistency property: Safe (center spacing ≥ d along an axis) implies
+// footprint separation ≥ rs — sampled over many random safe placements.
+TEST(OracleConsistency, SafeImpliesFootprintsSeparated) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    System sys = testing::make_closed_system(2, kP, CellId{1, 1});
+    // Place up to 6 random entities, keeping only protocol-safe ones.
+    for (int k = 0; k < 6; ++k) {
+      const Vec2 pos{rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9)};
+      try {
+        (void)sys.seed_entity(CellId{0, 0}, pos);
+      } catch (const ContractViolation&) {
+        // rejected placement — fine
+      }
+    }
+    EXPECT_FALSE(check_safe(sys).has_value());
+    EXPECT_FALSE(check_footprints_separated(sys).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace cellflow

@@ -1,0 +1,167 @@
+// Random-topology fuzzing for Theorem 10: progress must hold on ANY
+// connected non-faulty region, not just the paths and columns the other
+// suites use. Each case carves a random spanning tree of the grid (the
+// sparsest connected topology — every routing decision is forced, every
+// merge is a real contention point), seeds entities on random leaves,
+// and requires every one of them to reach the target with safety intact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/choose.hpp"
+#include "core/predicates.hpp"
+#include "failure/failure_model.hpp"
+#include "grid/mask.hpp"
+#include "sim/observers.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace cellflow {
+namespace {
+
+// Uniform-ish random spanning tree via randomized DFS from the target.
+CellMask random_tree(const Grid& grid, CellId root, Xoshiro256& rng) {
+  CellMask in_tree(grid);
+  std::vector<CellId> stack = {root};
+  in_tree.set(root);
+  while (!stack.empty()) {
+    // Pick a random stack element to grow from (randomized growth).
+    const std::size_t pick = rng.below(stack.size());
+    const CellId cur = stack[pick];
+    std::vector<CellId> fresh;
+    for (const CellId nb : grid.neighbors(cur))
+      if (!in_tree.test(nb)) fresh.push_back(nb);
+    if (fresh.empty()) {
+      stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(pick));
+      continue;
+    }
+    const CellId chosen = fresh[rng.below(fresh.size())];
+    in_tree.set(chosen);
+    stack.push_back(chosen);
+  }
+  return in_tree;
+}
+
+// Keep only a random connected subset of the tree containing the root:
+// drop each leaf with probability p (repeatedly), so topologies vary in
+// size and shape, not just in branching.
+void prune_leaves(const Grid& grid, CellMask& tree, CellId root,
+                  Xoshiro256& rng, double p) {
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const CellId id : grid.all_cells()) {
+      if (!tree.test(id) || id == root) continue;
+      int degree = 0;
+      for (const CellId nb : grid.neighbors(id))
+        if (tree.test(nb)) ++degree;
+      if (degree <= 1 && rng.bernoulli(p)) tree.set(id, false);
+    }
+  }
+}
+
+class RandomTopology : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTopology, AllSeededEntitiesReachTargetSafely) {
+  Xoshiro256 rng(GetParam());
+  const int side = 6 + static_cast<int>(rng.below(3));  // 6..8
+  const Grid grid(side);
+  const CellId target{
+      static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(side))),
+      static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(side)))};
+
+  CellMask keep = random_tree(grid, target, rng);
+  prune_leaves(grid, keep, target, rng, 0.4);
+  ASSERT_GE(keep.count(), 2u);
+
+  SystemConfig cfg;
+  cfg.side = side;
+  cfg.params = Params(0.2, 0.1, 0.1);
+  cfg.sources = {};
+  cfg.target = target;
+  System sys(cfg, make_choose_policy("random", GetParam()),
+             std::make_unique<NullSource>());
+  carve_mask(sys, keep);
+
+  // Seed one entity at the center of up to 6 random kept cells.
+  const auto kept_cells = keep.set_cells();
+  std::size_t seeded = 0;
+  for (int tries = 0; tries < 20 && seeded < 6; ++tries) {
+    const CellId c = kept_cells[rng.below(kept_cells.size())];
+    if (c == target || sys.cell(c).has_entities()) continue;
+    sys.seed_entity(c, Vec2{c.i + 0.5, c.j + 0.5});
+    ++seeded;
+  }
+  ASSERT_GT(seeded, 0u);
+
+  NoFailures none;
+  Simulator sim(sys, none);
+  SafetyMonitor safety;
+  sim.add_observer(safety);
+  // Tree depth ≤ side², per-hop service is bounded; generous horizon.
+  const bool done = sim.run_until(
+      [&](const System& s) { return s.total_arrivals() == seeded; }, 30000);
+  EXPECT_TRUE(done) << "only " << sys.total_arrivals() << '/' << seeded
+                    << " arrived on tree of " << keep.count() << " cells";
+  EXPECT_TRUE(safety.clean()) << safety.report();
+}
+
+TEST_P(RandomTopology, SurvivesMidRunLeafFailures) {
+  // Fail random NON-articulation cells (leaves) mid-run: entities on the
+  // remaining connected region must still arrive.
+  Xoshiro256 rng(GetParam() ^ 0xFEED);
+  const int side = 6;
+  const Grid grid(side);
+  const CellId target{1, 5};
+  CellMask keep = random_tree(grid, target, rng);
+
+  SystemConfig cfg;
+  cfg.side = side;
+  cfg.params = Params(0.2, 0.1, 0.1);
+  cfg.sources = {};
+  cfg.target = target;
+  System sys(cfg, make_choose_policy("random", GetParam()),
+             std::make_unique<NullSource>());
+  carve_mask(sys, keep);
+
+  // Seed entities adjacent to the target's subtree root region so they
+  // stay target-connected when leaves die: use cells within tree
+  // distance 3 of the target.
+  const auto rho = sys.reference_distances();
+  std::size_t seeded = 0;
+  for (const CellId c : keep.set_cells()) {
+    if (c == target) continue;
+    const Dist d = rho[grid.index_of(c)];
+    if (d.is_finite() && d.hops() <= 3 && seeded < 4 &&
+        !sys.cell(c).has_entities()) {
+      sys.seed_entity(c, Vec2{c.i + 0.5, c.j + 0.5});
+      ++seeded;
+    }
+  }
+  ASSERT_GT(seeded, 0u);
+
+  // Kill three random leaves farther than 4 hops from the target.
+  int killed = 0;
+  for (const CellId c : keep.set_cells()) {
+    if (killed >= 3) break;
+    const Dist d = rho[grid.index_of(c)];
+    if (d.is_finite() && d.hops() > 4) {
+      sys.fail(c);
+      ++killed;
+    }
+  }
+
+  NoFailures none;
+  Simulator sim(sys, none);
+  SafetyMonitor safety;
+  sim.add_observer(safety);
+  const bool done = sim.run_until(
+      [&](const System& s) { return s.total_arrivals() == seeded; }, 30000);
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(safety.clean()) << safety.report();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopology,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u));
+
+}  // namespace
+}  // namespace cellflow

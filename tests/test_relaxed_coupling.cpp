@@ -1,0 +1,226 @@
+// Tests for the §V relaxed-coupling extension (MovementRule::kCompacting):
+// unit behavior of compact_move_step, preservation of every safety oracle,
+// the independence property itself (entities in one cell moving different
+// amounts), progress, and the throughput advantage over coupled movement.
+#include <gtest/gtest.h>
+
+#include "core/move.hpp"
+#include "core/predicates.hpp"
+#include "failure/failure_model.hpp"
+#include "helpers.hpp"
+#include "sim/observers.hpp"
+#include "sim/simulator.hpp"
+
+namespace cellflow {
+namespace {
+
+const Params kP(0.2, 0.1, 0.1);  // d = 0.3, v = 0.1
+const CellId kSelf{2, 3};        // spans [2,3]×[3,4]
+
+Entity at(double x, double y, std::uint64_t id = 0) {
+  return Entity{EntityId{id}, Vec2{x, y}};
+}
+
+TEST(CompactMove, WithoutPermissionQueueClosesUpFlush) {
+  // Single-lane queue heading east, blocked: the front packs flush
+  // against the boundary, followers hold exactly d behind (after enough
+  // rounds), nobody crosses.
+  CompactionContext ctx;  // may_cross = false
+  std::vector<Entity> members = {at(2.7, 3.5, 1), at(2.3, 3.5, 2)};
+  for (int round = 0; round < 10; ++round) {
+    auto r = compact_move_step(kSelf, CellId{3, 3}, std::move(members), kP, ctx);
+    EXPECT_TRUE(r.crossed.empty());
+    members = std::move(r.staying);
+  }
+  ASSERT_EQ(members.size(), 2u);
+  // Front flush: px + l/2 = 3 → px = 2.9. Follower at 2.9 − d = 2.6.
+  EXPECT_NEAR(members[0].center.x, 2.9, 1e-9);
+  EXPECT_NEAR(members[1].center.x, 2.6, 1e-9);
+}
+
+TEST(CompactMove, IndependentDisplacements) {
+  // The defining relaxation: one round in which the front (already
+  // flush) cannot move but the follower still advances.
+  CompactionContext ctx;
+  const auto r = compact_move_step(
+      kSelf, CellId{3, 3}, {at(2.9, 3.5, 1), at(2.2, 3.5, 2)}, kP, ctx);
+  ASSERT_EQ(r.staying.size(), 2u);
+  EXPECT_NEAR(r.staying[0].center.x, 2.9, 1e-9);  // front: 0 displacement
+  EXPECT_NEAR(r.staying[1].center.x, 2.3, 1e-9);  // follower: full v
+}
+
+TEST(CompactMove, LaneSpacingNeverBelowD) {
+  CompactionContext ctx;
+  // Follower only v short of the d-gap: it may close up to exactly d.
+  const auto r = compact_move_step(
+      kSelf, CellId{3, 3}, {at(2.9, 3.5, 1), at(2.55, 3.5, 2)}, kP, ctx);
+  ASSERT_EQ(r.staying.size(), 2u);
+  EXPECT_NEAR(r.staying[0].center.x - r.staying[1].center.x, 0.3, 1e-9);
+}
+
+TEST(CompactMove, PerpendicularSeparatedLanesAreIndependent) {
+  // Two entities y-separated by ≥ d: they are different lanes, so the
+  // rear one is NOT held back by the front one.
+  CompactionContext ctx;
+  const auto r = compact_move_step(
+      kSelf, CellId{3, 3}, {at(2.9, 3.2, 1), at(2.85, 3.6, 2)}, kP, ctx);
+  ASSERT_EQ(r.staying.size(), 2u);
+  EXPECT_NEAR(r.staying[1].center.x, 2.9, 1e-9);  // advanced to flush
+}
+
+TEST(CompactMove, WithPermissionFrontCrossesFollowerAdvances) {
+  CompactionContext ctx;
+  ctx.may_cross = true;
+  const auto r = compact_move_step(
+      kSelf, CellId{3, 3}, {at(2.9, 3.5, 1), at(2.6, 3.5, 2)}, kP, ctx);
+  ASSERT_EQ(r.crossed.size(), 1u);
+  EXPECT_EQ(r.crossed[0].id, EntityId{1});
+  EXPECT_DOUBLE_EQ(r.crossed[0].center.x, 3.1);  // flush entry placement
+  ASSERT_EQ(r.staying.size(), 1u);
+  EXPECT_NEAR(r.staying[0].center.x, 2.7, 1e-9);  // full v
+}
+
+TEST(CompactMove, PromisedStripIsRespected) {
+  // The cell's own signal promises the east strip (toward ⟨3,3⟩) while
+  // its entities also move east: compaction must stop at the strip edge
+  // (px + l/2 ≤ 3 − d → px ≤ 2.6) even though the boundary flush cap
+  // (2.9) would allow more.
+  CompactionContext ctx;
+  ctx.promised_strip = Direction::kEast;
+  const auto r = compact_move_step(kSelf, CellId{3, 3}, {at(2.55, 3.5)},
+                                   kP, ctx);
+  ASSERT_EQ(r.staying.size(), 1u);
+  EXPECT_NEAR(r.staying[0].center.x, 2.6, 1e-9);
+}
+
+TEST(CompactMove, PerpendicularPromiseDoesNotConstrain) {
+  CompactionContext ctx;
+  ctx.promised_strip = Direction::kNorth;  // perpendicular to east motion
+  const auto r = compact_move_step(kSelf, CellId{3, 3}, {at(2.55, 3.5)},
+                                   kP, ctx);
+  EXPECT_NEAR(r.staying[0].center.x, 2.65, 1e-9);  // full v
+}
+
+TEST(CompactMove, WorksInAllFourDirections) {
+  CompactionContext ctx;
+  // West: queue packs toward x = 2.
+  auto w = compact_move_step(kSelf, CellId{1, 3}, {at(2.15, 3.5)}, kP, ctx);
+  EXPECT_NEAR(w.staying[0].center.x, 2.1, 1e-9);  // flush at west boundary
+  // North: py + l/2 ≤ 4 → py ≤ 3.9.
+  auto n = compact_move_step(kSelf, CellId{2, 4}, {at(2.5, 3.85)}, kP, ctx);
+  EXPECT_NEAR(n.staying[0].center.y, 3.9, 1e-9);
+  // South: py − l/2 ≥ 3 → py ≥ 3.1.
+  auto s = compact_move_step(kSelf, CellId{2, 2}, {at(2.5, 3.15)}, kP, ctx);
+  EXPECT_NEAR(s.staying[0].center.y, 3.1, 1e-9);
+}
+
+// --- System-level ------------------------------------------------------
+
+SystemConfig relaxed_config(int side) {
+  SystemConfig cfg;
+  cfg.side = side;
+  cfg.params = kP;
+  cfg.sources = {CellId{1, 0}};
+  cfg.target = CellId{1, side - 1};
+  cfg.movement_rule = MovementRule::kCompacting;
+  return cfg;
+}
+
+TEST(RelaxedCoupling, AllSafetyOraclesHoldUnderLoad) {
+  System sys{relaxed_config(6)};
+  NoFailures none;
+  Simulator sim(sys, none);
+  SafetyMonitor safety;
+  sim.add_observer(safety);
+  sim.run(1500);
+  EXPECT_TRUE(safety.clean()) << safety.report();
+  EXPECT_GT(sys.total_arrivals(), 0u);
+}
+
+class RelaxedCouplingSafety : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RelaxedCouplingSafety, SafeUnderFailuresAndRecovery) {
+  System sys{relaxed_config(6)};
+  RandomFailRecover failures(0.03, 0.1, GetParam());
+  Simulator sim(sys, failures);
+  SafetyMonitor safety;
+  sim.add_observer(safety);
+  sim.run(2000);
+  EXPECT_TRUE(safety.clean()) << safety.report();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelaxedCouplingSafety,
+                         ::testing::Values(7u, 77u, 777u, 7777u));
+
+TEST(RelaxedCoupling, IndependentMovementObservedInSystem) {
+  // Find a round where two entities of the same cell moved by different
+  // amounts — impossible under the coupled rule.
+  System sys{relaxed_config(6)};
+  std::vector<std::pair<EntityId, Vec2>> prev;
+  bool independent_seen = false;
+  for (int k = 0; k < 800 && !independent_seen; ++k) {
+    prev.clear();
+    for (const CellState& c : sys.cells())
+      for (const Entity& e : c.members) prev.emplace_back(e.id, e.center);
+    sys.update();
+    for (const CellState& c : sys.cells()) {
+      double first_delta = -1.0;
+      for (const Entity& e : c.members) {
+        const auto it = std::find_if(prev.begin(), prev.end(),
+                                     [&](const auto& pe) {
+                                       return pe.first == e.id;
+                                     });
+        if (it == prev.end()) continue;
+        const double delta = l1_distance(e.center, it->second);
+        if (first_delta < 0.0) {
+          first_delta = delta;
+        } else if (std::abs(delta - first_delta) > 1e-12) {
+          independent_seen = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(independent_seen);
+}
+
+TEST(RelaxedCoupling, ThroughputAtLeastCoupled) {
+  auto run = [](MovementRule rule) {
+    SystemConfig cfg;
+    cfg.side = 8;
+    cfg.params = Params(0.25, 0.05, 0.1);
+    cfg.sources = {CellId{1, 0}};
+    cfg.target = CellId{1, 7};
+    cfg.movement_rule = rule;
+    System sys{cfg};
+    for (int k = 0; k < 2500; ++k) sys.update();
+    return sys.total_arrivals();
+  };
+  const auto coupled = run(MovementRule::kCoupled);
+  const auto relaxed = run(MovementRule::kCompacting);
+  EXPECT_GE(relaxed + 5, coupled);  // at worst a rounding sliver below
+  EXPECT_GT(relaxed, 0u);
+}
+
+TEST(RelaxedCoupling, ProgressAfterTransientFailure) {
+  System sys{relaxed_config(6)};
+  testing::run_rounds(sys, 100);
+  sys.fail(CellId{1, 3});
+  testing::run_rounds(sys, 100);
+  sys.recover(CellId{1, 3});
+  const std::uint64_t before = sys.total_arrivals();
+  testing::run_rounds(sys, 600);
+  EXPECT_GT(sys.total_arrivals(), before + 5);
+}
+
+TEST(RelaxedCoupling, HPredicateStillHoldsAtSignalPoint) {
+  System sys{relaxed_config(6)};
+  sys.set_phase_hook([](const System& s, UpdatePhase phase) {
+    if (phase != UpdatePhase::kAfterSignal) return;
+    ASSERT_FALSE(check_h_predicate(s).has_value()) << "round " << s.round();
+  });
+  testing::run_rounds(sys, 600);
+}
+
+}  // namespace
+}  // namespace cellflow

@@ -1,0 +1,75 @@
+// Tests for the Figure-1-style ASCII renderer.
+#include "sim/render.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace cellflow {
+namespace {
+
+const Params kP(0.2, 0.1, 0.1);
+
+TEST(Render, MarksTargetSourceAndFailed) {
+  System sys = testing::make_column_system(4, kP);
+  sys.fail(CellId{3, 3});
+  const std::string art = render_ascii(sys);
+  EXPECT_NE(art.find('T'), std::string::npos);
+  EXPECT_NE(art.find('S'), std::string::npos);
+  EXPECT_NE(art.find('X'), std::string::npos);
+}
+
+TEST(Render, ShowsEntityCounts) {
+  System sys = testing::make_closed_system(3, kP, CellId{2, 2});
+  sys.seed_entity(CellId{0, 0}, Vec2{0.2, 0.2});
+  sys.seed_entity(CellId{0, 0}, Vec2{0.6, 0.2});
+  const std::string art = render_ascii(sys);
+  EXPECT_NE(art.find(" 2"), std::string::npos);
+}
+
+TEST(Render, EmptyCellsShowDot) {
+  const System sys = testing::make_column_system(3, kP);
+  const std::string art = render_ascii(sys);
+  EXPECT_NE(art.find(" ."), std::string::npos);
+}
+
+TEST(Render, ArrowsAppearAfterRouting) {
+  System sys = testing::make_column_system(4, kP);
+  const std::string before = render_ascii(sys);
+  testing::run_rounds(sys, 10);
+  const std::string after = render_ascii(sys);
+  // Routing converged: next pointers exist, rendered as arrows.
+  EXPECT_EQ(before.find('^'), std::string::npos);
+  EXPECT_NE(after.find('^'), std::string::npos);
+}
+
+TEST(Render, DistModeShowsNumbersAndInfinity) {
+  System sys = testing::make_column_system(4, kP);
+  sys.fail(CellId{0, 0});
+  testing::run_rounds(sys, 10);
+  RenderOptions opts;
+  opts.show_dist = true;
+  const std::string art = render_ascii(sys, opts);
+  EXPECT_NE(art.find(" 0"), std::string::npos);   // the target
+  EXPECT_NE(art.find(" ~"), std::string::npos);   // the failed cell
+}
+
+TEST(Render, TopRowIsHighestJ) {
+  const System sys = testing::make_column_system(3, kP);
+  const std::string art = render_ascii(sys);
+  // First rendered line is row j = 2, labeled "2".
+  EXPECT_EQ(art.substr(0, 1), "2");
+}
+
+TEST(RenderSummary, MentionsAllCounters) {
+  System sys = testing::make_column_system(4, kP);
+  sys.fail(CellId{3, 3});
+  testing::run_rounds(sys, 120);
+  const std::string s = render_summary(sys);
+  EXPECT_NE(s.find("round 120"), std::string::npos);
+  EXPECT_NE(s.find("1/16 cells failed"), std::string::npos);
+  EXPECT_NE(s.find("arrived"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cellflow

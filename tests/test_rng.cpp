@@ -1,0 +1,152 @@
+// Tests for the deterministic RNG substrate. Statistical checks use wide
+// tolerances — they guard against implementation blunders (bad seeding,
+// truncation), not against subtle distributional flaws.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cellflow {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(12345);
+  SplitMix64 b(12345);
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int k = 0; k < 100; ++k)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference value for seed 0 from the canonical SplitMix64.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFULL);
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(999);
+  Xoshiro256 b(999);
+  for (int k = 0; k < 1000; ++k) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, NearbySeedsDecorrelated) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(8);
+  int equal = 0;
+  for (int k = 0; k < 1000; ++k)
+    if (a() == b()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, Uniform01InRange) {
+  Xoshiro256 rng(42);
+  for (int k = 0; k < 10000; ++k) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, Uniform01MeanNearHalf) {
+  Xoshiro256 rng(42);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int k = 0; k < n; ++k) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(3);
+  for (int k = 0; k < 1000; ++k) {
+    const double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Xoshiro256, UniformRejectsInvertedBounds) {
+  Xoshiro256 rng(3);
+  EXPECT_THROW((void)rng.uniform(1.0, 0.0), ContractViolation);
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(17);
+  for (int k = 0; k < 10000; ++k) EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Xoshiro256, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(17);
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, BelowZeroViolatesContract) {
+  Xoshiro256 rng(17);
+  EXPECT_THROW((void)rng.below(0), ContractViolation);
+}
+
+TEST(Xoshiro256, BelowCoversAllResidues) {
+  Xoshiro256 rng(5);
+  std::array<int, 7> counts{};
+  constexpr int n = 70000;
+  for (int k = 0; k < n; ++k) ++counts[rng.below(7)];
+  for (const int c : counts) {
+    // Expected 10000 each; allow ±6%.
+    EXPECT_GT(c, 9400);
+    EXPECT_LT(c, 10600);
+  }
+}
+
+TEST(Xoshiro256, BernoulliMatchesProbability) {
+  Xoshiro256 rng(11);
+  int hits = 0;
+  constexpr int n = 100000;
+  for (int k = 0; k < n; ++k)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, BernoulliDegenerateCases) {
+  Xoshiro256 rng(11);
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro256, BernoulliRejectsOutOfRange) {
+  Xoshiro256 rng(11);
+  EXPECT_THROW((void)rng.bernoulli(-0.1), ContractViolation);
+  EXPECT_THROW((void)rng.bernoulli(1.1), ContractViolation);
+}
+
+TEST(Xoshiro256, SplitGivesIndependentStream) {
+  Xoshiro256 parent(100);
+  Xoshiro256 child = parent.split();
+  int equal = 0;
+  for (int k = 0; k < 1000; ++k)
+    if (parent() == child()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~0ULL);
+  Xoshiro256 rng(1);
+  const std::uint64_t v = rng();
+  EXPECT_GE(v, Xoshiro256::min());
+}
+
+}  // namespace
+}  // namespace cellflow

@@ -1,0 +1,117 @@
+// Unit tests for the Route function (Figure 4): synchronous distance-
+// vector update with saturating ∞ and id tie-breaking.
+#include "core/route.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cellflow {
+namespace {
+
+RouteResult run(std::vector<NeighborDist> nds) {
+  return route_step(nds);
+}
+
+TEST(Route, PicksUniqueMinimumNeighbor) {
+  const auto r = run({{CellId{0, 1}, Dist::finite(5)},
+                      {CellId{2, 1}, Dist::finite(3)},
+                      {CellId{1, 0}, Dist::finite(7)},
+                      {CellId{1, 2}, Dist::finite(4)}});
+  EXPECT_EQ(r.dist, Dist::finite(4));
+  EXPECT_EQ(r.next, OptCellId(CellId{2, 1}));
+}
+
+TEST(Route, AdjacentToTargetGetsDistOne) {
+  const auto r = run({{CellId{2, 2}, Dist::zero()},
+                      {CellId{0, 2}, Dist::infinity()}});
+  EXPECT_EQ(r.dist, Dist::finite(1));
+  EXPECT_EQ(r.next, OptCellId(CellId{2, 2}));
+}
+
+TEST(Route, TieBrokenByLowestId) {
+  // Both neighbors claim distance 2; ⟨0,1⟩ < ⟨1,0⟩ lexicographically.
+  const auto r = run({{CellId{1, 0}, Dist::finite(2)},
+                      {CellId{0, 1}, Dist::finite(2)}});
+  EXPECT_EQ(r.dist, Dist::finite(3));
+  EXPECT_EQ(r.next, OptCellId(CellId{0, 1}));
+}
+
+TEST(Route, TieBreakIndependentOfInputOrder) {
+  const std::vector<NeighborDist> a = {{CellId{1, 0}, Dist::finite(2)},
+                                       {CellId{0, 1}, Dist::finite(2)},
+                                       {CellId{1, 2}, Dist::finite(2)},
+                                       {CellId{2, 1}, Dist::finite(2)}};
+  std::vector<NeighborDist> b(a.rbegin(), a.rend());
+  EXPECT_EQ(run(a).next, run(b).next);
+  EXPECT_EQ(run(a).next, OptCellId(CellId{0, 1}));
+}
+
+TEST(Route, AllNeighborsInfiniteGivesBottomNext) {
+  const auto r = run({{CellId{0, 1}, Dist::infinity()},
+                      {CellId{2, 1}, Dist::infinity()},
+                      {CellId{1, 0}, Dist::infinity()}});
+  EXPECT_TRUE(r.dist.is_infinite());
+  EXPECT_EQ(r.next, OptCellId{});
+}
+
+TEST(Route, MixedInfinityIgnoredWhenFiniteExists) {
+  const auto r = run({{CellId{0, 1}, Dist::infinity()},
+                      {CellId{2, 1}, Dist::finite(9)}});
+  EXPECT_EQ(r.dist, Dist::finite(10));
+  EXPECT_EQ(r.next, OptCellId(CellId{2, 1}));
+}
+
+TEST(Route, EmptyNeighborhoodViolatesContract) {
+  EXPECT_THROW((void)route_step({}), ContractViolation);
+}
+
+TEST(Route, SingleNeighbor) {
+  const auto r = run({{CellId{0, 0}, Dist::finite(0)}});
+  EXPECT_EQ(r.dist, Dist::finite(1));
+  EXPECT_EQ(r.next, OptCellId(CellId{0, 0}));
+}
+
+// Synchronous-iteration property: iterating route_step on a line of cells
+// converges to exact hop counts in (length − 1) rounds — the per-cell
+// essence of Lemma 6.
+TEST(Route, LineConvergesInLengthRounds) {
+  constexpr int kLen = 10;  // cells 0..9, target at 0 with dist 0
+  std::vector<Dist> dist(kLen, Dist::infinity());
+  dist[0] = Dist::zero();
+  for (int round = 0; round < kLen - 1; ++round) {
+    std::vector<Dist> prev = dist;
+    for (int c = 1; c < kLen; ++c) {
+      std::vector<NeighborDist> nds;
+      nds.push_back({CellId{c - 1, 0}, prev[static_cast<std::size_t>(c - 1)]});
+      if (c + 1 < kLen)
+        nds.push_back({CellId{c + 1, 0}, prev[static_cast<std::size_t>(c + 1)]});
+      dist[static_cast<std::size_t>(c)] = route_step(nds).dist;
+    }
+  }
+  for (int c = 0; c < kLen; ++c)
+    EXPECT_EQ(dist[static_cast<std::size_t>(c)],
+              Dist::finite(static_cast<std::uint64_t>(c)));
+}
+
+// Stale-value washout: a cell whose neighbors all report values *larger*
+// than its own corrupted-small dist adopts min+1, so corrupted low
+// estimates rise by at least one per round until they match reality —
+// this is the count-to-correct mechanism behind self-stabilization.
+TEST(Route, CorruptedLowEstimateRises) {
+  // Two cells each seeing only the other, both starting (wrongly) at 1.
+  Dist a = Dist::finite(1);
+  Dist b = Dist::finite(1);
+  for (int round = 1; round <= 5; ++round) {
+    const Dist na = route_step({{{CellId{1, 0}, b}}}).dist;
+    const Dist nb = route_step({{{CellId{0, 0}, a}}}).dist;
+    a = na;
+    b = nb;
+    EXPECT_EQ(a, Dist::finite(static_cast<std::uint64_t>(1 + round)));
+  }
+}
+
+}  // namespace
+}  // namespace cellflow

@@ -1,0 +1,140 @@
+// Tests for Lemma 6 / Corollary 7: once failures cease, every target-
+// connected cell's (dist, next) stabilizes to the BFS reference within
+// O(N²) rounds — and stays there.
+#include <gtest/gtest.h>
+
+#include "core/choose.hpp"
+#include "failure/failure_model.hpp"
+#include "helpers.hpp"
+#include "sim/observers.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace cellflow {
+namespace {
+
+const Params kP(0.2, 0.1, 0.1);
+
+// Checks exact agreement with the reference on every TC cell.
+bool routing_agrees(const System& sys) {
+  const auto rho = sys.reference_distances();
+  for (const CellId id : sys.grid().all_cells()) {
+    const Dist expect = rho[sys.grid().index_of(id)];
+    if (expect.is_infinite()) continue;
+    if (sys.cell(id).dist != expect) return false;
+    if (id != sys.target()) {
+      const OptCellId next = sys.cell(id).next;
+      if (!next.has_value()) return false;
+      if (rho[sys.grid().index_of(*next)].plus_one() != expect) return false;
+    }
+  }
+  return true;
+}
+
+TEST(RouteStabilization, FreshSystemConvergesWithinDiameterRounds) {
+  System sys = testing::make_column_system(8, kP);
+  // Maximum ρ on the 8×8 grid from ⟨1,7⟩ is 13 (Manhattan diameter).
+  testing::run_rounds(sys, 14);
+  EXPECT_TRUE(routing_agrees(sys));
+}
+
+TEST(RouteStabilization, AgreementIsStableOnceReached) {
+  System sys = testing::make_column_system(8, kP);
+  testing::run_rounds(sys, 20);
+  ASSERT_TRUE(routing_agrees(sys));
+  for (int k = 0; k < 50; ++k) {
+    sys.update();
+    EXPECT_TRUE(routing_agrees(sys)) << "diverged at round " << sys.round();
+  }
+}
+
+TEST(RouteStabilization, RecoversAfterWallFailure) {
+  System sys = testing::make_column_system(8, kP);
+  testing::run_rounds(sys, 20);
+  // Drop a wall splitting the grid except one gap at j ∈ {0, 1}: cells
+  // northeast of the wall must detour *south* first (a genuinely longer,
+  // non-monotone path).
+  for (int j = 2; j < 8; ++j) sys.fail(CellId{4, j});
+  // O(N²) bound with slack: dist values must count up past stale
+  // estimates; 4·N² = 256 is generous.
+  bool ok = false;
+  for (int k = 0; k < 256 && !ok; ++k) {
+    sys.update();
+    ok = routing_agrees(sys);
+  }
+  EXPECT_TRUE(ok);
+  // ⟨7,7⟩ sat at Manhattan distance 6 before the wall; the detour through
+  // the j ≤ 1 gap costs 18 hops.
+  ASSERT_TRUE(sys.cell(CellId{7, 7}).dist.is_finite());
+  EXPECT_EQ(sys.cell(CellId{7, 7}).dist.hops(), 18u);
+}
+
+TEST(RouteStabilization, MonitorReportsStabilizationRound) {
+  System sys = testing::make_column_system(6, kP);
+  ScriptedFailures failures({{10, CellId{1, 3}, false},
+                             {10, CellId{2, 3}, false},
+                             {40, CellId{1, 3}, true}});
+  Simulator sim(sys, failures);
+  RoutingStabilizationMonitor monitor;
+  sim.add_observer(monitor);
+  sim.run(300);
+  ASSERT_TRUE(monitor.stabilized_at().has_value());
+  // Stabilized only after the last topology change at round 40.
+  EXPECT_GE(*monitor.stabilized_at(), 40u);
+  EXPECT_TRUE(monitor.currently_agrees());
+}
+
+TEST(RouteStabilization, CorruptedDistValuesWashOut) {
+  System sys = testing::make_column_system(8, kP);
+  testing::run_rounds(sys, 20);
+  // Corrupt every cell's control state with garbage (dist too LOW — the
+  // hard direction, since too-high heals in one wavefront pass).
+  Xoshiro256 rng(77);
+  for (const CellId id : sys.grid().all_cells()) {
+    if (id == sys.target()) continue;
+    const auto fake = Dist::finite(rng.below(3));
+    sys.corrupt_control_state(id, fake, std::nullopt, std::nullopt,
+                              std::nullopt);
+  }
+  bool ok = false;
+  for (int k = 0; k < 256 && !ok; ++k) {
+    sys.update();
+    ok = routing_agrees(sys);
+  }
+  EXPECT_TRUE(ok);
+}
+
+// Corollary 7 sweep: measure stabilization time after a burst of random
+// failures on N×N grids and assert the O(N²) bound (with constant 4).
+class StabilizationBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(StabilizationBound, WithinFourNSquaredOfLastFail) {
+  const int n = GetParam();
+  SystemConfig cfg;
+  cfg.side = n;
+  cfg.params = kP;
+  cfg.sources = {};
+  cfg.target = CellId{n / 2, n / 2};
+  System sys(cfg, nullptr, std::make_unique<NullSource>());
+  testing::run_rounds(sys, static_cast<std::uint64_t>(2 * n));
+
+  // Fail ~20% of cells (never the target), then measure recovery time.
+  Xoshiro256 rng(static_cast<std::uint64_t>(n) * 1000 + 7);
+  for (const CellId id : sys.grid().all_cells()) {
+    if (id != cfg.target && rng.bernoulli(0.2)) sys.fail(id);
+  }
+  std::uint64_t rounds = 0;
+  const auto bound = static_cast<std::uint64_t>(4 * n * n);
+  while (!routing_agrees(sys) && rounds < bound) {
+    sys.update();
+    ++rounds;
+  }
+  EXPECT_TRUE(routing_agrees(sys))
+      << "not stabilized after " << rounds << " rounds on " << n << "x" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(GridSizes, StabilizationBound,
+                         ::testing::Values(4, 6, 8, 12, 16, 24));
+
+}  // namespace
+}  // namespace cellflow

@@ -1,0 +1,122 @@
+// The paper (§I): "This permission-to-move policy turns out to be
+// necessary, because movement of neighboring cells may otherwise result
+// in a violation of safety in the signaling cell." We make that claim
+// executable: the kAlwaysGrant ablation (identical protocol minus the
+// entry-strip check) violates Theorem 5 under load, while the real rule
+// never does — on the same workloads, same seeds.
+#include <gtest/gtest.h>
+
+#include "core/choose.hpp"
+#include "core/predicates.hpp"
+#include "failure/failure_model.hpp"
+#include "helpers.hpp"
+#include "sim/observers.hpp"
+#include "sim/simulator.hpp"
+
+namespace cellflow {
+namespace {
+
+const Params kP(0.25, 0.05, 0.1);
+
+SystemConfig column_config(SignalRule rule) {
+  SystemConfig cfg;
+  cfg.side = 6;
+  cfg.params = kP;
+  cfg.sources = {CellId{1, 0}};
+  cfg.target = CellId{1, 5};
+  cfg.signal_rule = rule;
+  return cfg;
+}
+
+TEST(SignalNecessity, AlwaysGrantViolatesSafetyUnderLoad) {
+  System sys{column_config(SignalRule::kAlwaysGrant)};
+  NoFailures none;
+  Simulator sim(sys, none);
+  SafetyMonitor safety;
+  sim.add_observer(safety);
+  sim.run(600);
+  EXPECT_FALSE(safety.clean())
+      << "the broken grant rule was expected to violate Theorem 5";
+}
+
+TEST(SignalNecessity, BlockingRuleIsSafeOnSameWorkload) {
+  System sys{column_config(SignalRule::kBlocking)};
+  NoFailures none;
+  Simulator sim(sys, none);
+  SafetyMonitor safety;
+  sim.add_observer(safety);
+  sim.run(600);
+  EXPECT_TRUE(safety.clean()) << safety.report();
+}
+
+TEST(SignalNecessity, ViolationIsInTheSignalingCell) {
+  // The paper pinpoints *where* safety breaks: in the granting cell, when
+  // an entity transfers into a strip that still holds a resident. Check
+  // the first violation is a Safe/footprint violation (entities too
+  // close within one cell), not some other artifact.
+  System sys{column_config(SignalRule::kAlwaysGrant)};
+  NoFailures none;
+  Simulator sim(sys, none);
+  SafetyMonitor safety;
+  sim.add_observer(safety);
+  sim.run(600);
+  ASSERT_FALSE(safety.clean());
+  const Violation& first = safety.violations().front();
+  EXPECT_TRUE(first.predicate == "Safe" || first.predicate == "H" ||
+              first.predicate == "FootprintGap" ||
+              first.predicate == "FootprintOverlap")
+      << first.predicate;
+}
+
+// The deterministic counterexample needs *contention*: if every cell is
+// granted every round, all entities advance in lockstep and gaps are
+// preserved even without the strip check. The violation arises when the
+// receiving cell is stalled (its own grant went to a competitor) while a
+// predecessor pushes an entity in. Topology: ⟨0,0⟩ and ⟨1,1⟩ feed
+// ⟨1,0⟩, which competes with ⟨2,1⟩ for the target ⟨2,0⟩'s grant.
+System make_counterexample(SignalRule rule) {
+  SystemConfig cfg;
+  cfg.side = 3;
+  cfg.params = Params(0.2, 0.1, 0.1);  // d = 0.3
+  cfg.sources = {};
+  cfg.target = CellId{2, 0};
+  cfg.signal_rule = rule;
+  System sys(cfg, nullptr, std::make_unique<NullSource>());
+  for (const CellId id : sys.grid().all_cells()) {
+    const bool keep = id == CellId{0, 0} || id == CellId{1, 0} ||
+                      id == CellId{2, 0} || id == CellId{1, 1} ||
+                      id == CellId{2, 1};
+    if (!keep) sys.fail(id);
+  }
+  // Resident inside ⟨1,0⟩'s west entry strip; pushers behind it and on
+  // the competing streams that stall ⟨1,0⟩ and occupy its token.
+  sys.seed_entity(CellId{1, 0}, Vec2{1.2, 0.5});
+  sys.seed_entity(CellId{0, 0}, Vec2{0.9, 0.5});
+  sys.seed_entity(CellId{1, 1}, Vec2{1.5, 1.5});
+  sys.seed_entity(CellId{2, 1}, Vec2{2.5, 1.5});
+  return sys;
+}
+
+TEST(SignalNecessity, MinimalMergeCounterexample) {
+  System sys = make_counterexample(SignalRule::kAlwaysGrant);
+  bool violated = false;
+  for (int k = 0; k < 40 && !violated; ++k) {
+    sys.update();
+    violated = check_safe(sys).has_value();
+  }
+  EXPECT_TRUE(violated);
+}
+
+TEST(SignalNecessity, BlockingRuleSurvivesSameCounterexample) {
+  System sys = make_counterexample(SignalRule::kBlocking);
+  for (int k = 0; k < 400; ++k) {
+    sys.update();
+    ASSERT_FALSE(check_safe(sys).has_value()) << "round " << k;
+  }
+  // And every entity eventually arrives anyway — blocking costs time,
+  // not progress.
+  EXPECT_EQ(sys.total_arrivals(), 4u);
+}
+
+}  // namespace
+}  // namespace cellflow

@@ -1,0 +1,140 @@
+// Tests for the source policies and the System's injection validation.
+#include "core/source.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace cellflow {
+namespace {
+
+const Params kP(0.2, 0.1, 0.1);  // d = 0.3
+
+TEST(EntryEdgeSource, PlacesOppositeNextDirection) {
+  const Grid g(8);
+  EntryEdgeSource src;
+  CellState st;
+  st.next = CellId{1, 1};  // northbound from ⟨1,0⟩ → inject at south edge
+  const auto pos = src.propose(g, kP, CellId{1, 0}, st);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_DOUBLE_EQ(pos->x, 1.5);
+  EXPECT_DOUBLE_EQ(pos->y, 0.1);  // j + l/2
+}
+
+TEST(EntryEdgeSource, EachDirection) {
+  const Grid g(8);
+  EntryEdgeSource src;
+  CellState st;
+  const CellId self{3, 3};
+  st.next = CellId{4, 3};  // eastbound → west edge
+  EXPECT_DOUBLE_EQ(src.propose(g, kP, self, st)->x, 3.1);
+  st.next = CellId{2, 3};  // westbound → east edge
+  EXPECT_DOUBLE_EQ(src.propose(g, kP, self, st)->x, 3.9);
+  st.next = CellId{3, 2};  // southbound → north edge
+  EXPECT_DOUBLE_EQ(src.propose(g, kP, self, st)->y, 3.9);
+}
+
+TEST(EntryEdgeSource, FallsBackToCenterWithoutNext) {
+  const Grid g(8);
+  EntryEdgeSource src;
+  const CellState st;  // next = ⊥
+  const auto pos = src.propose(g, kP, CellId{2, 2}, st);
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_DOUBLE_EQ(pos->x, 2.5);
+  EXPECT_DOUBLE_EQ(pos->y, 2.5);
+}
+
+TEST(RateLimitedSource, RespectsRateStatistically) {
+  const Grid g(8);
+  RateLimitedSource src(0.25, 42);
+  const CellState st;
+  int proposals = 0;
+  constexpr int n = 10000;
+  for (int k = 0; k < n; ++k)
+    if (src.propose(g, kP, CellId{0, 0}, st).has_value()) ++proposals;
+  EXPECT_NEAR(static_cast<double>(proposals) / n, 0.25, 0.02);
+}
+
+TEST(RateLimitedSource, RateZeroNeverProposes) {
+  const Grid g(8);
+  RateLimitedSource src(0.0, 1);
+  const CellState st;
+  for (int k = 0; k < 100; ++k)
+    EXPECT_FALSE(src.propose(g, kP, CellId{0, 0}, st).has_value());
+}
+
+TEST(RateLimitedSource, InvalidRateRejected) {
+  EXPECT_THROW(RateLimitedSource(-0.1, 1), ContractViolation);
+  EXPECT_THROW(RateLimitedSource(1.1, 1), ContractViolation);
+}
+
+TEST(BoundedSource, StopsAfterBudget) {
+  const Grid g(8);
+  BoundedSource src(2);
+  const CellState st;
+  EXPECT_TRUE(src.propose(g, kP, CellId{0, 0}, st).has_value());
+  src.note_accepted();
+  EXPECT_EQ(src.remaining(), 1u);
+  EXPECT_TRUE(src.propose(g, kP, CellId{0, 0}, st).has_value());
+  src.note_accepted();
+  EXPECT_EQ(src.remaining(), 0u);
+  EXPECT_FALSE(src.propose(g, kP, CellId{0, 0}, st).has_value());
+}
+
+TEST(BoundedSource, RejectedProposalsDoNotConsumeBudget) {
+  const Grid g(8);
+  BoundedSource src(1);
+  const CellState st;
+  (void)src.propose(g, kP, CellId{0, 0}, st);
+  (void)src.propose(g, kP, CellId{0, 0}, st);  // no note_accepted between
+  EXPECT_EQ(src.remaining(), 1u);
+}
+
+TEST(NullSource, NeverProposes) {
+  const Grid g(8);
+  NullSource src;
+  const CellState st;
+  EXPECT_FALSE(src.propose(g, kP, CellId{0, 0}, st).has_value());
+}
+
+// --- System-level injection behavior ---------------------------------
+
+TEST(SystemInjection, InjectsAtMostOnePerRound) {
+  System sys = testing::make_column_system(4, kP);
+  sys.update();
+  EXPECT_LE(sys.last_events().injected.size(), 1u);
+  EXPECT_EQ(sys.entity_count(), sys.total_injected() - sys.total_arrivals());
+}
+
+TEST(SystemInjection, SkipsWhenCellSaturated) {
+  // Tight params: only a few entities fit per cell; run long with the
+  // target unreachable (carve nothing, fail the whole first column's exit)
+  // — actually simpler: fail every non-source cell so nothing drains.
+  System sys = testing::make_column_system(4, kP);
+  for (const CellId id : sys.grid().all_cells())
+    if (id != CellId{1, 0}) sys.fail(id);
+  testing::run_rounds(sys, 50);
+  // Cell is 1×1, d = 0.3 → at most a 4×4 lattice of entities fits; the
+  // injector must stop well before 50.
+  EXPECT_LE(sys.cell(CellId{1, 0}).members.size(), 16u);
+  // And whatever was injected is safely spaced (checked by the oracle in
+  // test_safety_random; here just population sanity).
+  EXPECT_GT(sys.cell(CellId{1, 0}).members.size(), 0u);
+}
+
+TEST(SystemInjection, FailedSourceDoesNotInject) {
+  System sys = testing::make_column_system(4, kP);
+  sys.fail(CellId{1, 0});
+  testing::run_rounds(sys, 10);
+  EXPECT_EQ(sys.total_injected(), 0u);
+}
+
+TEST(SystemInjection, InjectionEventsCarrySourceCell) {
+  System sys = testing::make_column_system(4, kP);
+  sys.update();
+  ASSERT_EQ(sys.last_events().injected.size(), 1u);
+  EXPECT_EQ(sys.last_events().injected[0].first, (CellId{1, 0}));
+}
+
+}  // namespace
+}  // namespace cellflow

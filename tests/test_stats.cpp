@@ -1,0 +1,187 @@
+// Tests for the statistics substrate (RunningStats, Histogram, series
+// helpers) against closed-form expectations.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace cellflow {
+namespace {
+
+TEST(RunningStats, EmptyIsNeutral) {
+  const RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (const double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n−1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsConcatenation) {
+  Xoshiro256 rng(7);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int k = 0; k < 500; ++k) {
+    const double x = rng.uniform(-3.0, 9.0);
+    all.add(x);
+    (k % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  RunningStats small;
+  RunningStats large;
+  Xoshiro256 rng(9);
+  for (int k = 0; k < 10; ++k) small.add(rng.uniform01());
+  for (int k = 0; k < 1000; ++k) large.add(rng.uniform01());
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, CountsFallInCorrectBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(3.5);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 2u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(42.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Xoshiro256 rng(21);
+  for (int k = 0; k < 50000; ++k) h.add(rng.uniform01());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, QuantilePreconditions) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW((void)h.quantile(0.5), ContractViolation);  // empty
+  h.add(0.5);
+  EXPECT_THROW((void)h.quantile(1.5), ContractViolation);
+}
+
+TEST(Histogram, InvalidConstructionRejected) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+TEST(Histogram, AsciiRenderingMentionsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string art = h.to_ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('2'), std::string::npos);
+}
+
+TEST(SeriesHelpers, MeanAndStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.5);
+  EXPECT_NEAR(stddev_of(xs), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev_of(std::vector<double>{7.0}), 0.0);
+}
+
+TEST(SeriesHelpers, OlsSlopeExactLine) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys = {1.0, 3.0, 5.0, 7.0};  // y = 2x + 1
+  EXPECT_NEAR(ols_slope(xs, ys), 2.0, 1e-12);
+}
+
+TEST(SeriesHelpers, OlsSlopeSignDetectsTrends) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> down = {9.0, 7.5, 6.9, 5.0, 4.2};
+  EXPECT_LT(ols_slope(xs, down), 0.0);
+}
+
+TEST(SeriesHelpers, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys = {5.0, 6.0, 7.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {8.0, 7.0, 6.0, 5.0};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(SeriesHelpers, DegenerateInputsRejected) {
+  const std::vector<double> xs = {1.0, 1.0};
+  const std::vector<double> ys = {1.0, 2.0};
+  EXPECT_THROW((void)ols_slope(xs, ys), ContractViolation);
+  EXPECT_THROW((void)pearson(ys, xs), ContractViolation);
+  EXPECT_THROW((void)ols_slope(std::vector<double>{1.0},
+                               std::vector<double>{1.0}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace cellflow

@@ -1,0 +1,77 @@
+// Tests for the aligned console table renderer used by the benches.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace cellflow {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable t;
+  t.set_header({"rs", "v=0.1", "v=0.2"});
+  t.add_row({"0.05", "0.035", "0.07"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("rs"), std::string::npos);
+  EXPECT_NE(s.find("v=0.2"), std::string::npos);
+  EXPECT_NE(s.find("0.07"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-label", "22"});
+  const std::string s = t.to_string();
+  // Every line must have the same width (right-aligned numeric column).
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  int lines = 0;
+  while (start < s.size()) {
+    const std::size_t end = s.find('\n', start);
+    const std::size_t len = end - start;
+    if (lines > 0) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = end + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 4);  // header + rule + 2 rows
+}
+
+TEST(TextTable, NumericRowFormatsSignificantDigits) {
+  TextTable t;
+  t.set_header({"label", "a", "b"});
+  t.add_numeric_row("row", {0.123456, 1234.5678}, 3);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("0.123"), std::string::npos);
+  EXPECT_NE(s.find("1.23e+03"), std::string::npos);
+}
+
+TEST(TextTable, MismatchedRowWidthViolatesContract) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TextTable, RenderWithoutHeaderViolatesContract) {
+  const TextTable t;
+  EXPECT_THROW((void)t.to_string(), ContractViolation);
+}
+
+TEST(TextTable, EmptyHeaderRejected) {
+  TextTable t;
+  EXPECT_THROW(t.set_header({}), ContractViolation);
+}
+
+TEST(FormatSig, RendersRequestedPrecision) {
+  EXPECT_EQ(format_sig(0.123456, 3), "0.123");
+  EXPECT_EQ(format_sig(2.0, 4), "2");
+  EXPECT_EQ(format_sig(12345.0, 2), "1.2e+04");
+}
+
+}  // namespace
+}  // namespace cellflow

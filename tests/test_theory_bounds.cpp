@@ -1,0 +1,139 @@
+// Analytic sanity bounds on the simulation: results the model implies
+// mathematically, checked against measured behavior. These catch whole
+// classes of implementation bugs (double-moves, double-counted arrivals,
+// teleporting entities) that unit tests can miss.
+#include <gtest/gtest.h>
+
+#include "core/predicates.hpp"
+#include "sim/experiment.hpp"
+#include "sim/observers.hpp"
+#include "sim/simulator.hpp"
+
+namespace cellflow {
+namespace {
+
+TEST(TheoryBounds, ThroughputNeverExceedsPipelineBound) {
+  // Entities cross the target's entry edge spaced ≥ d apart along the
+  // motion axis moving at most v per round, so throughput ≤ v/d per
+  // entry lane. The straight-column workload uses one lane; with
+  // abreast entities a cell of width 1 fits ⌊1/d⌋ + 1 lanes. Bound with
+  // the lane count for safety.
+  for (const auto& [rs, v] :
+       {std::pair{0.05, 0.1}, std::pair{0.05, 0.25}, std::pair{0.3, 0.2}}) {
+    WorkloadSpec spec = fig7_base(rs, v);
+    spec.rounds = 2500;
+    const RunResult r = run_workload(spec, 3);
+    const double d = 0.25 + rs;  // l + rs
+    const double lanes = std::floor(1.0 / d) + 1.0;
+    EXPECT_LE(r.throughput, lanes * v / d + 1e-9)
+        << "rs=" << rs << " v=" << v;
+  }
+}
+
+TEST(TheoryBounds, ArrivalsNeverExceedInjections) {
+  WorkloadSpec spec = fig7_base(0.05, 0.2);
+  spec.rounds = 1500;
+  const RunResult r = run_workload(spec, 9);
+  EXPECT_LE(r.arrivals, r.injected);
+}
+
+TEST(TheoryBounds, PopulationBalanceEquation) {
+  // injected = arrived + in-flight, at every round.
+  SystemConfig cfg;
+  cfg.side = 6;
+  cfg.params = Params(0.2, 0.1, 0.1);
+  cfg.sources = {CellId{1, 0}};
+  cfg.target = CellId{1, 5};
+  System sys{cfg};
+  for (int k = 0; k < 700; ++k) {
+    sys.update();
+    ASSERT_EQ(sys.total_injected(),
+              sys.total_arrivals() + sys.entity_count())
+        << "round " << k;
+  }
+}
+
+TEST(TheoryBounds, PerRoundDisplacementCap) {
+  // No entity may move more than v in one round (transfers re-place at
+  // the entry edge, which is also ≤ v from the crossing point along the
+  // motion axis... the placed position may differ from pos+v by < l/2;
+  // bound by v + l). Checked over a busy execution.
+  SystemConfig cfg;
+  cfg.side = 6;
+  cfg.params = Params(0.2, 0.1, 0.1);
+  cfg.sources = {CellId{1, 0}};
+  cfg.target = CellId{1, 5};
+  System sys{cfg};
+  std::vector<std::pair<EntityId, Vec2>> prev;
+  const double cap = 0.1 + 0.2 + 1e-9;  // v + l
+  for (int k = 0; k < 500; ++k) {
+    prev.clear();
+    for (const CellState& c : sys.cells())
+      for (const Entity& e : c.members) prev.emplace_back(e.id, e.center);
+    sys.update();
+    for (const CellState& c : sys.cells()) {
+      for (const Entity& e : c.members) {
+        for (const auto& [id, pos] : prev) {
+          if (id == e.id) {
+            ASSERT_LE(l1_distance(e.center, pos), cap) << "round " << k;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TheoryBounds, LongRunNoFloatDrift) {
+  // 50k rounds of continuous traffic: accumulated v-additions must never
+  // push an entity outside its cell's Invariant-1 bounds nor erode the
+  // safety margin below the oracle tolerance.
+  SystemConfig cfg;
+  cfg.side = 5;
+  cfg.params = Params(0.25, 0.05, 0.1);
+  cfg.sources = {CellId{1, 0}};
+  cfg.target = CellId{1, 4};
+  System sys{cfg};
+  for (int k = 0; k < 50000; ++k) {
+    sys.update();
+    if (k % 500 == 0) {
+      ASSERT_FALSE(check_members_in_bounds(sys).has_value()) << "round " << k;
+      ASSERT_FALSE(check_safe(sys).has_value()) << "round " << k;
+    }
+  }
+  EXPECT_GT(sys.total_arrivals(), 1000u);
+}
+
+TEST(TheoryBounds, StabilizationNeverExceedsCorollarySevenBound) {
+  // Already covered parametrically in test_route_stabilization; this is
+  // the tight version for the fresh start: convergence takes exactly the
+  // eccentricity of the target (longest BFS distance), never more.
+  for (const int side : {4, 8, 16}) {
+    SystemConfig cfg;
+    cfg.side = side;
+    cfg.params = Params(0.2, 0.1, 0.1);
+    cfg.sources = {};
+    cfg.target = CellId{1, side - 1};
+    System sys(cfg, nullptr, std::make_unique<NullSource>());
+    const auto rho = sys.reference_distances();
+    std::uint64_t ecc = 0;
+    for (const Dist d : rho)
+      if (d.is_finite()) ecc = std::max(ecc, d.hops());
+    std::uint64_t rounds = 0;
+    for (;; ++rounds) {
+      bool agree = true;
+      for (const CellId id : sys.grid().all_cells()) {
+        if (sys.cell(id).dist != rho[sys.grid().index_of(id)]) {
+          agree = false;
+          break;
+        }
+      }
+      if (agree) break;
+      ASSERT_LE(rounds, ecc) << "side " << side;
+      sys.update();
+    }
+    EXPECT_LE(rounds, ecc);
+  }
+}
+
+}  // namespace
+}  // namespace cellflow

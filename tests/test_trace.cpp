@@ -1,0 +1,133 @@
+// Tests for the trace recorder: event capture, failure diffing, and the
+// determinism guarantee (identical seeds → byte-identical traces).
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/choose.hpp"
+#include "failure/failure_model.hpp"
+#include "helpers.hpp"
+#include "sim/simulator.hpp"
+
+namespace cellflow {
+namespace {
+
+const Params kP(0.2, 0.1, 0.1);
+
+TEST(Trace, RecordsInjectionsTransfersAndConsumption) {
+  System sys = testing::make_column_system(5, kP);
+  NoFailures none;
+  Simulator sim(sys, none);
+  TraceRecorder trace;
+  sim.add_observer(trace);
+  sim.run(600);
+
+  bool saw_inject = false;
+  bool saw_transfer = false;
+  bool saw_consume = false;
+  for (const TraceRecord& r : trace.records()) {
+    switch (r.kind) {
+      case TraceRecord::Kind::kInject: saw_inject = true; break;
+      case TraceRecord::Kind::kTransfer: saw_transfer = true; break;
+      case TraceRecord::Kind::kConsume: saw_consume = true; break;
+      default: break;
+    }
+  }
+  EXPECT_TRUE(saw_inject);
+  EXPECT_TRUE(saw_transfer);
+  EXPECT_TRUE(saw_consume);
+}
+
+TEST(Trace, RecordsFailAndRecover) {
+  System sys = testing::make_column_system(4, kP);
+  ScriptedFailures failures({{5, CellId{2, 2}, false}, {9, CellId{2, 2}, true}});
+  Simulator sim(sys, failures);
+  TraceRecorder trace;
+  sim.add_observer(trace);
+  sim.run(20);
+
+  int fails = 0;
+  int recovers = 0;
+  for (const TraceRecord& r : trace.records()) {
+    if (r.kind == TraceRecord::Kind::kFail) {
+      ++fails;
+      EXPECT_EQ(r.cell, (CellId{2, 2}));
+      EXPECT_EQ(r.round, 5u);
+    }
+    if (r.kind == TraceRecord::Kind::kRecover) {
+      ++recovers;
+      EXPECT_EQ(r.round, 9u);
+    }
+  }
+  EXPECT_EQ(fails, 1);
+  EXPECT_EQ(recovers, 1);
+}
+
+TEST(Trace, ConsumptionRecordsNameTheTarget) {
+  System sys = testing::make_column_system(4, kP);
+  NoFailures none;
+  Simulator sim(sys, none);
+  TraceRecorder trace;
+  sim.add_observer(trace);
+  sim.run(500);
+  for (const TraceRecord& r : trace.records()) {
+    if (r.kind == TraceRecord::Kind::kConsume) {
+      EXPECT_EQ(r.other, sys.target());
+    }
+  }
+}
+
+TEST(Trace, SerializeIsHumanReadable) {
+  System sys = testing::make_column_system(4, kP);
+  NoFailures none;
+  Simulator sim(sys, none);
+  TraceRecorder trace;
+  sim.add_observer(trace);
+  sim.run(400);
+  const std::string s = trace.serialize();
+  EXPECT_NE(s.find("inject"), std::string::npos);
+  EXPECT_NE(s.find("transfer"), std::string::npos);
+  EXPECT_NE(s.find("->"), std::string::npos);
+}
+
+TEST(Trace, ToStringFormatsEachKind) {
+  TraceRecord r;
+  r.round = 3;
+  r.kind = TraceRecord::Kind::kFail;
+  r.cell = CellId{1, 2};
+  EXPECT_EQ(to_string(r), "3 fail <1,2>");
+  r.kind = TraceRecord::Kind::kInject;
+  r.entity = EntityId{9};
+  EXPECT_EQ(to_string(r), "3 inject p9 at <1,2>");
+  r.kind = TraceRecord::Kind::kTransfer;
+  r.other = CellId{1, 3};
+  EXPECT_EQ(to_string(r), "3 transfer p9 <1,2> -> <1,3>");
+}
+
+// The determinism pillar: same seeds → identical traces, different seeds
+// → different traces (with a stochastic policy in play).
+std::string run_traced(std::uint64_t seed, std::uint64_t rounds) {
+  SystemConfig cfg;
+  cfg.side = 6;
+  cfg.params = kP;
+  cfg.sources = {CellId{1, 0}};
+  cfg.target = CellId{1, 5};
+  System sys(cfg, make_choose_policy("random", seed));
+  RandomFailRecover failures(0.02, 0.1, seed ^ 0xF00D);
+  Simulator sim(sys, failures);
+  TraceRecorder trace;
+  sim.add_observer(trace);
+  sim.run(rounds);
+  return trace.serialize();
+}
+
+TEST(Trace, IdenticalSeedsGiveIdenticalTraces) {
+  EXPECT_EQ(run_traced(42, 800), run_traced(42, 800));
+}
+
+TEST(Trace, DifferentSeedsDiverge) {
+  EXPECT_NE(run_traced(42, 800), run_traced(43, 800));
+}
+
+}  // namespace
+}  // namespace cellflow

@@ -1,0 +1,126 @@
+// Qualitative reproduction of §IV's findings, asserted as trends (the
+// shapes of Figures 7–9, not their absolute values):
+//   Fig 7: throughput decreases in rs, increases in v, saturates at
+//          large rs (one entity per cell);
+//   Fig 8: throughput decreases with turns, then saturates;
+//   Fig 9: throughput decreases in pf, increases in pr, with diminishing
+//          returns in pr;
+//   §IV text: throughput is independent of path length.
+// These are the contract the benchmark binaries rely on. Shorter K than
+// the paper's (for test runtime) with fixed seeds.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "util/stats.hpp"
+
+namespace cellflow {
+namespace {
+
+constexpr std::uint64_t kSeed = 2026;
+
+double throughput_at(WorkloadSpec spec, std::uint64_t rounds) {
+  spec.rounds = rounds;
+  const RunResult r = run_workload(spec, kSeed);
+  EXPECT_TRUE(r.safety_clean) << r.safety_report;
+  return r.throughput;
+}
+
+TEST(TrendsFig7, ThroughputDecreasesInRs) {
+  const std::vector<double> rs_values = {0.05, 0.15, 0.25, 0.35, 0.45};
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const double rs : rs_values) {
+    xs.push_back(rs);
+    ys.push_back(throughput_at(fig7_base(rs, 0.2), 2500));
+  }
+  EXPECT_LT(ols_slope(xs, ys), 0.0);
+  // Endpoint dominance, not just slope.
+  EXPECT_GT(ys.front(), ys.back());
+}
+
+TEST(TrendsFig7, ThroughputIncreasesInV) {
+  const std::vector<double> v_values = {0.05, 0.1, 0.2};
+  std::vector<double> ys;
+  for (const double v : v_values)
+    ys.push_back(throughput_at(fig7_base(0.05, v), 2500));
+  EXPECT_LT(ys[0], ys[1]);
+  EXPECT_LT(ys[1], ys[2]);
+}
+
+TEST(TrendsFig7, ThroughputSaturatesAtLargeRs) {
+  // Once rs forces one entity per cell, further increases change little.
+  const double t55 = throughput_at(fig7_base(0.55, 0.2), 2500);
+  const double t70 = throughput_at(fig7_base(0.70, 0.2), 2500);
+  ASSERT_GT(t55, 0.0);
+  EXPECT_NEAR(t70 / t55, 1.0, 0.15);
+}
+
+TEST(TrendsFig8, ThroughputDecreasesWithTurnsThenSaturates) {
+  std::vector<double> ys;
+  for (const std::size_t turns : {0u, 1u, 2u, 3u, 4u, 5u, 6u})
+    ys.push_back(throughput_at(fig8_base(turns, 0.2, 0.2), 2500));
+  // Straight beats heavily-turning.
+  EXPECT_GT(ys[0], ys[5]);
+  EXPECT_GT(ys[0], ys[6]);
+  // Saturation at the high-turn end: the last two differ by little.
+  ASSERT_GT(ys[5], 0.0);
+  EXPECT_NEAR(ys[6] / ys[5], 1.0, 0.25);
+  // Overall negative trend.
+  const std::vector<double> xs = {0, 1, 2, 3, 4, 5, 6};
+  EXPECT_LT(ols_slope(xs, ys), 0.0);
+}
+
+TEST(TrendsFig8, FasterConfigDominatesSlowerAtEveryTurnCount) {
+  for (const std::size_t turns : {0u, 3u, 6u}) {
+    const double fast = throughput_at(fig8_base(turns, 0.2, 0.2), 2000);
+    const double slow = throughput_at(fig8_base(turns, 0.05, 0.1), 2000);
+    EXPECT_GT(fast, slow) << "turns=" << turns;
+  }
+}
+
+TEST(TrendsFig9, ThroughputDecreasesInPf) {
+  WorkloadSpec lo = fig9_base(0.01, 0.1);
+  WorkloadSpec hi = fig9_base(0.05, 0.1);
+  lo.choose_policy = hi.choose_policy = "round-robin";
+  const double tlo = throughput_at(lo, 8000);
+  const double thi = throughput_at(hi, 8000);
+  EXPECT_GT(tlo, thi);
+  EXPECT_GT(thi, 0.0);  // system still delivers under failures
+}
+
+TEST(TrendsFig9, ThroughputIncreasesInPr) {
+  const double tlo = throughput_at(fig9_base(0.03, 0.05), 8000);
+  const double thi = throughput_at(fig9_base(0.03, 0.2), 8000);
+  EXPECT_GT(thi, tlo);
+}
+
+TEST(TrendsFig9, FailuresHurtRelativeToFailureFree) {
+  WorkloadSpec clean = fig9_base(0.03, 0.1);
+  clean.pf = 0.0;
+  clean.pr = 0.0;
+  const double t_clean = throughput_at(clean, 8000);
+  const double t_faulty = throughput_at(fig9_base(0.03, 0.1), 8000);
+  EXPECT_GT(t_clean, t_faulty);
+}
+
+TEST(TrendsPathLength, ThroughputIndependentOfLength) {
+  // §IV: "for a sufficiently large K, throughput is independent of the
+  // length of the path." Compare straight columns of different lengths.
+  std::vector<double> ys;
+  for (const int side : {6, 8, 10, 12}) {
+    WorkloadSpec spec;
+    spec.config.side = side;
+    spec.config.params = Params(0.25, 0.05, 0.2);
+    spec.config.sources = {CellId{1, 0}};
+    spec.config.target = CellId{1, side - 1};
+    spec.rounds = 4000;
+    ys.push_back(throughput_at(spec, 4000));
+  }
+  const double lo = *std::min_element(ys.begin(), ys.end());
+  const double hi = *std::max_element(ys.begin(), ys.end());
+  ASSERT_GT(lo, 0.0);
+  EXPECT_LT((hi - lo) / hi, 0.15);  // within 15% across lengths 6–12
+}
+
+}  // namespace
+}  // namespace cellflow
