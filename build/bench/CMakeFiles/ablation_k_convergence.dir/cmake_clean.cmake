@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_k_convergence.dir/ablation_k_convergence.cpp.o"
+  "CMakeFiles/ablation_k_convergence.dir/ablation_k_convergence.cpp.o.d"
+  "ablation_k_convergence"
+  "ablation_k_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_k_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

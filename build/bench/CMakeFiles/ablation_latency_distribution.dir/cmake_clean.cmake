@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_latency_distribution.dir/ablation_latency_distribution.cpp.o"
+  "CMakeFiles/ablation_latency_distribution.dir/ablation_latency_distribution.cpp.o.d"
+  "ablation_latency_distribution"
+  "ablation_latency_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_latency_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_path_length.dir/ablation_path_length.cpp.o"
+  "CMakeFiles/ablation_path_length.dir/ablation_path_length.cpp.o.d"
+  "ablation_path_length"
+  "ablation_path_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_path_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_relaxed_coupling.dir/ablation_relaxed_coupling.cpp.o"
+  "CMakeFiles/ablation_relaxed_coupling.dir/ablation_relaxed_coupling.cpp.o.d"
+  "ablation_relaxed_coupling"
+  "ablation_relaxed_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_relaxed_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

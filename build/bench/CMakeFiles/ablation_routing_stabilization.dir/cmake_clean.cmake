@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_routing_stabilization.dir/ablation_routing_stabilization.cpp.o"
+  "CMakeFiles/ablation_routing_stabilization.dir/ablation_routing_stabilization.cpp.o.d"
+  "ablation_routing_stabilization"
+  "ablation_routing_stabilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_routing_stabilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_signal_necessity.dir/ablation_signal_necessity.cpp.o"
+  "CMakeFiles/ablation_signal_necessity.dir/ablation_signal_necessity.cpp.o.d"
+  "ablation_signal_necessity"
+  "ablation_signal_necessity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_signal_necessity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

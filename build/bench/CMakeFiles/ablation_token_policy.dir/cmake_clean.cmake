@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_token_policy.dir/ablation_token_policy.cpp.o"
+  "CMakeFiles/ablation_token_policy.dir/ablation_token_policy.cpp.o.d"
+  "ablation_token_policy"
+  "ablation_token_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_token_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

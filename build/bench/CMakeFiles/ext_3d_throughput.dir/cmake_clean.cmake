@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_3d_throughput.dir/ext_3d_throughput.cpp.o"
+  "CMakeFiles/ext_3d_throughput.dir/ext_3d_throughput.cpp.o.d"
+  "ext_3d_throughput"
+  "ext_3d_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_3d_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

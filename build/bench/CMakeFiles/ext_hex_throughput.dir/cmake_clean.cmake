@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hex_throughput.dir/ext_hex_throughput.cpp.o"
+  "CMakeFiles/ext_hex_throughput.dir/ext_hex_throughput.cpp.o.d"
+  "ext_hex_throughput"
+  "ext_hex_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hex_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

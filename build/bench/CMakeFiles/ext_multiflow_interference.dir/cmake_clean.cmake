@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multiflow_interference.dir/ext_multiflow_interference.cpp.o"
+  "CMakeFiles/ext_multiflow_interference.dir/ext_multiflow_interference.cpp.o.d"
+  "ext_multiflow_interference"
+  "ext_multiflow_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multiflow_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_throughput_vs_rs.dir/fig7_throughput_vs_rs.cpp.o"
+  "CMakeFiles/fig7_throughput_vs_rs.dir/fig7_throughput_vs_rs.cpp.o.d"
+  "fig7_throughput_vs_rs"
+  "fig7_throughput_vs_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_throughput_vs_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

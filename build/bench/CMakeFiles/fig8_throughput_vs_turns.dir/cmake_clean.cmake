@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_throughput_vs_turns.dir/fig8_throughput_vs_turns.cpp.o"
+  "CMakeFiles/fig8_throughput_vs_turns.dir/fig8_throughput_vs_turns.cpp.o.d"
+  "fig8_throughput_vs_turns"
+  "fig8_throughput_vs_turns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_throughput_vs_turns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

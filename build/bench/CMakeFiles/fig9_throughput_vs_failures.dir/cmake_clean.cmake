@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_throughput_vs_failures.dir/fig9_throughput_vs_failures.cpp.o"
+  "CMakeFiles/fig9_throughput_vs_failures.dir/fig9_throughput_vs_failures.cpp.o.d"
+  "fig9_throughput_vs_failures"
+  "fig9_throughput_vs_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_throughput_vs_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

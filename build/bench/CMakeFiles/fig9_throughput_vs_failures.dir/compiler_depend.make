@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_throughput_vs_failures.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airspace_tower.dir/airspace_tower.cpp.o"
+  "CMakeFiles/airspace_tower.dir/airspace_tower.cpp.o.d"
+  "airspace_tower"
+  "airspace_tower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airspace_tower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for airspace_tower.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for airspace_tower.
+# This may be replaced when dependencies are built.

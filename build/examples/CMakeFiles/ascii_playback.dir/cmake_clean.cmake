@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascii_playback.dir/ascii_playback.cpp.o"
+  "CMakeFiles/ascii_playback.dir/ascii_playback.cpp.o.d"
+  "ascii_playback"
+  "ascii_playback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascii_playback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conveyor_warehouse.dir/conveyor_warehouse.cpp.o"
+  "CMakeFiles/conveyor_warehouse.dir/conveyor_warehouse.cpp.o.d"
+  "conveyor_warehouse"
+  "conveyor_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conveyor_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossing_flows.dir/crossing_flows.cpp.o"
+  "CMakeFiles/crossing_flows.dir/crossing_flows.cpp.o.d"
+  "crossing_flows"
+  "crossing_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossing_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

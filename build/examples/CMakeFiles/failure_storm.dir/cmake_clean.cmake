@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_storm.dir/failure_storm.cpp.o"
+  "CMakeFiles/failure_storm.dir/failure_storm.cpp.o.d"
+  "failure_storm"
+  "failure_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highway_corridor.dir/highway_corridor.cpp.o"
+  "CMakeFiles/highway_corridor.dir/highway_corridor.cpp.o.d"
+  "highway_corridor"
+  "highway_corridor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highway_corridor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

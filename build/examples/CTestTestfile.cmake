@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example.quickstart "/root/repo/build/examples/quickstart" "--rounds=120")
+set_tests_properties(example.quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.highway_corridor "/root/repo/build/examples/highway_corridor" "--rounds=400")
+set_tests_properties(example.highway_corridor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.conveyor_warehouse "/root/repo/build/examples/conveyor_warehouse" "--rounds=800")
+set_tests_properties(example.conveyor_warehouse PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.failure_storm "/root/repo/build/examples/failure_storm" "--rounds=600")
+set_tests_properties(example.failure_storm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.ascii_playback "/root/repo/build/examples/ascii_playback" "--rounds=12" "--every=6")
+set_tests_properties(example.ascii_playback PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.crossing_flows "/root/repo/build/examples/crossing_flows" "--rounds=400")
+set_tests_properties(example.crossing_flows PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.airspace_tower "/root/repo/build/examples/airspace_tower" "--rounds=600")
+set_tests_properties(example.airspace_tower PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.robot_swarm "/root/repo/build/examples/robot_swarm" "--rounds=300")
+set_tests_properties(example.robot_swarm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

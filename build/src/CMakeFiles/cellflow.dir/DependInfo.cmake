@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/choose.cpp" "src/CMakeFiles/cellflow.dir/core/choose.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/core/choose.cpp.o.d"
+  "/root/repo/src/core/move.cpp" "src/CMakeFiles/cellflow.dir/core/move.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/core/move.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/CMakeFiles/cellflow.dir/core/params.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/core/params.cpp.o.d"
+  "/root/repo/src/core/predicates.cpp" "src/CMakeFiles/cellflow.dir/core/predicates.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/core/predicates.cpp.o.d"
+  "/root/repo/src/core/route.cpp" "src/CMakeFiles/cellflow.dir/core/route.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/core/route.cpp.o.d"
+  "/root/repo/src/core/signal.cpp" "src/CMakeFiles/cellflow.dir/core/signal.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/core/signal.cpp.o.d"
+  "/root/repo/src/core/source.cpp" "src/CMakeFiles/cellflow.dir/core/source.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/core/source.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/CMakeFiles/cellflow.dir/core/system.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/core/system.cpp.o.d"
+  "/root/repo/src/failure/failure_model.cpp" "src/CMakeFiles/cellflow.dir/failure/failure_model.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/failure/failure_model.cpp.o.d"
+  "/root/repo/src/flow3d/grid3.cpp" "src/CMakeFiles/cellflow.dir/flow3d/grid3.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/flow3d/grid3.cpp.o.d"
+  "/root/repo/src/flow3d/predicates3.cpp" "src/CMakeFiles/cellflow.dir/flow3d/predicates3.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/flow3d/predicates3.cpp.o.d"
+  "/root/repo/src/flow3d/system3.cpp" "src/CMakeFiles/cellflow.dir/flow3d/system3.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/flow3d/system3.cpp.o.d"
+  "/root/repo/src/grid/grid.cpp" "src/CMakeFiles/cellflow.dir/grid/grid.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/grid/grid.cpp.o.d"
+  "/root/repo/src/grid/mask.cpp" "src/CMakeFiles/cellflow.dir/grid/mask.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/grid/mask.cpp.o.d"
+  "/root/repo/src/grid/path.cpp" "src/CMakeFiles/cellflow.dir/grid/path.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/grid/path.cpp.o.d"
+  "/root/repo/src/hexflow/hex_grid.cpp" "src/CMakeFiles/cellflow.dir/hexflow/hex_grid.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/hexflow/hex_grid.cpp.o.d"
+  "/root/repo/src/hexflow/hex_system.cpp" "src/CMakeFiles/cellflow.dir/hexflow/hex_system.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/hexflow/hex_system.cpp.o.d"
+  "/root/repo/src/msg/msg_system.cpp" "src/CMakeFiles/cellflow.dir/msg/msg_system.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/msg/msg_system.cpp.o.d"
+  "/root/repo/src/msg/network.cpp" "src/CMakeFiles/cellflow.dir/msg/network.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/msg/network.cpp.o.d"
+  "/root/repo/src/multiflow/mf_predicates.cpp" "src/CMakeFiles/cellflow.dir/multiflow/mf_predicates.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/multiflow/mf_predicates.cpp.o.d"
+  "/root/repo/src/multiflow/mf_system.cpp" "src/CMakeFiles/cellflow.dir/multiflow/mf_system.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/multiflow/mf_system.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/cellflow.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/observers.cpp" "src/CMakeFiles/cellflow.dir/sim/observers.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/sim/observers.cpp.o.d"
+  "/root/repo/src/sim/render.cpp" "src/CMakeFiles/cellflow.dir/sim/render.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/sim/render.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/cellflow.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/cellflow.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/cellflow.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/cellflow.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/dist_value.cpp" "src/CMakeFiles/cellflow.dir/util/dist_value.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/util/dist_value.cpp.o.d"
+  "/root/repo/src/util/ids.cpp" "src/CMakeFiles/cellflow.dir/util/ids.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/util/ids.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/cellflow.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/cellflow.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/cellflow.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_choose.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_choose.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_choose.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_csv.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_csv.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_csv.cpp.o.d"
+  "/root/repo/tests/test_differential.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_differential.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_differential.cpp.o.d"
+  "/root/repo/tests/test_dist_value.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_dist_value.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_dist_value.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_failure_model.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_failure_model.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_failure_model.cpp.o.d"
+  "/root/repo/tests/test_fairness.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_fairness.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_fairness.cpp.o.d"
+  "/root/repo/tests/test_flow3d.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_flow3d.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_flow3d.cpp.o.d"
+  "/root/repo/tests/test_geometry.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_geometry.cpp.o.d"
+  "/root/repo/tests/test_golden_trace.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_golden_trace.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_golden_trace.cpp.o.d"
+  "/root/repo/tests/test_grid.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_grid.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_grid.cpp.o.d"
+  "/root/repo/tests/test_hexflow.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_hexflow.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_hexflow.cpp.o.d"
+  "/root/repo/tests/test_ids.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_ids.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_ids.cpp.o.d"
+  "/root/repo/tests/test_lemmas.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_lemmas.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_lemmas.cpp.o.d"
+  "/root/repo/tests/test_log.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_log.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_log.cpp.o.d"
+  "/root/repo/tests/test_mask.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_mask.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_mask.cpp.o.d"
+  "/root/repo/tests/test_move.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_move.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_move.cpp.o.d"
+  "/root/repo/tests/test_msg_system.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_msg_system.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_msg_system.cpp.o.d"
+  "/root/repo/tests/test_multiflow.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_multiflow.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_multiflow.cpp.o.d"
+  "/root/repo/tests/test_observers.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_observers.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_observers.cpp.o.d"
+  "/root/repo/tests/test_params.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_params.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_params.cpp.o.d"
+  "/root/repo/tests/test_path.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_path.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_path.cpp.o.d"
+  "/root/repo/tests/test_predicates.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_predicates.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_predicates.cpp.o.d"
+  "/root/repo/tests/test_progress.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_progress.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_progress.cpp.o.d"
+  "/root/repo/tests/test_random_topology.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_random_topology.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_random_topology.cpp.o.d"
+  "/root/repo/tests/test_relaxed_coupling.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_relaxed_coupling.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_relaxed_coupling.cpp.o.d"
+  "/root/repo/tests/test_render.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_render.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_render.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_route.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_route.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_route.cpp.o.d"
+  "/root/repo/tests/test_route_stabilization.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_route_stabilization.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_route_stabilization.cpp.o.d"
+  "/root/repo/tests/test_safety_random.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_safety_random.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_safety_random.cpp.o.d"
+  "/root/repo/tests/test_self_stabilization.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_self_stabilization.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_self_stabilization.cpp.o.d"
+  "/root/repo/tests/test_signal.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_signal.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_signal.cpp.o.d"
+  "/root/repo/tests/test_signal_necessity.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_signal_necessity.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_signal_necessity.cpp.o.d"
+  "/root/repo/tests/test_source.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_source.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_source.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_system.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_system.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_system.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_theory_bounds.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_theory_bounds.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_theory_bounds.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_trends.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_trends.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_trends.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cellflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellflow_sim.dir/cellflow_sim.cpp.o"
+  "CMakeFiles/cellflow_sim.dir/cellflow_sim.cpp.o.d"
+  "cellflow_sim"
+  "cellflow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellflow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

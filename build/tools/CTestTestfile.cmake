@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool.sim.default "/root/repo/build/tools/cellflow_sim" "--rounds=400")
+set_tests_properties(tool.sim.default PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool.sim.failures "/root/repo/build/tools/cellflow_sim" "--rounds=600" "--pf=0.02" "--pr=0.1" "--policy=random")
+set_tests_properties(tool.sim.failures PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool.sim.compacting "/root/repo/build/tools/cellflow_sim" "--rounds=400" "--movement=compacting")
+set_tests_properties(tool.sim.compacting PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool.sim.carved "/root/repo/build/tools/cellflow_sim" "--rounds=400" "--carve-turns=3")
+set_tests_properties(tool.sim.carved PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool.sim.trace_csv "/root/repo/build/tools/cellflow_sim" "--rounds=100" "--trace=true" "--csv=true" "--render-every=50")
+set_tests_properties(tool.sim.trace_csv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
