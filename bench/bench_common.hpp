@@ -7,10 +7,23 @@
 #include <vector>
 
 #include "sim/experiment.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 namespace cellflow::bench {
+
+/// Registers the shared --threads flag and resolves it to a round-engine
+/// policy: 0 (the default) defers to $CELLFLOW_THREADS (serial when
+/// unset), N >= 1 forces kParallel{N}. Assign the result to
+/// WorkloadSpec::parallel.
+inline ParallelPolicy parallel_from_cli(CliArgs& cli) {
+  const auto threads = cli.get_uint(
+      "threads", 0,
+      "round-engine worker threads (0: $CELLFLOW_THREADS or serial)");
+  return threads == 0 ? parallel_policy_from_env()
+                      : ParallelPolicy::parallel(static_cast<int>(threads));
+}
 
 inline void banner(const std::string& title, const std::string& paper_ref) {
   std::cout << "=== " << title << " ===\n"

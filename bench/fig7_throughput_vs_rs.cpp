@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const auto n_seeds = cli.get_uint("seeds", 3, "seeds averaged per point");
   const std::string policy =
       cli.get_string("policy", "random", "token choose policy");
+  const ParallelPolicy engine = bench::parallel_from_cli(cli);
   if (cli.help_requested()) {
     std::cout << cli.help_text();
     return 0;
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
       WorkloadSpec spec = fig7_base(rs_values[r], v);
       spec.rounds = rounds;
       spec.choose_policy = policy;
+      spec.parallel = engine;
       grid[r].push_back(bench::mean_throughput(spec, seeds));
     }
     table.add_numeric_row(format_sig(rs_values[r], 3), grid[r]);

@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   CliArgs cli(argc, argv);
   const auto rounds = cli.get_uint("rounds", 2500, "K rounds per run");
   const auto n_seeds = cli.get_uint("seeds", 3, "seeds averaged per point");
+  const ParallelPolicy engine = bench::parallel_from_cli(cli);
   if (cli.help_requested()) {
     std::cout << cli.help_text();
     return 0;
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
       WorkloadSpec spec = fig8_base(turns, c.v, c.l);
       spec.rounds = rounds;
       spec.choose_policy = "random";
+      spec.parallel = engine;
       row.push_back(bench::mean_throughput(spec, seeds));
     }
     table.add_numeric_row(std::to_string(turns), row);

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   CliArgs cli(argc, argv);
   const auto rounds = cli.get_uint("rounds", 20000, "K rounds per run");
   const auto n_seeds = cli.get_uint("seeds", 3, "seeds averaged per point");
+  const ParallelPolicy engine = bench::parallel_from_cli(cli);
   if (cli.help_requested()) {
     std::cout << cli.help_text();
     return 0;
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
       WorkloadSpec spec = fig9_base(pf, pr);
       spec.rounds = rounds;
       spec.choose_policy = "random";
+      spec.parallel = engine;
       row.push_back(bench::mean_throughput(spec, seeds));
     }
     table.add_numeric_row(format_sig(pf, 3), row);

@@ -1,0 +1,184 @@
+// Micro-benchmark: rounds/sec of the serial vs parallel round engine
+// (core/system.hpp's ParallelPolicy) on saturated grids from 20×20 to
+// 100×100. Every engine runs the identical workload from the identical
+// initial state; a digest of the full protocol state after the timed
+// window is compared across engines, so this bench doubles as an
+// end-to-end determinism check — any digest mismatch aborts nonzero.
+//
+// Observed speedup is hardware-bound: it tracks the number of physical
+// cores (on a single-core machine the parallel engine only pays
+// synchronization overhead, by design — compare digests, not rounds/sec,
+// there). scripts/plot_figures.py consumes the CSV block.
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/system.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace cellflow;
+
+/// Saturated many-stream workload: sources along the whole west edge,
+/// target at the middle of the east edge. Keeps the population (and the
+/// per-round Signal/Move work) proportional to the grid side.
+SystemConfig scaling_config(int side) {
+  SystemConfig cfg;
+  cfg.side = side;
+  cfg.params = Params(0.2, 0.05, 0.2);
+  cfg.target = CellId{side - 1, side / 2};
+  cfg.sources.clear();
+  for (int j = 0; j < side; ++j) cfg.sources.push_back(CellId{0, j});
+  return cfg;
+}
+
+/// FNV-1a over every protocol variable of every cell plus the round
+/// counters — any single-bit divergence between engines changes it.
+class StateDigest {
+ public:
+  void mix(std::uint64_t v) noexcept {
+    for (int b = 0; b < 8; ++b) {
+      hash_ ^= (v >> (8 * b)) & 0xffu;
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  void mix_double(double d) noexcept {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof bits);
+    mix(bits);
+  }
+  void mix_opt(const OptCellId& id) noexcept {
+    mix(id.has_value() ? (static_cast<std::uint64_t>(
+                              static_cast<std::uint32_t>(id->i))
+                              << 32) |
+                             static_cast<std::uint32_t>(id->j)
+                       : ~0ull);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+std::uint64_t digest(const System& sys) {
+  StateDigest d;
+  d.mix(sys.round());
+  d.mix(sys.total_arrivals());
+  d.mix(sys.total_injected());
+  for (const CellState& c : sys.cells()) {
+    d.mix(c.failed ? 1 : 0);
+    d.mix(c.dist.is_finite() ? c.dist.hops() : ~0ull);
+    d.mix_opt(c.next);
+    d.mix_opt(c.token);
+    d.mix_opt(c.signal);
+    d.mix(c.members.size());
+    for (const Entity& e : c.members) {
+      d.mix(e.id.value);
+      d.mix_double(e.center.x);
+      d.mix_double(e.center.y);
+    }
+  }
+  return d.value();
+}
+
+struct Measurement {
+  double rounds_per_sec = 0.0;
+  std::uint64_t state_digest = 0;
+};
+
+Measurement measure(int side, const ParallelPolicy& policy,
+                    std::uint64_t warmup, std::uint64_t rounds) {
+  System sys(scaling_config(side));
+  sys.set_parallel_policy(policy);
+  for (std::uint64_t k = 0; k < warmup; ++k) sys.update();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t k = 0; k < rounds; ++k) sys.update();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  Measurement m;
+  m.rounds_per_sec = secs > 0.0 ? static_cast<double>(rounds) / secs : 0.0;
+  m.state_digest = digest(sys);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs cli(argc, argv);
+  const auto rounds = cli.get_uint("rounds", 300, "timed rounds per engine");
+  const auto warmup =
+      cli.get_uint("warmup", 60, "untimed rounds to reach steady state");
+  const auto max_side = static_cast<int>(
+      cli.get_uint("max-side", 100, "largest grid side to measure"));
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  cli.finish();
+
+  bench::banner(
+      "Micro: parallel round-engine scaling",
+      "ParallelPolicy engine; serial vs 2/4/8 worker threads");
+  std::cout << "hardware threads: " << std::thread::hardware_concurrency()
+            << "  (speedup is bounded by physical cores; digests must\n"
+               "   match on any machine — that is the determinism check)\n\n";
+
+  const std::vector<int> all_sides = {20, 50, 100};
+  const std::vector<int> thread_counts = {2, 4, 8};
+
+  TextTable table;
+  table.set_header(
+      {"side", "serial r/s", "2t r/s", "4t r/s", "8t r/s", "speedup@8"});
+
+  struct Row {
+    int side;
+    std::vector<double> rps;  // serial, then thread_counts order
+  };
+  std::vector<Row> results;
+  bool digests_agree = true;
+
+  for (const int side : all_sides) {
+    if (side > max_side) continue;
+    Row row{side, {}};
+    const Measurement serial =
+        measure(side, ParallelPolicy::serial(), warmup, rounds);
+    row.rps.push_back(serial.rounds_per_sec);
+    for (const int t : thread_counts) {
+      const Measurement m =
+          measure(side, ParallelPolicy::parallel(t), warmup, rounds);
+      row.rps.push_back(m.rounds_per_sec);
+      if (m.state_digest != serial.state_digest) {
+        digests_agree = false;
+        std::cerr << "DIGEST MISMATCH: side=" << side << " threads=" << t
+                  << " parallel state diverged from serial\n";
+      }
+    }
+    std::vector<double> cells = row.rps;
+    cells.push_back(row.rps.back() / row.rps.front());
+    table.add_numeric_row(std::to_string(side), cells);
+    results.push_back(std::move(row));
+  }
+  std::cout << table.to_string() << '\n';
+
+  std::cout << "CSV:\n";
+  CsvWriter csv(std::cout);
+  csv.header({"side", "threads", "rounds_per_sec", "speedup"});
+  for (const Row& r : results) {
+    csv.row({static_cast<double>(r.side), 0.0, r.rps[0], 1.0});
+    for (std::size_t t = 0; t < thread_counts.size(); ++t)
+      csv.row({static_cast<double>(r.side),
+               static_cast<double>(thread_counts[t]), r.rps[t + 1],
+               r.rps[t + 1] / r.rps[0]});
+  }
+
+  std::cout << (digests_agree
+                    ? "\ndeterminism: serial and parallel digests agree\n"
+                    : "\ndeterminism: DIGEST MISMATCH (bug)\n");
+  return digests_agree ? 0 : 1;
+}

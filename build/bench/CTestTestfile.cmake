@@ -5,28 +5,30 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(bench.fig7 "/root/repo/build/bench/fig7_throughput_vs_rs" "--rounds=200" "--seeds=1")
-set_tests_properties(bench.fig7 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench.fig7 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench.fig8 "/root/repo/build/bench/fig8_throughput_vs_turns" "--rounds=200" "--seeds=1")
-set_tests_properties(bench.fig8 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench.fig8 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench.fig9 "/root/repo/build/bench/fig9_throughput_vs_failures" "--rounds=400" "--seeds=1")
-set_tests_properties(bench.fig9 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench.fig9 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench.path_length "/root/repo/build/bench/ablation_path_length" "--rounds=300" "--seeds=1")
-set_tests_properties(bench.path_length PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench.path_length PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench.routing_stabilization "/root/repo/build/bench/ablation_routing_stabilization" "--seeds=2")
-set_tests_properties(bench.routing_stabilization PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench.routing_stabilization PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench.token_policy "/root/repo/build/bench/ablation_token_policy" "--rounds=300" "--seeds=1")
-set_tests_properties(bench.token_policy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench.token_policy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench.signal_necessity "/root/repo/build/bench/ablation_signal_necessity" "--rounds=300")
-set_tests_properties(bench.signal_necessity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench.signal_necessity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench.relaxed_coupling "/root/repo/build/bench/ablation_relaxed_coupling" "--rounds=300")
-set_tests_properties(bench.relaxed_coupling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench.relaxed_coupling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench.k_convergence "/root/repo/build/bench/ablation_k_convergence")
-set_tests_properties(bench.k_convergence PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench.k_convergence PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench.multiflow "/root/repo/build/bench/ext_multiflow_interference" "--rounds=400")
-set_tests_properties(bench.multiflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench.multiflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench.flow3d "/root/repo/build/bench/ext_3d_throughput" "--rounds=300")
-set_tests_properties(bench.flow3d PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench.flow3d PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench.hex "/root/repo/build/bench/ext_hex_throughput" "--rounds=300")
-set_tests_properties(bench.hex PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench.hex PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
 add_test(bench.latency "/root/repo/build/bench/ablation_latency_distribution" "--rounds=1500")
-set_tests_properties(bench.latency PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+set_tests_properties(bench.latency PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench.parallel_scaling "/root/repo/build/bench/micro_parallel_scaling" "--rounds=30" "--warmup=15" "--max-side=20")
+set_tests_properties(bench.parallel_scaling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -241,10 +241,22 @@ examples/CMakeFiles/ascii_playback.dir/ascii_playback.cpp.o: \
  /root/repo/src/core/choose.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/core/params.hpp /root/repo/src/core/source.hpp \
  /root/repo/src/grid/grid.hpp /root/repo/src/grid/mask.hpp \
- /root/repo/src/grid/path.hpp /root/repo/src/sim/render.hpp \
- /root/repo/src/sim/simulator.hpp /root/repo/src/sim/observers.hpp \
- /root/repo/src/core/predicates.hpp /root/repo/src/util/stats.hpp \
- /root/repo/src/sim/trace.hpp /root/repo/src/util/cli.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/grid/path.hpp \
+ /root/repo/src/sim/render.hpp /root/repo/src/sim/simulator.hpp \
+ /root/repo/src/sim/observers.hpp /root/repo/src/core/predicates.hpp \
+ /root/repo/src/util/stats.hpp /root/repo/src/sim/trace.hpp \
+ /root/repo/src/util/cli.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h

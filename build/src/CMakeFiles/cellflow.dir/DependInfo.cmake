@@ -41,6 +41,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/log.cpp" "src/CMakeFiles/cellflow.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/util/log.cpp.o.d"
   "/root/repo/src/util/stats.cpp" "src/CMakeFiles/cellflow.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/util/stats.cpp.o.d"
   "/root/repo/src/util/table.cpp" "src/CMakeFiles/cellflow.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/cellflow.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/cellflow.dir/util/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

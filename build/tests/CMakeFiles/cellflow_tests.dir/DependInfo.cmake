@@ -29,6 +29,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_msg_system.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_msg_system.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_msg_system.cpp.o.d"
   "/root/repo/tests/test_multiflow.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_multiflow.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_multiflow.cpp.o.d"
   "/root/repo/tests/test_observers.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_observers.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_observers.cpp.o.d"
+  "/root/repo/tests/test_parallel_system.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_parallel_system.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_parallel_system.cpp.o.d"
   "/root/repo/tests/test_params.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_params.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_params.cpp.o.d"
   "/root/repo/tests/test_path.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_path.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_path.cpp.o.d"
   "/root/repo/tests/test_predicates.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_predicates.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_predicates.cpp.o.d"
@@ -48,6 +49,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_system.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_system.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_system.cpp.o.d"
   "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_table.cpp.o.d"
   "/root/repo/tests/test_theory_bounds.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_theory_bounds.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_theory_bounds.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_thread_pool.cpp.o.d"
   "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_trace.cpp.o.d"
   "/root/repo/tests/test_trends.cpp" "tests/CMakeFiles/cellflow_tests.dir/test_trends.cpp.o" "gcc" "tests/CMakeFiles/cellflow_tests.dir/test_trends.cpp.o.d"
   )

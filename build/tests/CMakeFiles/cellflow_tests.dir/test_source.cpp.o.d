@@ -322,4 +322,13 @@ tests/CMakeFiles/cellflow_tests.dir/test_source.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/tests/helpers.hpp /root/repo/src/core/choose.hpp \
  /usr/include/c++/12/span /root/repo/src/core/system.hpp \
- /root/repo/src/grid/mask.hpp /root/repo/src/grid/path.hpp
+ /root/repo/src/grid/mask.hpp /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/grid/path.hpp

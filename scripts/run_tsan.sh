@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Builds the test suite with ThreadSanitizer (CELLFLOW_TSAN=ON, see the
+# `tsan` CMake preset) and runs the concurrency-sensitive subset: the
+# ThreadPool unit tests, the serial-vs-parallel differential suites, and
+# the three-way equivalence tests. Any data race in the parallel round
+# engine aborts the run.
+#
+# Exits 0 with a notice when the toolchain cannot link -fsanitize=thread
+# (some minimal images ship gcc without libtsan) so CI lanes without the
+# runtime degrade gracefully instead of failing spuriously.
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+probe_dir="$(mktemp -d)"
+trap 'rm -rf "$probe_dir"' EXIT
+cat > "$probe_dir/probe.cpp" <<'EOF'
+#include <thread>
+int main() {
+  int x = 0;
+  std::thread t([&] { x = 1; });
+  t.join();
+  return x - 1;
+}
+EOF
+if ! c++ -fsanitize=thread -pthread "$probe_dir/probe.cpp" \
+     -o "$probe_dir/probe" 2> "$probe_dir/probe.err"; then
+  echo "run_tsan.sh: toolchain cannot link -fsanitize=thread; skipping." >&2
+  sed 's/^/  /' "$probe_dir/probe.err" >&2 || true
+  exit 0
+fi
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+ctest --preset tsan
+echo "run_tsan.sh: ThreadSanitizer suite clean."

@@ -37,6 +37,16 @@ class ChoosePolicy {
   [[nodiscard]] virtual CellId choose(CellId self,
                                       std::span<const CellId> candidates,
                                       OptCellId previous) = 0;
+
+  /// True iff choose() is a pure function of its arguments — no internal
+  /// state — so concurrent calls from System's parallel Signal phase are
+  /// both data-race-free and call-order-independent. Stateful policies
+  /// keep the conservative default (false); the parallel engine then
+  /// runs the Signal phase serially so the policy's stream observes the
+  /// exact serial call sequence (determinism over speed).
+  [[nodiscard]] virtual bool concurrent_safe() const noexcept {
+    return false;
+  }
 };
 
 /// Deterministic fair rotation: the smallest candidate strictly greater
@@ -45,6 +55,9 @@ class RoundRobinChoose final : public ChoosePolicy {
  public:
   [[nodiscard]] CellId choose(CellId self, std::span<const CellId> candidates,
                               OptCellId previous) override;
+  [[nodiscard]] bool concurrent_safe() const noexcept override {
+    return true;
+  }
 };
 
 /// Uniformly random choice from a seeded generator (deterministic given
@@ -65,6 +78,9 @@ class LowestIdChoose final : public ChoosePolicy {
  public:
   [[nodiscard]] CellId choose(CellId self, std::span<const CellId> candidates,
                               OptCellId previous) override;
+  [[nodiscard]] bool concurrent_safe() const noexcept override {
+    return true;
+  }
 };
 
 /// Factory from a name ("round-robin" | "random" | "lowest-id"), used by

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 #include "core/move.hpp"
 #include "core/route.hpp"
@@ -10,6 +13,28 @@
 #include "util/log.hpp"
 
 namespace cellflow {
+
+ParallelPolicy parallel_policy_from_env() {
+  const char* raw = std::getenv("CELLFLOW_THREADS");
+  if (raw == nullptr || *raw == '\0') return ParallelPolicy::serial();
+  char* end = nullptr;
+  const long n = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || n < 0 || n > 1024)
+    throw std::runtime_error(
+        std::string("CELLFLOW_THREADS: expected an integer in [0, 1024], "
+                    "got '") +
+        raw + "'");
+  return n == 0 ? ParallelPolicy::serial()
+                : ParallelPolicy::parallel(static_cast<int>(n));
+}
+
+void canonical_transfer_order(const Grid& grid,
+                              std::vector<PendingTransfer>& transfers) {
+  std::stable_sort(transfers.begin(), transfers.end(),
+                   [&grid](const PendingTransfer& a, const PendingTransfer& b) {
+                     return grid.index_of(a.from) < grid.index_of(b.from);
+                   });
+}
 
 System::System(SystemConfig config, std::unique_ptr<ChoosePolicy> choose,
                std::unique_ptr<SourcePolicy> source)
@@ -25,10 +50,29 @@ System::System(SystemConfig config, std::unique_ptr<ChoosePolicy> choose,
     CF_EXPECTS_MSG(grid_.contains(s), "source outside grid");
     CF_EXPECTS_MSG(s != config_.target, "a cell cannot be source and target");
   }
+  // Canonical injection order: sources visit in cell-id order no matter
+  // how the configuration listed them (mirrored by MessageSystem).
+  std::sort(config_.sources.begin(), config_.sources.end());
+  config_.sources.erase(
+      std::unique(config_.sources.begin(), config_.sources.end()),
+      config_.sources.end());
   // Initial state (Figure 3): everything ⊥/∞/empty except the target's
   // distance, which anchors the routing computation at 0.
   cells_[grid_.index_of(config_.target)].dist = Dist::zero();
   dist_snapshot_.resize(cells_.size());
+  set_parallel_policy(parallel_policy_from_env());
+}
+
+void System::set_parallel_policy(const ParallelPolicy& policy) {
+  CF_EXPECTS_MSG(policy.num_threads >= 1 && policy.num_threads <= 1024,
+                 "ParallelPolicy::num_threads out of [1, 1024]");
+  parallel_ = policy;
+  if (policy.mode == ParallelPolicy::Mode::kParallel) {
+    if (!pool_ || pool_->thread_count() != policy.num_threads)
+      pool_ = std::make_unique<ThreadPool>(policy.num_threads);
+  } else {
+    pool_.reset();
+  }
 }
 
 std::size_t System::entity_count() const noexcept {
@@ -103,115 +147,122 @@ const RoundEvents& System::update() {
 void System::run_route_phase() {
   // Phase-parallel Bellman–Ford: every cell reads its neighbors'
   // *previous-round* dist, so snapshot them first (Figure 4 semantics).
+  // The snapshot makes the per-cell step a pure function of frozen data;
+  // each cell writes only its own dist/next, so the loop shards freely.
   for (std::size_t k = 0; k < cells_.size(); ++k)
     dist_snapshot_[k] = cells_[k].dist;
 
-  for (std::size_t k = 0; k < cells_.size(); ++k) {
-    CellState& c = cells_[k];
-    const CellId id = grid_.id_of(k);
-    if (c.failed) continue;
-    if (id == config_.target) {
-      // The target anchors routing: dist pinned to 0, next to ⊥. Pinning
-      // every round (rather than only at init/recover) also washes out
-      // adversarial corruption of the target's control state.
-      c.dist = Dist::zero();
-      c.next = std::nullopt;
-      continue;
-    }
+  parallel_for(pool_.get(), cells_.size(),
+               [this](std::size_t k) { route_cell(k); });
+}
 
-    NeighborDist nds[4];
-    std::size_t n = 0;
-    for (const Direction d : kAllDirections) {
-      if (const auto nb = grid_.neighbor(id, d))
-        nds[n++] = NeighborDist{*nb, dist_snapshot_[grid_.index_of(*nb)]};
-    }
-    const RouteResult r = route_step(std::span<const NeighborDist>(nds, n));
-    c.dist = r.dist;
-    c.next = r.next;
+void System::route_cell(std::size_t k) {
+  CellState& c = cells_[k];
+  const CellId id = grid_.id_of(k);
+  if (c.failed) return;
+  if (id == config_.target) {
+    // The target anchors routing: dist pinned to 0, next to ⊥. Pinning
+    // every round (rather than only at init/recover) also washes out
+    // adversarial corruption of the target's control state.
+    c.dist = Dist::zero();
+    c.next = std::nullopt;
+    return;
   }
+
+  NeighborDist nds[4];
+  std::size_t n = 0;
+  for (const Direction d : kAllDirections) {
+    if (const auto nb = grid_.neighbor(id, d))
+      nds[n++] = NeighborDist{*nb, dist_snapshot_[grid_.index_of(*nb)]};
+  }
+  const RouteResult r = route_step(std::span<const NeighborDist>(nds, n));
+  c.dist = r.dist;
+  c.next = r.next;
 }
 
 void System::run_signal_phase() {
   // Signal reads neighbors' fresh `next` (phase 1 output) and pre-Move
-  // Members; it writes only its own ne_prev/token/signal, so per-cell
-  // in-place updates are race-free under the synchronous semantics.
-  for (std::size_t k = 0; k < cells_.size(); ++k) {
-    CellState& c = cells_[k];
-    if (c.failed) continue;
-    const CellId id = grid_.id_of(k);
+  // Members; it writes only its own ne_prev/token/signal — disjoint
+  // struct fields, so concurrent cells never touch the same memory. A
+  // stateful choose policy (RandomChoose) must observe the serial call
+  // sequence, so it pins this phase to the in-order loop; the results
+  // are identical either way for concurrent-safe (pure) policies.
+  ThreadPool* pool = choose_->concurrent_safe() ? pool_.get() : nullptr;
+  const auto nshards =
+      pool ? static_cast<std::size_t>(pool->thread_count()) : 1;
+  std::vector<std::vector<CellId>> blocked(nshards);
+  parallel_for_shards(pool, cells_.size(),
+                      [&](std::size_t s, ShardRange r) {
+                        for (std::size_t k = r.begin; k < r.end; ++k)
+                          signal_cell(k, blocked[s]);
+                      });
+  // Shards cover ascending cell ranges, so concatenating in shard order
+  // reproduces the serial loop's blocked-event order exactly.
+  for (const std::vector<CellId>& b : blocked)
+    events_.blocked.insert(events_.blocked.end(), b.begin(), b.end());
+}
 
-    SignalInputs in;
-    in.self = id;
-    in.members = c.members;
-    in.token = c.token;
-    for (const Direction d : kAllDirections) {
-      const auto nb = grid_.neighbor(id, d);
-      if (!nb) continue;
-      const CellState& nc = cells_[grid_.index_of(*nb)];
-      if (nc.failed) continue;  // a failed cell never communicates
-      if (nc.next == OptCellId{id} && nc.has_entities())
-        in.ne_prev.push_back(*nb);
-    }
-    std::sort(in.ne_prev.begin(), in.ne_prev.end());
+void System::signal_cell(std::size_t k, std::vector<CellId>& blocked_out) {
+  CellState& c = cells_[k];
+  if (c.failed) return;
+  const CellId id = grid_.id_of(k);
 
-    const bool had_candidate =
-        in.token.has_value() || !in.ne_prev.empty();
-    SignalResult r =
-        config_.signal_rule == SignalRule::kBlocking
-            ? signal_step(std::move(in), config_.params, *choose_)
-            : signal_step_always_grant(std::move(in), *choose_);
-    if (had_candidate && !r.signal.has_value())
-      events_.blocked.push_back(id);
-    c.signal = r.signal;
-    c.token = r.token;
-    c.ne_prev = std::move(r.ne_prev);
+  SignalInputs in;
+  in.self = id;
+  in.members = c.members;
+  in.token = c.token;
+  for (const Direction d : kAllDirections) {
+    const auto nb = grid_.neighbor(id, d);
+    if (!nb) continue;
+    const CellState& nc = cells_[grid_.index_of(*nb)];
+    if (nc.failed) continue;  // a failed cell never communicates
+    if (nc.next == OptCellId{id} && nc.has_entities())
+      in.ne_prev.push_back(*nb);
   }
+  std::sort(in.ne_prev.begin(), in.ne_prev.end());
+
+  const bool had_candidate = in.token.has_value() || !in.ne_prev.empty();
+  SignalResult r =
+      config_.signal_rule == SignalRule::kBlocking
+          ? signal_step(std::move(in), config_.params, *choose_)
+          : signal_step_always_grant(std::move(in), *choose_);
+  if (had_candidate && !r.signal.has_value()) blocked_out.push_back(id);
+  c.signal = r.signal;
+  c.token = r.token;
+  c.ne_prev = std::move(r.ne_prev);
 }
 
 void System::run_move_phase() {
   // All cells decide and move simultaneously (Figure 6 guard:
   // signal_{next_{i,j}} = ⟨i,j⟩), so: first apply every cell's own
   // displacement and pull out the boundary-crossers, then deliver the
-  // crossers. Delivery order cannot matter — placements only append to
-  // destination Members, whose own movement has already been applied.
-  struct PendingTransfer {
-    Entity entity;
-    CellId from;
-    CellId to;
-  };
-  std::vector<PendingTransfer> pending;
+  // crossers. The decision step reads only the destination's signal
+  // (frozen since phase 2) and mutates only the cell's own Members, so
+  // it shards freely; delivery happens after the barrier, in canonical
+  // order, because appends into a shared destination determine Members
+  // order and hence downstream traces.
+  const auto nshards =
+      pool_ ? static_cast<std::size_t>(pool_->thread_count()) : 1;
+  std::vector<std::vector<CellId>> moved(nshards);
+  std::vector<std::vector<PendingTransfer>> pending(nshards);
+  parallel_for_shards(pool_.get(), cells_.size(),
+                      [&](std::size_t s, ShardRange r) {
+                        for (std::size_t k = r.begin; k < r.end; ++k)
+                          move_cell(k, moved[s], pending[s]);
+                      });
 
-  for (std::size_t k = 0; k < cells_.size(); ++k) {
-    CellState& c = cells_[k];
-    if (c.failed || !c.next.has_value()) continue;
-    const CellId id = grid_.id_of(k);
-    const CellId dest = *c.next;
-    const CellState& dc = cells_[grid_.index_of(dest)];
-    const bool permitted = dc.signal == OptCellId{id};
+  for (const std::vector<CellId>& m : moved)
+    events_.moved.insert(events_.moved.end(), m.begin(), m.end());
 
-    MoveResult mr;
-    if (config_.movement_rule == MovementRule::kCoupled) {
-      if (!permitted) continue;  // Figure 6: move only with permission
-      events_.moved.push_back(id);
-      mr = move_step(id, dest, std::move(c.members), config_.params);
-    } else {
-      // §V relaxed coupling: compact every round; cross only when
-      // permitted; never compact into our own promised strip.
-      if (c.members.empty()) continue;
-      if (permitted) events_.moved.push_back(id);
-      CompactionContext ctx;
-      ctx.may_cross = permitted;
-      if (c.signal.has_value())
-        ctx.promised_strip = grid_.direction_between(id, *c.signal);
-      mr = compact_move_step(id, dest, std::move(c.members), config_.params,
-                             ctx);
-    }
-    c.members = std::move(mr.staying);
-    for (Entity& e : mr.crossed)
-      pending.push_back(PendingTransfer{e, id, dest});
-  }
+  std::vector<PendingTransfer> transfers;
+  for (std::vector<PendingTransfer>& p : pending)
+    transfers.insert(transfers.end(), std::make_move_iterator(p.begin()),
+                     std::make_move_iterator(p.end()));
+  // Already canonical by construction (ascending shards, in-order within
+  // each); enforce it anyway so no engine can drift.
+  canonical_transfer_order(grid_, transfers);
 
-  for (PendingTransfer& t : pending) {
+  for (PendingTransfer& t : transfers) {
     TransferEvent ev{t.entity.id, t.from, t.to, /*consumed=*/false};
     if (t.to == config_.target) {
       ev.consumed = true;
@@ -223,6 +274,37 @@ void System::run_move_phase() {
     }
     events_.transfers.push_back(ev);
   }
+}
+
+void System::move_cell(std::size_t k, std::vector<CellId>& moved_out,
+                       std::vector<PendingTransfer>& pending_out) {
+  CellState& c = cells_[k];
+  if (c.failed || !c.next.has_value()) return;
+  const CellId id = grid_.id_of(k);
+  const CellId dest = *c.next;
+  const CellState& dc = cells_[grid_.index_of(dest)];
+  const bool permitted = dc.signal == OptCellId{id};
+
+  MoveResult mr;
+  if (config_.movement_rule == MovementRule::kCoupled) {
+    if (!permitted) return;  // Figure 6: move only with permission
+    moved_out.push_back(id);
+    mr = move_step(id, dest, std::move(c.members), config_.params);
+  } else {
+    // §V relaxed coupling: compact every round; cross only when
+    // permitted; never compact into our own promised strip.
+    if (c.members.empty()) return;
+    if (permitted) moved_out.push_back(id);
+    CompactionContext ctx;
+    ctx.may_cross = permitted;
+    if (c.signal.has_value())
+      ctx.promised_strip = grid_.direction_between(id, *c.signal);
+    mr = compact_move_step(id, dest, std::move(c.members), config_.params,
+                           ctx);
+  }
+  c.members = std::move(mr.staying);
+  for (Entity& e : mr.crossed)
+    pending_out.push_back(PendingTransfer{e, id, dest});
 }
 
 void System::run_inject_phase() {

@@ -40,6 +40,7 @@
 #include "grid/grid.hpp"
 #include "grid/mask.hpp"
 #include "util/ids.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cellflow {
 
@@ -64,6 +65,43 @@ enum class MovementRule {
   kCompacting,  ///< §V relaxed-coupling extension
 };
 
+/// Execution engine for update()'s per-cell phase loops. The synchronous
+/// phase structure (Route reads only previous-round dists; Signal and
+/// Move write only cell-local state, with transfers applied in a separate
+/// step) makes the per-cell work embarrassingly parallel; this policy
+/// only selects *how* the loops run. Results are bit-identical across
+/// modes and thread counts — see the determinism contract in system.cpp's
+/// phase implementations (sharded loops, barriers between phases,
+/// canonical cell-id-ordered merge of cross-cell effects).
+struct ParallelPolicy {
+  enum class Mode {
+    kSerial,    ///< plain in-order loop over cells (the default)
+    kParallel,  ///< sharded across a fixed ThreadPool of num_threads
+  };
+
+  Mode mode = Mode::kSerial;
+  int num_threads = 1;  ///< pool size when mode == kParallel (>= 1)
+
+  [[nodiscard]] static constexpr ParallelPolicy serial() noexcept {
+    return {};
+  }
+  [[nodiscard]] static constexpr ParallelPolicy parallel(
+      int threads) noexcept {
+    return ParallelPolicy{Mode::kParallel, threads};
+  }
+
+  friend constexpr bool operator==(const ParallelPolicy&,
+                                   const ParallelPolicy&) = default;
+};
+
+/// Policy from the CELLFLOW_THREADS environment variable — the ambient
+/// override used by every System unless set_parallel_policy() is called:
+/// unset, empty, or "0" means serial; an integer N >= 1 means
+/// kParallel{N}. Anything else throws std::runtime_error (a typo should
+/// not silently run serial). Safe as an ambient knob precisely because
+/// the engines are bit-identical.
+[[nodiscard]] ParallelPolicy parallel_policy_from_env();
+
 /// Static configuration of a System.
 struct SystemConfig {
   int side = 8;                      ///< N: grid is N×N
@@ -82,6 +120,25 @@ struct TransferEvent {
   CellId to;
   bool consumed = false;
 };
+
+/// A boundary-crossing entity awaiting delivery, as produced by the Move
+/// phase before transfers are applied (the entity is already re-placed
+/// flush with `to`'s entry edge).
+struct PendingTransfer {
+  Entity entity;
+  CellId from;
+  CellId to;
+};
+
+/// Canonical order of one round's cross-cell transfers: ascending origin
+/// cell index, preserving the origin's Members order within a cell
+/// (stable). This is exactly the order the serial in-order Move loop
+/// produces; the parallel engine's shard merge — and any future engine —
+/// must funnel through it so that destination Members order, the
+/// transfer-event sequence, and hence every downstream trace are
+/// independent of internal iteration order.
+void canonical_transfer_order(const Grid& grid,
+                              std::vector<PendingTransfer>& transfers);
 
 /// Everything that happened in one update() round, for observers.
 struct RoundEvents {
@@ -110,6 +167,10 @@ class System {
   /// Builds the initial state: all cells empty and non-faulty, dist = ∞
   /// except dist_target = 0, all pointers ⊥ (paper Figure 3).
   /// `choose`/`source` default to RoundRobinChoose / EntryEdgeSource.
+  /// `config.sources` is canonicalized (sorted by cell id, deduplicated)
+  /// so injection order — and thus entity-id assignment — cannot depend
+  /// on how the caller happened to list the sources. The execution
+  /// engine defaults to parallel_policy_from_env().
   explicit System(SystemConfig config,
                   std::unique_ptr<ChoosePolicy> choose = nullptr,
                   std::unique_ptr<SourcePolicy> source = nullptr);
@@ -169,7 +230,25 @@ class System {
   }
 
   /// Registers an intermediate-state observer (replaces any previous).
+  /// Hooks always run on the calling thread, at the barrier between
+  /// phases, with all workers quiescent — regardless of ParallelPolicy.
   void set_phase_hook(PhaseHook hook) { phase_hook_ = std::move(hook); }
+
+  /// Selects the execution engine for subsequent update() calls.
+  /// Changing the policy never changes results — only how the per-cell
+  /// loops are scheduled. kParallel spawns (or resizes) the owned
+  /// ThreadPool; kSerial releases it. Precondition: num_threads in
+  /// [1, 1024] (the same bound CELLFLOW_THREADS enforces).
+  ///
+  /// Note: a stateful (non-concurrent_safe) ChoosePolicy pins the Signal
+  /// phase to the serial in-order loop even under kParallel, because its
+  /// internal stream must observe the exact serial call sequence; Route
+  /// and Move still run sharded.
+  void set_parallel_policy(const ParallelPolicy& policy);
+
+  [[nodiscard]] const ParallelPolicy& parallel_policy() const noexcept {
+    return parallel_;
+  }
 
   // --- direct state access (testing / fault injection) -----------------
 
@@ -198,6 +277,16 @@ class System {
   void run_move_phase();
   void run_inject_phase();
 
+  // Per-cell bodies of the three phases, shared verbatim by the serial
+  // and sharded loops (same scalar code on the same inputs ⇒ bit-equal
+  // outputs). Outputs that the serial loop would append to round-global
+  // vectors go to out-params so shards can buffer privately and merge in
+  // canonical (ascending cell-index) order afterwards.
+  void route_cell(std::size_t k);
+  void signal_cell(std::size_t k, std::vector<CellId>& blocked_out);
+  void move_cell(std::size_t k, std::vector<CellId>& moved_out,
+                 std::vector<PendingTransfer>& pending_out);
+
   /// True iff adding an entity centered at `center` to cell `id` keeps the
   /// cell safe: Invariant-1 bounds, pairwise gap ≥ d, and (fairness guard,
   /// see source.hpp) the entry strip toward the current token stays clear.
@@ -214,6 +303,9 @@ class System {
   std::uint64_t total_arrivals_ = 0;
   std::uint64_t next_entity_id_ = 0;
   RoundEvents events_;
+
+  ParallelPolicy parallel_;
+  std::unique_ptr<ThreadPool> pool_;  ///< live iff mode == kParallel
 
   // Scratch buffers reused across rounds to avoid per-round allocation.
   std::vector<Dist> dist_snapshot_;

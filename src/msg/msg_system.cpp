@@ -19,6 +19,12 @@ MessageSystem::MessageSystem(MsgSystemConfig config)
     CF_EXPECTS_MSG(grid_.contains(s), "source outside grid");
     CF_EXPECTS_MSG(s != config_.target, "a cell cannot be source and target");
   }
+  // Canonical injection order, mirroring System: sources visit in
+  // cell-id order regardless of how the configuration listed them.
+  std::sort(config_.sources.begin(), config_.sources.end());
+  config_.sources.erase(
+      std::unique(config_.sources.begin(), config_.sources.end()),
+      config_.sources.end());
   processes_[grid_.index_of(config_.target)].state.dist = Dist::zero();
 }
 

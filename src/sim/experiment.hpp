@@ -51,6 +51,12 @@ struct WorkloadSpec {
   /// `config`; set them there to run ablation variants through the
   /// harness.)
   std::uint64_t rounds = 2500;
+
+  /// Execution engine for System::update(). Defaults to the ambient
+  /// CELLFLOW_THREADS override (serial when unset); bench binaries set
+  /// it explicitly via their --threads flag. Never affects results —
+  /// the engines are bit-identical — only wall-clock.
+  ParallelPolicy parallel = parallel_policy_from_env();
 };
 
 /// Everything measured in one run.

@@ -53,6 +53,13 @@ class Simulator {
 
   [[nodiscard]] const System& system() const noexcept { return sys_; }
 
+  /// Forwards to System::set_parallel_policy — lets a driver pick the
+  /// round engine without reaching around the Simulator. Results are
+  /// unaffected (the engines are bit-identical); only wall-clock is.
+  void set_parallel_policy(const ParallelPolicy& policy) {
+    sys_.set_parallel_policy(policy);
+  }
+
  private:
   void finish();
 

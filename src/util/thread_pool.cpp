@@ -1,0 +1,114 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cellflow {
+
+std::vector<ShardRange> shard_ranges(std::size_t size, int shards) {
+  CF_EXPECTS(shards >= 1);
+  std::vector<ShardRange> out;
+  if (size == 0) return out;
+  const std::size_t count =
+      std::min(static_cast<std::size_t>(shards), size);
+  const std::size_t base = size / count;
+  const std::size_t extra = size % count;
+  out.reserve(count);
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < count; ++s) {
+    const std::size_t len = base + (s < extra ? 1 : 0);
+    out.push_back(ShardRange{begin, begin + len});
+    begin += len;
+  }
+  CF_ENSURES(begin == size);
+  return out;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  CF_EXPECTS(threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    cv_work_.wait(lk, [&] { return stopping_ || generation_ != seen; });
+    if (stopping_) return;
+    seen = generation_;
+    while (next_task_ < task_count_) {
+      const std::size_t k = next_task_++;
+      lk.unlock();
+      std::exception_ptr err;
+      try {
+        (*task_)(k);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lk.lock();
+      if (err) errors_.emplace_back(k, err);
+      ++completed_;
+      if (completed_ == task_count_) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  std::unique_lock<std::mutex> lk(mu_);
+  CF_EXPECTS_MSG(task_ == nullptr, "ThreadPool::run is not reentrant");
+  task_ = &task;
+  task_count_ = count;
+  next_task_ = 0;
+  completed_ = 0;
+  errors_.clear();
+  ++generation_;
+  cv_work_.notify_all();
+  cv_done_.wait(lk, [&] { return completed_ == task_count_; });
+  task_ = nullptr;
+  task_count_ = 0;
+  if (!errors_.empty()) {
+    const auto lowest = std::min_element(
+        errors_.begin(), errors_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    const std::exception_ptr err = lowest->second;
+    errors_.clear();
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void parallel_for_shards(
+    ThreadPool* pool, std::size_t size,
+    const std::function<void(std::size_t, ShardRange)>& body) {
+  const int shards = pool ? pool->thread_count() : 1;
+  const std::vector<ShardRange> ranges = shard_ranges(size, shards);
+  if (pool == nullptr || ranges.size() <= 1) {
+    for (std::size_t s = 0; s < ranges.size(); ++s) body(s, ranges[s]);
+    return;
+  }
+  pool->run(ranges.size(),
+            [&](std::size_t s) { body(s, ranges[s]); });
+}
+
+void parallel_for(ThreadPool* pool, std::size_t size,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for_shards(pool, size, [&](std::size_t, ShardRange r) {
+    for (std::size_t k = r.begin; k < r.end; ++k) body(k);
+  });
+}
+
+}  // namespace cellflow

@@ -1,0 +1,102 @@
+// Fixed-size worker pool and deterministic range sharding for the
+// parallel round engine (core/system.hpp's ParallelPolicy).
+//
+// Determinism contract: parallelism here is *structural only*. Work is
+// split into contiguous shards whose boundaries depend solely on
+// (range size, shard count) — never on scheduling — so a caller that
+// keeps one output buffer per shard and concatenates them in shard
+// order obtains a result that is bit-identical across runs and across
+// thread counts (shard s always covers the same indices). Which worker
+// executes which shard, and when, is deliberately unspecified.
+//
+// The pool is intentionally tiny: a fixed set of workers, one blocking
+// run() at a time, no task queue, no futures. That is exactly what a
+// barrier-synchronized phase loop needs, and nothing more.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cellflow {
+
+/// Half-open index range [begin, end) assigned to one shard.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  friend constexpr bool operator==(const ShardRange&,
+                                   const ShardRange&) = default;
+};
+
+/// Deterministic partition of [0, size) into at most `shards` contiguous,
+/// ascending, non-empty ranges. The first (size % count) shards are one
+/// element longer, so boundaries are a pure function of (size, shards):
+/// the same pair always yields the same partition, on any machine.
+/// size == 0 yields no shards. Precondition: shards >= 1.
+[[nodiscard]] std::vector<ShardRange> shard_ranges(std::size_t size,
+                                                   int shards);
+
+/// A fixed set of worker threads executing one indexed task batch at a
+/// time. run() blocks the caller until every task finished; the pool is
+/// idle between run() calls. Not reentrant: run() must not be called
+/// concurrently or from inside a task (the latter would deadlock).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. Precondition: threads >= 1.
+  explicit ThreadPool(int threads);
+
+  /// Joins all workers (any in-flight run() must have returned).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int thread_count() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Executes task(k) for every k in [0, count), distributed over the
+  /// workers, and returns when all have completed. If tasks threw, the
+  /// exception of the *lowest* task index is rethrown (a deterministic
+  /// choice, independent of scheduling); the remaining tasks still ran.
+  void run(std::size_t count, const std::function<void(std::size_t)>& task);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  // Current batch, guarded by mu_.
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t task_count_ = 0;
+  std::size_t next_task_ = 0;
+  std::size_t completed_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
+};
+
+/// Runs body(shard_index, range) over the shard_ranges() partition of
+/// [0, size): on the pool when one is given, serially in ascending shard
+/// order when `pool` is nullptr (then the partition has a single shard).
+/// Callers needing merged output keep one buffer per shard — indexed by
+/// shard_index — and concatenate in shard order; see the file comment.
+void parallel_for_shards(
+    ThreadPool* pool, std::size_t size,
+    const std::function<void(std::size_t, ShardRange)>& body);
+
+/// Element-wise convenience over parallel_for_shards: body(k) for every
+/// k in [0, size), sharded the same deterministic way.
+void parallel_for(ThreadPool* pool, std::size_t size,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace cellflow

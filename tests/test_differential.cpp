@@ -1,7 +1,9 @@
-// Differential fuzzing between the two realizations of the protocol: the
-// shared-variable System (§II model) and the MessageSystem (§II-B
-// implementation), across randomized configurations and failure
-// schedules. Any divergence in any reachable state is a modeling bug.
+// Differential fuzzing between three realizations of the protocol: the
+// shared-variable System (§II model) on the serial engine, the same
+// System on the sharded parallel engine (bit-exact comparison), and the
+// MessageSystem (§II-B implementation), across randomized configurations
+// and failure schedules. Any divergence in any reachable state is a
+// modeling or engine bug.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -43,6 +45,14 @@ TEST_P(Differential, SharedVariableAndMessagePassingAgree) {
   sc.target = target;
   sc.sources = {source};
   System shared{sc};
+  shared.set_parallel_policy(ParallelPolicy::serial());
+
+  // Third realization: the same automaton on the sharded parallel engine
+  // (thread count varied by seed). Unlike the message-passing leg, this
+  // one is compared bit-exactly, members in insertion order.
+  System par{sc};
+  par.set_parallel_policy(
+      ParallelPolicy::parallel(1 + static_cast<int>(GetParam().seed % 8)));
 
   MsgSystemConfig mc;
   mc.side = side;
@@ -58,20 +68,37 @@ TEST_P(Differential, SharedVariableAndMessagePassingAgree) {
       if (failed) {
         if (rng.bernoulli(0.05)) {
           shared.recover(id);
+          par.recover(id);
           msg.recover(id);
         }
       } else if (rng.bernoulli(0.01)) {
         shared.fail(id);
+        par.fail(id);
         msg.fail(id);
       }
     }
     shared.update();
+    par.update();
     msg.update();
 
     ASSERT_EQ(shared.total_arrivals(), msg.total_arrivals())
         << "round " << round;
     ASSERT_EQ(shared.total_injected(), msg.total_injected())
         << "round " << round;
+    ASSERT_EQ(shared.total_arrivals(), par.total_arrivals())
+        << "round " << round;
+    ASSERT_EQ(shared.total_injected(), par.total_injected())
+        << "round " << round;
+    for (const CellId id : shared.grid().all_cells()) {
+      const CellState& sa = shared.cell(id);
+      const CellState& sp = par.cell(id);
+      ASSERT_EQ(sa.dist, sp.dist) << to_string(id) << " round " << round;
+      ASSERT_EQ(sa.next, sp.next) << to_string(id) << " round " << round;
+      ASSERT_EQ(sa.token, sp.token) << to_string(id) << " round " << round;
+      ASSERT_EQ(sa.signal, sp.signal) << to_string(id) << " round " << round;
+      ASSERT_EQ(sa.members, sp.members)
+          << to_string(id) << " round " << round;
+    }
     for (const CellId id : shared.grid().all_cells()) {
       const CellState& a = shared.cell(id);
       const CellState& b = msg.cell(id);

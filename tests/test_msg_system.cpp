@@ -111,6 +111,101 @@ TEST(MessageSystem, EquivalentWithFailingTarget) {
   }
 }
 
+// Three-way checks: shared-variable serial ≡ shared-variable parallel
+// (4-thread ParallelPolicy) ≡ message-passing, on the same executions.
+// The serial↔parallel leg is bit-exact (members in insertion order); the
+// shared↔message leg uses the established sorted-snapshot equality.
+void expect_exact_equal(const System& a, const System& b,
+                        std::uint64_t round) {
+  ASSERT_EQ(a.total_arrivals(), b.total_arrivals()) << "round " << round;
+  ASSERT_EQ(a.total_injected(), b.total_injected()) << "round " << round;
+  for (const CellId id : a.grid().all_cells()) {
+    const CellState& ca = a.cell(id);
+    const CellState& cb = b.cell(id);
+    ASSERT_EQ(ca.failed, cb.failed) << to_string(id) << " round " << round;
+    ASSERT_EQ(ca.dist, cb.dist) << to_string(id) << " round " << round;
+    ASSERT_EQ(ca.next, cb.next) << to_string(id) << " round " << round;
+    ASSERT_EQ(ca.signal, cb.signal) << to_string(id) << " round " << round;
+    ASSERT_EQ(ca.token, cb.token) << to_string(id) << " round " << round;
+    ASSERT_EQ(ca.members, cb.members) << to_string(id) << " round " << round;
+  }
+}
+
+TEST(ThreeWay, MultiSourceAgreement) {
+  SystemConfig sc = shared_config(6);
+  sc.sources = {CellId{1, 0}, CellId{4, 0}};
+  sc.target = CellId{2, 5};
+  MsgSystemConfig mc = msg_config(6);
+  mc.sources = sc.sources;
+  mc.target = sc.target;
+
+  System serial{sc};
+  serial.set_parallel_policy(ParallelPolicy::serial());
+  System par{sc};
+  par.set_parallel_policy(ParallelPolicy::parallel(4));
+  MessageSystem msg{mc};
+
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    serial.update();
+    par.update();
+    msg.update();
+    expect_exact_equal(serial, par, k);
+    expect_equal_states(serial, msg, k);
+  }
+  EXPECT_GT(serial.total_arrivals(), 0u);
+}
+
+TEST(ThreeWay, AgreementUnderScriptedFailures) {
+  System serial{shared_config(6)};
+  serial.set_parallel_policy(ParallelPolicy::serial());
+  System par{shared_config(6)};
+  par.set_parallel_policy(ParallelPolicy::parallel(4));
+  MessageSystem msg{msg_config(6)};
+
+  const auto fail_all = [&](CellId id) {
+    serial.fail(id);
+    par.fail(id);
+    msg.fail(id);
+  };
+  for (std::uint64_t k = 0; k < 400; ++k) {
+    if (k == 50) fail_all(CellId{1, 3});
+    if (k == 120) fail_all(CellId{2, 3});
+    serial.update();
+    par.update();
+    msg.update();
+    expect_exact_equal(serial, par, k);
+    expect_equal_states(serial, msg, k);
+  }
+}
+
+TEST(ThreeWay, AgreementThroughFailureAndRecovery) {
+  System serial{shared_config(6)};
+  serial.set_parallel_policy(ParallelPolicy::serial());
+  System par{shared_config(6)};
+  par.set_parallel_policy(ParallelPolicy::parallel(4));
+  MessageSystem msg{msg_config(6)};
+
+  for (std::uint64_t k = 0; k < 400; ++k) {
+    if (k == 40) {
+      serial.fail(CellId{1, 3});
+      par.fail(CellId{1, 3});
+      msg.fail(CellId{1, 3});
+    }
+    if (k == 200) {
+      serial.recover(CellId{1, 3});
+      par.recover(CellId{1, 3});
+      msg.recover(CellId{1, 3});
+    }
+    serial.update();
+    par.update();
+    msg.update();
+    expect_exact_equal(serial, par, k);
+    expect_equal_states(serial, msg, k);
+  }
+  // Flow resumes through the recovered cell.
+  EXPECT_GT(serial.total_arrivals(), 0u);
+}
+
 TEST(MessageSystem, SilentNeighborReadsAsInfiniteDistance) {
   // Footnote 1 made executable: crash a cell and verify its neighbors'
   // dist rises as if the cell reported ∞ — without any failure detector.

@@ -1,0 +1,341 @@
+// Differential pinning of the parallel round engine (ParallelPolicy):
+// for randomized scenarios spanning grid sizes, source counts, failure
+// schedules, both MovementRules and both SignalRules, the serial engine
+// and the sharded engine at 1/2/4/8 threads must produce *bit-identical*
+// full states and event streams after every round — not merely equivalent
+// up to reordering. The §III-A oracles run on every round as well, so a
+// parallelization bug cannot hide behind a self-consistent-but-wrong
+// execution. Also pins the canonicalizations the contract rests on:
+// transfer-merge order and source-list order are iteration-order
+// invariant, and CELLFLOW_THREADS parsing fails loudly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/choose.hpp"
+#include "core/predicates.hpp"
+#include "core/system.hpp"
+#include "failure/failure_model.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace cellflow {
+namespace {
+
+// Bit-exact comparison: every protocol variable of every cell, in exact
+// stored order (members insertion order included — the engines must not
+// even reorder within a cell).
+void expect_bit_identical(const System& a, const System& b, int round,
+                          const std::string& label) {
+  ASSERT_EQ(a.round(), b.round()) << label << " round " << round;
+  ASSERT_EQ(a.total_arrivals(), b.total_arrivals())
+      << label << " round " << round;
+  ASSERT_EQ(a.total_injected(), b.total_injected())
+      << label << " round " << round;
+  for (const CellId id : a.grid().all_cells()) {
+    const CellState& ca = a.cell(id);
+    const CellState& cb = b.cell(id);
+    ASSERT_EQ(ca.failed, cb.failed) << label << " " << to_string(id);
+    ASSERT_EQ(ca.dist, cb.dist) << label << " " << to_string(id);
+    ASSERT_EQ(ca.next, cb.next) << label << " " << to_string(id);
+    ASSERT_EQ(ca.token, cb.token) << label << " " << to_string(id);
+    ASSERT_EQ(ca.signal, cb.signal) << label << " " << to_string(id);
+    ASSERT_EQ(ca.ne_prev, cb.ne_prev) << label << " " << to_string(id);
+    ASSERT_EQ(ca.members, cb.members)
+        << label << " " << to_string(id) << " round " << round;
+  }
+}
+
+// The RoundEvents streams must match element-for-element too: observers
+// (traces, throughput meters, figure scripts) consume them directly.
+void expect_identical_events(const RoundEvents& a, const RoundEvents& b,
+                             int round, const std::string& label) {
+  ASSERT_EQ(a.round, b.round) << label << " round " << round;
+  ASSERT_EQ(a.arrivals, b.arrivals) << label << " round " << round;
+  ASSERT_EQ(a.moved, b.moved) << label << " round " << round;
+  ASSERT_EQ(a.blocked, b.blocked) << label << " round " << round;
+  ASSERT_EQ(a.injected, b.injected) << label << " round " << round;
+  ASSERT_EQ(a.transfers.size(), b.transfers.size())
+      << label << " round " << round;
+  for (std::size_t k = 0; k < a.transfers.size(); ++k) {
+    const TransferEvent& ta = a.transfers[k];
+    const TransferEvent& tb = b.transfers[k];
+    ASSERT_EQ(ta.entity, tb.entity) << label << " round " << round;
+    ASSERT_EQ(ta.from, tb.from) << label << " round " << round;
+    ASSERT_EQ(ta.to, tb.to) << label << " round " << round;
+    ASSERT_EQ(ta.consumed, tb.consumed) << label << " round " << round;
+  }
+}
+
+struct Scenario {
+  std::uint64_t seed;
+};
+
+void PrintTo(const Scenario& s, std::ostream* os) { *os << "seed=" << s.seed; }
+
+class ParallelDifferential : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(ParallelDifferential, BitIdenticalToSerialAtEveryThreadCount) {
+  const std::uint64_t seed = GetParam().seed;
+  Xoshiro256 rng(seed * 7919 + 13);
+
+  const auto u = [&rng](int n) {
+    return static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(n)));
+  };
+
+  // Random configuration, same envelope as tests/test_differential.cpp.
+  const int side = 4 + static_cast<int>(rng.below(5));  // 4..8
+  const double l = rng.uniform(0.1, 0.35);
+  const double rs = rng.uniform(0.05, std::min(0.4, 0.95 - l));
+  const double v = rng.uniform(0.05, l);
+  const CellId target{u(side), u(side)};
+  std::vector<CellId> sources;
+  const std::size_t n_sources = 1 + rng.below(2);
+  while (sources.size() < n_sources) {
+    const CellId c{u(side), u(side)};
+    if (c == target) continue;
+    if (std::find(sources.begin(), sources.end(), c) != sources.end())
+      continue;
+    sources.push_back(c);
+  }
+
+  SystemConfig cfg;
+  cfg.side = side;
+  cfg.params = Params(l, rs, v);
+  cfg.target = target;
+  cfg.sources = sources;
+  cfg.movement_rule =
+      (seed % 2 == 0) ? MovementRule::kCoupled : MovementRule::kCompacting;
+  // Every 5th seed runs the UNSAFE always-grant ablation: the engines
+  // must agree bit-for-bit even on executions that violate Safe.
+  cfg.signal_rule =
+      (seed % 5 == 0) ? SignalRule::kAlwaysGrant : SignalRule::kBlocking;
+  // Every 7th seed uses the stateful RandomChoose policy, which pins the
+  // Signal phase to the serial loop even under kParallel — equality must
+  // hold through that path too. Each engine gets its own instance with
+  // the same stream seed.
+  const bool random_choose = (seed % 7 == 0);
+  const auto choose = [&]() -> std::unique_ptr<ChoosePolicy> {
+    return random_choose ? make_choose_policy("random", 1000 + seed) : nullptr;
+  };
+
+  System serial{cfg, choose()};
+  serial.set_parallel_policy(ParallelPolicy::serial());
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::vector<std::unique_ptr<System>> engines;
+  for (const int t : thread_counts) {
+    engines.push_back(std::make_unique<System>(cfg, choose()));
+    engines.back()->set_parallel_policy(ParallelPolicy::parallel(t));
+  }
+
+  // Random but identical failure schedule, driven by the serial state.
+  for (int round = 0; round < 60; ++round) {
+    for (const CellId id : serial.grid().all_cells()) {
+      if (serial.cell(id).failed) {
+        if (rng.bernoulli(0.05)) {
+          serial.recover(id);
+          for (auto& e : engines) e->recover(id);
+        }
+      } else if (rng.bernoulli(0.012)) {
+        serial.fail(id);
+        for (auto& e : engines) e->fail(id);
+      }
+    }
+
+    const RoundEvents serial_events = serial.update();
+    for (std::size_t k = 0; k < engines.size(); ++k) {
+      const RoundEvents& ev = engines[k]->update();
+      const std::string label =
+          "threads=" + std::to_string(thread_counts[k]);
+      expect_bit_identical(serial, *engines[k], round, label);
+      expect_identical_events(serial_events, ev, round, label);
+    }
+
+    // §III-A oracles, on the serial state and one parallel state. The
+    // always-grant ablation violates Safe by design; there only the
+    // structural invariant (disjoint Members) is meaningful.
+    if (cfg.signal_rule == SignalRule::kBlocking) {
+      for (const System* sys : {&serial, engines[1].get()}) {
+        const auto violations = check_all(*sys);
+        ASSERT_TRUE(violations.empty())
+            << "round " << round << ": " << to_string(violations.front());
+      }
+    } else {
+      for (const System* sys : {&serial, engines[1].get()}) {
+        const auto violation = check_members_disjoint(*sys);
+        ASSERT_FALSE(violation.has_value())
+            << "round " << round << ": " << to_string(*violation);
+      }
+    }
+  }
+}
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> out;
+  for (std::uint64_t s = 1; s <= 48; ++s) out.push_back({s});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDifferential,
+                         ::testing::ValuesIn(scenarios()));
+
+// The golden corridor of tests/test_golden_trace.cpp, replayed under the
+// parallel engine: the pinned verbatim trace must come out of every
+// thread count (ISSUE acceptance: 1, 2, and 8 threads).
+TEST(ParallelGoldenTrace, PinnedTraceAtEveryThreadCount) {
+  for (const int threads : {1, 2, 8}) {
+    SystemConfig cfg;
+    cfg.side = 3;
+    cfg.params = Params(0.25, 0.25, 0.25);
+    cfg.sources = {};
+    cfg.target = CellId{2, 0};
+    System sys(cfg, nullptr, std::make_unique<NullSource>());
+    sys.set_parallel_policy(ParallelPolicy::parallel(threads));
+    sys.seed_entity(CellId{0, 0}, Vec2{0.5, 0.5});
+
+    NoFailures none;
+    Simulator sim(sys, none);
+    TraceRecorder trace;
+    sim.add_observer(trace);
+    sim.run(12);
+
+    const std::string expected =
+        "2 transfer p0 <0,0> -> <1,0>\n"
+        "6 consume p0 <1,0> -> <2,0>\n";
+    EXPECT_EQ(trace.serialize(), expected) << "threads=" << threads;
+    EXPECT_EQ(sys.total_arrivals(), 1u) << "threads=" << threads;
+  }
+}
+
+// Regression for the latent-nondeterminism fix: canonical_transfer_order
+// must map any permutation of the per-cell transfer groups (the degrees
+// of freedom an engine's internal iteration order has) back to the
+// serial in-order sequence.
+TEST(CanonicalOrder, TransferMergeIsIterationOrderInvariant) {
+  const Grid grid(5);
+  // Serial order: ascending origin-cell index; within a cell, Members
+  // (insertion) order. Give some cells multi-entity groups so the
+  // within-group order matters.
+  std::vector<std::vector<PendingTransfer>> groups;
+  std::uint64_t next_id = 0;
+  for (const CellId from : grid.all_cells()) {
+    if (grid.index_of(from) % 3 != 0) continue;  // sparse, like real rounds
+    std::vector<PendingTransfer> group;
+    const std::size_t n = 1 + grid.index_of(from) % 2;
+    for (std::size_t k = 0; k < n; ++k) {
+      group.push_back(PendingTransfer{
+          Entity{EntityId{next_id++}, Vec2{0.5, 0.5}}, from,
+          CellId{from.i, (from.j + 1) % 5}});
+    }
+    groups.push_back(std::move(group));
+  }
+  std::vector<PendingTransfer> serial_order;
+  for (const auto& g : groups)
+    serial_order.insert(serial_order.end(), g.begin(), g.end());
+
+  Xoshiro256 rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Permute whole groups (within-group order is the origin cell's
+    // Members order, which no engine reorders).
+    auto permuted = groups;
+    for (std::size_t k = permuted.size(); k > 1; --k)
+      std::swap(permuted[k - 1], permuted[rng.below(k)]);
+    std::vector<PendingTransfer> flat;
+    for (const auto& g : permuted)
+      flat.insert(flat.end(), g.begin(), g.end());
+
+    canonical_transfer_order(grid, flat);
+
+    ASSERT_EQ(flat.size(), serial_order.size());
+    for (std::size_t k = 0; k < flat.size(); ++k) {
+      ASSERT_EQ(flat[k].entity, serial_order[k].entity) << "trial " << trial;
+      ASSERT_EQ(flat[k].from, serial_order[k].from) << "trial " << trial;
+      ASSERT_EQ(flat[k].to, serial_order[k].to) << "trial " << trial;
+    }
+  }
+}
+
+// Regression for the other iteration-order freedom: the order the caller
+// lists sources in must not affect anything — injection order (and hence
+// entity-id assignment) is pinned to ascending cell id at construction.
+TEST(CanonicalOrder, SourceListOrderIsIrrelevant) {
+  SystemConfig fwd;
+  fwd.side = 6;
+  fwd.params = Params(0.2, 0.05, 0.15);
+  fwd.target = CellId{3, 5};
+  fwd.sources = {CellId{0, 0}, CellId{2, 1}, CellId{5, 0}};
+  SystemConfig rev = fwd;
+  rev.sources = {CellId{5, 0}, CellId{0, 0}, CellId{2, 1},
+                 CellId{0, 0}};  // duplicate too
+
+  System a{fwd};
+  System b{rev};
+  a.set_parallel_policy(ParallelPolicy::serial());
+  b.set_parallel_policy(ParallelPolicy::serial());
+
+  const std::vector<CellId> canonical = {CellId{0, 0}, CellId{2, 1},
+                                         CellId{5, 0}};
+  ASSERT_EQ(std::vector<CellId>(a.sources().begin(), a.sources().end()),
+            canonical);
+  ASSERT_EQ(std::vector<CellId>(b.sources().begin(), b.sources().end()),
+            canonical);
+
+  for (int round = 0; round < 150; ++round) {
+    const RoundEvents& ea = a.update();
+    const RoundEvents& eb = b.update();
+    expect_bit_identical(a, b, round, "source-order");
+    expect_identical_events(ea, eb, round, "source-order");
+  }
+  EXPECT_GT(a.total_injected(), 0u);
+}
+
+TEST(ParallelPolicyEnv, ParsesValidValuesAndRejectsGarbage) {
+  const char* old = std::getenv("CELLFLOW_THREADS");
+  const std::string saved = old != nullptr ? old : "";
+  const bool had = old != nullptr;
+
+  ASSERT_EQ(setenv("CELLFLOW_THREADS", "3", 1), 0);
+  EXPECT_EQ(parallel_policy_from_env(), ParallelPolicy::parallel(3));
+  ASSERT_EQ(setenv("CELLFLOW_THREADS", "0", 1), 0);
+  EXPECT_EQ(parallel_policy_from_env(), ParallelPolicy::serial());
+  ASSERT_EQ(setenv("CELLFLOW_THREADS", "", 1), 0);
+  EXPECT_EQ(parallel_policy_from_env(), ParallelPolicy::serial());
+  ASSERT_EQ(unsetenv("CELLFLOW_THREADS"), 0);
+  EXPECT_EQ(parallel_policy_from_env(), ParallelPolicy::serial());
+  for (const char* bad : {"banana", "-2", "3x", "1000000"}) {
+    ASSERT_EQ(setenv("CELLFLOW_THREADS", bad, 1), 0);
+    EXPECT_THROW(static_cast<void>(parallel_policy_from_env()),
+                 std::runtime_error)
+        << bad;
+  }
+
+  if (had) {
+    ASSERT_EQ(setenv("CELLFLOW_THREADS", saved.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("CELLFLOW_THREADS"), 0);
+  }
+}
+
+TEST(ParallelPolicy, SetPolicyValidatesThreadCount) {
+  System sys{SystemConfig{}};
+  EXPECT_THROW(sys.set_parallel_policy(ParallelPolicy::parallel(0)),
+               ContractViolation);
+  // Same bound as CELLFLOW_THREADS — a typo'd CLI flag cannot spawn a
+  // runaway number of workers.
+  EXPECT_THROW(sys.set_parallel_policy(ParallelPolicy::parallel(100000)),
+               ContractViolation);
+  sys.set_parallel_policy(ParallelPolicy::parallel(2));
+  EXPECT_EQ(sys.parallel_policy(), ParallelPolicy::parallel(2));
+  sys.set_parallel_policy(ParallelPolicy::serial());
+  EXPECT_EQ(sys.parallel_policy(), ParallelPolicy::serial());
+}
+
+}  // namespace
+}  // namespace cellflow

@@ -1,0 +1,174 @@
+// Unit tests for util/thread_pool.hpp — the substrate of the parallel
+// round engine. The determinism-critical property is that shard
+// boundaries are a pure function of (size, shard count); the pool itself
+// only needs to run every task exactly once and surface exceptions.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cellflow {
+namespace {
+
+TEST(ShardRanges, EmptyRangeYieldsNoShards) {
+  for (const int shards : {1, 2, 8}) {
+    EXPECT_TRUE(shard_ranges(0, shards).empty()) << shards;
+  }
+}
+
+TEST(ShardRanges, RangeSmallerThanShardCountYieldsSingletons) {
+  const auto ranges = shard_ranges(3, 8);
+  ASSERT_EQ(ranges.size(), 3u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(ranges[s], (ShardRange{s, s + 1}));
+  }
+}
+
+TEST(ShardRanges, ExactBoundariesArePinned) {
+  // (10, 4): 10 = 4·2 + 2, so the first two shards get the extra element.
+  const std::vector<ShardRange> expected = {
+      {0, 3}, {3, 6}, {6, 8}, {8, 10}};
+  EXPECT_EQ(shard_ranges(10, 4), expected);
+  // Even split.
+  const std::vector<ShardRange> even = {{0, 2}, {2, 4}, {4, 6}, {6, 8}};
+  EXPECT_EQ(shard_ranges(8, 4), even);
+}
+
+TEST(ShardRanges, DeterministicForGivenSizeAndThreads) {
+  for (std::size_t size = 0; size <= 64; ++size) {
+    for (int shards = 1; shards <= 9; ++shards) {
+      const auto a = shard_ranges(size, shards);
+      const auto b = shard_ranges(size, shards);
+      ASSERT_EQ(a, b) << "size=" << size << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardRanges, PartitionInvariants) {
+  for (std::size_t size = 1; size <= 64; ++size) {
+    for (int shards = 1; shards <= 9; ++shards) {
+      const auto ranges = shard_ranges(size, shards);
+      ASSERT_EQ(ranges.size(),
+                std::min<std::size_t>(static_cast<std::size_t>(shards), size));
+      std::size_t cursor = 0;
+      std::size_t min_len = size, max_len = 0;
+      for (const ShardRange& r : ranges) {
+        ASSERT_EQ(r.begin, cursor);        // contiguous, ascending
+        ASSERT_GT(r.end, r.begin);         // non-empty
+        min_len = std::min(min_len, r.end - r.begin);
+        max_len = std::max(max_len, r.end - r.begin);
+        cursor = r.end;
+      }
+      ASSERT_EQ(cursor, size);             // covers [0, size)
+      ASSERT_LE(max_len - min_len, 1u);    // balanced
+    }
+  }
+}
+
+TEST(ShardRanges, RejectsNonPositiveShardCount) {
+  EXPECT_THROW(shard_ranges(10, 0), ContractViolation);
+}
+
+TEST(ThreadPool, RejectsNonPositiveThreadCount) {
+  EXPECT_THROW(ThreadPool pool(0), ContractViolation);
+}
+
+TEST(ThreadPool, EmptyBatchReturnsWithoutInvokingTask) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.run(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(997, 0);  // distinct slots — no synchronization
+  pool.run(hits.size(), [&](std::size_t k) { ++hits[k]; });
+  for (std::size_t k = 0; k < hits.size(); ++k)
+    ASSERT_EQ(hits[k], 1) << "task " << k;
+}
+
+TEST(ThreadPool, BatchSmallerThanThreadCount) {
+  ThreadPool pool(8);
+  std::vector<int> hits(3, 0);
+  pool.run(hits.size(), [&](std::size_t k) { ++hits[k]; });
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(3);
+  std::uint64_t total = 0;
+  for (int batch = 0; batch < 50; ++batch) {
+    std::vector<std::uint64_t> out(17, 0);
+    pool.run(out.size(), [&](std::size_t k) { out[k] = k + 1; });
+    total += std::accumulate(out.begin(), out.end(), std::uint64_t{0});
+  }
+  EXPECT_EQ(total, 50u * (17u * 18u / 2u));
+}
+
+TEST(ThreadPool, PropagatesLowestIndexException) {
+  ThreadPool pool(4);
+  // Several tasks throw; the rethrown one must deterministically be the
+  // lowest task index, independent of which worker ran what, and the
+  // non-throwing tasks must still have executed.
+  std::vector<int> hits(64, 0);
+  try {
+    pool.run(hits.size(), [&](std::size_t k) {
+      if (k == 5 || k == 2 || k == 40)
+        throw std::runtime_error("task " + std::to_string(k));
+      ++hits[k];
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 2");
+  }
+  for (std::size_t k = 0; k < hits.size(); ++k) {
+    if (k == 5 || k == 2 || k == 40) continue;
+    ASSERT_EQ(hits[k], 1) << "task " << k;
+  }
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run(4, [](std::size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  std::vector<int> hits(8, 0);
+  pool.run(hits.size(), [&](std::size_t k) { ++hits[k]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 8);
+}
+
+TEST(ParallelFor, ComputesEveryElementWithAndWithoutPool) {
+  const std::size_t n = 10000;
+  std::vector<std::uint64_t> serial(n, 0), pooled(n, 0);
+  parallel_for(nullptr, n, [&](std::size_t k) { serial[k] = k * k; });
+  ThreadPool pool(4);
+  parallel_for(&pool, n, [&](std::size_t k) { pooled[k] = k * k; });
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(ParallelForShards, ShardOrderConcatenationIsAscending) {
+  // The merge discipline the round engine relies on: one buffer per
+  // shard, concatenated in shard order, equals the serial iteration.
+  ThreadPool pool(4);
+  const std::size_t n = 103;
+  std::vector<std::vector<std::size_t>> buffers(
+      static_cast<std::size_t>(pool.thread_count()));
+  parallel_for_shards(&pool, n, [&](std::size_t s, ShardRange r) {
+    for (std::size_t k = r.begin; k < r.end; ++k) buffers[s].push_back(k);
+  });
+  std::vector<std::size_t> merged;
+  for (const auto& b : buffers) merged.insert(merged.end(), b.begin(), b.end());
+  std::vector<std::size_t> expected(n);
+  std::iota(expected.begin(), expected.end(), std::size_t{0});
+  EXPECT_EQ(merged, expected);
+}
+
+}  // namespace
+}  // namespace cellflow

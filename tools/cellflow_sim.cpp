@@ -7,7 +7,7 @@
 //                [--pf=0.02 --pr=0.1] [--policy=round-robin]
 //                [--movement=coupled|compacting] [--carve-turns=N]
 //                [--render-every=0] [--trace=false] [--csv=false]
-//                [--seed=1]
+//                [--seed=1] [--threads=0]
 //
 // Prints a one-line summary plus (optionally) periodic ASCII renders, the
 // full event trace, and a machine-readable CSV record. Exits nonzero if
@@ -64,6 +64,9 @@ int main(int argc, char** argv) {
   const bool dump_trace = cli.get_bool("trace", false, "print the event trace");
   const bool emit_csv = cli.get_bool("csv", false, "print a CSV summary record");
   const auto seed = cli.get_uint("seed", 1, "rng seed");
+  const auto threads = cli.get_uint(
+      "threads", 0,
+      "round-engine worker threads (0: $CELLFLOW_THREADS or serial)");
   if (cli.help_requested()) {
     std::cout << cli.help_text();
     return 0;
@@ -98,6 +101,9 @@ int main(int argc, char** argv) {
   }
 
   System sys(cfg, make_choose_policy(policy, seed));
+  if (threads > 0)
+    sys.set_parallel_policy(
+        ParallelPolicy::parallel(static_cast<int>(threads)));
   if (carved.has_value()) carve_path(sys, *carved);
 
   std::unique_ptr<FailureModel> failures;
