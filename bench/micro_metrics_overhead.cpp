@@ -1,0 +1,198 @@
+// Micro-benchmark: rounds/sec of the round engine with the observability
+// layer detached vs attached (MetricsRegistry only, then registry +
+// PhaseProfiler). The acceptance bar is that a detached run costs nothing
+// (the instrumentation is behind a null check) and an attached run stays
+// cheap — counters are tallied per shard in plain structs and flushed
+// once per round.
+//
+// Instrumentation must be observation-only: a digest of the full protocol
+// state after the timed window is compared across modes, so this bench
+// doubles as a no-perturbation check — any digest mismatch aborts
+// nonzero. scripts/plot_figures.py consumes the CSV block.
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/system.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace cellflow;
+
+/// Same saturated workload as micro_parallel_scaling: sources along the
+/// west edge, target mid-east, population proportional to the side.
+SystemConfig overhead_config(int side) {
+  SystemConfig cfg;
+  cfg.side = side;
+  cfg.params = Params(0.2, 0.05, 0.2);
+  cfg.target = CellId{side - 1, side / 2};
+  cfg.sources.clear();
+  for (int j = 0; j < side; ++j) cfg.sources.push_back(CellId{0, j});
+  return cfg;
+}
+
+/// FNV-1a over every protocol variable of every cell — any single-bit
+/// perturbation introduced by the instrumentation changes it.
+class StateDigest {
+ public:
+  void mix(std::uint64_t v) noexcept {
+    for (int b = 0; b < 8; ++b) {
+      hash_ ^= (v >> (8 * b)) & 0xffu;
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  void mix_double(double d) noexcept {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof bits);
+    mix(bits);
+  }
+  void mix_opt(const OptCellId& id) noexcept {
+    mix(id.has_value() ? (static_cast<std::uint64_t>(
+                              static_cast<std::uint32_t>(id->i))
+                              << 32) |
+                             static_cast<std::uint32_t>(id->j)
+                       : ~0ull);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+std::uint64_t digest(const System& sys) {
+  StateDigest d;
+  d.mix(sys.round());
+  d.mix(sys.total_arrivals());
+  d.mix(sys.total_injected());
+  for (const CellState& c : sys.cells()) {
+    d.mix(c.failed ? 1 : 0);
+    d.mix(c.dist.is_finite() ? c.dist.hops() : ~0ull);
+    d.mix_opt(c.next);
+    d.mix_opt(c.token);
+    d.mix_opt(c.signal);
+    d.mix(c.members.size());
+    for (const Entity& e : c.members) {
+      d.mix(e.id.value);
+      d.mix_double(e.center.x);
+      d.mix_double(e.center.y);
+    }
+  }
+  return d.value();
+}
+
+enum class Mode { kDetached, kMetrics, kMetricsAndProfiler };
+
+struct Measurement {
+  double rounds_per_sec = 0.0;
+  std::uint64_t state_digest = 0;
+};
+
+Measurement measure(int side, const ParallelPolicy& policy, Mode mode,
+                    std::uint64_t warmup, std::uint64_t rounds) {
+  System sys(overhead_config(side));
+  sys.set_parallel_policy(policy);
+  obs::MetricsRegistry reg;
+  obs::PhaseProfiler prof;
+  if (mode != Mode::kDetached) sys.set_metrics(&reg);
+  if (mode == Mode::kMetricsAndProfiler) sys.set_profiler(&prof);
+  for (std::uint64_t k = 0; k < warmup; ++k) sys.update();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t k = 0; k < rounds; ++k) sys.update();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  Measurement m;
+  m.rounds_per_sec = secs > 0.0 ? static_cast<double>(rounds) / secs : 0.0;
+  m.state_digest = digest(sys);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs cli(argc, argv);
+  const auto rounds = cli.get_uint("rounds", 300, "timed rounds per mode");
+  const auto warmup =
+      cli.get_uint("warmup", 60, "untimed rounds to reach steady state");
+  const auto max_side = static_cast<int>(
+      cli.get_uint("max-side", 50, "largest grid side to measure"));
+  const ParallelPolicy policy = cellflow::bench::parallel_from_cli(cli);
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  cli.finish();
+
+  cellflow::bench::banner(
+      "Micro: observability overhead",
+      "MetricsRegistry + PhaseProfiler attach cost (DESIGN.md §7)");
+
+  const std::vector<int> all_sides = {20, 50};
+  const char* mode_names[] = {"detached", "metrics", "metrics+prof"};
+
+  TextTable table;
+  table.set_header({"side", "detached r/s", "metrics r/s", "metrics+prof r/s",
+                    "metrics ovh%", "prof ovh%"});
+
+  struct Row {
+    int side;
+    double rps[3];
+  };
+  std::vector<Row> results;
+  bool digests_agree = true;
+
+  for (const int side : all_sides) {
+    if (side > max_side) continue;
+    Row row{side, {}};
+    std::uint64_t baseline_digest = 0;
+    for (int m = 0; m < 3; ++m) {
+      const Measurement meas =
+          measure(side, policy, static_cast<Mode>(m), warmup, rounds);
+      row.rps[m] = meas.rounds_per_sec;
+      if (m == 0) {
+        baseline_digest = meas.state_digest;
+      } else if (meas.state_digest != baseline_digest) {
+        digests_agree = false;
+        std::cerr << "DIGEST MISMATCH: side=" << side << " mode="
+                  << mode_names[m]
+                  << " — instrumentation perturbed protocol state\n";
+      }
+    }
+    const auto overhead = [&](int m) {
+      return row.rps[m] > 0.0
+                 ? 100.0 * (row.rps[0] / row.rps[m] - 1.0)
+                 : 0.0;
+    };
+    table.add_numeric_row(std::to_string(side),
+                          {row.rps[0], row.rps[1], row.rps[2], overhead(1),
+                           overhead(2)});
+    results.push_back(row);
+  }
+  std::cout << table.to_string() << '\n';
+
+  std::cout << "CSV:\n";
+  CsvWriter csv(std::cout);
+  csv.header({"side", "mode", "rounds_per_sec", "overhead_pct"});
+  for (const Row& r : results) {
+    for (int m = 0; m < 3; ++m) {
+      const double ovh =
+          r.rps[m] > 0.0 ? 100.0 * (r.rps[0] / r.rps[m] - 1.0) : 0.0;
+      csv.field(static_cast<std::int64_t>(r.side))
+          .field(mode_names[m])
+          .field(r.rps[m])
+          .field(m == 0 ? 0.0 : ovh);
+      csv.end_row();
+    }
+  }
+
+  std::cout << (digests_agree
+                    ? "\nno-perturbation: digests identical across modes\n"
+                    : "\nno-perturbation: DIGEST MISMATCH (bug)\n");
+  return digests_agree ? 0 : 1;
+}

@@ -9,6 +9,7 @@
 #include "core/move.hpp"
 #include "core/route.hpp"
 #include "core/signal.hpp"
+#include "obs/profiler.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
@@ -63,6 +64,13 @@ System::System(SystemConfig config, std::unique_ptr<ChoosePolicy> choose,
   set_parallel_policy(parallel_policy_from_env());
 }
 
+void System::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry != nullptr
+                 ? std::make_unique<obs::ProtocolMetrics>(*registry, "shared")
+                 : nullptr;
+  round_counts_.reset();
+}
+
 void System::set_parallel_policy(const ParallelPolicy& policy) {
   CF_EXPECTS_MSG(policy.num_threads >= 1 && policy.num_threads <= 1024,
                  "ParallelPolicy::num_threads out of [1, 1024]");
@@ -99,6 +107,7 @@ CellMask System::tc_mask() const {
 void System::fail(CellId id) {
   CF_EXPECTS(grid_.contains(id));
   CellState& c = cells_[grid_.index_of(id)];
+  if (!c.failed && metrics_) metrics_->add_failure();  // idempotent action
   c.failed = true;
   c.dist = Dist::infinity();  // neighbors stop hearing from it
   c.next = std::nullopt;
@@ -114,6 +123,7 @@ void System::recover(CellId id) {
   CF_EXPECTS(grid_.contains(id));
   CellState& c = cells_[grid_.index_of(id)];
   if (!c.failed) return;
+  if (metrics_) metrics_->add_recovery();
   c.failed = false;
   // Reset to initial protocol state (§IV); Route repairs dist/next within
   // O(N²) rounds (Corollary 7). The target re-anchors at 0 so routing can
@@ -131,15 +141,37 @@ const RoundEvents& System::update() {
   events_ = RoundEvents{};
   events_.round = round_;
 
-  run_route_phase();
+  // Profiling wraps (it never feeds back into the round) and metrics
+  // flush once per round, after the phases — see set_metrics().
+  using ProfClock = obs::PhaseProfiler::Clock;
+  const auto t_round =
+      profiler_ != nullptr ? ProfClock::now() : ProfClock::time_point{};
+  const auto timed = [this](const char* name, auto&& phase) {
+    if (profiler_ == nullptr) {
+      phase();
+      return;
+    }
+    const auto t0 = ProfClock::now();
+    phase();
+    profiler_->record(name, round_, -1, t0, ProfClock::now());
+  };
+
+  timed("route", [this] { run_route_phase(); });
   if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterRoute);
-  run_signal_phase();
+  timed("signal", [this] { run_signal_phase(); });
   if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterSignal);
-  run_move_phase();
+  timed("move", [this] { run_move_phase(); });
   if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterMove);
-  run_inject_phase();
+  timed("inject", [this] { run_inject_phase(); });
   if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterInject);
 
+  if (profiler_ != nullptr)
+    profiler_->record("round", round_, -1, t_round, ProfClock::now());
+  if (metrics_) {
+    metrics_->add(round_counts_);
+    metrics_->add_round();
+    round_counts_.reset();
+  }
   ++round_;
   return events_;
 }
@@ -152,11 +184,26 @@ void System::run_route_phase() {
   for (std::size_t k = 0; k < cells_.size(); ++k)
     dist_snapshot_[k] = cells_[k].dist;
 
-  parallel_for(pool_.get(), cells_.size(),
-               [this](std::size_t k) { route_cell(k); });
+  const auto nshards =
+      pool_ ? static_cast<std::size_t>(pool_->thread_count()) : 1;
+  std::vector<obs::ProtocolCounts> counts(metrics_ ? nshards : 0);
+  parallel_for_shards(
+      pool_.get(), cells_.size(), [&](std::size_t s, ShardRange r) {
+        const auto t0 = profiler_ != nullptr
+                            ? obs::PhaseProfiler::Clock::now()
+                            : obs::PhaseProfiler::Clock::time_point{};
+        obs::ProtocolCounts* pc = counts.empty() ? nullptr : &counts[s];
+        for (std::size_t k = r.begin; k < r.end; ++k) route_cell(k, pc);
+        if (profiler_ != nullptr)
+          profiler_->record("route", round_, static_cast<int>(s), t0,
+                            obs::PhaseProfiler::Clock::now());
+      });
+  // Counter determinism: shard tallies merge in ascending shard order,
+  // the same discipline as the event buffers.
+  for (const obs::ProtocolCounts& c : counts) round_counts_.merge(c);
 }
 
-void System::route_cell(std::size_t k) {
+void System::route_cell(std::size_t k, obs::ProtocolCounts* counts) {
   CellState& c = cells_[k];
   const CellId id = grid_.id_of(k);
   if (c.failed) return;
@@ -164,6 +211,8 @@ void System::route_cell(std::size_t k) {
     // The target anchors routing: dist pinned to 0, next to ⊥. Pinning
     // every round (rather than only at init/recover) also washes out
     // adversarial corruption of the target's control state.
+    if (counts != nullptr && c.dist != Dist::zero())
+      ++counts->route_dist_changes;
     c.dist = Dist::zero();
     c.next = std::nullopt;
     return;
@@ -176,6 +225,10 @@ void System::route_cell(std::size_t k) {
       nds[n++] = NeighborDist{*nb, dist_snapshot_[grid_.index_of(*nb)]};
   }
   const RouteResult r = route_step(std::span<const NeighborDist>(nds, n));
+  if (counts != nullptr) {
+    counts->route_relaxations += n;
+    if (c.dist != r.dist) ++counts->route_dist_changes;
+  }
   c.dist = r.dist;
   c.next = r.next;
 }
@@ -191,18 +244,28 @@ void System::run_signal_phase() {
   const auto nshards =
       pool ? static_cast<std::size_t>(pool->thread_count()) : 1;
   std::vector<std::vector<CellId>> blocked(nshards);
-  parallel_for_shards(pool, cells_.size(),
-                      [&](std::size_t s, ShardRange r) {
-                        for (std::size_t k = r.begin; k < r.end; ++k)
-                          signal_cell(k, blocked[s]);
-                      });
+  std::vector<obs::ProtocolCounts> counts(metrics_ ? nshards : 0);
+  parallel_for_shards(
+      pool, cells_.size(), [&](std::size_t s, ShardRange r) {
+        const auto t0 = profiler_ != nullptr
+                            ? obs::PhaseProfiler::Clock::now()
+                            : obs::PhaseProfiler::Clock::time_point{};
+        obs::ProtocolCounts* pc = counts.empty() ? nullptr : &counts[s];
+        for (std::size_t k = r.begin; k < r.end; ++k)
+          signal_cell(k, blocked[s], pc);
+        if (profiler_ != nullptr)
+          profiler_->record("signal", round_, static_cast<int>(s), t0,
+                            obs::PhaseProfiler::Clock::now());
+      });
   // Shards cover ascending cell ranges, so concatenating in shard order
   // reproduces the serial loop's blocked-event order exactly.
   for (const std::vector<CellId>& b : blocked)
     events_.blocked.insert(events_.blocked.end(), b.begin(), b.end());
+  for (const obs::ProtocolCounts& c : counts) round_counts_.merge(c);
 }
 
-void System::signal_cell(std::size_t k, std::vector<CellId>& blocked_out) {
+void System::signal_cell(std::size_t k, std::vector<CellId>& blocked_out,
+                         obs::ProtocolCounts* counts) {
   CellState& c = cells_[k];
   if (c.failed) return;
   const CellId id = grid_.id_of(k);
@@ -222,11 +285,21 @@ void System::signal_cell(std::size_t k, std::vector<CellId>& blocked_out) {
   std::sort(in.ne_prev.begin(), in.ne_prev.end());
 
   const bool had_candidate = in.token.has_value() || !in.ne_prev.empty();
+  const std::size_t ne_prev_size = in.ne_prev.size();
+  const OptCellId old_token = c.token;
   SignalResult r =
       config_.signal_rule == SignalRule::kBlocking
           ? signal_step(std::move(in), config_.params, *choose_)
           : signal_step_always_grant(std::move(in), *choose_);
   if (had_candidate && !r.signal.has_value()) blocked_out.push_back(id);
+  if (counts != nullptr) {
+    ++counts->ne_prev_sizes[std::min<std::size_t>(
+        ne_prev_size, counts->ne_prev_sizes.size() - 1)];
+    if (r.signal.has_value()) ++counts->signal_grants;
+    if (had_candidate && !r.signal.has_value()) ++counts->signal_blocks;
+    if (old_token.has_value() && r.token != old_token)
+      ++counts->signal_token_rotations;
+  }
   c.signal = r.signal;
   c.token = r.token;
   c.ne_prev = std::move(r.ne_prev);
@@ -245,15 +318,27 @@ void System::run_move_phase() {
       pool_ ? static_cast<std::size_t>(pool_->thread_count()) : 1;
   std::vector<std::vector<CellId>> moved(nshards);
   std::vector<std::vector<PendingTransfer>> pending(nshards);
-  parallel_for_shards(pool_.get(), cells_.size(),
-                      [&](std::size_t s, ShardRange r) {
-                        for (std::size_t k = r.begin; k < r.end; ++k)
-                          move_cell(k, moved[s], pending[s]);
-                      });
+  std::vector<obs::ProtocolCounts> counts(metrics_ ? nshards : 0);
+  parallel_for_shards(
+      pool_.get(), cells_.size(), [&](std::size_t s, ShardRange r) {
+        const auto t0 = profiler_ != nullptr
+                            ? obs::PhaseProfiler::Clock::now()
+                            : obs::PhaseProfiler::Clock::time_point{};
+        obs::ProtocolCounts* pc = counts.empty() ? nullptr : &counts[s];
+        for (std::size_t k = r.begin; k < r.end; ++k)
+          move_cell(k, moved[s], pending[s], pc);
+        if (profiler_ != nullptr)
+          profiler_->record("move", round_, static_cast<int>(s), t0,
+                            obs::PhaseProfiler::Clock::now());
+      });
 
   for (const std::vector<CellId>& m : moved)
     events_.moved.insert(events_.moved.end(), m.begin(), m.end());
+  for (const obs::ProtocolCounts& c : counts) round_counts_.merge(c);
 
+  const auto merge_t0 = profiler_ != nullptr
+                            ? obs::PhaseProfiler::Clock::now()
+                            : obs::PhaseProfiler::Clock::time_point{};
   std::vector<PendingTransfer> transfers;
   for (std::vector<PendingTransfer>& p : pending)
     transfers.insert(transfers.end(), std::make_move_iterator(p.begin()),
@@ -268,16 +353,21 @@ void System::run_move_phase() {
       ev.consumed = true;
       ++total_arrivals_;
       ++events_.arrivals;
+      if (metrics_) ++round_counts_.consumptions;
       // Figure 6 line 11: the entity is not added to any cell — consumed.
     } else {
       cells_[grid_.index_of(t.to)].members.push_back(t.entity);
     }
     events_.transfers.push_back(ev);
   }
+  if (profiler_ != nullptr)
+    profiler_->record("merge", round_, -1, merge_t0,
+                      obs::PhaseProfiler::Clock::now());
 }
 
 void System::move_cell(std::size_t k, std::vector<CellId>& moved_out,
-                       std::vector<PendingTransfer>& pending_out) {
+                       std::vector<PendingTransfer>& pending_out,
+                       obs::ProtocolCounts* counts) {
   CellState& c = cells_[k];
   if (c.failed || !c.next.has_value()) return;
   const CellId id = grid_.id_of(k);
@@ -289,12 +379,16 @@ void System::move_cell(std::size_t k, std::vector<CellId>& moved_out,
   if (config_.movement_rule == MovementRule::kCoupled) {
     if (!permitted) return;  // Figure 6: move only with permission
     moved_out.push_back(id);
+    if (counts != nullptr) ++counts->moves;
     mr = move_step(id, dest, std::move(c.members), config_.params);
   } else {
     // §V relaxed coupling: compact every round; cross only when
     // permitted; never compact into our own promised strip.
     if (c.members.empty()) return;
-    if (permitted) moved_out.push_back(id);
+    if (permitted) {
+      moved_out.push_back(id);
+      if (counts != nullptr) ++counts->moves;
+    }
     CompactionContext ctx;
     ctx.may_cross = permitted;
     if (c.signal.has_value())
@@ -303,6 +397,7 @@ void System::move_cell(std::size_t k, std::vector<CellId>& moved_out,
                            ctx);
   }
   c.members = std::move(mr.staying);
+  if (counts != nullptr) counts->transfers += mr.crossed.size();
   for (Entity& e : mr.crossed)
     pending_out.push_back(PendingTransfer{e, id, dest});
 }
@@ -313,11 +408,15 @@ void System::run_inject_phase() {
     if (c.failed) continue;
     const auto center = source_->propose(grid_, config_.params, s, c);
     if (!center.has_value()) continue;
-    if (!injection_is_safe(s, *center)) continue;
+    if (!injection_is_safe(s, *center)) {
+      if (metrics_) ++round_counts_.blocked_injections;
+      continue;
+    }
     const EntityId id{next_entity_id_++};
     c.members.push_back(Entity{id, *center});
     source_->note_accepted();
     events_.injected.emplace_back(s, id);
+    if (metrics_) ++round_counts_.injections;
   }
 }
 

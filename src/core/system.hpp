@@ -39,8 +39,13 @@
 #include "core/source.hpp"
 #include "grid/grid.hpp"
 #include "grid/mask.hpp"
+#include "obs/protocol_metrics.hpp"
 #include "util/ids.hpp"
 #include "util/thread_pool.hpp"
+
+namespace cellflow::obs {
+class PhaseProfiler;
+}  // namespace cellflow::obs
 
 namespace cellflow {
 
@@ -250,6 +255,23 @@ class System {
     return parallel_;
   }
 
+  // --- observability ---------------------------------------------------
+
+  /// Attaches a metrics registry (non-owning; must outlive this System's
+  /// updates); nullptr detaches. The protocol counters (see
+  /// obs/protocol_metrics.hpp) accumulate per shard and merge in shard
+  /// order at the phase barriers, so every count is bit-identical across
+  /// ParallelPolicy modes and thread counts. Detached, the hot paths are
+  /// a null-pointer test per phase — effectively free.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Attaches a phase profiler (non-owning; nullptr detaches). Timing
+  /// only — spans never feed back into protocol state, and the counts
+  /// contract above is untouched.
+  void set_profiler(obs::PhaseProfiler* profiler) noexcept {
+    profiler_ = profiler;
+  }
+
   // --- direct state access (testing / fault injection) -----------------
 
   /// Places an entity directly (bypassing sources). Used by tests and
@@ -282,10 +304,14 @@ class System {
   // outputs). Outputs that the serial loop would append to round-global
   // vectors go to out-params so shards can buffer privately and merge in
   // canonical (ascending cell-index) order afterwards.
-  void route_cell(std::size_t k);
-  void signal_cell(std::size_t k, std::vector<CellId>& blocked_out);
+  // `counts` is the shard-private tally slot (nullptr when no registry
+  // is attached — the bodies then skip all bookkeeping).
+  void route_cell(std::size_t k, obs::ProtocolCounts* counts);
+  void signal_cell(std::size_t k, std::vector<CellId>& blocked_out,
+                   obs::ProtocolCounts* counts);
   void move_cell(std::size_t k, std::vector<CellId>& moved_out,
-                 std::vector<PendingTransfer>& pending_out);
+                 std::vector<PendingTransfer>& pending_out,
+                 obs::ProtocolCounts* counts);
 
   /// True iff adding an entity centered at `center` to cell `id` keeps the
   /// cell safe: Invariant-1 bounds, pairwise gap ≥ d, and (fairness guard,
@@ -306,6 +332,11 @@ class System {
 
   ParallelPolicy parallel_;
   std::unique_ptr<ThreadPool> pool_;  ///< live iff mode == kParallel
+
+  // Observability attachments; both optional, both non-owning.
+  std::unique_ptr<obs::ProtocolMetrics> metrics_;  ///< live iff attached
+  obs::PhaseProfiler* profiler_ = nullptr;
+  obs::ProtocolCounts round_counts_;  ///< merged tally of the current round
 
   // Scratch buffers reused across rounds to avoid per-round allocation.
   std::vector<Dist> dist_snapshot_;

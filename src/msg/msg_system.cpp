@@ -34,9 +34,29 @@ std::size_t MessageSystem::entity_count() const noexcept {
   return n;
 }
 
+void MessageSystem::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_.reset();
+    msgs_dist_ = msgs_intent_ = msgs_grant_ = msgs_transfer_ = nullptr;
+  } else {
+    metrics_ = std::make_unique<obs::ProtocolMetrics>(*registry, "message");
+    const auto msgs = [&](std::string_view exchange) {
+      return &registry->counter(
+          "cellflow_messages_total", "Messages sent, by exchange.",
+          {{"realization", "message"}, {"exchange", std::string(exchange)}});
+    };
+    msgs_dist_ = msgs("dist");
+    msgs_intent_ = msgs("intent");
+    msgs_grant_ = msgs("grant");
+    msgs_transfer_ = msgs("transfer");
+  }
+  round_counts_.reset();
+}
+
 void MessageSystem::fail(CellId id) {
   CF_EXPECTS(grid_.contains(id));
   CellState& s = processes_[grid_.index_of(id)].state;
+  if (!s.failed && metrics_) metrics_->add_failure();
   s.failed = true;
   s.dist = Dist::infinity();
   s.next = std::nullopt;
@@ -49,6 +69,7 @@ void MessageSystem::recover(CellId id) {
   CF_EXPECTS(grid_.contains(id));
   CellState& s = processes_[grid_.index_of(id)].state;
   if (!s.failed) return;
+  if (metrics_) metrics_->add_recovery();
   s.failed = false;
   s.dist = (id == config_.target) ? Dist::zero() : Dist::infinity();
   s.next = std::nullopt;
@@ -64,12 +85,18 @@ void MessageSystem::update() {
   exchange_grants_and_move();
   inject();
   last_round_messages_ = network_.total_messages() - before;
+  if (metrics_) {
+    metrics_->add(round_counts_);
+    metrics_->add_round();
+    round_counts_.reset();
+  }
   ++round_;
 }
 
 void MessageSystem::exchange_dists() {
   // Every live process broadcasts its previous-round dist to its
   // neighbors; a crashed process is silent.
+  const std::uint64_t sent_before = network_.total_messages();
   for (std::size_t k = 0; k < processes_.size(); ++k) {
     const MessageProcess& p = processes_[k];
     if (p.state.failed) continue;
@@ -77,6 +104,8 @@ void MessageSystem::exchange_dists() {
     for (const CellId nb : grid_.neighbors(id))
       network_.send(Message{id, nb, DistAnnounce{p.state.dist}});
   }
+  if (msgs_dist_ != nullptr)
+    msgs_dist_->inc(network_.total_messages() - sent_before);
   auto inboxes = network_.deliver_all(grid_);
 
   // Local Route step. A neighbor that stayed silent reads as dist = ∞
@@ -93,6 +122,8 @@ void MessageSystem::exchange_dists() {
         p.heard_dists.push_back(NeighborDistView{m.sender, ann->dist});
     }
     if (id == config_.target) {
+      if (metrics_ && p.state.dist != Dist::zero())
+        ++round_counts_.route_dist_changes;
       p.state.dist = Dist::zero();
       p.state.next = std::nullopt;
       continue;
@@ -106,12 +137,17 @@ void MessageSystem::exchange_dists() {
           nb, it == p.heard_dists.end() ? Dist::infinity() : it->dist});
     }
     const RouteResult r = route_step(nds);
+    if (metrics_) {
+      round_counts_.route_relaxations += nds.size();
+      if (p.state.dist != r.dist) ++round_counts_.route_dist_changes;
+    }
     p.state.dist = r.dist;
     p.state.next = r.next;
   }
 }
 
 void MessageSystem::exchange_intents() {
+  const std::uint64_t sent_before = network_.total_messages();
   for (std::size_t k = 0; k < processes_.size(); ++k) {
     const MessageProcess& p = processes_[k];
     if (p.state.failed) continue;
@@ -121,6 +157,8 @@ void MessageSystem::exchange_intents() {
           id, nb, IntentAnnounce{p.state.next, p.state.has_entities()}});
     }
   }
+  if (msgs_intent_ != nullptr)
+    msgs_intent_->inc(network_.total_messages() - sent_before);
   auto inboxes = network_.deliver_all(grid_);
 
   // Local Signal step: NEPrev = senders whose intent names me and who
@@ -143,7 +181,19 @@ void MessageSystem::exchange_intents() {
     in.members = p.state.members;
     in.ne_prev = p.heard_wanting;
     in.token = p.state.token;
+    const bool had_candidate = in.token.has_value() || !in.ne_prev.empty();
+    const std::size_t ne_prev_size = in.ne_prev.size();
+    const OptCellId old_token = p.state.token;
     SignalResult r = signal_step(std::move(in), config_.params, choose_);
+    if (metrics_) {
+      ++round_counts_.ne_prev_sizes[std::min<std::size_t>(
+          ne_prev_size, round_counts_.ne_prev_sizes.size() - 1)];
+      if (r.signal.has_value()) ++round_counts_.signal_grants;
+      if (had_candidate && !r.signal.has_value())
+        ++round_counts_.signal_blocks;
+      if (old_token.has_value() && r.token != old_token)
+        ++round_counts_.signal_token_rotations;
+    }
     p.state.signal = r.signal;
     p.state.token = r.token;
     p.state.ne_prev = std::move(r.ne_prev);
@@ -151,6 +201,7 @@ void MessageSystem::exchange_intents() {
 }
 
 void MessageSystem::exchange_grants_and_move() {
+  const std::uint64_t grants_before = network_.total_messages();
   for (std::size_t k = 0; k < processes_.size(); ++k) {
     const MessageProcess& p = processes_[k];
     if (p.state.failed) continue;
@@ -158,7 +209,10 @@ void MessageSystem::exchange_grants_and_move() {
     for (const CellId nb : grid_.neighbors(id))
       network_.send(Message{id, nb, GrantAnnounce{p.state.signal}});
   }
+  if (msgs_grant_ != nullptr)
+    msgs_grant_->inc(network_.total_messages() - grants_before);
   auto grant_inboxes = network_.deliver_all(grid_);
+  const std::uint64_t transfers_before = network_.total_messages();
 
   // Move decisions from received grants; transfers become messages.
   for (std::size_t k = 0; k < processes_.size(); ++k) {
@@ -176,12 +230,16 @@ void MessageSystem::exchange_grants_and_move() {
     }
     if (!p.heard_grant_from_next) continue;
 
+    if (metrics_) ++round_counts_.moves;
     MoveResult mr = move_step(id, *p.state.next, std::move(p.state.members),
                               config_.params);
     p.state.members = std::move(mr.staying);
+    if (metrics_) round_counts_.transfers += mr.crossed.size();
     for (Entity& e : mr.crossed)
       network_.send(Message{id, *p.state.next, EntityTransfer{e}});
   }
+  if (msgs_transfer_ != nullptr)
+    msgs_transfer_->inc(network_.total_messages() - transfers_before);
 
   auto transfer_inboxes = network_.deliver_all(grid_);
   for (std::size_t k = 0; k < processes_.size(); ++k) {
@@ -191,6 +249,7 @@ void MessageSystem::exchange_grants_and_move() {
       if (auto* t = std::get_if<EntityTransfer>(&m.payload)) {
         if (id == config_.target) {
           ++total_arrivals_;  // consumed; the entity leaves the system
+          if (metrics_) ++round_counts_.consumptions;
         } else {
           // A crashed process cannot receive — but a transfer to a
           // crashed process is impossible: its silence means no grant
@@ -244,8 +303,12 @@ void MessageSystem::inject() {
         case Direction::kSouth: center = {i + 0.5, j + half}; break;
       }
     }
-    if (!injection_is_safe(s, center)) continue;
+    if (!injection_is_safe(s, center)) {
+      if (metrics_) ++round_counts_.blocked_injections;
+      continue;
+    }
     c.members.push_back(Entity{EntityId{next_entity_id_++}, center});
+    if (metrics_) ++round_counts_.injections;
   }
 }
 

@@ -27,6 +27,7 @@
 #include "core/params.hpp"
 #include "grid/grid.hpp"
 #include "msg/network.hpp"
+#include "obs/protocol_metrics.hpp"
 #include "util/ids.hpp"
 
 namespace cellflow {
@@ -96,6 +97,13 @@ class MessageSystem {
   /// One protocol round = three message exchanges (see network.hpp).
   void update();
 
+  /// Attach (or detach, with nullptr) a metrics registry. Protocol
+  /// families are labeled {realization="message"}; the message volume is
+  /// additionally broken out per exchange in cellflow_messages_total.
+  /// On equivalent executions every protocol count matches the
+  /// shared-variable System's {realization="shared"} series exactly.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   void exchange_dists();
   void exchange_intents();
@@ -113,6 +121,14 @@ class MessageSystem {
   std::uint64_t total_arrivals_ = 0;
   std::uint64_t next_entity_id_ = 0;
   std::uint64_t last_round_messages_ = 0;
+
+  // Observability (optional; every path is a no-op when detached).
+  std::unique_ptr<obs::ProtocolMetrics> metrics_;
+  obs::ProtocolCounts round_counts_;
+  obs::Counter* msgs_dist_ = nullptr;
+  obs::Counter* msgs_intent_ = nullptr;
+  obs::Counter* msgs_grant_ = nullptr;
+  obs::Counter* msgs_transfer_ = nullptr;
 };
 
 }  // namespace cellflow

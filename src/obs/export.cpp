@@ -1,0 +1,457 @@
+#include "obs/export.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace cellflow::obs {
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  // Integral values print as integers (counter-like readability); the
+  // 2^53 guard keeps the cast exact.
+  if (v == std::floor(v) && std::abs(v) < 9007199254740992.0) {
+    char buf[32];
+    const auto r = std::to_chars(buf, buf + sizeof buf,
+                                 static_cast<long long>(v));
+    return std::string(buf, r.ptr);
+  }
+  char buf[64];
+  const auto r = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, r.ptr);
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Prometheus label-value escaping: backslash, quote, newline.
+std::string prom_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// Renders {k1="v1",k2="v2"}; empty labels render as nothing.
+std::string prom_labels(const Labels& labels, const char* extra_key = nullptr,
+                        const std::string* extra_value = nullptr) {
+  if (labels.empty() && extra_key == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const Label& l : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += l.key + "=\"" + prom_escape(l.value) + '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += std::string(extra_key) + "=\"" + prom_escape(*extra_value) + '"';
+  }
+  out += '}';
+  return out;
+}
+
+const char* type_name(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const FamilySnapshot& f : registry.snapshot()) {
+    out += "# HELP " + f.name + ' ' + f.help + '\n';
+    out += "# TYPE " + f.name + ' ' + type_name(f.type) + '\n';
+    for (const SeriesSnapshot& s : f.series) {
+      switch (f.type) {
+        case MetricType::kCounter:
+          out += f.name + prom_labels(s.labels) + ' ' +
+                 std::to_string(s.counter_value) + '\n';
+          break;
+        case MetricType::kGauge:
+          out += f.name + prom_labels(s.labels) + ' ' +
+                 format_double(s.gauge_value) + '\n';
+          break;
+        case MetricType::kHistogram: {
+          for (const auto& [le, cum] : s.buckets) {
+            const std::string le_s = format_double(le);
+            out += f.name + "_bucket" + prom_labels(s.labels, "le", &le_s) +
+                   ' ' + std::to_string(cum) + '\n';
+          }
+          out += f.name + "_sum" + prom_labels(s.labels) + ' ' +
+                 format_double(s.sum) + '\n';
+          out += f.name + "_count" + prom_labels(s.labels) + ' ' +
+                 std::to_string(s.count) + '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string json_labels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const Label& l : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(l.key) + "\":\"" + json_escape(l.value) + '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string jsonl_snapshot(const MetricsRegistry& registry,
+                           std::uint64_t round) {
+  std::string out = "{\"round\":" + std::to_string(round) + ",\"metrics\":[";
+  bool first_series = true;
+  for (const FamilySnapshot& f : registry.snapshot()) {
+    for (const SeriesSnapshot& s : f.series) {
+      if (!first_series) out += ',';
+      first_series = false;
+      out += "{\"name\":\"" + json_escape(f.name) + "\",\"type\":\"" +
+             type_name(f.type) + "\",\"labels\":" + json_labels(s.labels);
+      switch (f.type) {
+        case MetricType::kCounter:
+          out += ",\"value\":" + std::to_string(s.counter_value);
+          break;
+        case MetricType::kGauge:
+          out += ",\"value\":" + format_double(s.gauge_value);
+          break;
+        case MetricType::kHistogram: {
+          out += ",\"count\":" + std::to_string(s.count) +
+                 ",\"sum\":" + format_double(s.sum) + ",\"buckets\":[";
+          bool first_bucket = true;
+          for (const auto& [le, cum] : s.buckets) {
+            if (!first_bucket) out += ',';
+            first_bucket = false;
+            // le as a string: JSON numbers cannot express +Inf.
+            out += "{\"le\":\"" + format_double(le) +
+                   "\",\"count\":" + std::to_string(cum) + '}';
+          }
+          out += ']';
+          break;
+        }
+      }
+      out += '}';
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string to_chrome_trace(const PhaseProfiler& profiler) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const PhaseProfiler::Span& s : profiler.spans()) {
+    if (!first) out += ',';
+    first = false;
+    // trace_event timestamps are microseconds; keep nanosecond precision
+    // via fractional values.
+    out += "{\"name\":\"" + json_escape(s.name) +
+           "\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":" +
+           format_double(static_cast<double>(s.start_ns) / 1000.0) +
+           ",\"dur\":" +
+           format_double(static_cast<double>(s.duration_ns) / 1000.0) +
+           ",\"pid\":1,\"tid\":" + std::to_string(s.shard + 1) +
+           ",\"args\":{\"round\":" + std::to_string(s.round) +
+           ",\"shard\":" + std::to_string(s.shard) + "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+// --- Prometheus parser ----------------------------------------------------
+
+namespace {
+
+[[noreturn]] void prom_fail(std::size_t line_no, const std::string& why) {
+  throw std::runtime_error("prometheus parse error at line " +
+                           std::to_string(line_no) + ": " + why);
+}
+
+}  // namespace
+
+std::vector<PromSample> parse_prometheus(std::string_view text) {
+  std::vector<PromSample> samples;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    ++line_no;
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    if (line.empty()) continue;
+    if (line.front() == '#') continue;  // HELP/TYPE/comments
+
+    PromSample s;
+    std::size_t k = 0;
+    while (k < line.size() && line[k] != '{' && line[k] != ' ') ++k;
+    s.name = std::string(line.substr(0, k));
+    if (!valid_metric_name(s.name)) prom_fail(line_no, "bad metric name");
+
+    if (k < line.size() && line[k] == '{') {
+      ++k;
+      while (k < line.size() && line[k] != '}') {
+        std::size_t ke = k;
+        while (ke < line.size() && line[ke] != '=') ++ke;
+        if (ke == line.size()) prom_fail(line_no, "label missing '='");
+        Label l;
+        l.key = std::string(line.substr(k, ke - k));
+        k = ke + 1;
+        if (k >= line.size() || line[k] != '"')
+          prom_fail(line_no, "label value not quoted");
+        ++k;
+        while (k < line.size() && line[k] != '"') {
+          if (line[k] == '\\') {
+            ++k;
+            if (k >= line.size()) prom_fail(line_no, "dangling escape");
+            if (line[k] == 'n') l.value += '\n';
+            else l.value += line[k];
+          } else {
+            l.value += line[k];
+          }
+          ++k;
+        }
+        if (k >= line.size()) prom_fail(line_no, "unterminated label value");
+        ++k;  // closing quote
+        if (k < line.size() && line[k] == ',') ++k;
+        s.labels.push_back(std::move(l));
+      }
+      if (k >= line.size()) prom_fail(line_no, "unterminated label set");
+      ++k;  // '}'
+    }
+    if (k >= line.size() || line[k] != ' ')
+      prom_fail(line_no, "missing value separator");
+    ++k;
+    const std::string value_s(line.substr(k));
+    if (value_s.empty()) prom_fail(line_no, "missing value");
+    if (value_s == "+Inf" || value_s == "Inf") {
+      s.value = std::numeric_limits<double>::infinity();
+    } else if (value_s == "-Inf") {
+      s.value = -std::numeric_limits<double>::infinity();
+    } else if (value_s == "NaN") {
+      s.value = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      char* end = nullptr;
+      s.value = std::strtod(value_s.c_str(), &end);
+      if (end != value_s.c_str() + value_s.size())
+        prom_fail(line_no, "malformed value '" + value_s + "'");
+    }
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+// --- JSON validator -------------------------------------------------------
+
+namespace {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  void run() {
+    skip_ws();
+    value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  [[nodiscard]] char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      fail("bad literal (expected " + std::string(word) + ")");
+    pos_ += word.size();
+  }
+
+  void string() {
+    expect('"');
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c == '\\') {
+        const char e = peek();
+        ++pos_;
+        switch (e) {
+          case '"': case '\\': case '/': case 'b': case 'f':
+          case 'n': case 'r': case 't':
+            break;
+          case 'u':
+            for (int k = 0; k < 4; ++k) {
+              const char h = peek();
+              ++pos_;
+              const bool hex = (h >= '0' && h <= '9') ||
+                               (h >= 'a' && h <= 'f') ||
+                               (h >= 'A' && h <= 'F');
+              if (!hex) fail("bad \\u escape");
+            }
+            break;
+          default:
+            fail("bad escape character");
+        }
+      }
+    }
+  }
+
+  void number() {
+    if (peek() == '-') ++pos_;
+    if (peek() == '0') {
+      ++pos_;
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    } else {
+      fail("malformed number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!(peek() >= '0' && peek() <= '9')) fail("malformed fraction");
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (!(peek() >= '0' && peek() <= '9')) fail("malformed exponent");
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+  }
+
+  void value() {
+    switch (peek()) {
+      case '{': object(); return;
+      case '[': array(); return;
+      case '"': string(); return;
+      case 't': literal("true"); return;
+      case 'f': literal("false"); return;
+      case 'n': literal("null"); return;
+      default: number(); return;
+    }
+  }
+
+  void object() {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  void array() {
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void validate_json(std::string_view text) { JsonChecker(text).run(); }
+
+}  // namespace cellflow::obs

@@ -1,0 +1,74 @@
+// Exporters for the observability layer, plus the parsers/validators the
+// test suite and the `cellflow_obs_check` smoke tool use to prove the
+// exported bytes are well-formed.
+//
+// Three formats:
+//   * Prometheus text exposition (to_prometheus) — a full registry
+//     snapshot: # HELP / # TYPE headers, one sample line per series,
+//     histograms expanded to _bucket{le=...}/_sum/_count.
+//   * JSONL event stream (jsonl_snapshot) — one self-contained JSON
+//     object per line: {"round":R,"metrics":[...]}; emitted periodically
+//     by MetricsObserver (--metrics-every) and once at end of run.
+//   * Chrome trace_event JSON (to_chrome_trace) — the PhaseProfiler's
+//     spans as complete ("ph":"X") events; load the file in Perfetto or
+//     chrome://tracing. Shards render as separate tid tracks.
+//
+// All exports are byte-deterministic functions of their input snapshot:
+// families sorted by name, series by label set, doubles printed in
+// shortest round-trip form (std::to_chars). Timings inside a Chrome
+// trace are of course run-specific — determinism here means "same
+// snapshot, same bytes", which is what the golden tests pin.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+
+namespace cellflow::obs {
+
+/// Full registry snapshot in the Prometheus text exposition format.
+[[nodiscard]] std::string to_prometheus(const MetricsRegistry& registry);
+
+/// One JSONL event (single line, '\n'-terminated) carrying the round
+/// number and a full metrics snapshot.
+[[nodiscard]] std::string jsonl_snapshot(const MetricsRegistry& registry,
+                                         std::uint64_t round);
+
+/// The profiler's spans as a Chrome trace_event JSON document
+/// ({"traceEvents":[...]}). Phase spans (shard == -1) render on tid 0,
+/// shard spans on tid shard+1.
+[[nodiscard]] std::string to_chrome_trace(const PhaseProfiler& profiler);
+
+/// Shortest round-trip decimal form of `v` ("+Inf"/"-Inf"/"NaN" for the
+/// non-finite values, integers without a trailing ".0") — the number
+/// format shared by all three exporters.
+[[nodiscard]] std::string format_double(double v);
+
+/// JSON string escaping (quotes not included).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+// --- parsers / validators -------------------------------------------------
+
+/// One sample line of the Prometheus text format.
+struct PromSample {
+  std::string name;
+  Labels labels;
+  double value = 0.0;
+
+  friend bool operator==(const PromSample&, const PromSample&) = default;
+};
+
+/// Parses the Prometheus text exposition format (the subset to_prometheus
+/// emits: # comments, name{labels} value). Throws std::runtime_error with
+/// a line number on malformed input.
+[[nodiscard]] std::vector<PromSample> parse_prometheus(std::string_view text);
+
+/// Strict JSON well-formedness check (objects, arrays, strings, numbers,
+/// true/false/null; trailing garbage rejected). Throws std::runtime_error
+/// with an offset on malformed input. Validation only — no DOM.
+void validate_json(std::string_view text);
+
+}  // namespace cellflow::obs

@@ -1,0 +1,228 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+namespace cellflow::obs {
+
+namespace {
+
+/// Lock-free add of a double into an atomic bit-pattern cell.
+void add_double_bits(std::atomic<std::uint64_t>& bits, double delta) {
+  std::uint64_t old = bits.load(std::memory_order_relaxed);
+  std::uint64_t wanted;
+  do {
+    wanted = std::bit_cast<std::uint64_t>(std::bit_cast<double>(old) + delta);
+  } while (!bits.compare_exchange_weak(old, wanted, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+void Gauge::set(double v) noexcept {
+  bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+}
+
+double Gauge::value() const noexcept {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) throw std::runtime_error("Histogram: no buckets");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end())
+    throw std::runtime_error("Histogram: bounds must be strictly ascending");
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe_many(double v, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto slot = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[slot].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  add_double_bits(sum_bits_, v * static_cast<double>(n));
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const noexcept {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t k = 0; k < out.size(); ++k)
+    out[k] = buckets_[k].load(std::memory_order_relaxed);
+  return out;
+}
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name.front())) return false;
+  for (const char c : name.substr(1))
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  return true;
+}
+
+struct MetricsRegistry::Family {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  std::vector<double> bounds;  // histograms only
+  std::vector<Labels> labels;  // parallel to the active metric vector
+  std::vector<std::unique_ptr<Counter>> counters;
+  std::vector<std::unique_ptr<Gauge>> gauges;
+  std::vector<std::unique_ptr<Histogram>> histograms;
+
+  [[nodiscard]] std::size_t find(const Labels& want) const {
+    for (std::size_t k = 0; k < labels.size(); ++k)
+      if (labels[k] == want) return k;
+    return labels.size();
+  }
+};
+
+namespace {
+
+Labels canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  for (std::size_t k = 1; k < labels.size(); ++k)
+    if (labels[k].key == labels[k - 1].key)
+      throw std::runtime_error("MetricsRegistry: duplicate label key '" +
+                               labels[k].key + "'");
+  return labels;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Family& MetricsRegistry::family(
+    std::string_view name, std::string_view help, MetricType type,
+    const std::vector<double>& bounds) {
+  if (!valid_metric_name(name))
+    throw std::runtime_error("MetricsRegistry: invalid metric name '" +
+                             std::string(name) + "'");
+  if (const auto it = index_.find(name); it != index_.end()) {
+    Family& f = *families_[it->second];
+    if (f.type != type || f.help != help || f.bounds != bounds)
+      throw std::runtime_error(
+          "MetricsRegistry: conflicting redefinition of family '" +
+          std::string(name) + "'");
+    return f;
+  }
+  auto f = std::make_unique<Family>();
+  f->name = std::string(name);
+  f->help = std::string(help);
+  f->type = type;
+  f->bounds = bounds;
+  families_.push_back(std::move(f));
+  index_.emplace(std::string(name), families_.size() - 1);
+  return *families_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
+                                  Labels labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Family& f = family(name, help, MetricType::kCounter, {});
+  Labels want = canonical(std::move(labels));
+  const std::size_t k = f.find(want);
+  if (k < f.counters.size()) return *f.counters[k];
+  f.labels.push_back(std::move(want));
+  f.counters.push_back(std::make_unique<Counter>());
+  return *f.counters.back();
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                              Labels labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Family& f = family(name, help, MetricType::kGauge, {});
+  Labels want = canonical(std::move(labels));
+  const std::size_t k = f.find(want);
+  if (k < f.gauges.size()) return *f.gauges[k];
+  f.labels.push_back(std::move(want));
+  f.gauges.push_back(std::make_unique<Gauge>());
+  return *f.gauges.back();
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help,
+                                      std::vector<double> upper_bounds,
+                                      Labels labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Family& f = family(name, help, MetricType::kHistogram, upper_bounds);
+  Labels want = canonical(std::move(labels));
+  const std::size_t k = f.find(want);
+  if (k < f.histograms.size()) return *f.histograms[k];
+  f.labels.push_back(std::move(want));
+  f.histograms.push_back(std::make_unique<Histogram>(std::move(upper_bounds)));
+  return *f.histograms.back();
+}
+
+std::vector<FamilySnapshot> MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FamilySnapshot> out;
+  out.reserve(families_.size());
+  for (const auto& fp : families_) {
+    const Family& f = *fp;
+    FamilySnapshot snap;
+    snap.name = f.name;
+    snap.help = f.help;
+    snap.type = f.type;
+    for (std::size_t k = 0; k < f.labels.size(); ++k) {
+      SeriesSnapshot s;
+      s.labels = f.labels[k];
+      switch (f.type) {
+        case MetricType::kCounter:
+          s.counter_value = f.counters[k]->value();
+          break;
+        case MetricType::kGauge:
+          s.gauge_value = f.gauges[k]->value();
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& h = *f.histograms[k];
+          s.count = h.count();
+          s.sum = h.sum();
+          const std::vector<std::uint64_t> raw = h.bucket_counts();
+          std::uint64_t cum = 0;
+          for (std::size_t b = 0; b < raw.size(); ++b) {
+            cum += raw[b];
+            const double le = b < h.bounds().size()
+                                  ? h.bounds()[b]
+                                  : std::numeric_limits<double>::infinity();
+            s.buckets.emplace_back(le, cum);
+          }
+          break;
+        }
+      }
+      snap.series.push_back(std::move(s));
+    }
+    std::sort(snap.series.begin(), snap.series.end(),
+              [](const SeriesSnapshot& a, const SeriesSnapshot& b) {
+                return a.labels < b.labels;
+              });
+    out.push_back(std::move(snap));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FamilySnapshot& a, const FamilySnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::size_t MetricsRegistry::family_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return families_.size();
+}
+
+}  // namespace cellflow::obs

@@ -1,0 +1,44 @@
+#include "obs/profiler.hpp"
+
+namespace cellflow::obs {
+
+void PhaseProfiler::record(const char* name, std::uint64_t round, int shard,
+                           Clock::time_point start, Clock::time_point end) {
+  Span s;
+  s.name = name;
+  s.round = round;
+  s.shard = shard;
+  s.start_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start - epoch_)
+          .count());
+  s.duration_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+  const std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(s);
+}
+
+std::vector<PhaseProfiler::Span> PhaseProfiler::spans() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::uint64_t PhaseProfiler::total_ns(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const Span& s : spans_)
+    if (s.shard == -1 && name == s.name) total += s.duration_ns;
+  return total;
+}
+
+std::size_t PhaseProfiler::span_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void PhaseProfiler::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+}  // namespace cellflow::obs

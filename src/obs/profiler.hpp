@@ -1,0 +1,65 @@
+// PhaseProfiler: wall-clock spans for the round engine's phases and
+// shards.
+//
+// Strictly outside protocol state: the profiler reads
+// std::chrono::steady_clock (the repo-wide no-wall-clock rule bans clocks
+// from *protocol decisions*; reporting-only timing is exactly the carved-
+// out exception, and nothing downstream of a span ever feeds back into a
+// round). Timings naturally differ run to run and thread count to thread
+// count — only the metric *counts* of obs::MetricsRegistry are covered by
+// the determinism contract.
+//
+// Span model: one span per (phase, round) with shard = -1, plus one span
+// per (phase, round, shard) recorded by the worker that ran the shard.
+// record() is mutex-guarded — workers call it once per phase, not per
+// cell, so contention is negligible. Export to Chrome trace_event JSON
+// (obs/export.hpp) renders shards as separate tracks in Perfetto.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace cellflow::obs {
+
+class PhaseProfiler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Span {
+    const char* name = "";     ///< "route" | "signal" | "move" | "merge" |
+                               ///< "inject" | "round" (engines may add more)
+    std::uint64_t round = 0;
+    int shard = -1;            ///< -1: whole phase; >= 0: one shard's slice
+    std::uint64_t start_ns = 0;  ///< relative to the profiler's epoch
+    std::uint64_t duration_ns = 0;
+  };
+
+  PhaseProfiler() : epoch_(Clock::now()) {}
+  PhaseProfiler(const PhaseProfiler&) = delete;
+  PhaseProfiler& operator=(const PhaseProfiler&) = delete;
+
+  /// Records one completed span. `name` must point at storage outliving
+  /// the profiler (the engines pass string literals). Thread-safe.
+  void record(const char* name, std::uint64_t round, int shard,
+              Clock::time_point start, Clock::time_point end);
+
+  /// Copy of all spans recorded so far, in record() order.
+  [[nodiscard]] std::vector<Span> spans() const;
+
+  /// Sum of the durations of every shard == -1 span named `name`.
+  [[nodiscard]] std::uint64_t total_ns(std::string_view name) const;
+
+  [[nodiscard]] std::size_t span_count() const;
+
+  void clear();
+
+ private:
+  Clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+};
+
+}  // namespace cellflow::obs

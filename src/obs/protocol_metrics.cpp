@@ -1,0 +1,73 @@
+#include "obs/protocol_metrics.hpp"
+
+namespace cellflow::obs {
+
+void ProtocolCounts::merge(const ProtocolCounts& other) noexcept {
+  route_relaxations += other.route_relaxations;
+  route_dist_changes += other.route_dist_changes;
+  signal_grants += other.signal_grants;
+  signal_blocks += other.signal_blocks;
+  signal_token_rotations += other.signal_token_rotations;
+  for (std::size_t k = 0; k < ne_prev_sizes.size(); ++k)
+    ne_prev_sizes[k] += other.ne_prev_sizes[k];
+  moves += other.moves;
+  transfers += other.transfers;
+  consumptions += other.consumptions;
+  injections += other.injections;
+  blocked_injections += other.blocked_injections;
+}
+
+ProtocolMetrics::ProtocolMetrics(MetricsRegistry& registry,
+                                 std::string_view realization) {
+  const Labels labels{{"realization", std::string(realization)}};
+  const auto c = [&](std::string_view name, std::string_view help) {
+    return &registry.counter(name, help, labels);
+  };
+  rounds_ = c("cellflow_rounds_total", "Protocol rounds executed");
+  route_relaxations_ = c("cellflow_route_relaxations_total",
+                         "Neighbor dist values examined by Route");
+  route_dist_changes_ = c("cellflow_route_dist_changes_total",
+                          "Cells whose dist changed in a Route phase");
+  signal_grants_ = c("cellflow_signal_grants_total",
+                     "Signal grants issued (signal set to a neighbor)");
+  signal_blocks_ =
+      c("cellflow_signal_blocks_total",
+        "Grants refused because the entry strip was occupied (Figure 5)");
+  signal_token_rotations_ = c("cellflow_signal_token_rotations_total",
+                              "Token handed to a different predecessor");
+  ne_prev_size_ = &registry.histogram(
+      "cellflow_signal_ne_prev_size",
+      "NEPrev set size per non-faulty cell per Signal phase",
+      {0.0, 1.0, 2.0, 3.0}, labels);
+  moves_ = c("cellflow_move_moves_total",
+             "Cells that applied a movement with permission");
+  transfers_ = c("cellflow_move_transfers_total",
+                 "Entities handed across a cell boundary (consumptions "
+                 "included)");
+  consumptions_ = c("cellflow_move_consumptions_total",
+                    "Entities consumed by the target");
+  injections_ =
+      c("cellflow_source_injections_total", "Entities injected by sources");
+  blocked_injections_ = c("cellflow_source_blocked_total",
+                          "Source proposals dropped by the safety validation");
+  failures_ = c("cellflow_failures_total", "fail transitions applied");
+  recoveries_ = c("cellflow_recoveries_total", "recover transitions applied");
+}
+
+void ProtocolMetrics::add(const ProtocolCounts& counts) {
+  route_relaxations_->inc(counts.route_relaxations);
+  route_dist_changes_->inc(counts.route_dist_changes);
+  signal_grants_->inc(counts.signal_grants);
+  signal_blocks_->inc(counts.signal_blocks);
+  signal_token_rotations_->inc(counts.signal_token_rotations);
+  for (std::size_t s = 0; s < counts.ne_prev_sizes.size(); ++s)
+    ne_prev_size_->observe_many(static_cast<double>(s),
+                                counts.ne_prev_sizes[s]);
+  moves_->inc(counts.moves);
+  transfers_->inc(counts.transfers);
+  consumptions_->inc(counts.consumptions);
+  injections_->inc(counts.injections);
+  blocked_injections_->inc(counts.blocked_injections);
+}
+
+}  // namespace cellflow::obs

@@ -1,0 +1,91 @@
+// Protocol-level instrumentation shared by the two realizations.
+//
+// ProtocolCounts is the plain per-shard accumulator the round engines
+// fill inside their phase loops: no atomics, no registry access, just
+// integer adds on shard-private memory. At each phase barrier the engine
+// merges the shard structs in ascending shard order (the same discipline
+// the event buffers follow — DESIGN.md §6) and flushes the round total
+// into the registry once, on the calling thread. That makes every metric
+// count bit-identical across ParallelPolicy modes and thread counts, and
+// identical between the shared-variable System and the message-passing
+// MessageSystem on equivalent executions (pinned by
+// tests/test_metrics_differential.cpp).
+//
+// ProtocolMetrics resolves the counter handles once at attach time, so
+// the per-round flush is a dozen pointer increments. The `realization`
+// label ("shared" | "message") lets both engines share one registry.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace cellflow::obs {
+
+/// One round's (or one shard's) protocol event tallies.
+struct ProtocolCounts {
+  // Route (Figure 4): neighbor dist values examined, and cells whose
+  // dist actually changed this round.
+  std::uint64_t route_relaxations = 0;
+  std::uint64_t route_dist_changes = 0;
+
+  // Signal (Figure 5): grants issued, grants refused by an occupied
+  // entry strip, tokens handed to a *different* predecessor, and the
+  // NEPrev set size of every non-faulty cell (4 neighbors max).
+  std::uint64_t signal_grants = 0;
+  std::uint64_t signal_blocks = 0;
+  std::uint64_t signal_token_rotations = 0;
+  std::array<std::uint64_t, 5> ne_prev_sizes{};  // tally of |NEPrev| = 0..4
+
+  // Move (Figure 6): cells that applied a movement, entities handed
+  // across a boundary (consumptions included), entities consumed.
+  std::uint64_t moves = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t consumptions = 0;
+
+  // Sources: accepted injections and proposals dropped by the safety
+  // validation (gap / Invariant-1 / fairness guard).
+  std::uint64_t injections = 0;
+  std::uint64_t blocked_injections = 0;
+
+  void merge(const ProtocolCounts& other) noexcept;
+  void reset() noexcept { *this = ProtocolCounts{}; }
+};
+
+/// Pre-resolved registry handles for the protocol families. Construct
+/// once per attach; add() flushes a merged ProtocolCounts.
+class ProtocolMetrics {
+ public:
+  /// Registers (or re-finds) the cellflow_* protocol families in
+  /// `registry`, labeled {realization="<realization>"}. The registry must
+  /// outlive this object.
+  ProtocolMetrics(MetricsRegistry& registry, std::string_view realization);
+
+  /// Flushes one merged per-round tally into the registry.
+  void add(const ProtocolCounts& counts);
+
+  void add_round() { rounds_->inc(); }
+  /// Environment transitions (fail/recover are not part of update()).
+  void add_failure() { failures_->inc(); }
+  void add_recovery() { recoveries_->inc(); }
+
+ private:
+  Counter* rounds_;
+  Counter* route_relaxations_;
+  Counter* route_dist_changes_;
+  Counter* signal_grants_;
+  Counter* signal_blocks_;
+  Counter* signal_token_rotations_;
+  Histogram* ne_prev_size_;
+  Counter* moves_;
+  Counter* transfers_;
+  Counter* consumptions_;
+  Counter* injections_;
+  Counter* blocked_injections_;
+  Counter* failures_;
+  Counter* recoveries_;
+};
+
+}  // namespace cellflow::obs

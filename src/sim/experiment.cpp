@@ -55,6 +55,15 @@ RunResult run_workload(const WorkloadSpec& spec, std::uint64_t seed) {
   sim.add_observer(occupancy);
   sim.add_observer(progress);
 
+  sim.set_metrics(spec.metrics);
+  sim.set_profiler(spec.profiler);
+  std::optional<MetricsObserver> metrics_obs;
+  if (spec.metrics != nullptr) {
+    metrics_obs.emplace(*spec.metrics);
+    metrics_obs->stream_jsonl(spec.metrics_jsonl, spec.metrics_every);
+    sim.add_observer(*metrics_obs);
+  }
+
   sim.run(spec.rounds);
 
   RunResult r;

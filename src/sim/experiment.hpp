@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <span>
@@ -57,6 +58,16 @@ struct WorkloadSpec {
   /// it explicitly via their --threads flag. Never affects results —
   /// the engines are bit-identical — only wall-clock.
   ParallelPolicy parallel = parallel_policy_from_env();
+
+  /// Observability attach points (DESIGN.md §7). Non-owning; both may be
+  /// null (the default — zero-cost). When `metrics` is set, the run also
+  /// attaches a MetricsObserver so gauges/per-cell counters are filled.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::PhaseProfiler* profiler = nullptr;
+  /// JSONL snapshot stream for the MetricsObserver (needs `metrics`);
+  /// one line every `metrics_every` rounds plus a final line.
+  std::ostream* metrics_jsonl = nullptr;
+  std::uint64_t metrics_every = 0;
 };
 
 /// Everything measured in one run.

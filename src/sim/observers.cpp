@@ -1,9 +1,72 @@
 #include "sim/observers.hpp"
 
 #include <algorithm>
+#include <ostream>
 #include <sstream>
 
+#include "obs/export.hpp"
+
 namespace cellflow {
+
+namespace {
+
+std::string cell_label_value(CellId id) {
+  return std::to_string(id.i) + "," + std::to_string(id.j);
+}
+
+}  // namespace
+
+MetricsObserver::MetricsObserver(obs::MetricsRegistry& registry)
+    : registry_(registry),
+      round_gauge_(&registry.gauge("cellflow_round",
+                                   "Protocol round counter (instantaneous).")),
+      population_(&registry.gauge(
+          "cellflow_population",
+          "Entities currently in the system (instantaneous).")) {}
+
+void MetricsObserver::stream_jsonl(std::ostream* out, std::uint64_t every) {
+  jsonl_out_ = out;
+  jsonl_every_ = every;
+}
+
+obs::Counter* MetricsObserver::cell_counter(
+    std::map<CellId, obs::Counter*>& cache, const char* name,
+    const char* help, CellId id) {
+  const auto it = cache.find(id);
+  if (it != cache.end()) return it->second;
+  obs::Counter& c =
+      registry_.counter(name, help, {{"cell", cell_label_value(id)}});
+  cache.emplace(id, &c);
+  return &c;
+}
+
+void MetricsObserver::on_round(const System& sys, const RoundEvents& ev) {
+  last_round_ = ev.round;
+  round_gauge_->set(static_cast<double>(ev.round));
+  population_->set(static_cast<double>(sys.entity_count()));
+  for (const CellId id : ev.blocked)
+    cell_counter(blocked_, "cellflow_cell_blocked_total",
+                 "Signal refusals, by granting cell.", id)
+        ->inc();
+  for (const CellId id : ev.moved)
+    cell_counter(moved_, "cellflow_cell_moved_total",
+                 "Applied movements, by moving cell.", id)
+        ->inc();
+  for (const auto& [cell, eid] : ev.injected) {
+    (void)eid;
+    cell_counter(injected_, "cellflow_cell_injected_total",
+                 "Accepted injections, by source cell.", cell)
+        ->inc();
+  }
+  if (jsonl_out_ != nullptr && jsonl_every_ != 0 &&
+      (ev.round + 1) % jsonl_every_ == 0)
+    *jsonl_out_ << obs::jsonl_snapshot(registry_, ev.round);
+}
+
+void MetricsObserver::on_finish(const System& /*sys*/) {
+  if (jsonl_out_ != nullptr)
+    *jsonl_out_ << obs::jsonl_snapshot(registry_, last_round_);
+}
 
 void ThroughputMeter::on_round(const System& /*sys*/, const RoundEvents& ev) {
   ++rounds_;

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -14,6 +16,7 @@
 
 #include "core/predicates.hpp"
 #include "core/system.hpp"
+#include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace cellflow {
@@ -137,6 +140,44 @@ class OccupancyTracker final : public Observer {
  private:
   RunningStats population_;
   std::size_t peak_cell_ = 0;
+};
+
+/// Bridges RoundEvents into a MetricsRegistry: instantaneous gauges
+/// (cellflow_round, cellflow_population), per-cell event counters
+/// (cellflow_cell_{blocked,moved,injected}_total, labeled cell="i,j"),
+/// and — when stream_jsonl is armed — a periodic JSONL snapshot line
+/// every N rounds plus one final line at on_finish.
+///
+/// Runs entirely on the calling (driver) thread, after the round's phase
+/// barriers, so everything it derives is deterministic regardless of the
+/// System's ParallelPolicy. Per-cell counter handles are cached after the
+/// first touch; steady-state cost is one map lookup per event.
+class MetricsObserver final : public Observer {
+ public:
+  /// Non-owning: `registry` must outlive the observer.
+  explicit MetricsObserver(obs::MetricsRegistry& registry);
+
+  /// Arms periodic JSONL snapshots: one line after every `every` rounds
+  /// (0 disarms), plus a final line at on_finish. `out` is non-owning.
+  void stream_jsonl(std::ostream* out, std::uint64_t every);
+
+  void on_round(const System& sys, const RoundEvents& ev) override;
+  void on_finish(const System& sys) override;
+
+ private:
+  obs::Counter* cell_counter(std::map<CellId, obs::Counter*>& cache,
+                             const char* name, const char* help, CellId id);
+
+  obs::MetricsRegistry& registry_;
+  obs::Gauge* round_gauge_;
+  obs::Gauge* population_;
+  std::map<CellId, obs::Counter*> blocked_;
+  std::map<CellId, obs::Counter*> moved_;
+  std::map<CellId, obs::Counter*> injected_;
+
+  std::ostream* jsonl_out_ = nullptr;
+  std::uint64_t jsonl_every_ = 0;
+  std::uint64_t last_round_ = 0;
 };
 
 /// Birth-to-consumption latency per entity (rounds), via injection and

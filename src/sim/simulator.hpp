@@ -35,6 +35,12 @@ class Simulator {
   /// Executes `rounds` rounds, then notifies observers' on_finish.
   void run(std::uint64_t rounds);
 
+  /// Notifies observers' on_finish. run()/run_until() call this
+  /// themselves; a driver stepping manually (e.g. tools/cellflow_sim)
+  /// calls it once after its loop so end-of-run observers (final JSONL
+  /// snapshot, …) still fire.
+  void finish();
+
   /// Runs until `predicate(sys)` is true after a round, or `max_rounds`
   /// elapse. Returns true iff the predicate fired. on_finish is notified
   /// either way.
@@ -60,9 +66,15 @@ class Simulator {
     sys_.set_parallel_policy(policy);
   }
 
- private:
-  void finish();
+  /// Forward to System's observability attach points (DESIGN.md §7).
+  void set_metrics(obs::MetricsRegistry* registry) {
+    sys_.set_metrics(registry);
+  }
+  void set_profiler(obs::PhaseProfiler* profiler) {
+    sys_.set_profiler(profiler);
+  }
 
+ private:
   System& sys_;
   FailureModel& failures_;
   std::vector<Observer*> observers_;

@@ -1,6 +1,8 @@
 #include "sim/trace.hpp"
 
+#include <charconv>
 #include <sstream>
+#include <stdexcept>
 
 namespace cellflow {
 
@@ -71,6 +73,113 @@ std::string TraceRecorder::serialize() const {
   std::ostringstream os;
   for (const TraceRecord& r : records_) os << to_string(r) << '\n';
   return os.str();
+}
+
+namespace {
+
+/// Cursor over one serialized trace line; every helper throws on
+/// malformed input (the caller prefixes the line number).
+struct LineParser {
+  std::string_view rest;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error(what + " at '" + std::string(rest) + "'");
+  }
+
+  void expect(std::string_view token) {
+    if (!rest.starts_with(token)) fail("expected '" + std::string(token) + "'");
+    rest.remove_prefix(token.size());
+  }
+
+  template <typename Int>
+  Int number() {
+    Int v{};
+    const auto* begin = rest.data();
+    const auto* end = rest.data() + rest.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc{}) fail("expected a number");
+    rest.remove_prefix(static_cast<std::size_t>(ptr - begin));
+    return v;
+  }
+
+  std::string_view word() {
+    const std::size_t n = rest.find(' ');
+    const std::string_view w = rest.substr(0, n);
+    if (w.empty()) fail("expected a word");
+    rest.remove_prefix(n == std::string_view::npos ? rest.size() : n);
+    return w;
+  }
+
+  CellId cell() {
+    expect("<");
+    const int i = number<int>();
+    expect(",");
+    const int j = number<int>();
+    expect(">");
+    return CellId{i, j};
+  }
+
+  EntityId entity() {
+    expect("p");
+    return EntityId{number<std::uint64_t>()};
+  }
+};
+
+TraceRecord parse_record(std::string_view line) {
+  LineParser p{line};
+  TraceRecord r;
+  r.round = p.number<std::uint64_t>();
+  p.expect(" ");
+  const std::string_view kind = p.word();
+  if (kind == "fail" || kind == "recover") {
+    r.kind = kind == "fail" ? TraceRecord::Kind::kFail
+                            : TraceRecord::Kind::kRecover;
+    p.expect(" ");
+    r.cell = p.cell();
+  } else if (kind == "inject") {
+    r.kind = TraceRecord::Kind::kInject;
+    p.expect(" ");
+    r.entity = p.entity();
+    p.expect(" at ");
+    r.cell = p.cell();
+  } else if (kind == "transfer" || kind == "consume") {
+    r.kind = kind == "transfer" ? TraceRecord::Kind::kTransfer
+                                : TraceRecord::Kind::kConsume;
+    p.expect(" ");
+    r.entity = p.entity();
+    p.expect(" ");
+    r.cell = p.cell();
+    p.expect(" -> ");
+    r.other = p.cell();
+  } else {
+    p.fail("unknown record kind '" + std::string(kind) + "'");
+  }
+  if (!p.rest.empty()) p.fail("trailing garbage");
+  return r;
+}
+
+}  // namespace
+
+std::vector<TraceRecord> parse_trace(std::string_view text) {
+  std::vector<TraceRecord> records;
+  std::size_t line_no = 1;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    if (!line.empty()) {
+      try {
+        records.push_back(parse_record(line));
+      } catch (const std::exception& e) {
+        throw std::runtime_error("trace line " + std::to_string(line_no) +
+                                 ": " + e.what());
+      }
+    }
+    start = end + 1;
+    ++line_no;
+  }
+  return records;
 }
 
 }  // namespace cellflow

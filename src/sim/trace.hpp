@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/observers.hpp"
@@ -55,5 +56,11 @@ class TraceRecorder final : public Observer {
 };
 
 [[nodiscard]] std::string to_string(const TraceRecord& r);
+
+/// Inverse of TraceRecorder::serialize(): parses one record per line and
+/// round-trips exactly (parse_trace(serialize()) == records()). Throws
+/// std::runtime_error with a line number on malformed input — traces are
+/// regression artifacts, so a syntax drift must fail loudly, not skip.
+[[nodiscard]] std::vector<TraceRecord> parse_trace(std::string_view text);
 
 }  // namespace cellflow

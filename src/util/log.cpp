@@ -1,14 +1,17 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
 namespace cellflow {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
-std::ostream* g_sink = nullptr;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::ostream* g_sink = nullptr;  // guarded by g_write_mutex
+std::mutex g_write_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,11 +25,19 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel Logger::level() noexcept { return g_level; }
-void Logger::set_level(LogLevel level) noexcept { g_level = level; }
-void Logger::set_sink(std::ostream* sink) noexcept { g_sink = sink; }
+LogLevel Logger::level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+void Logger::set_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+void Logger::set_sink(std::ostream* sink) noexcept {
+  const std::lock_guard<std::mutex> lock(g_write_mutex);
+  g_sink = sink;
+}
 
 void Logger::write(LogLevel level, std::string_view message) {
+  const std::lock_guard<std::mutex> lock(g_write_mutex);
   std::ostream& out = g_sink != nullptr ? *g_sink : std::clog;
   out << '[' << level_name(level) << "] " << message << '\n';
 }

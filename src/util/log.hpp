@@ -14,8 +14,11 @@ namespace cellflow {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Process-wide logging configuration. Not thread-safe by design — the
-/// simulator is single-threaded; set the level before spawning anything.
+/// Process-wide logging configuration. Thread-safe: the level is an
+/// atomic and write() serializes sink access under a mutex, so CF_LOG
+/// may fire from parallel-engine worker threads (lines interleave whole,
+/// never torn). set_sink still belongs in single-threaded setup code —
+/// it swaps the destination, not the lifetime of what it points at.
 class Logger {
  public:
   static LogLevel level() noexcept;

@@ -5,6 +5,8 @@
 
 #include <sstream>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 namespace cellflow {
 namespace {
@@ -64,6 +66,34 @@ TEST_F(LogTest, EnabledReflectsLevel) {
   EXPECT_FALSE(Logger::enabled(LogLevel::kInfo));
   EXPECT_TRUE(Logger::enabled(LogLevel::kWarn));
   EXPECT_TRUE(Logger::enabled(LogLevel::kError));
+}
+
+// CF_LOG may fire from parallel-engine worker threads; write() holds a
+// mutex across the whole line, so concurrent lines interleave whole —
+// never torn mid-line. (Named "Parallel" so the TSan lane runs it.)
+TEST_F(LogTest, ParallelWritersNeverTearLines) {
+  Logger::set_level(LogLevel::kInfo);
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      for (int k = 0; k < kLines; ++k)
+        CF_LOG(kInfo) << "writer " << t << " line " << k << " end";
+    });
+  }
+  for (std::thread& w : writers) w.join();
+
+  std::istringstream in(sink_.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(in, line)) {
+    ++count;
+    EXPECT_TRUE(line.starts_with("[INFO] writer ")) << line;
+    EXPECT_TRUE(line.ends_with(" end")) << line;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
 }
 
 TEST(ParseLogLevel, AllNamesAndErrors) {

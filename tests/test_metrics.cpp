@@ -1,0 +1,250 @@
+// Unit tests for the observability primitives: MetricsRegistry families
+// and series, histogram bucket semantics, the ProtocolCounts merge, the
+// PhaseProfiler span log, and the attach points on System.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/system.hpp"
+#include "failure/failure_model.hpp"
+#include "helpers.hpp"
+#include "obs/profiler.hpp"
+#include "obs/protocol_metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace cellflow {
+namespace {
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("cf_test_total", "help");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, SameNameAndLabelsReturnsSameSeries) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("cf_test_total", "help", {{"k", "v"}});
+  obs::Counter& b = reg.counter("cf_test_total", "help", {{"k", "v"}});
+  EXPECT_EQ(&a, &b);
+  obs::Counter& other = reg.counter("cf_test_total", "help", {{"k", "w"}});
+  EXPECT_NE(&a, &other);
+}
+
+TEST(Metrics, LabelOrderDoesNotSplitSeries) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a =
+      reg.counter("cf_test_total", "help", {{"a", "1"}, {"b", "2"}});
+  obs::Counter& b =
+      reg.counter("cf_test_total", "help", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Metrics, ConflictingRedefinitionThrows) {
+  obs::MetricsRegistry reg;
+  reg.counter("cf_test_total", "help");
+  EXPECT_THROW(reg.gauge("cf_test_total", "help"), std::runtime_error);
+  EXPECT_THROW(reg.counter("cf_test_total", "different help"),
+               std::runtime_error);
+}
+
+TEST(Metrics, InvalidNamesAndDuplicateLabelKeysThrow) {
+  obs::MetricsRegistry reg;
+  EXPECT_THROW(reg.counter("0starts_with_digit", "h"), std::runtime_error);
+  EXPECT_THROW(reg.counter("has space", "h"), std::runtime_error);
+  EXPECT_THROW(reg.counter("cf_ok", "h", {{"k", "1"}, {"k", "2"}}),
+               std::runtime_error);
+  EXPECT_TRUE(obs::valid_metric_name("cellflow_rounds_total"));
+  EXPECT_TRUE(obs::valid_metric_name("_private:scoped"));
+  EXPECT_FALSE(obs::valid_metric_name(""));
+}
+
+TEST(Metrics, GaugeIsLastWriteWins) {
+  obs::MetricsRegistry reg;
+  obs::Gauge& g = reg.gauge("cf_test", "help");
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  g.set(-17.0);
+  EXPECT_EQ(g.value(), -17.0);
+}
+
+TEST(Metrics, HistogramBucketsAreInclusiveUpperEdges) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("cf_test", "help", {0.0, 1.0, 2.0});
+  h.observe(0.0);   // → le=0
+  h.observe(1.0);   // → le=1 (inclusive)
+  h.observe(1.5);   // → le=2
+  h.observe(99.0);  // → +Inf overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 101.5);
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{1, 1, 1, 1}));
+}
+
+TEST(Metrics, HistogramObserveManyMatchesRepeatedObserve) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& a = reg.histogram("cf_a", "h", {1.0, 2.0});
+  obs::Histogram& b = reg.histogram("cf_b", "h", {1.0, 2.0});
+  for (int k = 0; k < 7; ++k) a.observe(2.0);
+  b.observe_many(2.0, 7);
+  EXPECT_EQ(a.bucket_counts(), b.bucket_counts());
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_DOUBLE_EQ(a.sum(), b.sum());
+}
+
+TEST(Metrics, HistogramRejectsBadBounds) {
+  obs::MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("cf_test", "h", {}), std::runtime_error);
+  EXPECT_THROW(reg.histogram("cf_test", "h", {2.0, 1.0}), std::runtime_error);
+  reg.histogram("cf_ok", "h", {1.0, 2.0});
+  EXPECT_THROW(reg.histogram("cf_ok", "h", {1.0, 3.0}), std::runtime_error);
+}
+
+TEST(Metrics, SnapshotIsSortedByNameAndLabels) {
+  obs::MetricsRegistry reg;
+  reg.counter("cf_zz_total", "h").inc(1);
+  reg.counter("cf_aa_total", "h", {{"x", "2"}}).inc(2);
+  reg.counter("cf_aa_total", "h", {{"x", "1"}}).inc(3);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "cf_aa_total");
+  EXPECT_EQ(snap[1].name, "cf_zz_total");
+  ASSERT_EQ(snap[0].series.size(), 2u);
+  EXPECT_EQ(snap[0].series[0].labels, (obs::Labels{{"x", "1"}}));
+  EXPECT_EQ(snap[0].series[0].counter_value, 3u);
+  EXPECT_EQ(snap[0].series[1].labels, (obs::Labels{{"x", "2"}}));
+}
+
+TEST(Metrics, ProtocolCountsMergeIsFieldwiseAddition) {
+  obs::ProtocolCounts a;
+  a.route_relaxations = 3;
+  a.signal_grants = 1;
+  a.ne_prev_sizes = {1, 0, 2, 0, 0};
+  obs::ProtocolCounts b;
+  b.route_relaxations = 4;
+  b.moves = 5;
+  b.ne_prev_sizes = {0, 7, 0, 0, 1};
+  a.merge(b);
+  EXPECT_EQ(a.route_relaxations, 7u);
+  EXPECT_EQ(a.signal_grants, 1u);
+  EXPECT_EQ(a.moves, 5u);
+  EXPECT_EQ(a.ne_prev_sizes, (std::array<std::uint64_t, 5>{1, 7, 2, 0, 1}));
+  a.reset();
+  EXPECT_EQ(a.route_relaxations, 0u);
+  EXPECT_EQ(a.ne_prev_sizes, (std::array<std::uint64_t, 5>{}));
+}
+
+TEST(Metrics, ProtocolMetricsFlushesIntoLabeledFamilies) {
+  obs::MetricsRegistry reg;
+  obs::ProtocolMetrics pm(reg, "shared");
+  obs::ProtocolCounts counts;
+  counts.route_relaxations = 10;
+  counts.injections = 2;
+  counts.ne_prev_sizes = {3, 1, 0, 0, 0};
+  pm.add(counts);
+  pm.add_round();
+  pm.add_failure();
+  EXPECT_EQ(reg.counter("cellflow_rounds_total", "Protocol rounds executed",
+                        {{"realization", "shared"}})
+                .value(),
+            1u);
+  EXPECT_EQ(
+      reg.counter("cellflow_route_relaxations_total",
+                  "Neighbor dist values examined by Route",
+                  {{"realization", "shared"}})
+          .value(),
+      10u);
+  EXPECT_EQ(reg.counter("cellflow_failures_total", "fail transitions applied",
+                        {{"realization", "shared"}})
+                .value(),
+            1u);
+}
+
+TEST(Metrics, SystemRunsProduceProtocolCounters) {
+  const Params p(0.2, 0.1, 0.1);
+  System sys = testing::make_column_system(4, p);
+  obs::MetricsRegistry reg;
+  sys.set_metrics(&reg);
+  NoFailures none;
+  Simulator sim(sys, none);
+  sim.run(300);
+
+  const obs::Labels shared{{"realization", "shared"}};
+  EXPECT_EQ(reg.counter("cellflow_rounds_total", "Protocol rounds executed",
+                        shared)
+                .value(),
+            300u);
+  EXPECT_GT(reg.counter("cellflow_source_injections_total",
+                        "Entities injected by sources", shared)
+                .value(),
+            0u);
+  EXPECT_GT(reg.counter("cellflow_move_consumptions_total",
+                        "Entities consumed by the target", shared)
+                .value(),
+            0u);
+  // Consistency with the System's own totals.
+  EXPECT_EQ(reg.counter("cellflow_move_consumptions_total",
+                        "Entities consumed by the target", shared)
+                .value(),
+            sys.total_arrivals());
+  EXPECT_EQ(reg.counter("cellflow_source_injections_total",
+                        "Entities injected by sources", shared)
+                .value(),
+            sys.total_injected());
+}
+
+TEST(Metrics, DetachingStopsAccumulation) {
+  const Params p(0.2, 0.1, 0.1);
+  System sys = testing::make_column_system(4, p);
+  obs::MetricsRegistry reg;
+  sys.set_metrics(&reg);
+  NoFailures none;
+  Simulator sim(sys, none);
+  sim.run(10);
+  sys.set_metrics(nullptr);
+  sim.run(10);
+  const obs::Labels shared{{"realization", "shared"}};
+  EXPECT_EQ(reg.counter("cellflow_rounds_total", "Protocol rounds executed",
+                        shared)
+                .value(),
+            10u);
+}
+
+TEST(Metrics, ProfilerRecordsPhaseAndShardSpans) {
+  obs::PhaseProfiler prof;
+  const auto t0 = obs::PhaseProfiler::Clock::now();
+  prof.record("route", 0, -1, t0, t0 + std::chrono::microseconds(5));
+  prof.record("route", 0, 0, t0, t0 + std::chrono::microseconds(2));
+  prof.record("move", 1, -1, t0, t0 + std::chrono::microseconds(3));
+  EXPECT_EQ(prof.span_count(), 3u);
+  EXPECT_EQ(prof.total_ns("route"), 5000u);
+  EXPECT_EQ(prof.total_ns("move"), 3000u);
+  EXPECT_EQ(prof.total_ns("signal"), 0u);
+  prof.clear();
+  EXPECT_EQ(prof.span_count(), 0u);
+}
+
+TEST(Metrics, ProfilerAttachedRunCoversEveryPhase) {
+  const Params p(0.2, 0.1, 0.1);
+  System sys = testing::make_column_system(4, p);
+  obs::PhaseProfiler prof;
+  sys.set_profiler(&prof);
+  NoFailures none;
+  Simulator sim(sys, none);
+  sim.run(5);
+  EXPECT_GT(prof.total_ns("route"), 0u);
+  EXPECT_GT(prof.total_ns("signal"), 0u);
+  EXPECT_GT(prof.total_ns("move"), 0u);
+  EXPECT_GT(prof.total_ns("inject"), 0u);
+  EXPECT_GT(prof.total_ns("round"), 0u);
+  bool saw_round_1 = false;
+  for (const obs::PhaseProfiler::Span& s : prof.spans())
+    if (s.round == 1) saw_round_1 = true;
+  EXPECT_TRUE(saw_round_1);
+}
+
+}  // namespace
+}  // namespace cellflow

@@ -1,0 +1,168 @@
+// Differential pinning of the metrics determinism contract:
+//
+//   1. Every metric count is bit-identical across the serial engine and
+//      the parallel engine at 1/2/4/8 threads (per-shard tallies merged
+//      in shard order — the same discipline as the event buffers).
+//   2. The shared-variable System and the message-passing MessageSystem
+//      report identical protocol counts on equivalent executions —
+//      extending the state-equivalence theorem of test_msg_system.cpp to
+//      the observability layer.
+//
+// Comparison goes through to_prometheus(), which is byte-deterministic
+// over a snapshot, so a single string EXPECT covers every family, series,
+// and histogram bucket at once. (Test names deliberately contain
+// "Differential"/"Parallel" so the TSan ctest lane picks them up.)
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/choose.hpp"
+#include "core/system.hpp"
+#include "msg/msg_system.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+
+namespace cellflow {
+namespace {
+
+const Params kP(0.25, 0.05, 0.1);
+
+SystemConfig shared_config(int side) {
+  SystemConfig cfg;
+  cfg.side = side;
+  cfg.params = kP;
+  cfg.sources = {CellId{1, 0}};
+  cfg.target = CellId{1, side - 1};
+  return cfg;
+}
+
+/// Runs `rounds` rounds with a scripted fail/recover schedule and returns
+/// the Prometheus rendering of everything the run counted.
+std::string run_shared(const ParallelPolicy& policy, std::uint64_t rounds,
+                       const std::string& choose, bool with_failures) {
+  System sys(shared_config(6), make_choose_policy(choose, 7));
+  sys.set_parallel_policy(policy);
+  obs::MetricsRegistry reg;
+  sys.set_metrics(&reg);
+  for (std::uint64_t k = 0; k < rounds; ++k) {
+    if (with_failures) {
+      if (k == 40) sys.fail(CellId{1, 3});
+      if (k == 90) sys.recover(CellId{1, 3});
+      if (k == 120) sys.fail(CellId{2, 2});
+    }
+    sys.update();
+  }
+  return obs::to_prometheus(reg);
+}
+
+TEST(MetricsDifferential, CountsIdenticalAcrossThreadCountsParallel) {
+  const std::string serial =
+      run_shared(ParallelPolicy::serial(), 400, "round-robin", true);
+  for (const int threads : {1, 2, 4, 8}) {
+    const std::string parallel = run_shared(ParallelPolicy::parallel(threads),
+                                            400, "round-robin", true);
+    EXPECT_EQ(serial, parallel) << "threads=" << threads;
+  }
+}
+
+TEST(MetricsDifferential, CountsIdenticalWithStatefulChoosePolicy) {
+  // RandomChoose pins the Signal phase serial; counts must still agree.
+  const std::string serial =
+      run_shared(ParallelPolicy::serial(), 300, "random", false);
+  for (const int threads : {2, 8}) {
+    EXPECT_EQ(serial, run_shared(ParallelPolicy::parallel(threads), 300,
+                                 "random", false))
+        << "threads=" << threads;
+  }
+}
+
+TEST(MetricsDifferential, SharedAndMessageRealizationsAgree) {
+  // Same configuration, same scripted failures, one registry for both:
+  // after every round the two realizations' series must match count for
+  // count (they only differ in the `realization` label).
+  System shared{shared_config(6)};
+  MsgSystemConfig msg_cfg;
+  msg_cfg.side = 6;
+  msg_cfg.params = kP;
+  msg_cfg.sources = {CellId{1, 0}};
+  msg_cfg.target = CellId{1, 5};
+  MessageSystem msg{msg_cfg};
+
+  obs::MetricsRegistry reg;
+  shared.set_metrics(&reg);
+  msg.set_metrics(&reg);
+
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    if (k == 50) {
+      shared.fail(CellId{1, 3});
+      msg.fail(CellId{1, 3});
+    }
+    if (k == 150) {
+      shared.recover(CellId{1, 3});
+      msg.recover(CellId{1, 3});
+    }
+    shared.update();
+    msg.update();
+  }
+  ASSERT_GT(shared.total_arrivals(), 0u);
+
+  for (const obs::FamilySnapshot& fam : reg.snapshot()) {
+    if (fam.name == "cellflow_messages_total") continue;  // message-only
+    ASSERT_EQ(fam.series.size(), 2u) << fam.name;
+    const obs::SeriesSnapshot& message = fam.series[0];  // sorted by label
+    const obs::SeriesSnapshot& sh = fam.series[1];
+    ASSERT_EQ(message.labels,
+              (obs::Labels{{"realization", "message"}})) << fam.name;
+    ASSERT_EQ(sh.labels, (obs::Labels{{"realization", "shared"}})) << fam.name;
+    EXPECT_EQ(message.counter_value, sh.counter_value) << fam.name;
+    EXPECT_EQ(message.count, sh.count) << fam.name;
+    EXPECT_EQ(message.buckets, sh.buckets) << fam.name;
+  }
+}
+
+TEST(MetricsDifferential, ProfilerUnderParallelEngineRecordsShardSpans) {
+  // Worker threads record shard spans concurrently (mutex-guarded); the
+  // TSan lane exercises this test to prove the profiler races nothing.
+  System sys(shared_config(6), make_choose_policy("round-robin", 7));
+  sys.set_parallel_policy(ParallelPolicy::parallel(4));
+  obs::PhaseProfiler prof;
+  sys.set_profiler(&prof);
+  obs::MetricsRegistry reg;
+  sys.set_metrics(&reg);
+  for (int k = 0; k < 50; ++k) sys.update();
+
+  bool saw_shard_span = false;
+  bool saw_phase_span = false;
+  for (const obs::PhaseProfiler::Span& s : prof.spans()) {
+    if (s.shard >= 0) saw_shard_span = true;
+    if (s.shard == -1) saw_phase_span = true;
+  }
+  EXPECT_TRUE(saw_shard_span);
+  EXPECT_TRUE(saw_phase_span);
+  EXPECT_GT(prof.total_ns("round"), 0u);
+}
+
+TEST(MetricsDifferential, MessageCountersMatchNetworkTotals) {
+  MsgSystemConfig cfg;
+  cfg.side = 5;
+  cfg.params = kP;
+  cfg.sources = {CellId{1, 0}};
+  cfg.target = CellId{1, 4};
+  MessageSystem msg{cfg};
+  obs::MetricsRegistry reg;
+  msg.set_metrics(&reg);
+  for (int k = 0; k < 200; ++k) msg.update();
+
+  std::uint64_t by_exchange = 0;
+  for (const obs::FamilySnapshot& fam : reg.snapshot()) {
+    if (fam.name != "cellflow_messages_total") continue;
+    ASSERT_EQ(fam.series.size(), 4u);  // dist | grant | intent | transfer
+    for (const obs::SeriesSnapshot& s : fam.series)
+      by_exchange += s.counter_value;
+  }
+  EXPECT_EQ(by_exchange, msg.total_messages());
+}
+
+}  // namespace
+}  // namespace cellflow

@@ -1,0 +1,197 @@
+// Exporter tests: golden byte-exact Prometheus/JSONL renderings, the
+// parser/validator round-trips the smoke tool relies on, Chrome trace
+// structure, and the export pipeline end-to-end on the pinned tiny 3×3
+// scenario (cross-checked against the golden trace of test_trace.cpp).
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/choose.hpp"
+#include "failure/failure_model.hpp"
+#include "obs/profiler.hpp"
+#include "sim/observers.hpp"
+#include "sim/simulator.hpp"
+
+namespace cellflow {
+namespace {
+
+/// A small fully hand-specified registry — every exporter byte is
+/// predictable by inspection.
+void fill_reference(obs::MetricsRegistry& reg) {
+  reg.counter("cf_events_total", "Events.", {{"kind", "a"}}).inc(3);
+  reg.gauge("cf_level", "Level.").set(1.5);
+  obs::Histogram& h = reg.histogram("cf_size", "Sizes.", {1.0, 2.0});
+  h.observe(1.0);
+  h.observe(5.0);
+}
+
+constexpr const char* kGoldenProm =
+    "# HELP cf_events_total Events.\n"
+    "# TYPE cf_events_total counter\n"
+    "cf_events_total{kind=\"a\"} 3\n"
+    "# HELP cf_level Level.\n"
+    "# TYPE cf_level gauge\n"
+    "cf_level 1.5\n"
+    "# HELP cf_size Sizes.\n"
+    "# TYPE cf_size histogram\n"
+    "cf_size_bucket{le=\"1\"} 1\n"
+    "cf_size_bucket{le=\"2\"} 1\n"
+    "cf_size_bucket{le=\"+Inf\"} 2\n"
+    "cf_size_sum 6\n"
+    "cf_size_count 2\n";
+
+constexpr const char* kGoldenJsonl =
+    "{\"round\":7,\"metrics\":["
+    "{\"name\":\"cf_events_total\",\"type\":\"counter\","
+    "\"labels\":{\"kind\":\"a\"},\"value\":3},"
+    "{\"name\":\"cf_level\",\"type\":\"gauge\",\"labels\":{},\"value\":1.5},"
+    "{\"name\":\"cf_size\",\"type\":\"histogram\",\"labels\":{},"
+    "\"count\":2,\"sum\":6,\"buckets\":["
+    "{\"le\":\"1\",\"count\":1},{\"le\":\"2\",\"count\":1},"
+    "{\"le\":\"+Inf\",\"count\":2}]}"
+    "]}\n";
+
+TEST(ObsExport, GoldenPrometheusRendering) {
+  obs::MetricsRegistry reg;
+  fill_reference(reg);
+  EXPECT_EQ(obs::to_prometheus(reg), kGoldenProm);
+}
+
+TEST(ObsExport, GoldenJsonlRendering) {
+  obs::MetricsRegistry reg;
+  fill_reference(reg);
+  EXPECT_EQ(obs::jsonl_snapshot(reg, 7), kGoldenJsonl);
+}
+
+TEST(ObsExport, FormatDouble) {
+  EXPECT_EQ(obs::format_double(0.0), "0");
+  EXPECT_EQ(obs::format_double(3.0), "3");
+  EXPECT_EQ(obs::format_double(-17.0), "-17");
+  EXPECT_EQ(obs::format_double(1.5), "1.5");
+  EXPECT_EQ(obs::format_double(0.1), "0.1");
+  EXPECT_EQ(obs::format_double(std::numeric_limits<double>::infinity()),
+            "+Inf");
+  EXPECT_EQ(obs::format_double(-std::numeric_limits<double>::infinity()),
+            "-Inf");
+  EXPECT_EQ(obs::format_double(std::nan("")), "NaN");
+}
+
+TEST(ObsExport, JsonEscape) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(obs::json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(ObsExport, ParsePrometheusRoundTripsTheExporter) {
+  obs::MetricsRegistry reg;
+  fill_reference(reg);
+  const auto samples = obs::parse_prometheus(obs::to_prometheus(reg));
+  ASSERT_EQ(samples.size(), 7u);  // 1 counter + 1 gauge + 3 buckets + sum/cnt
+  EXPECT_EQ(samples[0].name, "cf_events_total");
+  EXPECT_EQ(samples[0].labels, (obs::Labels{{"kind", "a"}}));
+  EXPECT_EQ(samples[0].value, 3.0);
+  EXPECT_EQ(samples[1].name, "cf_level");
+  EXPECT_EQ(samples[1].value, 1.5);
+  EXPECT_EQ(samples[4].name, "cf_size_bucket");
+  EXPECT_EQ(samples[4].labels, (obs::Labels{{"le", "+Inf"}}));
+  EXPECT_EQ(samples[4].value, 2.0);  // cumulative count in the +Inf bucket
+  EXPECT_EQ(samples[5].name, "cf_size_sum");
+  EXPECT_EQ(samples[5].value, 6.0);
+  EXPECT_EQ(samples[6].name, "cf_size_count");
+  EXPECT_EQ(samples[6].value, 2.0);
+}
+
+TEST(ObsExport, ParsePrometheusRejectsMalformedLines) {
+  EXPECT_THROW(obs::parse_prometheus("0bad_name 1\n"), std::runtime_error);
+  EXPECT_THROW(obs::parse_prometheus("cf_x{k=\"v\" 1\n"), std::runtime_error);
+  EXPECT_THROW(obs::parse_prometheus("cf_x{k=v} 1\n"), std::runtime_error);
+  EXPECT_THROW(obs::parse_prometheus("cf_x\n"), std::runtime_error);
+  EXPECT_THROW(obs::parse_prometheus("cf_x abc\n"), std::runtime_error);
+  EXPECT_TRUE(obs::parse_prometheus("# just a comment\n\n").empty());
+}
+
+TEST(ObsExport, ValidateJsonAcceptsAndRejects) {
+  obs::validate_json("{}");
+  obs::validate_json("[1,2.5,-3,1e9,\"s\",true,false,null]");
+  obs::validate_json("{\"a\":{\"b\":[{}]}}");
+  EXPECT_THROW(obs::validate_json(""), std::runtime_error);
+  EXPECT_THROW(obs::validate_json("{"), std::runtime_error);
+  EXPECT_THROW(obs::validate_json("{} trailing"), std::runtime_error);
+  EXPECT_THROW(obs::validate_json("{'a':1}"), std::runtime_error);
+  EXPECT_THROW(obs::validate_json("[01]"), std::runtime_error);
+  EXPECT_THROW(obs::validate_json("\"\x01\""), std::runtime_error);
+}
+
+TEST(ObsExport, ChromeTraceIsValidJsonWithShardTracks) {
+  obs::PhaseProfiler prof;
+  const auto t0 = obs::PhaseProfiler::Clock::now();
+  prof.record("route", 0, -1, t0, t0 + std::chrono::microseconds(4));
+  prof.record("route", 0, 1, t0, t0 + std::chrono::microseconds(2));
+  const std::string trace = obs::to_chrome_trace(prof);
+  obs::validate_json(trace);
+  // Phase span on tid 0, shard 1's slice on tid 2.
+  EXPECT_NE(trace.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(trace.find("\"tid\":2"), std::string::npos);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(ObsExport, EmptyExportsAreWellFormed) {
+  obs::MetricsRegistry reg;
+  EXPECT_EQ(obs::to_prometheus(reg), "");
+  obs::validate_json(obs::jsonl_snapshot(reg, 0));
+  obs::PhaseProfiler prof;
+  obs::validate_json(obs::to_chrome_trace(prof));
+}
+
+// End-to-end on the pinned tiny scenario (the same configuration whose
+// trace test_trace.cpp pins golden): the exported counters must agree
+// with the trace-derived event totals — 6 injections, 6 boundary
+// crossings of which 2 are consumptions, 25 rounds.
+TEST(ObsExport, TinyScenarioExportMatchesGoldenTrace) {
+  SystemConfig cfg;
+  cfg.side = 3;
+  cfg.params = Params(0.25, 0.05, 0.1);
+  cfg.sources = {CellId{1, 0}};
+  cfg.target = CellId{1, 2};
+  System sys(cfg, make_choose_policy("round-robin", 1));
+  obs::MetricsRegistry reg;
+  sys.set_metrics(&reg);
+  NoFailures none;
+  Simulator sim(sys, none);
+  MetricsObserver mobs(reg);
+  std::ostringstream jsonl;
+  mobs.stream_jsonl(&jsonl, 10);
+  sim.add_observer(mobs);
+  sim.run(25);
+
+  const auto value = [&](std::string_view name) -> double {
+    for (const obs::PromSample& s : obs::parse_prometheus(to_prometheus(reg)))
+      if (s.name == name) return s.value;
+    ADD_FAILURE() << "sample not found: " << name;
+    return -1.0;
+  };
+  EXPECT_EQ(value("cellflow_rounds_total"), 25.0);
+  EXPECT_EQ(value("cellflow_source_injections_total"), 6.0);
+  EXPECT_EQ(value("cellflow_move_transfers_total"), 6.0);
+  EXPECT_EQ(value("cellflow_move_consumptions_total"), 2.0);
+  EXPECT_EQ(value("cellflow_population"), 4.0);  // 6 injected - 2 consumed
+  EXPECT_EQ(value("cellflow_round"), 24.0);      // last completed round
+
+  // The JSONL stream carries 2 periodic lines (rounds 10, 20) + 1 final.
+  const std::string stream = std::move(jsonl).str();
+  std::size_t lines = 0;
+  for (const char c : stream) lines += c == '\n' ? 1u : 0u;
+  EXPECT_EQ(lines, 3u);
+  std::istringstream in(stream);
+  std::string line;
+  while (std::getline(in, line)) obs::validate_json(line);
+}
+
+}  // namespace
+}  // namespace cellflow

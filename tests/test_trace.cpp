@@ -104,6 +104,74 @@ TEST(Trace, ToStringFormatsEachKind) {
   EXPECT_EQ(to_string(r), "3 transfer p9 <1,2> -> <1,3>");
 }
 
+TEST(Trace, ParseTraceRoundTripsSerialize) {
+  System sys = testing::make_column_system(5, kP);
+  ScriptedFailures failures(
+      {{5, CellId{3, 3}, false}, {9, CellId{3, 3}, true}});
+  Simulator sim(sys, failures);
+  TraceRecorder trace;
+  sim.add_observer(trace);
+  sim.run(600);
+  ASSERT_FALSE(trace.records().empty());
+  EXPECT_EQ(parse_trace(trace.serialize()), trace.records());
+}
+
+TEST(Trace, ParseTraceAcceptsEveryKind) {
+  const std::string text =
+      "3 fail <1,2>\n"
+      "4 recover <1,2>\n"
+      "5 inject p9 at <1,0>\n"
+      "6 transfer p9 <1,0> -> <1,1>\n"
+      "7 consume p9 <1,1> -> <1,2>\n";
+  const auto records = parse_trace(text);
+  ASSERT_EQ(records.size(), 5u);
+  std::string round_tripped;
+  for (const TraceRecord& r : records) round_tripped += to_string(r) + '\n';
+  EXPECT_EQ(round_tripped, text);
+}
+
+TEST(Trace, ParseTraceRejectsMalformedInput) {
+  EXPECT_THROW(parse_trace("3 explode <1,2>\n"), std::runtime_error);
+  EXPECT_THROW(parse_trace("x fail <1,2>\n"), std::runtime_error);
+  EXPECT_THROW(parse_trace("3 fail <1,2> trailing\n"), std::runtime_error);
+  EXPECT_THROW(parse_trace("3 inject p9 at <1;0>\n"), std::runtime_error);
+  EXPECT_THROW(parse_trace("3 transfer p9 <1,0>\n"), std::runtime_error);
+  EXPECT_TRUE(parse_trace("").empty());
+  EXPECT_TRUE(parse_trace("\n\n").empty());
+}
+
+// Golden pin of one serialized trace: cellflow_sim's default tiny
+// scenario (3×3, source ⟨1,0⟩, target ⟨1,2⟩, round-robin, no failures)
+// for 25 rounds. If a deliberate protocol change shifts these events,
+// re-derive by running the same configuration and reading the new trace
+// — do not edit lines ad hoc.
+TEST(Trace, GoldenSerializedTrace) {
+  SystemConfig cfg;
+  cfg.side = 3;
+  cfg.params = Params(0.25, 0.05, 0.1);
+  cfg.sources = {CellId{1, 0}};
+  cfg.target = CellId{1, 2};
+  System sys(cfg, make_choose_policy("round-robin", 1));
+  NoFailures none;
+  Simulator sim(sys, none);
+  TraceRecorder trace;
+  sim.add_observer(trace);
+  sim.run(25);
+  EXPECT_EQ(trace.serialize(),
+            "0 inject p0 at <1,0>\n"
+            "1 inject p1 at <1,0>\n"
+            "4 inject p2 at <1,0>\n"
+            "4 transfer p0 <1,0> -> <1,1>\n"
+            "10 inject p3 at <1,0>\n"
+            "12 transfer p1 <1,0> -> <1,1>\n"
+            "12 consume p0 <1,1> -> <1,2>\n"
+            "16 inject p4 at <1,0>\n"
+            "18 transfer p2 <1,0> -> <1,1>\n"
+            "20 consume p1 <1,1> -> <1,2>\n"
+            "22 inject p5 at <1,0>\n"
+            "24 transfer p3 <1,0> -> <1,1>\n");
+}
+
 // The determinism pillar: same seeds → identical traces, different seeds
 // → different traces (with a stochastic policy in play).
 std::string run_traced(std::uint64_t seed, std::uint64_t rounds) {

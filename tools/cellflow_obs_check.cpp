@@ -1,0 +1,85 @@
+// cellflow_obs_check — validates observability artifacts written by
+// cellflow_sim (or any other driver):
+//
+//   cellflow_obs_check --prom=metrics.txt --jsonl=metrics.txt.jsonl
+//                      --trace=profile.json
+//
+// Each flag is optional; every named file is parsed with the library's
+// own strict parsers (obs/export.hpp) and a one-line summary is printed.
+// Exits nonzero (with the parser's error message) on the first malformed
+// file — the ctest smoke lane runs cellflow_sim with --metrics-out /
+// --profile-out and then this tool over the outputs, proving end-to-end
+// that the exported bytes are machine-readable.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return std::move(os).str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cellflow::CliArgs cli(argc, argv);
+  const std::string prom =
+      cli.get_string("prom", "", "Prometheus text snapshot to validate");
+  const std::string jsonl =
+      cli.get_string("jsonl", "", "JSONL metrics stream to validate");
+  const std::string trace =
+      cli.get_string("trace", "", "Chrome trace_event JSON to validate");
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  cli.finish();
+
+  try {
+    if (!prom.empty()) {
+      const auto samples = cellflow::obs::parse_prometheus(read_file(prom));
+      if (samples.empty())
+        throw std::runtime_error(prom + ": no samples");
+      std::cout << prom << ": " << samples.size() << " samples OK\n";
+    }
+    if (!jsonl.empty()) {
+      const std::string text = read_file(jsonl);
+      std::size_t lines = 0;
+      std::size_t start = 0;
+      while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos) end = text.size();
+        const std::string_view line(text.data() + start, end - start);
+        if (!line.empty()) {
+          cellflow::obs::validate_json(line);
+          ++lines;
+        }
+        start = end + 1;
+      }
+      if (lines == 0) throw std::runtime_error(jsonl + ": no JSONL lines");
+      std::cout << jsonl << ": " << lines << " JSONL lines OK\n";
+    }
+    if (!trace.empty()) {
+      const std::string text = read_file(trace);
+      cellflow::obs::validate_json(text);
+      // Perfetto needs the top-level traceEvents array; a bare valid JSON
+      // document without it would load as an empty trace.
+      if (text.find("\"traceEvents\"") == std::string::npos)
+        throw std::runtime_error(trace + ": missing traceEvents");
+      std::cout << trace << ": trace JSON OK\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "cellflow_obs_check: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -8,17 +8,24 @@
 //                [--movement=coupled|compacting] [--carve-turns=N]
 //                [--render-every=0] [--trace=false] [--csv=false]
 //                [--seed=1] [--threads=0]
+//                [--metrics-out=FILE] [--metrics-every=0]
+//                [--profile-out=FILE]
 //
 // Prints a one-line summary plus (optionally) periodic ASCII renders, the
-// full event trace, and a machine-readable CSV record. Exits nonzero if
-// any §III-A safety oracle fires — so the tool doubles as a conformance
-// checker for modified protocol variants.
+// full event trace, and a machine-readable CSV record. --metrics-out
+// writes a Prometheus text snapshot (plus a JSONL stream next to it when
+// --metrics-every > 0); --profile-out writes a Chrome trace_event JSON
+// viewable in Perfetto. Exits nonzero if any §III-A safety oracle fires —
+// so the tool doubles as a conformance checker for modified protocol
+// variants.
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/choose.hpp"
 #include "failure/failure_model.hpp"
 #include "grid/path.hpp"
+#include "obs/export.hpp"
 #include "sim/observers.hpp"
 #include "sim/render.hpp"
 #include "sim/simulator.hpp"
@@ -67,6 +74,14 @@ int main(int argc, char** argv) {
   const auto threads = cli.get_uint(
       "threads", 0,
       "round-engine worker threads (0: $CELLFLOW_THREADS or serial)");
+  const std::string metrics_out = cli.get_string(
+      "metrics-out", "", "write a Prometheus text snapshot here");
+  const auto metrics_every = cli.get_uint(
+      "metrics-every", 0,
+      "also stream a JSONL metrics line every N rounds to "
+      "<metrics-out>.jsonl (0: off)");
+  const std::string profile_out = cli.get_string(
+      "profile-out", "", "write a Chrome trace_event JSON profile here");
   if (cli.help_requested()) {
     std::cout << cli.help_text();
     return 0;
@@ -127,12 +142,49 @@ int main(int argc, char** argv) {
   sim.add_observer(progress);
   if (dump_trace) sim.add_observer(trace);
 
+  obs::MetricsRegistry registry;
+  std::optional<MetricsObserver> metrics_obs;
+  std::ofstream jsonl_file;
+  if (!metrics_out.empty()) {
+    sim.set_metrics(&registry);
+    metrics_obs.emplace(registry);
+    if (metrics_every > 0) {
+      jsonl_file.open(metrics_out + ".jsonl");
+      if (!jsonl_file) {
+        std::cerr << "cannot open " << metrics_out << ".jsonl\n";
+        return 2;
+      }
+      metrics_obs->stream_jsonl(&jsonl_file, metrics_every);
+    }
+    sim.add_observer(*metrics_obs);
+  }
+  obs::PhaseProfiler profiler;
+  if (!profile_out.empty()) sim.set_profiler(&profiler);
+
   for (std::uint64_t k = 0; k < rounds; ++k) {
     sim.step();
     if (render_every > 0 && (k + 1) % render_every == 0) {
       std::cout << "-- " << render_summary(sys) << " --\n"
                 << render_ascii(sys) << '\n';
     }
+  }
+  sim.finish();
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::cerr << "cannot open " << metrics_out << '\n';
+      return 2;
+    }
+    out << obs::to_prometheus(registry);
+  }
+  if (!profile_out.empty()) {
+    std::ofstream out(profile_out);
+    if (!out) {
+      std::cerr << "cannot open " << profile_out << '\n';
+      return 2;
+    }
+    out << obs::to_chrome_trace(profiler);
   }
 
   if (dump_trace) std::cout << trace.serialize();
