@@ -8,6 +8,7 @@
 #include <array>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "sim/experiment.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   cli.finish();
+  cellflow::bench::BenchRecorder recorder("ablation_k_convergence");
 
   std::cout << "=== Ablation: K-round throughput convergence ===\n"
             << "reproduces: SIV's definition of throughput as the large-K\n"
@@ -41,6 +43,7 @@ int main(int argc, char** argv) {
     faulty.choose_policy = "random";
     const double t_clean = run_workload(clean, seed).throughput;
     const double t_faulty = run_workload(faulty, seed).throughput;
+    recorder.note_rounds(2 * k);
     table.add_numeric_row(std::to_string(k), {t_clean, t_faulty});
     rows.push_back({static_cast<double>(k), t_clean, t_faulty});
   }

@@ -6,6 +6,7 @@
 // distribution left. One histogram per regime, with quantiles.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/choose.hpp"
 #include "failure/failure_model.hpp"
 #include "sim/observers.hpp"
@@ -102,6 +103,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   cli.finish();
+  cellflow::bench::BenchRecorder recorder("ablation_latency_distribution");
 
   std::cout << "=== Ablation: birth->arrival latency distribution ===\n"
             << "8x8, l=0.2, rs=0.05, v=0.2, straight column, K=" << rounds
@@ -122,6 +124,7 @@ int main(int argc, char** argv) {
   };
   for (const auto& r : regimes) {
     const Quantiles q = run(r.pf, r.pr, r.rule, rounds, seed);
+    recorder.note_rounds(rounds);
     table.add_numeric_row(r.name,
                           {static_cast<double>(q.n), q.p50, q.p90, q.p99});
   }

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   cli.finish();
+  cellflow::bench::BenchRecorder recorder("ablation_path_length");
 
   bench::banner("Ablation: throughput vs path length",
                 "ICDCS'10 SIV text claim: throughput independent of length");
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
     RunningStats lat;
     for (const std::uint64_t seed : seeds) {
       const RunResult r = run_workload(spec, seed);
+      recorder.note_rounds(rounds);
       if (!r.safety_clean) {
         std::cerr << "SAFETY VIOLATION: " << r.safety_report << '\n';
         return 1;

@@ -7,6 +7,7 @@
 #include <array>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/choose.hpp"
 #include "failure/failure_model.hpp"
 #include "sim/experiment.hpp"
@@ -64,6 +65,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   cli.finish();
+  cellflow::bench::BenchRecorder recorder("ablation_relaxed_coupling");
 
   std::cout << "=== Extension: relaxed coupling vs coupled movement (SV) ===\n"
             << "Figure-7 geometry, v=0.1, l=0.25, K=" << rounds << "\n\n";
@@ -75,6 +77,7 @@ int main(int argc, char** argv) {
   for (const double rs : {0.05, 0.15, 0.3, 0.5, 0.7}) {
     const Outcome c = run(MovementRule::kCoupled, rs, rounds, seed);
     const Outcome r = run(MovementRule::kCompacting, rs, rounds, seed);
+    recorder.note_rounds(2 * rounds);
     const double speedup = c.throughput > 0 ? r.throughput / c.throughput : 0;
     table.add_numeric_row(format_sig(rs, 3),
                           {c.throughput, r.throughput, speedup, c.population,

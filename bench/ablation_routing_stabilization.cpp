@@ -7,6 +7,7 @@
 // recovery, and recovery from adversarially corrupted dist state.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/choose.hpp"
 #include "core/source.hpp"
 #include "failure/failure_model.hpp"
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   cli.finish();
+  cellflow::bench::BenchRecorder recorder("ablation_routing_stabilization");
 
   std::cout << "=== Ablation: routing stabilization time vs N ===\n"
             << "reproduces: ICDCS'10 Corollary 7 (O(N^2) bound)\n\n";

@@ -8,6 +8,7 @@
 #include <array>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/choose.hpp"
 #include "failure/failure_model.hpp"
 #include "sim/experiment.hpp"
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   cli.finish();
+  cellflow::bench::BenchRecorder recorder("ablation_signal_necessity");
 
   std::cout << "=== Ablation: necessity of the blocking Signal rule ===\n"
             << "reproduces: ICDCS'10 SI claim that permission-to-move\n"
@@ -81,6 +83,7 @@ int main(int argc, char** argv) {
     for (const SignalRule rule :
          {SignalRule::kBlocking, SignalRule::kAlwaysGrant}) {
       const Outcome o = run(rule, rs, v, rounds, seed);
+      recorder.note_rounds(rounds);
       const std::string rule_name =
           rule == SignalRule::kBlocking ? "blocking" : "always-grant";
       table.add_row({format_sig(rs, 3) + " / " + format_sig(v, 3), rule_name,

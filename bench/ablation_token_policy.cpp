@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   cli.finish();
+  cellflow::bench::BenchRecorder recorder("ablation_token_policy");
 
   bench::banner("Ablation: token-choice policy",
                 "design choice #14 (the paper's nondeterministic `choose`)");
@@ -63,6 +64,7 @@ int main(int argc, char** argv) {
 
     const double t_single = bench::mean_throughput(single, seeds);
     const double t_merge = bench::mean_throughput(merge, seeds);
+    recorder.note_rounds(2 * rounds * seeds.size());
     table.add_numeric_row(policy, {t_single, t_merge});
     rows.push_back({t_single, t_merge});
   }

@@ -1,17 +1,151 @@
 // Shared scaffolding for the figure-reproduction benches: consistent
-// banner, seed handling, and table+CSV emission.
+// banner, seed handling, table+CSV emission, and the machine-readable
+// BENCH_<name>.json sidecar every bench writes for cross-PR tracking.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <streambuf>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "obs/export.hpp"
 #include "sim/experiment.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 namespace cellflow::bench {
+
+/// Declared at the top of a bench's main(), after CLI parsing:
+///
+///   bench::BenchRecorder rec("fig9_throughput_vs_failures");
+///   rec.note_rounds(total_protocol_rounds);  // optional, enables rounds/sec
+///
+/// The recorder tees std::cout (the console output is unchanged), times
+/// the run on the steady clock, and on destruction writes
+/// BENCH_<name>.json into the working directory: wall time, rounds/sec
+/// when note_rounds() was called, and the bench's `CSV:` block re-parsed
+/// into a {header, rows} series (scripts and CI diff the JSON; humans
+/// keep reading the table). Emission is best-effort: a bench never fails
+/// because the sidecar could not be written.
+class BenchRecorder {
+ public:
+  explicit BenchRecorder(std::string name)
+      : name_(std::move(name)),
+        tee_(std::cout.rdbuf()),
+        start_(std::chrono::steady_clock::now()) {
+    std::cout.rdbuf(&tee_);
+  }
+  BenchRecorder(const BenchRecorder&) = delete;
+  BenchRecorder& operator=(const BenchRecorder&) = delete;
+
+  /// Accumulates protocol rounds executed (across seeds/configurations)
+  /// so the sidecar can report an aggregate rounds/sec figure.
+  void note_rounds(std::uint64_t rounds) noexcept { rounds_ += rounds; }
+
+  ~BenchRecorder() {
+    std::cout.flush();
+    std::cout.rdbuf(tee_.inner());
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    std::ofstream out("BENCH_" + name_ + ".json");
+    if (!out) return;
+    out << "{\"bench\":\"" << obs::json_escape(name_)
+        << "\",\"elapsed_seconds\":" << obs::format_double(elapsed);
+    if (rounds_ > 0) {
+      out << ",\"rounds\":" << rounds_ << ",\"rounds_per_sec\":"
+          << obs::format_double(elapsed > 0.0
+                                    ? static_cast<double>(rounds_) / elapsed
+                                    : 0.0);
+    }
+    out << ",\"series\":" << csv_block_as_json(tee_.text()) << "}\n";
+  }
+
+ private:
+  /// Re-parses the `CSV:` block out of the captured console text:
+  /// {"header": [...], "rows": [[...], ...]} — numeric fields unquoted.
+  /// Benches without a CSV block get an empty series.
+  static std::string csv_block_as_json(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+    bool in_csv = false;
+    std::vector<std::string> lines;
+    while (std::getline(in, line)) {
+      if (!in_csv) {
+        in_csv = line == "CSV:";
+        continue;
+      }
+      if (line.empty()) break;
+      lines.push_back(line);
+    }
+    std::string json = "{\"header\":[";
+    std::string rows = "],\"rows\":[";
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      std::string row;
+      for (const std::string& f : parse_csv_line(lines[i])) {
+        if (!row.empty()) row += ',';
+        row += field_as_json(f);
+      }
+      if (i == 0) {
+        json += row;
+      } else {
+        rows += (i > 1 ? ",[" : "[") + row + ']';
+      }
+    }
+    return json + rows + "]}";
+  }
+
+  static std::string field_as_json(const std::string& f) {
+    // JSON numbers must be plain decimal — so "nan"/"inf"/hex (which
+    // strtod accepts) stay quoted.
+    if (!f.empty() &&
+        f.find_first_not_of("0123456789+-.eE") == std::string::npos) {
+      char* end = nullptr;
+      (void)std::strtod(f.c_str(), &end);
+      if (end == f.c_str() + f.size()) return f;  // fully numeric: as-is
+    }
+    return '"' + obs::json_escape(f) + '"';
+  }
+
+  /// Forwards every byte to the real std::cout buffer while keeping a
+  /// copy for the CSV re-parse.
+  class TeeBuf final : public std::streambuf {
+   public:
+    explicit TeeBuf(std::streambuf* inner) : inner_(inner) {}
+    [[nodiscard]] std::streambuf* inner() const noexcept { return inner_; }
+    [[nodiscard]] const std::string& text() const noexcept { return text_; }
+
+   protected:
+    int overflow(int ch) override {
+      if (ch == traits_type::eof()) return traits_type::not_eof(ch);
+      text_.push_back(static_cast<char>(ch));
+      return inner_->sputc(static_cast<char>(ch));
+    }
+    std::streamsize xsputn(const char* s, std::streamsize n) override {
+      text_.append(s, static_cast<std::size_t>(n));
+      return inner_->sputn(s, n);
+    }
+    int sync() override { return inner_->pubsync(); }
+
+   private:
+    std::streambuf* inner_;
+    std::string text_;
+  };
+
+  std::string name_;
+  TeeBuf tee_;
+  std::uint64_t rounds_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Registers the shared --threads flag and resolves it to a round-engine
 /// policy: 0 (the default) defers to $CELLFLOW_THREADS (serial when

@@ -6,6 +6,7 @@
 #include <array>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "flow3d/predicates3.hpp"
 #include "flow3d/system3.hpp"
 #include "util/cli.hpp"
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   cli.finish();
+  cellflow::bench::BenchRecorder recorder("ext_3d_throughput");
 
   std::cout << "=== Extension: Figure-7 sweep in 3-D (SV) ===\n"
             << "4x4x8 tower, source bottom, target top, l=0.25, K=" << rounds
@@ -60,6 +62,7 @@ int main(int argc, char** argv) {
     const double t10 = run_tower(4, rs, 0.1, rounds);
     const double t20 = run_tower(4, rs, 0.2, rounds);
     const double planar = run_tower(1, rs, 0.1, rounds);
+    recorder.note_rounds(4 * rounds);
     table.add_numeric_row(format_sig(rs, 3), {t05, t10, t20, planar});
     rows.push_back({rs, t05, t10, t20, planar});
   }

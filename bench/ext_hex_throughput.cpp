@@ -5,6 +5,7 @@
 #include <array>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "hexflow/hex_system.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   cli.finish();
+  cellflow::bench::BenchRecorder recorder("ext_hex_throughput");
 
   std::cout << "=== Extension: Figure-7 sweep on the hex tessellation ===\n"
             << "6x6 rhombus of unit-side hexagons, l=0.25, K=" << rounds
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
     const double t05 = run_hex(rs, 0.05, rounds);
     const double t10 = run_hex(rs, 0.1, rounds);
     const double t20 = run_hex(rs, 0.2, rounds);
+    recorder.note_rounds(3 * rounds);
     table.add_numeric_row(format_sig(rs, 3), {t05, t10, t20});
     rows.push_back({rs, t05, t10, t20});
   }

@@ -7,6 +7,7 @@
 #include <array>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "multiflow/mf_predicates.hpp"
 #include "multiflow/mf_system.hpp"
 #include "util/cli.hpp"
@@ -62,6 +63,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   cli.finish();
+  cellflow::bench::BenchRecorder recorder("ext_multiflow_interference");
 
   std::cout << "=== Extension: multi-flow interference (SV future work) ===\n"
             << "two flows crossing at the center of a 9x9 grid\n\n";
@@ -69,6 +71,7 @@ int main(int argc, char** argv) {
   const Measured alone0 = run(true, false, rounds, seed);
   const Measured alone1 = run(false, true, rounds, seed);
   const Measured both = run(true, true, rounds, seed);
+  recorder.note_rounds(3 * rounds);
 
   TextTable table;
   table.set_header({"scenario", "flow0 (W->E)", "flow1 (S->N)", "sum"});

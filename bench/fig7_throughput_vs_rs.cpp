@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   cli.finish();
+  cellflow::bench::BenchRecorder recorder("fig7_throughput_vs_rs");
 
   bench::banner("Figure 7: throughput vs safety spacing rs",
                 "ICDCS'10 Fig. 7 (8x8, l=0.25, SID={<1,0>}, tid=<1,7>, K=2500)");
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
       spec.choose_policy = policy;
       spec.parallel = engine;
       grid[r].push_back(bench::mean_throughput(spec, seeds));
+      recorder.note_rounds(rounds * seeds.size());
     }
     table.add_numeric_row(format_sig(rs_values[r], 3), grid[r]);
   }

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   cli.finish();
+  cellflow::bench::BenchRecorder recorder("fig8_throughput_vs_turns");
 
   bench::banner("Figure 8: throughput vs turns along a length-8 path",
                 "ICDCS'10 Fig. 8 (8x8, rs=0.05, K=2500, carved paths)");
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
       spec.choose_policy = "random";
       spec.parallel = engine;
       row.push_back(bench::mean_throughput(spec, seeds));
+      recorder.note_rounds(rounds * seeds.size());
     }
     table.add_numeric_row(std::to_string(turns), row);
     grid.push_back(std::move(row));

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   cli.finish();
+  cellflow::bench::BenchRecorder recorder("fig9_throughput_vs_failures");
 
   bench::banner(
       "Figure 9: throughput vs failure rate pf for several recovery rates pr",
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
       spec.choose_policy = "random";
       spec.parallel = engine;
       row.push_back(bench::mean_throughput(spec, seeds));
+      recorder.note_rounds(rounds * seeds.size());
     }
     table.add_numeric_row(format_sig(pf, 3), row);
     grid.push_back(std::move(row));

@@ -128,6 +128,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   cli.finish();
+  cellflow::bench::BenchRecorder recorder("micro_metrics_overhead");
 
   cellflow::bench::banner(
       "Micro: observability overhead",
@@ -155,6 +156,7 @@ int main(int argc, char** argv) {
       const Measurement meas =
           measure(side, policy, static_cast<Mode>(m), warmup, rounds);
       row.rps[m] = meas.rounds_per_sec;
+      recorder.note_rounds(warmup + rounds);
       if (m == 0) {
         baseline_digest = meas.state_digest;
       } else if (meas.state_digest != baseline_digest) {

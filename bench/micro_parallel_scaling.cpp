@@ -121,6 +121,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   cli.finish();
+  cellflow::bench::BenchRecorder recorder("micro_parallel_scaling");
 
   bench::banner(
       "Micro: parallel round-engine scaling",
@@ -149,10 +150,12 @@ int main(int argc, char** argv) {
     const Measurement serial =
         measure(side, ParallelPolicy::serial(), warmup, rounds);
     row.rps.push_back(serial.rounds_per_sec);
+    recorder.note_rounds(warmup + rounds);
     for (const int t : thread_counts) {
       const Measurement m =
           measure(side, ParallelPolicy::parallel(t), warmup, rounds);
       row.rps.push_back(m.rounds_per_sec);
+      recorder.note_rounds(warmup + rounds);
       if (m.state_digest != serial.state_digest) {
         digests_agree = false;
         std::cerr << "DIGEST MISMATCH: side=" << side << " threads=" << t

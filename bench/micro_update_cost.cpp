@@ -3,6 +3,10 @@
 // safety oracle sweep. Uses google-benchmark. This characterizes the
 // simulator itself (how big an instance is laptop-feasible), not the
 // protocol.
+//
+// The only bench without a BENCH_<name>.json sidecar (bench_common.hpp's
+// BenchRecorder): google-benchmark already emits machine-readable output
+// natively — run with --benchmark_format=json.
 #include <benchmark/benchmark.h>
 
 #include <memory>

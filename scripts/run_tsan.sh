@@ -2,10 +2,14 @@
 # Builds the test suite with ThreadSanitizer (CELLFLOW_TSAN=ON, see the
 # `tsan` CMake preset) and runs the concurrency-sensitive subset: the
 # ThreadPool unit tests, the serial-vs-parallel differential suites, the
-# three-way equivalence tests, and the observability layer (metrics
-# registry under the parallel engine, profiler shard spans, concurrent
-# logger writers). Any data race in the parallel round engine or the
-# instrumentation aborts the run.
+# three-way equivalence tests, the observability layer (metrics registry
+# under the parallel engine, profiler shard spans, concurrent logger
+# writers), and the net-layer suites (SyncNetwork/FaultyNetwork units,
+# the zero-fault NetDifferential pin, the fault-schedule property fuzz,
+# and NetStabilization — single-threaded today, but kept in the lane so
+# a future parallel MessageSystem inherits the race check). Any data
+# race in the parallel round engine or the instrumentation aborts the
+# run.
 #
 # Exits 0 with a notice when the toolchain cannot link -fsanitize=thread
 # (some minimal images ship gcc without libtsan) so CI lanes without the

@@ -1,0 +1,126 @@
+#include "msg/msg_audit.hpp"
+
+#include <cmath>
+#include <string>
+#include <unordered_set>
+
+#include "geometry/rect.hpp"
+
+namespace cellflow::msg_audit {
+namespace {
+
+std::string describe_pair(const Entity& a, const Entity& b) {
+  return to_string(a.id) + " at " + to_string(a.center) + " vs " +
+         to_string(b.id) + " at " + to_string(b.center);
+}
+
+}  // namespace
+
+std::optional<Violation> check_safe(const MessageSystem& msg, double eps) {
+  const double d = msg.params().center_spacing() - eps;
+  for (const CellId id : msg.grid().all_cells()) {
+    const auto& members = msg.cell(id).members;
+    for (std::size_t a = 0; a < members.size(); ++a) {
+      for (std::size_t b = a + 1; b < members.size(); ++b) {
+        if (std::abs(members[a].center.x - members[b].center.x) < d &&
+            std::abs(members[a].center.y - members[b].center.y) < d) {
+          return Violation{"Safe", id,
+                           describe_pair(members[a], members[b])};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_members_in_bounds(const MessageSystem& msg,
+                                                double eps) {
+  const double half = msg.params().entity_length() / 2.0;
+  for (const CellId id : msg.grid().all_cells()) {
+    const auto i = static_cast<double>(id.i);
+    const auto j = static_cast<double>(id.j);
+    for (const Entity& p : msg.cell(id).members) {
+      if (p.center.x < i + half - eps || p.center.x > i + 1.0 - half + eps ||
+          p.center.y < j + half - eps || p.center.y > j + 1.0 - half + eps) {
+        return Violation{"Invariant1", id,
+                         to_string(p.id) + " at " + to_string(p.center) +
+                             " outside its cell"};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_members_disjoint(const MessageSystem& msg) {
+  std::unordered_set<EntityId> seen;
+  for (const CellId id : msg.grid().all_cells()) {
+    for (const Entity& p : msg.cell(id).members) {
+      if (!seen.insert(p.id).second) {
+        return Violation{"Invariant2", id,
+                         to_string(p.id) + " appears twice"};
+      }
+    }
+  }
+  for (const Entity& p : msg.in_flight_entities()) {
+    if (!seen.insert(p.id).second) {
+      return Violation{"Invariant2", CellId{-1, -1},
+                       to_string(p.id) +
+                           " is both placed and in flight (duplicated)"};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_footprints_separated(const MessageSystem& msg,
+                                                    double eps) {
+  const double l = msg.params().entity_length();
+  const double rs = msg.params().safety_gap();
+  for (const CellId id : msg.grid().all_cells()) {
+    const auto& members = msg.cell(id).members;
+    for (std::size_t a = 0; a < members.size(); ++a) {
+      for (std::size_t b = a + 1; b < members.size(); ++b) {
+        const Rect ra = members[a].footprint(l);
+        const Rect rb = members[b].footprint(l);
+        if (ra.overlaps(rb)) {
+          return Violation{"FootprintOverlap", id,
+                           describe_pair(members[a], members[b])};
+        }
+        if (ra.linf_gap(rb) < rs - eps) {
+          return Violation{"FootprintGap", id,
+                           describe_pair(members[a], members[b])};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_conservation(const MessageSystem& msg) {
+  const std::uint64_t placed = msg.entity_count();
+  const std::uint64_t in_flight = msg.in_flight_entities().size();
+  const std::uint64_t consumed = msg.total_arrivals();
+  const std::uint64_t injected = msg.total_injected();
+  if (placed + in_flight + consumed != injected) {
+    return Violation{
+        "Conservation", CellId{-1, -1},
+        "injected " + std::to_string(injected) + " != placed " +
+            std::to_string(placed) + " + in-flight " +
+            std::to_string(in_flight) + " + consumed " +
+            std::to_string(consumed)};
+  }
+  return std::nullopt;
+}
+
+std::vector<Violation> check_all(const MessageSystem& msg, double eps) {
+  std::vector<Violation> out;
+  if (auto v = check_safe(msg, eps)) out.push_back(*std::move(v));
+  if (auto v = check_members_in_bounds(msg, eps))
+    out.push_back(*std::move(v));
+  if (auto v = check_members_disjoint(msg)) out.push_back(*std::move(v));
+  if (auto v = check_footprints_separated(msg, eps))
+    out.push_back(*std::move(v));
+  if (auto v = check_conservation(msg)) out.push_back(*std::move(v));
+  return out;
+}
+
+}  // namespace cellflow::msg_audit

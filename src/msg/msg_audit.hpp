@@ -1,0 +1,56 @@
+// Independent oracles over MessageSystem states, mirroring the §III-A
+// predicates that src/core/predicates.hpp evaluates on the shared-
+// variable System — plus the conservation law the unreliable-network
+// data plane must uphold (DESIGN.md §8):
+//
+//   Safe_{i,j}:     pairwise center spacing ≥ d along some axis
+//   Invariant 1:    members lie within their cell
+//   Invariant 2:    no entity id appears twice (across cells AND the
+//                   in-flight retained batches)
+//   Footprints:     physical l×l squares non-overlapping, rs-separated
+//   Conservation:   injected = in cells + in flight + consumed, exactly
+//
+// Like the System oracles, H(x) is not re-checked at end of round; it
+// holds at the post-Signal point by construction (signal_step grants
+// only with the strip clear — the same code path the shared realization
+// uses, whose H pin is tests/test_lemmas.cpp).
+//
+// These are evaluated every round of the fault-schedule property tests
+// (tests/test_net_faults.cpp): under ANY drop/delay/duplication/
+// partition schedule, every one of them must hold.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/predicates.hpp"  // Violation, kPredicateEps
+#include "msg/msg_system.hpp"
+
+namespace cellflow::msg_audit {
+
+[[nodiscard]] std::optional<Violation> check_safe(
+    const MessageSystem& msg, double eps = kPredicateEps);
+
+[[nodiscard]] std::optional<Violation> check_members_in_bounds(
+    const MessageSystem& msg, double eps = kPredicateEps);
+
+/// Invariant 2 with global visibility: an entity id must appear exactly
+/// once across all Members sets plus the not-yet-accepted in-flight
+/// batches — a duplicated or double-accepted transfer trips this.
+[[nodiscard]] std::optional<Violation> check_members_disjoint(
+    const MessageSystem& msg);
+
+[[nodiscard]] std::optional<Violation> check_footprints_separated(
+    const MessageSystem& msg, double eps = kPredicateEps);
+
+/// The data plane's ledger: every injected entity is in some cell, in
+/// flight (retained by a sender, unaccepted), or consumed at the target.
+/// Loss shows up as injected > accounted; duplication as the reverse.
+[[nodiscard]] std::optional<Violation> check_conservation(
+    const MessageSystem& msg);
+
+/// Runs every oracle above; returns all violations (empty = all good).
+[[nodiscard]] std::vector<Violation> check_all(const MessageSystem& msg,
+                                               double eps = kPredicateEps);
+
+}  // namespace cellflow::msg_audit

@@ -10,10 +10,20 @@
 
 namespace cellflow {
 
-MessageSystem::MessageSystem(MsgSystemConfig config)
+std::size_t MessageProcess::slot_of(CellId nb) const {
+  for (std::size_t s = 0; s < nbrs.size(); ++s)
+    if (nbrs[s] == nb) return s;
+  CF_CHECK_MSG(false, "slot_of: not a neighbor");
+  return 0;
+}
+
+MessageSystem::MessageSystem(MsgSystemConfig config,
+                             std::unique_ptr<NetworkModel> network)
     : config_(std::move(config)),
       grid_(config_.side),
-      processes_(grid_.cell_count()) {
+      processes_(grid_.cell_count()),
+      network_(network ? std::move(network)
+                       : std::make_unique<SyncNetwork>()) {
   CF_EXPECTS_MSG(grid_.contains(config_.target), "target outside grid");
   for (const CellId s : config_.sources) {
     CF_EXPECTS_MSG(grid_.contains(s), "source outside grid");
@@ -25,6 +35,12 @@ MessageSystem::MessageSystem(MsgSystemConfig config)
   config_.sources.erase(
       std::unique(config_.sources.begin(), config_.sources.end()),
       config_.sources.end());
+  for (std::size_t k = 0; k < processes_.size(); ++k) {
+    MessageProcess& p = processes_[k];
+    p.nbrs = grid_.neighbors(grid_.id_of(k));
+    p.outbound.resize(p.nbrs.size());
+    p.inbound.resize(p.nbrs.size());
+  }
   processes_[grid_.index_of(config_.target)].state.dist = Dist::zero();
 }
 
@@ -34,23 +50,68 @@ std::size_t MessageSystem::entity_count() const noexcept {
   return n;
 }
 
+std::vector<Entity> MessageSystem::in_flight_entities() const {
+  std::vector<Entity> out;
+  for (std::size_t k = 0; k < processes_.size(); ++k) {
+    const MessageProcess& p = processes_[k];
+    const CellId id = grid_.id_of(k);
+    for (std::size_t s = 0; s < p.nbrs.size(); ++s) {
+      const OutboundLink& ob = p.outbound[s];
+      if (!ob.pending()) continue;
+      const MessageProcess& r = processes_[grid_.index_of(p.nbrs[s])];
+      if (r.inbound[r.slot_of(id)].completed_seq >= ob.batch_seq)
+        continue;  // accepted; the retained copy is just an unacked ledger
+      out.insert(out.end(), ob.batch.begin(), ob.batch.end());
+    }
+  }
+  return out;
+}
+
 void MessageSystem::set_metrics(obs::MetricsRegistry* registry) {
+  registry_ = registry;
   if (registry == nullptr) {
     metrics_.reset();
-    msgs_dist_ = msgs_intent_ = msgs_grant_ = msgs_transfer_ = nullptr;
+    msgs_by_type_.fill(nullptr);
   } else {
     metrics_ = std::make_unique<obs::ProtocolMetrics>(*registry, "message");
-    const auto msgs = [&](std::string_view exchange) {
-      return &registry->counter(
+    for (std::size_t t = 0; t < kPayloadTypeCount; ++t) {
+      const auto type = static_cast<PayloadType>(t);
+      msgs_by_type_[t] = &registry->counter(
           "cellflow_messages_total", "Messages sent, by exchange.",
-          {{"realization", "message"}, {"exchange", std::string(exchange)}});
-    };
-    msgs_dist_ = msgs("dist");
-    msgs_intent_ = msgs("intent");
-    msgs_grant_ = msgs("grant");
-    msgs_transfer_ = msgs("transfer");
+          {{"realization", "message"}, {"exchange", to_string(type)}});
+      // Count from attachment onward, like every other family.
+      msgs_flushed_[t] = network_->sent_count(type);
+      for (std::size_t f = 0; f < kNetFaultCount; ++f)
+        faults_flushed_[f][t] =
+            network_->fault_count(static_cast<NetFault>(f), type);
+    }
   }
   round_counts_.reset();
+}
+
+void MessageSystem::flush_network_metrics() {
+  if (registry_ == nullptr) return;
+  for (std::size_t t = 0; t < kPayloadTypeCount; ++t) {
+    const auto type = static_cast<PayloadType>(t);
+    const std::uint64_t sent = network_->sent_count(type);
+    if (sent > msgs_flushed_[t] && msgs_by_type_[t] != nullptr)
+      msgs_by_type_[t]->inc(sent - msgs_flushed_[t]);
+    msgs_flushed_[t] = sent;
+    for (std::size_t f = 0; f < kNetFaultCount; ++f) {
+      const auto fault = static_cast<NetFault>(f);
+      const std::uint64_t n = network_->fault_count(fault, type);
+      if (n > faults_flushed_[f][t]) {
+        // Created lazily so fault-free runs keep their exact exports.
+        registry_
+            ->counter("cellflow_net_faults_total",
+                      "Network faults applied, by kind and exchange.",
+                      {{"fault", to_string(fault)},
+                       {"exchange", to_string(type)}})
+            .inc(n - faults_flushed_[f][t]);
+        faults_flushed_[f][t] = n;
+      }
+    }
+  }
 }
 
 void MessageSystem::fail(CellId id) {
@@ -63,6 +124,8 @@ void MessageSystem::fail(CellId id) {
   s.signal = std::nullopt;
   s.token = std::nullopt;
   s.ne_prev.clear();
+  // Transport-session state (outbound/inbound links) deliberately kept:
+  // it is stable storage, the exactly-once ledger of the data plane.
 }
 
 void MessageSystem::recover(CellId id) {
@@ -79,39 +142,43 @@ void MessageSystem::recover(CellId id) {
 }
 
 void MessageSystem::update() {
-  const std::uint64_t before = network_.total_messages();
+  const std::uint64_t before = network_->total_messages();
+  network_->begin_round(round_);
   exchange_dists();
   exchange_intents();
-  exchange_grants_and_move();
+  exchange_grants();
+  exchange_transfers();
+  exchange_acks();
   inject();
-  last_round_messages_ = network_.total_messages() - before;
+  last_round_messages_ = network_->total_messages() - before;
   if (metrics_) {
     metrics_->add(round_counts_);
     metrics_->add_round();
     round_counts_.reset();
   }
+  flush_network_metrics();
   ++round_;
 }
 
 void MessageSystem::exchange_dists() {
   // Every live process broadcasts its previous-round dist to its
   // neighbors; a crashed process is silent.
-  const std::uint64_t sent_before = network_.total_messages();
   for (std::size_t k = 0; k < processes_.size(); ++k) {
     const MessageProcess& p = processes_[k];
     if (p.state.failed) continue;
     const CellId id = grid_.id_of(k);
-    for (const CellId nb : grid_.neighbors(id))
-      network_.send(Message{id, nb, DistAnnounce{p.state.dist}});
+    for (const CellId nb : p.nbrs)
+      network_->send(Message{id, nb, DistAnnounce{p.state.dist}});
   }
-  if (msgs_dist_ != nullptr)
-    msgs_dist_->inc(network_.total_messages() - sent_before);
-  auto inboxes = network_.deliver_all(grid_);
+  auto inboxes = network_->deliver_all(grid_);
 
   // Local Route step. A neighbor that stayed silent reads as dist = ∞
   // (paper footnote 1) — which is exactly what NOT listing it achieves,
   // except route_step needs every neighbor present; so synthesize ∞
-  // entries for silent neighbors.
+  // entries for silent neighbors. Under a faulty network an inbox may
+  // hold several announcements from one sender (a delayed copy released
+  // before the fresh one, canonical order); the first per sender wins —
+  // a stale estimate for one round, which Route self-stabilizes away.
   for (std::size_t k = 0; k < processes_.size(); ++k) {
     MessageProcess& p = processes_[k];
     if (p.state.failed) continue;
@@ -129,7 +196,7 @@ void MessageSystem::exchange_dists() {
       continue;
     }
     std::vector<NeighborDist> nds;
-    for (const CellId nb : grid_.neighbors(id)) {
+    for (const CellId nb : p.nbrs) {
       const auto it = std::find_if(
           p.heard_dists.begin(), p.heard_dists.end(),
           [nb](const NeighborDistView& v) { return v.id == nb; });
@@ -147,22 +214,19 @@ void MessageSystem::exchange_dists() {
 }
 
 void MessageSystem::exchange_intents() {
-  const std::uint64_t sent_before = network_.total_messages();
   for (std::size_t k = 0; k < processes_.size(); ++k) {
     const MessageProcess& p = processes_[k];
     if (p.state.failed) continue;
     const CellId id = grid_.id_of(k);
-    for (const CellId nb : grid_.neighbors(id)) {
-      network_.send(Message{
+    for (const CellId nb : p.nbrs) {
+      network_->send(Message{
           id, nb, IntentAnnounce{p.state.next, p.state.has_entities()}});
     }
   }
-  if (msgs_intent_ != nullptr)
-    msgs_intent_->inc(network_.total_messages() - sent_before);
-  auto inboxes = network_.deliver_all(grid_);
+  auto inboxes = network_->deliver_all(grid_);
 
   // Local Signal step: NEPrev = senders whose intent names me and who
-  // carry entities.
+  // carry entities (deduplicated — the network may deliver copies).
   for (std::size_t k = 0; k < processes_.size(); ++k) {
     MessageProcess& p = processes_[k];
     if (p.state.failed) continue;
@@ -175,6 +239,9 @@ void MessageSystem::exchange_intents() {
       }
     }
     std::sort(p.heard_wanting.begin(), p.heard_wanting.end());
+    p.heard_wanting.erase(
+        std::unique(p.heard_wanting.begin(), p.heard_wanting.end()),
+        p.heard_wanting.end());
 
     SignalInputs in;
     in.self = id;
@@ -197,69 +264,171 @@ void MessageSystem::exchange_intents() {
     p.state.signal = r.signal;
     p.state.token = r.token;
     p.state.ne_prev = std::move(r.ne_prev);
+    // A grant opens a transfer session on that link: stamp a fresh seq.
+    // (Lemma 3's H holds here by construction: signal_step granted only
+    // with the entry strip clear of this process's current members.)
+    if (p.state.signal.has_value())
+      ++p.inbound[p.slot_of(*p.state.signal)].granted_seq;
   }
 }
 
-void MessageSystem::exchange_grants_and_move() {
-  const std::uint64_t grants_before = network_.total_messages();
+void MessageSystem::exchange_grants() {
   for (std::size_t k = 0; k < processes_.size(); ++k) {
     const MessageProcess& p = processes_[k];
     if (p.state.failed) continue;
     const CellId id = grid_.id_of(k);
-    for (const CellId nb : grid_.neighbors(id))
-      network_.send(Message{id, nb, GrantAnnounce{p.state.signal}});
+    const std::uint64_t seq =
+        p.state.signal.has_value()
+            ? p.inbound[p.slot_of(*p.state.signal)].granted_seq
+            : 0;
+    for (const CellId nb : p.nbrs)
+      network_->send(Message{id, nb, GrantAnnounce{p.state.signal, seq,
+                                                   round_}});
   }
-  if (msgs_grant_ != nullptr)
-    msgs_grant_->inc(network_.total_messages() - grants_before);
-  auto grant_inboxes = network_.deliver_all(grid_);
-  const std::uint64_t transfers_before = network_.total_messages();
+  auto inboxes = network_->deliver_all(grid_);
 
-  // Move decisions from received grants; transfers become messages.
+  for (std::size_t k = 0; k < processes_.size(); ++k) {
+    MessageProcess& p = processes_[k];
+    p.heard_grants.clear();
+    if (p.state.failed) continue;
+    const CellId id = grid_.id_of(k);
+    for (const Message& m : inboxes[k]) {
+      const auto* g = std::get_if<GrantAnnounce>(&m.payload);
+      if (g == nullptr) continue;
+      if (g->round != round_) {
+        // A delayed grant is expired: permission is only meaningful in
+        // the round whose Signal step checked the strip (footnote 1's ⊥
+        // reading — Move must see FRESH signal values, §II-B).
+        ++expired_grants_;
+        continue;
+      }
+      if (g->signal != OptCellId{id}) continue;
+      OutboundLink& ob = p.outbound[p.slot_of(m.sender)];
+      if (g->seq <= ob.heard_seq) continue;  // duplicated copy
+      ob.heard_seq = g->seq;
+      p.heard_grants.push_back(p.slot_of(m.sender));
+    }
+  }
+}
+
+void MessageSystem::exchange_transfers() {
+  // Move decisions from this round's grants, then (re-)offer every
+  // retained batch. Stop-and-wait per link: while a batch is pending the
+  // process answers a fresh grant by declining (silently — the grantor's
+  // strip stays reserved but nothing moves), so at most one batch per
+  // link is ever outstanding.
   for (std::size_t k = 0; k < processes_.size(); ++k) {
     MessageProcess& p = processes_[k];
     if (p.state.failed) continue;
     const CellId id = grid_.id_of(k);
-    p.heard_grant_from_next = false;
-    if (p.state.next.has_value()) {
-      for (const Message& m : grant_inboxes[k]) {
-        if (m.sender != *p.state.next) continue;
-        if (const auto* g = std::get_if<GrantAnnounce>(&m.payload)) {
-          if (g->signal == OptCellId{id}) p.heard_grant_from_next = true;
-        }
+    for (const std::size_t slot : p.heard_grants) {
+      OutboundLink& ob = p.outbound[slot];
+      if (ob.pending()) continue;
+      const CellId dest = p.nbrs[slot];
+      if (p.state.next != OptCellId{dest}) continue;
+      if (metrics_) ++round_counts_.moves;
+      MoveResult mr =
+          move_step(id, dest, std::move(p.state.members), config_.params);
+      p.state.members = std::move(mr.staying);
+      if (metrics_) round_counts_.transfers += mr.crossed.size();
+      if (!mr.crossed.empty()) {
+        ob.batch_seq = ob.heard_seq;
+        ob.batch = std::move(mr.crossed);
       }
     }
-    if (!p.heard_grant_from_next) continue;
-
-    if (metrics_) ++round_counts_.moves;
-    MoveResult mr = move_step(id, *p.state.next, std::move(p.state.members),
-                              config_.params);
-    p.state.members = std::move(mr.staying);
-    if (metrics_) round_counts_.transfers += mr.crossed.size();
-    for (Entity& e : mr.crossed)
-      network_.send(Message{id, *p.state.next, EntityTransfer{e}});
+    for (std::size_t s = 0; s < p.nbrs.size(); ++s) {
+      const OutboundLink& ob = p.outbound[s];
+      if (ob.pending())
+        network_->send(
+            Message{id, p.nbrs[s], TransferBatch{ob.batch_seq, ob.batch}});
+    }
   }
-  if (msgs_transfer_ != nullptr)
-    msgs_transfer_->inc(network_.total_messages() - transfers_before);
 
-  auto transfer_inboxes = network_.deliver_all(grid_);
+  auto inboxes = network_->deliver_all(grid_);
   for (std::size_t k = 0; k < processes_.size(); ++k) {
     MessageProcess& p = processes_[k];
+    if (p.state.failed) continue;  // messages to a crashed process are lost
     const CellId id = grid_.id_of(k);
-    for (Message& m : transfer_inboxes[k]) {
-      if (auto* t = std::get_if<EntityTransfer>(&m.payload)) {
-        if (id == config_.target) {
-          ++total_arrivals_;  // consumed; the entity leaves the system
-          if (metrics_) ++round_counts_.consumptions;
-        } else {
-          // A crashed process cannot receive — but a transfer to a
-          // crashed process is impossible: its silence means no grant
-          // was ever heard from it.
-          CF_CHECK_MSG(!p.state.failed, "transfer into a crashed process");
-          p.state.members.push_back(t->entity);
+    for (Message& m : inboxes[k]) {
+      auto* b = std::get_if<TransferBatch>(&m.payload);
+      if (b == nullptr) continue;
+      InboundLink& ib = p.inbound[p.slot_of(m.sender)];
+      if (b->seq <= ib.completed_seq) {
+        // Duplicate of an accepted batch (a lost ack, a duplicated
+        // message): do not re-materialize; re-confirm idempotently.
+        p.pending_acks.emplace_back(m.sender, b->seq);
+        continue;
+      }
+      CF_CHECK_MSG(b->seq <= ib.granted_seq,
+                   "transfer batch with a seq this process never granted");
+      if (id == config_.target) {
+        total_arrivals_ += b->entities.size();
+        if (metrics_) round_counts_.consumptions += b->entities.size();
+      } else {
+        if (!landing_is_safe(p, b->entities)) {
+          // Deferred acceptance: the strip promised at grant time is no
+          // longer free (the grant may have been issued rounds ago under
+          // message loss). Withhold the ack; the sender retains the
+          // batch and re-offers next round.
+          ++deferred_acceptances_;
+          continue;
         }
+        for (Entity& e : b->entities) p.state.members.push_back(e);
+      }
+      ib.completed_seq = b->seq;
+      p.pending_acks.emplace_back(m.sender, b->seq);
+    }
+  }
+}
+
+void MessageSystem::exchange_acks() {
+  for (std::size_t k = 0; k < processes_.size(); ++k) {
+    MessageProcess& p = processes_[k];
+    if (p.state.failed) {
+      p.pending_acks.clear();
+      continue;
+    }
+    const CellId id = grid_.id_of(k);
+    for (const auto& [to, seq] : p.pending_acks)
+      network_->send(Message{id, to, TransferAck{seq}});
+    p.pending_acks.clear();
+  }
+
+  auto inboxes = network_->deliver_all(grid_);
+  for (std::size_t k = 0; k < processes_.size(); ++k) {
+    MessageProcess& p = processes_[k];
+    if (p.state.failed) continue;
+    for (const Message& m : inboxes[k]) {
+      const auto* a = std::get_if<TransferAck>(&m.payload);
+      if (a == nullptr) continue;
+      OutboundLink& ob = p.outbound[p.slot_of(m.sender)];
+      if (ob.pending() && a->seq == ob.batch_seq) {
+        ob.batch_seq = 0;
+        ob.batch.clear();
       }
     }
   }
+}
+
+bool MessageSystem::landing_is_safe(const MessageProcess& p,
+                                    std::span<const Entity> batch) const {
+  // Deferred-acceptance guard: re-validate, against the receiver's
+  // CURRENT members, the spacing the grantor's strip check promised when
+  // the session opened. Same predicate (and tolerance convention) as the
+  // Safe oracle: a pair is in conflict iff within d on BOTH axes. Batch
+  // entities are mutually safe by Theorem 5 (they left a safe
+  // configuration through one edge, perpendicular coordinates
+  // preserved), so only batch-vs-members pairs need checking.
+  constexpr double kEps = 1e-9;  // kPredicateEps convention
+  const double d = config_.params.center_spacing() - kEps;
+  for (const Entity& e : batch) {
+    for (const Entity& q : p.state.members) {
+      if (std::abs(e.center.x - q.center.x) < d &&
+          std::abs(e.center.y - q.center.y) < d)
+        return false;
+    }
+  }
+  return true;
 }
 
 bool MessageSystem::injection_is_safe(CellId id, Vec2 center) const {

@@ -1,0 +1,58 @@
+#include "net/network_model.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "grid/grid.hpp"
+#include "util/check.hpp"
+
+namespace cellflow {
+
+void NetworkModel::begin_round(std::uint64_t round) { round_ = round; }
+
+void NetworkModel::send(Message m) {
+  ++sent_counts_[static_cast<std::size_t>(payload_type_of(m.payload))];
+  ++total_messages_;
+  in_flight_.push_back(std::move(m));
+}
+
+std::vector<std::vector<Message>> NetworkModel::deliver_all(const Grid& grid) {
+  std::vector<Message> deliver;
+  deliver.reserve(in_flight_.size());
+  transmit(std::move(in_flight_), deliver);
+  in_flight_.clear();
+  ++barriers_;
+  last_exchange_ = deliver.size();
+
+  // Canonical delivery order: (receiver, sender) in CellId order; the
+  // stable sort preserves per-link send order as the payload-index tie
+  // break, so each inbox reads ascending in sender id with every
+  // (sender → receiver) link FIFO.
+  std::stable_sort(deliver.begin(), deliver.end(),
+                   [](const Message& a, const Message& b) {
+                     if (a.receiver != b.receiver)
+                       return a.receiver < b.receiver;
+                     return a.sender < b.sender;
+                   });
+
+  std::vector<std::vector<Message>> inboxes(grid.cell_count());
+  for (Message& m : deliver) {
+    CF_EXPECTS_MSG(grid.contains(m.receiver), "message to unknown process");
+    inboxes[grid.index_of(m.receiver)].push_back(std::move(m));
+  }
+  return inboxes;
+}
+
+void NetworkModel::transmit(std::vector<Message>&& sent,
+                            std::vector<Message>& out) {
+  out = std::move(sent);
+}
+
+std::uint64_t NetworkModel::fault_count(NetFault f) const noexcept {
+  std::uint64_t n = 0;
+  for (std::size_t t = 0; t < kPayloadTypeCount; ++t)
+    n += fault_counts_[static_cast<std::size_t>(f)][t];
+  return n;
+}
+
+}  // namespace cellflow

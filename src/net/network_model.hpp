@@ -1,0 +1,136 @@
+// NetworkModel: the transport abstraction behind the message-passing
+// realization, mirroring FailureModel's shape (src/failure). The round
+// driver owns one instance and pushes every exchange through it:
+//
+//   net.begin_round(r);          // once per protocol round
+//   net.send(m); ...             // any number of times per exchange
+//   auto inboxes = net.deliver_all(grid);   // the exchange barrier
+//
+// Delivery order is CANONICAL and documented: at the barrier, messages
+// are stable-sorted by (receiver, sender) — CellId order — which, with
+// per-link FIFO send order preserved by the stable sort, makes each inbox
+// ascending in sender id and each (sender → receiver) link in payload
+// order. Every realization sees the same base order, so a faulty
+// delivery schedule is a seeded transformation of a deterministic
+// sequence, not incidental queue order.
+//
+// Subclasses shape *which* queued messages the barrier delivers (drop,
+// delay, duplicate, partition — see faulty_network.hpp) by overriding
+// `transmit`; the reliable SyncNetwork below delivers everything. The
+// base class owns the queue, the canonical sort, per-payload-type send
+// counters, and per-type fault counters (zero for a reliable network).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace cellflow {
+
+class Grid;
+
+/// Transport fault kinds, indexable for per-type statistics.
+enum class NetFault : std::size_t {
+  kDropped = 0,
+  kDelayed = 1,
+  kDuplicated = 2,
+  kPartitioned = 3,
+};
+inline constexpr std::size_t kNetFaultCount = 4;
+
+[[nodiscard]] constexpr const char* to_string(NetFault f) {
+  switch (f) {
+    case NetFault::kDropped: return "dropped";
+    case NetFault::kDelayed: return "delayed";
+    case NetFault::kDuplicated: return "duplicated";
+    case NetFault::kPartitioned: return "partitioned";
+  }
+  return "?";
+}
+
+class NetworkModel {
+ public:
+  NetworkModel() = default;
+  NetworkModel(const NetworkModel&) = delete;
+  NetworkModel& operator=(const NetworkModel&) = delete;
+  virtual ~NetworkModel() = default;
+
+  /// Round boundary notification (before the round's first exchange).
+  virtual void begin_round(std::uint64_t round);
+
+  /// Queues a message for the current exchange.
+  void send(Message m);
+
+  /// Exchange barrier: runs the fault schedule over the queue, clears it,
+  /// and returns the surviving messages in canonical order as one inbox
+  /// per process, indexed by `grid.index_of(receiver)`.
+  [[nodiscard]] std::vector<std::vector<Message>> deliver_all(
+      const Grid& grid);
+
+  /// True once the schedule can no longer perturb an exchange: no fault
+  /// will fire and nothing is buffered for late delivery. Mirrors
+  /// FailureModel::quiescent so stabilization-after-faults-cease is
+  /// testable with the same notion of "the adversary has stopped".
+  [[nodiscard]] virtual bool quiescent() const noexcept { return true; }
+
+  // --- Statistics -----------------------------------------------------
+
+  /// Messages accepted by send() since construction (all exchanges).
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return total_messages_;
+  }
+  /// Messages accepted by send(), by payload type.
+  [[nodiscard]] std::uint64_t sent_count(PayloadType t) const noexcept {
+    return sent_counts_[static_cast<std::size_t>(t)];
+  }
+  /// Messages delivered at the most recent barrier.
+  [[nodiscard]] std::uint64_t last_exchange_messages() const noexcept {
+    return last_exchange_;
+  }
+  /// Barriers (deliver_all calls) since construction.
+  [[nodiscard]] std::uint64_t barrier_count() const noexcept {
+    return barriers_;
+  }
+  /// Faults applied so far, by kind and payload type. A reliable network
+  /// reports zero everywhere.
+  [[nodiscard]] std::uint64_t fault_count(NetFault f,
+                                          PayloadType t) const noexcept {
+    return fault_counts_[static_cast<std::size_t>(f)]
+                        [static_cast<std::size_t>(t)];
+  }
+  /// Faults of one kind summed over payload types.
+  [[nodiscard]] std::uint64_t fault_count(NetFault f) const noexcept;
+
+ protected:
+  /// Fault-schedule hook: consume `sent` (this exchange's queue, in send
+  /// order) and append every message to deliver at this barrier to `out`
+  /// (order irrelevant; the caller canonicalizes). The base barrier index
+  /// and round are available via barrier_count() / current_round().
+  virtual void transmit(std::vector<Message>&& sent,
+                        std::vector<Message>& out);
+
+  [[nodiscard]] std::uint64_t current_round() const noexcept {
+    return round_;
+  }
+  void note_fault(NetFault f, PayloadType t) noexcept {
+    ++fault_counts_[static_cast<std::size_t>(f)][static_cast<std::size_t>(t)];
+  }
+
+ private:
+  std::vector<Message> in_flight_;
+  std::uint64_t round_ = 0;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t last_exchange_ = 0;
+  std::uint64_t barriers_ = 0;
+  std::array<std::uint64_t, kPayloadTypeCount> sent_counts_{};
+  std::array<std::array<std::uint64_t, kPayloadTypeCount>, kNetFaultCount>
+      fault_counts_{};
+};
+
+/// The reliable instance: every queued message is delivered, unaltered,
+/// at the next barrier (paper §II-B's synchronous broadcast reading).
+class SyncNetwork final : public NetworkModel {};
+
+}  // namespace cellflow

@@ -154,13 +154,28 @@ TEST(MetricsDifferential, MessageCountersMatchNetworkTotals) {
   msg.set_metrics(&reg);
   for (int k = 0; k < 200; ++k) msg.update();
 
+  // Each {exchange=...} series must equal the network's own per-payload
+  // send count, and the five series must partition the total exactly.
   std::uint64_t by_exchange = 0;
+  std::size_t series_seen = 0;
   for (const obs::FamilySnapshot& fam : reg.snapshot()) {
     if (fam.name != "cellflow_messages_total") continue;
-    ASSERT_EQ(fam.series.size(), 4u);  // dist | grant | intent | transfer
-    for (const obs::SeriesSnapshot& s : fam.series)
+    ASSERT_EQ(fam.series.size(), kPayloadTypeCount);
+    for (const obs::SeriesSnapshot& s : fam.series) {
+      ++series_seen;
       by_exchange += s.counter_value;
+      for (std::size_t t = 0; t < kPayloadTypeCount; ++t) {
+        const auto type = static_cast<PayloadType>(t);
+        for (const auto& [key, value] : s.labels) {
+          if (key == "exchange" && value == to_string(type)) {
+            EXPECT_EQ(s.counter_value, msg.network().sent_count(type))
+                << "exchange " << value;
+          }
+        }
+      }
+    }
   }
+  EXPECT_EQ(series_seen, kPayloadTypeCount);
   EXPECT_EQ(by_exchange, msg.total_messages());
 }
 

@@ -1,0 +1,228 @@
+// Unit tests for the transport layer (src/net): NetworkModel's canonical
+// delivery order and statistics, SyncNetwork's reliability, and
+// FaultyNetwork's seeded fault schedule taken one fault kind at a time.
+// The end-to-end properties (equivalence, safety under faults,
+// restabilization) live in test_net_faults.cpp.
+#include "net/faulty_network.hpp"
+#include "net/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "grid/grid.hpp"
+#include "util/check.hpp"
+
+namespace cellflow {
+namespace {
+
+Message dist_msg(CellId from, CellId to, std::uint64_t hops) {
+  return Message{from, to, DistAnnounce{Dist::finite(hops)}};
+}
+
+TEST(SyncNetwork, DeliversToAddresseeOnly) {
+  Grid grid(3);
+  SyncNetwork net;
+  net.begin_round(0);
+  net.send(dist_msg(CellId{0, 0}, CellId{0, 1}, 1));
+  net.send(dist_msg(CellId{2, 2}, CellId{2, 1}, 2));
+  const auto inboxes = net.deliver_all(grid);
+  ASSERT_EQ(inboxes.size(), grid.cell_count());
+  EXPECT_EQ(inboxes[grid.index_of(CellId{0, 1})].size(), 1u);
+  EXPECT_EQ(inboxes[grid.index_of(CellId{2, 1})].size(), 1u);
+  std::size_t delivered = 0;
+  for (const auto& inbox : inboxes) delivered += inbox.size();
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(net.last_exchange_messages(), 2u);
+}
+
+TEST(SyncNetwork, CanonicalOrderSortsBySenderAndKeepsLinkFifo) {
+  Grid grid(3);
+  SyncNetwork net;
+  net.begin_round(0);
+  const CellId rx{1, 1};
+  // Send from three neighbors in DESCENDING sender order, with two
+  // messages on the (2,1)→(1,1) link to exercise the FIFO tie break.
+  net.send(dist_msg(CellId{2, 1}, rx, 9));
+  net.send(dist_msg(CellId{2, 1}, rx, 10));
+  net.send(dist_msg(CellId{1, 2}, rx, 11));
+  net.send(dist_msg(CellId{0, 1}, rx, 12));
+  const auto inboxes = net.deliver_all(grid);
+  const auto& inbox = inboxes[grid.index_of(rx)];
+  ASSERT_EQ(inbox.size(), 4u);
+  // Ascending sender id; the duplicate link retains send order.
+  EXPECT_EQ(inbox[0].sender, (CellId{0, 1}));
+  EXPECT_EQ(inbox[1].sender, (CellId{1, 2}));
+  EXPECT_EQ(inbox[2].sender, (CellId{2, 1}));
+  EXPECT_EQ(inbox[3].sender, (CellId{2, 1}));
+  EXPECT_EQ(std::get<DistAnnounce>(inbox[2].payload).dist, Dist::finite(9));
+  EXPECT_EQ(std::get<DistAnnounce>(inbox[3].payload).dist, Dist::finite(10));
+}
+
+TEST(SyncNetwork, CountsMessagesPerPayloadType) {
+  Grid grid(3);
+  SyncNetwork net;
+  const CellId a{0, 0};
+  const CellId b{0, 1};
+  net.begin_round(0);
+  net.send(Message{a, b, DistAnnounce{Dist::finite(1)}});
+  net.send(Message{a, b, IntentAnnounce{OptCellId{b}, true}});
+  net.send(Message{a, b, GrantAnnounce{OptCellId{a}, 1, 0}});
+  net.send(Message{a, b, TransferBatch{1, {}}});
+  net.send(Message{a, b, TransferAck{1}});
+  net.send(Message{a, b, TransferAck{2}});
+  (void)net.deliver_all(grid);
+  EXPECT_EQ(net.sent_count(PayloadType::kDist), 1u);
+  EXPECT_EQ(net.sent_count(PayloadType::kIntent), 1u);
+  EXPECT_EQ(net.sent_count(PayloadType::kGrant), 1u);
+  EXPECT_EQ(net.sent_count(PayloadType::kTransfer), 1u);
+  EXPECT_EQ(net.sent_count(PayloadType::kAck), 2u);
+  EXPECT_EQ(net.total_messages(), 6u);
+  EXPECT_EQ(net.barrier_count(), 1u);
+  for (std::size_t f = 0; f < kNetFaultCount; ++f)
+    EXPECT_EQ(net.fault_count(static_cast<NetFault>(f)), 0u);
+  EXPECT_TRUE(net.quiescent());
+}
+
+TEST(SyncNetwork, BarrierClearsTheQueue) {
+  Grid grid(3);
+  SyncNetwork net;
+  net.begin_round(0);
+  net.send(dist_msg(CellId{0, 0}, CellId{0, 1}, 1));
+  (void)net.deliver_all(grid);
+  // Second barrier with nothing queued delivers nothing.
+  const auto inboxes = net.deliver_all(grid);
+  for (const auto& inbox : inboxes) EXPECT_TRUE(inbox.empty());
+  EXPECT_EQ(net.last_exchange_messages(), 0u);
+}
+
+TEST(SyncNetwork, RejectsMessagesToUnknownProcesses) {
+  Grid grid(3);
+  SyncNetwork net;
+  net.begin_round(0);
+  net.send(dist_msg(CellId{0, 0}, CellId{7, 7}, 1));
+  EXPECT_THROW((void)net.deliver_all(grid), ContractViolation);
+}
+
+TEST(FaultyNetwork, DropAllDeliversNothingAndCounts) {
+  Grid grid(3);
+  NetFaultSpec spec;
+  spec.drop_prob = 1.0;
+  FaultyNetwork net(spec, 1);
+  net.begin_round(0);
+  net.send(dist_msg(CellId{0, 0}, CellId{0, 1}, 1));
+  net.send(Message{CellId{0, 0}, CellId{0, 1}, TransferAck{1}});
+  const auto inboxes = net.deliver_all(grid);
+  for (const auto& inbox : inboxes) EXPECT_TRUE(inbox.empty());
+  EXPECT_EQ(net.fault_count(NetFault::kDropped), 2u);
+  EXPECT_EQ(net.fault_count(NetFault::kDropped, PayloadType::kDist), 1u);
+  EXPECT_EQ(net.fault_count(NetFault::kDropped, PayloadType::kAck), 1u);
+  EXPECT_FALSE(net.quiescent());  // the adversary never ceases by default
+}
+
+TEST(FaultyNetwork, DuplicateAllDeliversTwoCopies) {
+  Grid grid(3);
+  NetFaultSpec spec;
+  spec.dup_prob = 1.0;
+  FaultyNetwork net(spec, 1);
+  net.begin_round(0);
+  net.send(dist_msg(CellId{0, 0}, CellId{0, 1}, 1));
+  const auto inboxes = net.deliver_all(grid);
+  EXPECT_EQ(inboxes[grid.index_of(CellId{0, 1})].size(), 2u);
+  EXPECT_EQ(net.fault_count(NetFault::kDuplicated), 1u);
+}
+
+TEST(FaultyNetwork, DelayResurfacesAtTheSameExchangeOfALaterRound) {
+  Grid grid(3);
+  NetFaultSpec spec;
+  spec.delay_prob = 1.0;
+  spec.max_delay_rounds = 1;
+  FaultyNetwork net(spec, 1);
+  // Round 0, exchange 1: the message is buffered, not delivered.
+  net.begin_round(0);
+  net.send(dist_msg(CellId{0, 0}, CellId{0, 1}, 3));
+  auto inboxes = net.deliver_all(grid);
+  EXPECT_TRUE(inboxes[grid.index_of(CellId{0, 1})].empty());
+  EXPECT_EQ(net.delayed_in_flight(), 1u);
+  // Remaining exchanges of round 0: still buffered.
+  for (std::uint64_t e = 1; e < kExchangesPerRound; ++e) {
+    inboxes = net.deliver_all(grid);
+    EXPECT_TRUE(inboxes[grid.index_of(CellId{0, 1})].empty()) << e;
+  }
+  // Round 1, exchange 1 (max_delay_rounds = 1 → exactly one round late):
+  // the stale DistAnnounce arrives at a dist barrier again.
+  net.begin_round(1);
+  inboxes = net.deliver_all(grid);
+  ASSERT_EQ(inboxes[grid.index_of(CellId{0, 1})].size(), 1u);
+  EXPECT_EQ(std::get<DistAnnounce>(
+                inboxes[grid.index_of(CellId{0, 1})][0].payload)
+                .dist,
+            Dist::finite(3));
+  EXPECT_EQ(net.delayed_in_flight(), 0u);
+  EXPECT_EQ(net.fault_count(NetFault::kDelayed), 1u);
+}
+
+TEST(FaultyNetwork, PartitionCutsCrossingMessagesWhileActive) {
+  Grid grid(2);
+  const NetPartition part{1, 3,
+                          CellMask::of(grid, {CellId{0, 0}, CellId{0, 1}})};
+  NetFaultSpec spec;
+  spec.partitions = {part};
+  FaultyNetwork net(spec, 1);
+
+  const auto crossing = [&] {
+    net.send(dist_msg(CellId{0, 0}, CellId{1, 0}, 1));  // crosses
+    net.send(dist_msg(CellId{0, 0}, CellId{0, 1}, 1));  // same side
+    const auto inboxes = net.deliver_all(grid);
+    return inboxes[grid.index_of(CellId{1, 0})].size();
+  };
+
+  net.begin_round(0);
+  EXPECT_EQ(crossing(), 1u);  // not yet active
+  net.begin_round(1);
+  EXPECT_EQ(crossing(), 0u);  // active: the crossing message is cut
+  EXPECT_FALSE(net.quiescent());
+  net.begin_round(2);
+  EXPECT_EQ(crossing(), 0u);
+  net.begin_round(3);
+  EXPECT_EQ(crossing(), 1u);  // healed
+  EXPECT_TRUE(net.quiescent());
+  EXPECT_EQ(net.fault_count(NetFault::kPartitioned, PayloadType::kDist),
+            2u);
+  // The same-side link was never touched.
+  EXPECT_EQ(net.fault_count(NetFault::kDropped), 0u);
+}
+
+TEST(FaultyNetwork, StochasticFaultsCeaseAfterLastFaultRound) {
+  Grid grid(2);
+  NetFaultSpec spec;
+  spec.drop_prob = 1.0;
+  spec.last_fault_round = 1;
+  FaultyNetwork net(spec, 1);
+  net.begin_round(1);
+  net.send(dist_msg(CellId{0, 0}, CellId{0, 1}, 1));
+  auto inboxes = net.deliver_all(grid);
+  EXPECT_TRUE(inboxes[grid.index_of(CellId{0, 1})].empty());
+  EXPECT_FALSE(net.quiescent());  // round 1 is still fault-eligible
+  net.begin_round(2);
+  EXPECT_TRUE(net.quiescent());
+  net.send(dist_msg(CellId{0, 0}, CellId{0, 1}, 1));
+  inboxes = net.deliver_all(grid);
+  EXPECT_EQ(inboxes[grid.index_of(CellId{0, 1})].size(), 1u);
+}
+
+TEST(FaultyNetwork, ZeroSpecConsumesNoRandomnessAndIsQuiescent) {
+  Grid grid(2);
+  FaultyNetwork net(NetFaultSpec{}, 99);
+  EXPECT_FALSE(net.spec().stochastic());
+  EXPECT_TRUE(net.quiescent());
+  net.begin_round(0);
+  net.send(dist_msg(CellId{0, 0}, CellId{1, 0}, 1));
+  const auto inboxes = net.deliver_all(grid);
+  EXPECT_EQ(inboxes[grid.index_of(CellId{1, 0})].size(), 1u);
+  for (std::size_t f = 0; f < kNetFaultCount; ++f)
+    EXPECT_EQ(net.fault_count(static_cast<NetFault>(f)), 0u);
+}
+
+}  // namespace
+}  // namespace cellflow

@@ -10,6 +10,10 @@
 //                [--seed=1] [--threads=0]
 //                [--metrics-out=FILE] [--metrics-every=0]
 //                [--profile-out=FILE]
+//                [--realization=shared|message]
+//                [--net-loss=P --net-dup=P --net-delay=P
+//                 --net-delay-max=R --net-seed=S --net-until=R
+//                 --partition=START:END:COL]
 //
 // Prints a one-line summary plus (optionally) periodic ASCII renders, the
 // full event trace, and a machine-readable CSV record. --metrics-out
@@ -18,13 +22,29 @@
 // viewable in Perfetto. Exits nonzero if any §III-A safety oracle fires —
 // so the tool doubles as a conformance checker for modified protocol
 // variants.
+//
+// --realization=message runs the §II-B message-passing realization
+// instead, over a FaultyNetwork when any --net-* / --partition flag is
+// set (src/net; DESIGN.md §8): --net-loss/--net-dup/--net-delay are
+// i.i.d. per-message probabilities, --net-delay-max the delay bound in
+// rounds, --net-until the last faulty round (0: faults never cease), and
+// --partition cuts columns j < COL from j >= COL for rounds
+// [START, END). Every round is audited with the msg_audit oracles
+// (safety + entity conservation); violations exit nonzero. --movement,
+// --carve-turns, --threads, --policy, --trace, and --profile-out are
+// shared-realization features and are rejected in message mode.
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <memory>
 #include <string>
 
 #include "core/choose.hpp"
 #include "failure/failure_model.hpp"
 #include "grid/path.hpp"
+#include "msg/msg_audit.hpp"
+#include "msg/msg_system.hpp"
+#include "net/faulty_network.hpp"
 #include "obs/export.hpp"
 #include "sim/observers.hpp"
 #include "sim/render.hpp"
@@ -32,6 +52,7 @@
 #include "sim/trace.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -43,6 +64,131 @@ CellId parse_cell(const std::string& s) {
   if (comma == std::string::npos)
     throw std::runtime_error("expected i,j — got '" + s + "'");
   return CellId{std::stoi(s.substr(0, comma)), std::stoi(s.substr(comma + 1))};
+}
+
+/// Parses "START:END:COL" into a column partition: columns j < COL are
+/// cut from columns j >= COL for rounds [START, END).
+NetPartition parse_partition(const std::string& s, const Grid& grid) {
+  const auto c1 = s.find(':');
+  const auto c2 = s.find(':', c1 == std::string::npos ? s.size() : c1 + 1);
+  if (c1 == std::string::npos || c2 == std::string::npos)
+    throw std::runtime_error("expected START:END:COL — got '" + s + "'");
+  NetPartition part{std::stoull(s.substr(0, c1)),
+                    std::stoull(s.substr(c1 + 1, c2 - c1 - 1)),
+                    CellMask(grid)};
+  const int col = std::stoi(s.substr(c2 + 1));
+  for (const CellId id : grid.all_cells())
+    if (id.j < col) part.side.set(id);
+  return part;
+}
+
+struct NetOptions {
+  double loss = 0.0;
+  double dup = 0.0;
+  double delay = 0.0;
+  std::uint64_t delay_max = 1;
+  std::uint64_t until = 0;  // 0: faults never cease
+  std::uint64_t seed = 1;
+  std::string partition;  // START:END:COL, empty: none
+
+  [[nodiscard]] bool any() const {
+    return loss > 0.0 || dup > 0.0 || delay > 0.0 || !partition.empty();
+  }
+};
+
+/// The --realization=message driver: a manual round loop over the
+/// MessageSystem (the Simulator drives the shared-variable System only),
+/// auditing every round with the msg_audit oracles.
+int run_message_mode(const MsgSystemConfig& cfg, std::uint64_t rounds,
+                     double pf, double pr, std::uint64_t seed,
+                     const NetOptions& net, const std::string& metrics_out,
+                     std::uint64_t metrics_every) {
+  std::unique_ptr<NetworkModel> network;
+  if (net.any()) {
+    NetFaultSpec spec;
+    spec.drop_prob = net.loss;
+    spec.dup_prob = net.dup;
+    spec.delay_prob = net.delay;
+    spec.max_delay_rounds = net.delay_max;
+    if (net.until > 0) spec.last_fault_round = net.until;
+    if (!net.partition.empty())
+      spec.partitions = {parse_partition(net.partition, Grid(cfg.side))};
+    network = std::make_unique<FaultyNetwork>(spec, net.seed);
+  }
+  MessageSystem msg(cfg, std::move(network));
+
+  obs::MetricsRegistry registry;
+  std::ofstream jsonl_file;
+  if (!metrics_out.empty()) {
+    msg.set_metrics(&registry);
+    if (metrics_every > 0) {
+      jsonl_file.open(metrics_out + ".jsonl");
+      if (!jsonl_file) {
+        std::cerr << "cannot open " << metrics_out << ".jsonl\n";
+        return 2;
+      }
+    }
+  }
+
+  // Stochastic fail/recover mirroring the shared driver's model (each
+  // round every live cell fails w.p. pf, every failed one recovers
+  // w.p. pr; the target is not protected).
+  Xoshiro256 fail_rng(seed ^ 0x51D);
+  std::string violation_report;
+  for (std::uint64_t k = 0; k < rounds; ++k) {
+    if (pf > 0.0) {
+      for (const CellId id : msg.grid().all_cells()) {
+        if (msg.cell(id).failed) {
+          if (fail_rng.bernoulli(pr)) msg.recover(id);
+        } else if (fail_rng.bernoulli(pf)) {
+          msg.fail(id);
+        }
+      }
+    }
+    msg.update();
+    if (violation_report.empty()) {
+      const auto violations = msg_audit::check_all(msg);
+      if (!violations.empty()) {
+        violation_report = violations.front().predicate + " at " +
+                           to_string(violations.front().cell) + " round " +
+                           std::to_string(k) + ": " +
+                           violations.front().detail;
+      }
+    }
+    if (jsonl_file.is_open() && (k + 1) % metrics_every == 0)
+      jsonl_file << obs::jsonl_snapshot(registry, k + 1);
+  }
+  if (jsonl_file.is_open()) jsonl_file << obs::jsonl_snapshot(registry, rounds);
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::cerr << "cannot open " << metrics_out << '\n';
+      return 2;
+    }
+    out << obs::to_prometheus(registry);
+  }
+
+  const NetworkModel& n = msg.network();
+  std::cout << "realization=message round=" << msg.round()
+            << " arrivals=" << msg.total_arrivals()
+            << " injected=" << msg.total_injected() << '\n'
+            << "throughput: "
+            << (static_cast<double>(msg.total_arrivals()) /
+                static_cast<double>(rounds))
+            << "  messages: " << n.total_messages()
+            << "  in-flight entities: " << msg.in_flight_entities().size()
+            << '\n'
+            << "net faults: dropped=" << n.fault_count(NetFault::kDropped)
+            << " delayed=" << n.fault_count(NetFault::kDelayed)
+            << " duplicated=" << n.fault_count(NetFault::kDuplicated)
+            << " partitioned=" << n.fault_count(NetFault::kPartitioned)
+            << "  expired grants: " << msg.expired_grants()
+            << "  deferred accepts: " << msg.deferred_acceptances() << '\n'
+            << "safety: "
+            << (violation_report.empty() ? "CLEAN" : violation_report)
+            << '\n';
+  return violation_report.empty() ? 0 : 1;
 }
 
 }  // namespace
@@ -82,11 +228,57 @@ int main(int argc, char** argv) {
       "<metrics-out>.jsonl (0: off)");
   const std::string profile_out = cli.get_string(
       "profile-out", "", "write a Chrome trace_event JSON profile here");
+  const std::string realization = cli.get_string(
+      "realization", "shared",
+      "protocol realization: shared (variable) | message (passing)");
+  NetOptions net;
+  net.loss =
+      cli.get_double("net-loss", 0.0, "message drop probability (message)");
+  net.dup = cli.get_double("net-dup", 0.0,
+                           "message duplication probability (message)");
+  net.delay =
+      cli.get_double("net-delay", 0.0, "message delay probability (message)");
+  net.delay_max = cli.get_uint("net-delay-max", 1,
+                               "max delay in rounds (message)");
+  net.until = cli.get_uint(
+      "net-until", 0, "last faulty round (0: faults never cease) (message)");
+  net.seed = cli.get_uint("net-seed", 1, "fault-schedule rng seed (message)");
+  net.partition = cli.get_string(
+      "partition", "",
+      "cut columns j<COL for rounds [START,END): START:END:COL (message)");
   if (cli.help_requested()) {
     std::cout << cli.help_text();
     return 0;
   }
   cli.finish();
+
+  if (realization != "shared" && realization != "message") {
+    std::cerr << "unknown realization: " << realization << '\n';
+    return 2;
+  }
+  if (realization == "shared" && (net.any() || net.until > 0)) {
+    std::cerr << "--net-*/--partition require --realization=message\n";
+    return 2;
+  }
+  if (realization == "message") {
+    if (movement != "coupled" || carve_turns >= 0 || threads > 0 ||
+        policy != "round-robin" || dump_trace || !profile_out.empty() ||
+        render_every > 0 || emit_csv) {
+      std::cerr << "--realization=message supports only the core flags "
+                   "(side/l/rs/v/source/target/rounds/pf/pr/seed, --net-*, "
+                   "--partition, --metrics-*)\n";
+      return 2;
+    }
+    MsgSystemConfig mcfg;
+    mcfg.side = side;
+    mcfg.params = Params(l, rs, v);
+    const CellId msource = parse_cell(source_s);
+    mcfg.sources = {msource};
+    mcfg.target = target_s.empty() ? CellId{msource.i, side - 1}
+                                   : parse_cell(target_s);
+    return run_message_mode(mcfg, rounds, pf, pr, seed, net, metrics_out,
+                            metrics_every);
+  }
 
   SystemConfig cfg;
   cfg.side = side;
