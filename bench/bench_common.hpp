@@ -67,55 +67,15 @@ class BenchRecorder {
                                     ? static_cast<double>(rounds_) / elapsed
                                     : 0.0);
     }
-    out << ",\"series\":" << csv_block_as_json(tee_.text()) << "}\n";
+    // obs::csv_block_as_json emits numeric fields as bare JSON numbers
+    // under the strict RFC-8259 grammar (locale-independent; the old
+    // strtod full-match quoted every fractional field under a
+    // comma-decimal locale, leaving the sidecars with no numeric
+    // series). Pinned by tests/test_export.cpp's golden sidecar test.
+    out << ",\"series\":" << obs::csv_block_as_json(tee_.text()) << "}\n";
   }
 
  private:
-  /// Re-parses the `CSV:` block out of the captured console text:
-  /// {"header": [...], "rows": [[...], ...]} — numeric fields unquoted.
-  /// Benches without a CSV block get an empty series.
-  static std::string csv_block_as_json(const std::string& text) {
-    std::istringstream in(text);
-    std::string line;
-    bool in_csv = false;
-    std::vector<std::string> lines;
-    while (std::getline(in, line)) {
-      if (!in_csv) {
-        in_csv = line == "CSV:";
-        continue;
-      }
-      if (line.empty()) break;
-      lines.push_back(line);
-    }
-    std::string json = "{\"header\":[";
-    std::string rows = "],\"rows\":[";
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      std::string row;
-      for (const std::string& f : parse_csv_line(lines[i])) {
-        if (!row.empty()) row += ',';
-        row += field_as_json(f);
-      }
-      if (i == 0) {
-        json += row;
-      } else {
-        rows += (i > 1 ? ",[" : "[") + row + ']';
-      }
-    }
-    return json + rows + "]}";
-  }
-
-  static std::string field_as_json(const std::string& f) {
-    // JSON numbers must be plain decimal — so "nan"/"inf"/hex (which
-    // strtod accepts) stay quoted.
-    if (!f.empty() &&
-        f.find_first_not_of("0123456789+-.eE") == std::string::npos) {
-      char* end = nullptr;
-      (void)std::strtod(f.c_str(), &end);
-      if (end == f.c_str() + f.size()) return f;  // fully numeric: as-is
-    }
-    return '"' + obs::json_escape(f) + '"';
-  }
-
   /// Forwards every byte to the real std::cout buffer while keeping a
   /// copy for the CSV re-parse.
   class TeeBuf final : public std::streambuf {

@@ -7,9 +7,13 @@
 # writers), and the net-layer suites (SyncNetwork/FaultyNetwork units,
 # the zero-fault NetDifferential pin, the fault-schedule property fuzz,
 # and NetStabilization — single-threaded today, but kept in the lane so
-# a future parallel MessageSystem inherits the race check). Any data
-# race in the parallel round engine or the instrumentation aborts the
-# run.
+# a future parallel MessageSystem inherits the race check), plus the
+# active-set scheduler suites (ActiveSetDifferential runs the sharded
+# engine over the stamp/occupancy arrays — the scheduler reads them
+# inside worker threads and mutates them only at phase barriers, which
+# is exactly the discipline TSan verifies) and the GrantReplay transport
+# adversary. Any data race in the parallel round engine or the
+# instrumentation aborts the run.
 #
 # Exits 0 with a notice when the toolchain cannot link -fsanitize=thread
 # (some minimal images ship gcc without libtsan) so CI lanes without the

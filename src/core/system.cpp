@@ -61,7 +61,65 @@ System::System(SystemConfig config, std::unique_ptr<ChoosePolicy> choose,
   // distance, which anchors the routing computation at 0.
   cells_[grid_.index_of(config_.target)].dist = Dist::zero();
   dist_snapshot_.resize(cells_.size());
+  rebuild_active_sets();
   set_parallel_policy(parallel_policy_from_env());
+}
+
+void System::set_round_scheduler(RoundScheduler scheduler) {
+  if (scheduler_ == scheduler) return;
+  scheduler_ = scheduler;
+  // Exhaustive rounds maintain none of the scheduler state, so entering
+  // kActiveSet must re-derive all of it from the current protocol state.
+  if (scheduler_ == RoundScheduler::kActiveSet) rebuild_active_sets();
+}
+
+void System::rebuild_active_sets() {
+  route_stamp_.assign(cells_.size(), round_);
+  occ_b_.assign(cells_.size(), 0);
+  occ_refs_.assign(cells_.size(), 0);
+  for (std::size_t k = 0; k < cells_.size(); ++k) {
+    dist_snapshot_[k] = cells_[k].dist;
+    if (occupied(cells_[k])) apply_occupancy_flip(k);
+  }
+}
+
+void System::arm_route_neighborhood(std::size_t k, std::uint64_t upto) {
+  route_stamp_[k] = std::max(route_stamp_[k], upto);
+  const CellId id = grid_.id_of(k);
+  for (const Direction d : kAllDirections) {
+    if (const auto nb = grid_.neighbor(id, d)) {
+      std::uint64_t& stamp = route_stamp_[grid_.index_of(*nb)];
+      stamp = std::max(stamp, upto);
+    }
+  }
+}
+
+void System::apply_occupancy_flip(std::size_t k) {
+  occ_b_[k] ^= 1u;
+  const int delta = occ_b_[k] != 0 ? 1 : -1;
+  occ_refs_[k] = static_cast<std::uint8_t>(occ_refs_[k] + delta);
+  const CellId id = grid_.id_of(k);
+  for (const Direction d : kAllDirections) {
+    if (const auto nb = grid_.neighbor(id, d)) {
+      std::uint8_t& refs = occ_refs_[grid_.index_of(*nb)];
+      refs = static_cast<std::uint8_t>(refs + delta);
+    }
+  }
+}
+
+void System::refresh_occupancy(std::size_t k) {
+  if (occupied(cells_[k]) != (occ_b_[k] != 0)) apply_occupancy_flip(k);
+}
+
+void System::note_control_mutation(std::size_t k) {
+  // The exhaustive engine re-reads every dist each round and rewrites
+  // every cell's control state; an external mutation therefore forces
+  // the active scheduler to (a) keep the snapshot invariant, (b) rerun
+  // Route over the affected neighborhood next round, and (c) refresh
+  // the occupancy of the mutated cell.
+  dist_snapshot_[k] = cells_[k].dist;
+  arm_route_neighborhood(k, round_);
+  refresh_occupancy(k);
 }
 
 void System::set_metrics(obs::MetricsRegistry* registry) {
@@ -117,6 +175,7 @@ void System::fail(CellId id) {
   c.signal = std::nullopt;
   c.token = std::nullopt;
   c.ne_prev.clear();
+  note_control_mutation(grid_.index_of(id));
 }
 
 void System::recover(CellId id) {
@@ -135,6 +194,7 @@ void System::recover(CellId id) {
   c.ne_prev.clear();
   // Members are retained: entities that were frozen on the failed cell
   // resume their journey.
+  note_control_mutation(grid_.index_of(id));
 }
 
 const RoundEvents& System::update() {
@@ -178,22 +238,57 @@ const RoundEvents& System::update() {
 
 void System::run_route_phase() {
   // Phase-parallel Bellman–Ford: every cell reads its neighbors'
-  // *previous-round* dist, so snapshot them first (Figure 4 semantics).
-  // The snapshot makes the per-cell step a pure function of frozen data;
+  // *previous-round* dist via dist_snapshot_ (Figure 4 semantics). The
+  // snapshot makes the per-cell step a pure function of frozen data;
   // each cell writes only its own dist/next, so the loop shards freely.
-  for (std::size_t k = 0; k < cells_.size(); ++k)
-    dist_snapshot_[k] = cells_[k].dist;
+  //
+  // kExhaustive recopies the snapshot and visits every cell; kActiveSet
+  // keeps the snapshot fresh incrementally (only cells whose dist
+  // changed need resyncing) and visits only armed cells — a cell is
+  // armed exactly when a neighborhood dist changed last round or an
+  // external mutation touched it, which is precisely when route_step
+  // could produce something new. Skipped live cells still tally their
+  // would-be relaxations so the ProtocolCounts contract (bit-identical
+  // counts across engines) holds.
+  const bool active = scheduler_ == RoundScheduler::kActiveSet;
+  if (!active) {
+    for (std::size_t k = 0; k < cells_.size(); ++k)
+      dist_snapshot_[k] = cells_[k].dist;
+  }
 
   const auto nshards =
       pool_ ? static_cast<std::size_t>(pool_->thread_count()) : 1;
   std::vector<obs::ProtocolCounts> counts(metrics_ ? nshards : 0);
+  std::vector<std::vector<std::size_t>> changed(active ? nshards : 0);
+  std::vector<std::uint64_t> visited(nshards, 0);
   parallel_for_shards(
       pool_.get(), cells_.size(), [&](std::size_t s, ShardRange r) {
         const auto t0 = profiler_ != nullptr
                             ? obs::PhaseProfiler::Clock::now()
                             : obs::PhaseProfiler::Clock::time_point{};
         obs::ProtocolCounts* pc = counts.empty() ? nullptr : &counts[s];
-        for (std::size_t k = r.begin; k < r.end; ++k) route_cell(k, pc);
+        if (!active) {
+          for (std::size_t k = r.begin; k < r.end; ++k)
+            route_cell(k, pc, nullptr);
+          visited[s] = r.end - r.begin;
+        } else {
+          for (std::size_t k = r.begin; k < r.end; ++k) {
+            if (route_stamp_[k] >= round_) {
+              route_cell(k, pc, &changed[s]);
+              ++visited[s];
+            } else if (pc != nullptr && !cells_[k].failed) {
+              // The exhaustive loop would have relaxed over every
+              // lattice neighbor (and changed nothing — that is what
+              // quiescence means); the target tallies nothing once
+              // pinned at 0.
+              const CellId id = grid_.id_of(k);
+              if (id != config_.target) {
+                for (const Direction d : kAllDirections)
+                  if (grid_.neighbor(id, d)) ++pc->route_relaxations;
+              }
+            }
+          }
+        }
         if (profiler_ != nullptr)
           profiler_->record("route", round_, static_cast<int>(s), t0,
                             obs::PhaseProfiler::Clock::now());
@@ -201,9 +296,31 @@ void System::run_route_phase() {
   // Counter determinism: shard tallies merge in ascending shard order,
   // the same discipline as the event buffers.
   for (const obs::ProtocolCounts& c : counts) round_counts_.merge(c);
+  sched_stats_.route_cells = 0;
+  for (const std::uint64_t v : visited) sched_stats_.route_cells += v;
+
+  if (active) {
+    // Post-barrier merge, shard order: sync the snapshot for changed
+    // cells and arm their readers (the lattice neighbors) for next
+    // round. A cell's own Route output depends only on its neighbors'
+    // dists, so its own change does not re-arm itself.
+    for (const std::vector<std::size_t>& shard_changed : changed) {
+      for (const std::size_t k : shard_changed) {
+        dist_snapshot_[k] = cells_[k].dist;
+        const CellId id = grid_.id_of(k);
+        for (const Direction d : kAllDirections) {
+          if (const auto nb = grid_.neighbor(id, d)) {
+            std::uint64_t& stamp = route_stamp_[grid_.index_of(*nb)];
+            stamp = std::max(stamp, round_ + 1);
+          }
+        }
+      }
+    }
+  }
 }
 
-void System::route_cell(std::size_t k, obs::ProtocolCounts* counts) {
+void System::route_cell(std::size_t k, obs::ProtocolCounts* counts,
+                        std::vector<std::size_t>* changed_out) {
   CellState& c = cells_[k];
   const CellId id = grid_.id_of(k);
   if (c.failed) return;
@@ -211,8 +328,10 @@ void System::route_cell(std::size_t k, obs::ProtocolCounts* counts) {
     // The target anchors routing: dist pinned to 0, next to ⊥. Pinning
     // every round (rather than only at init/recover) also washes out
     // adversarial corruption of the target's control state.
-    if (counts != nullptr && c.dist != Dist::zero())
-      ++counts->route_dist_changes;
+    if (c.dist != Dist::zero()) {
+      if (counts != nullptr) ++counts->route_dist_changes;
+      if (changed_out != nullptr) changed_out->push_back(k);
+    }
     c.dist = Dist::zero();
     c.next = std::nullopt;
     return;
@@ -229,6 +348,10 @@ void System::route_cell(std::size_t k, obs::ProtocolCounts* counts) {
     counts->route_relaxations += n;
     if (c.dist != r.dist) ++counts->route_dist_changes;
   }
+  // Only a *dist* change can perturb other cells (Route reads nothing
+  // else); a next-only change re-routes this cell's own movers but
+  // leaves every Route input, and hence the arming set, untouched.
+  if (changed_out != nullptr && c.dist != r.dist) changed_out->push_back(k);
   c.dist = r.dist;
   c.next = r.next;
 }
@@ -241,18 +364,40 @@ void System::run_signal_phase() {
   // sequence, so it pins this phase to the in-order loop; the results
   // are identical either way for concurrent-safe (pure) policies.
   ThreadPool* pool = choose_->concurrent_safe() ? pool_.get() : nullptr;
+  const bool active = scheduler_ == RoundScheduler::kActiveSet;
   const auto nshards =
       pool ? static_cast<std::size_t>(pool->thread_count()) : 1;
   std::vector<std::vector<CellId>> blocked(nshards);
   std::vector<obs::ProtocolCounts> counts(metrics_ ? nshards : 0);
+  std::vector<std::vector<std::size_t>> flips(active ? nshards : 0);
+  std::vector<std::uint64_t> visited(nshards, 0);
   parallel_for_shards(
       pool, cells_.size(), [&](std::size_t s, ShardRange r) {
         const auto t0 = profiler_ != nullptr
                             ? obs::PhaseProfiler::Clock::now()
                             : obs::PhaseProfiler::Clock::time_point{};
         obs::ProtocolCounts* pc = counts.empty() ? nullptr : &counts[s];
-        for (std::size_t k = r.begin; k < r.end; ++k)
-          signal_cell(k, blocked[s], pc);
+        if (!active) {
+          for (std::size_t k = r.begin; k < r.end; ++k)
+            signal_cell(k, blocked[s], pc, nullptr);
+          visited[s] = r.end - r.begin;
+        } else {
+          for (std::size_t k = r.begin; k < r.end; ++k) {
+            // occ_refs_ is frozen for the duration of the phase (flips
+            // buffer per shard and apply at the barrier), so every
+            // engine takes identical skip decisions. A cell with an
+            // all-unoccupied closed neighborhood maps (⊥,⊥,[]) to
+            // (⊥,⊥,[]) without consulting choose_, so skipping it is
+            // exact — it only owes the exhaustive loop's ne_prev_sizes
+            // tally for live cells.
+            if (occ_refs_[k] > 0) {
+              signal_cell(k, blocked[s], pc, &flips[s]);
+              ++visited[s];
+            } else if (pc != nullptr && !cells_[k].failed) {
+              ++pc->ne_prev_sizes[0];
+            }
+          }
+        }
         if (profiler_ != nullptr)
           profiler_->record("signal", round_, static_cast<int>(s), t0,
                             obs::PhaseProfiler::Clock::now());
@@ -262,10 +407,19 @@ void System::run_signal_phase() {
   for (const std::vector<CellId>& b : blocked)
     events_.blocked.insert(events_.blocked.end(), b.begin(), b.end());
   for (const obs::ProtocolCounts& c : counts) round_counts_.merge(c);
+  sched_stats_.signal_cells = 0;
+  for (const std::uint64_t v : visited) sched_stats_.signal_cells += v;
+  // Occupancy flips apply at the barrier, in shard order, so the Move
+  // phase's activity reads see the post-Signal occupancy on every
+  // engine (a fresh grant makes its destination occupied, which is what
+  // schedules the granted mover).
+  for (const std::vector<std::size_t>& shard_flips : flips)
+    for (const std::size_t k : shard_flips) apply_occupancy_flip(k);
 }
 
 void System::signal_cell(std::size_t k, std::vector<CellId>& blocked_out,
-                         obs::ProtocolCounts* counts) {
+                         obs::ProtocolCounts* counts,
+                         std::vector<std::size_t>* flip_out) {
   CellState& c = cells_[k];
   if (c.failed) return;
   const CellId id = grid_.id_of(k);
@@ -303,6 +457,8 @@ void System::signal_cell(std::size_t k, std::vector<CellId>& blocked_out,
   c.signal = r.signal;
   c.token = r.token;
   c.ne_prev = std::move(r.ne_prev);
+  if (flip_out != nullptr && occupied(c) != (occ_b_[k] != 0))
+    flip_out->push_back(k);
 }
 
 void System::run_move_phase() {
@@ -314,19 +470,38 @@ void System::run_move_phase() {
   // it shards freely; delivery happens after the barrier, in canonical
   // order, because appends into a shared destination determine Members
   // order and hence downstream traces.
+  const bool active = scheduler_ == RoundScheduler::kActiveSet;
   const auto nshards =
       pool_ ? static_cast<std::size_t>(pool_->thread_count()) : 1;
   std::vector<std::vector<CellId>> moved(nshards);
   std::vector<std::vector<PendingTransfer>> pending(nshards);
   std::vector<obs::ProtocolCounts> counts(metrics_ ? nshards : 0);
+  std::vector<std::uint64_t> visited(nshards, 0);
   parallel_for_shards(
       pool_.get(), cells_.size(), [&](std::size_t s, ShardRange r) {
         const auto t0 = profiler_ != nullptr
                             ? obs::PhaseProfiler::Clock::now()
                             : obs::PhaseProfiler::Clock::time_point{};
         obs::ProtocolCounts* pc = counts.empty() ? nullptr : &counts[s];
-        for (std::size_t k = r.begin; k < r.end; ++k)
-          move_cell(k, moved[s], pending[s], pc);
+        if (!active) {
+          for (std::size_t k = r.begin; k < r.end; ++k)
+            move_cell(k, moved[s], pending[s], pc);
+          visited[s] = r.end - r.begin;
+        } else {
+          for (std::size_t k = r.begin; k < r.end; ++k) {
+            // An unoccupied cell with an unoccupied closed neighborhood
+            // cannot move: it has no members to relocate or compact,
+            // and a grant in its favor would make its destination (a
+            // lattice neighbor, post-Route) occupied — so move_cell
+            // would be a no-op that tallies nothing. occ_refs_ already
+            // reflects this round's Signal output (flips merged at the
+            // barrier).
+            if (occ_refs_[k] > 0) {
+              move_cell(k, moved[s], pending[s], pc);
+              ++visited[s];
+            }
+          }
+        }
         if (profiler_ != nullptr)
           profiler_->record("move", round_, static_cast<int>(s), t0,
                             obs::PhaseProfiler::Clock::now());
@@ -335,6 +510,8 @@ void System::run_move_phase() {
   for (const std::vector<CellId>& m : moved)
     events_.moved.insert(events_.moved.end(), m.begin(), m.end());
   for (const obs::ProtocolCounts& c : counts) round_counts_.merge(c);
+  sched_stats_.move_cells = 0;
+  for (const std::uint64_t v : visited) sched_stats_.move_cells += v;
 
   const auto merge_t0 = profiler_ != nullptr
                             ? obs::PhaseProfiler::Clock::now()
@@ -359,6 +536,16 @@ void System::run_move_phase() {
       cells_[grid_.index_of(t.to)].members.push_back(t.entity);
     }
     events_.transfers.push_back(ev);
+  }
+  if (active) {
+    // Membership only changes at cells that applied a movement (shrink)
+    // or received a delivery (growth); both lists are already in
+    // canonical order. refresh_occupancy is idempotent, so overlap
+    // (a cell that both moved and received) is harmless.
+    for (const CellId id : events_.moved)
+      refresh_occupancy(grid_.index_of(id));
+    for (const TransferEvent& t : events_.transfers)
+      if (!t.consumed) refresh_occupancy(grid_.index_of(t.to));
   }
   if (profiler_ != nullptr)
     profiler_->record("merge", round_, -1, merge_t0,
@@ -414,6 +601,7 @@ void System::run_inject_phase() {
     }
     const EntityId id{next_entity_id_++};
     c.members.push_back(Entity{id, *center});
+    refresh_occupancy(grid_.index_of(s));
     source_->note_accepted();
     events_.injected.emplace_back(s, id);
     if (metrics_) ++round_counts_.injections;
@@ -461,6 +649,7 @@ EntityId System::seed_entity(CellId id, Vec2 center) {
                  "Invariant-1 bounds");
   const EntityId eid{next_entity_id_++};
   cells_[grid_.index_of(id)].members.push_back(Entity{eid, center});
+  refresh_occupancy(grid_.index_of(id));
   return eid;
 }
 
@@ -468,6 +657,7 @@ EntityId System::seed_entity_unchecked(CellId id, Vec2 center) {
   CF_EXPECTS(grid_.contains(id));
   const EntityId eid{next_entity_id_++};
   cells_[grid_.index_of(id)].members.push_back(Entity{eid, center});
+  refresh_occupancy(grid_.index_of(id));
   return eid;
 }
 
@@ -479,6 +669,7 @@ void System::corrupt_control_state(CellId id, Dist dist, OptCellId next,
   c.next = next;
   c.token = token;
   c.signal = signal;
+  note_control_mutation(grid_.index_of(id));
 }
 
 }  // namespace cellflow

@@ -107,6 +107,32 @@ struct ParallelPolicy {
 /// the engines are bit-identical.
 [[nodiscard]] ParallelPolicy parallel_policy_from_env();
 
+/// Which cells a round visits. Both schedulers produce bit-identical
+/// protocol state, events, and metric counts (pinned by the three-way
+/// differential in tests/test_parallel_system.cpp); kActiveSet merely
+/// skips cells whose phase bodies are provably no-ops this round:
+///
+///   * Route — a cell reruns only while armed: some lattice neighbor's
+///     dist changed last round, or the neighborhood was perturbed by
+///     fail()/recover()/corrupt_control_state(). route_step is a pure
+///     function of the neighbors' previous-round dists, so unchanged
+///     inputs reproduce the stored dist/next.
+///   * Signal/Move — a cell runs only if some cell of its closed
+///     neighborhood is "occupied" (has members, a token, a signal, or a
+///     stale NEPrev). An unoccupied cell with unoccupied neighbors maps
+///     (⊥,⊥,[]) to (⊥,⊥,[]) without consulting the ChoosePolicy, and a
+///     granted mover always has an occupied destination, so skipping is
+///     invisible — including to stateful (RandomChoose) token streams.
+///
+/// The active sets are maintained incrementally (injection, transfer,
+/// consumption, failure events), never rescanned; see DESIGN.md §9 for
+/// the re-arm invariants. kExhaustive is the reference engine the
+/// differential suites pin against.
+enum class RoundScheduler {
+  kActiveSet,    ///< skip provably-quiescent cells (the default)
+  kExhaustive,  ///< visit every cell every phase (reference semantics)
+};
+
 /// Static configuration of a System.
 struct SystemConfig {
   int side = 8;                      ///< N: grid is N×N
@@ -255,6 +281,30 @@ class System {
     return parallel_;
   }
 
+  /// Selects the round scheduler for subsequent update() calls. Changing
+  /// it never changes results (see RoundScheduler); switching to
+  /// kActiveSet rebuilds the active sets from the current state, so the
+  /// switch is valid at any round boundary.
+  void set_round_scheduler(RoundScheduler scheduler);
+
+  [[nodiscard]] RoundScheduler round_scheduler() const noexcept {
+    return scheduler_;
+  }
+
+  /// How many cells each phase of the most recent update() actually
+  /// visited (diagnostics for the active-set scheduler; under
+  /// kExhaustive every figure equals cell_count()). Deliberately not
+  /// part of RoundEvents: the differential suites compare RoundEvents
+  /// across schedulers, and these figures legitimately differ.
+  struct SchedulerStats {
+    std::uint64_t route_cells = 0;
+    std::uint64_t signal_cells = 0;
+    std::uint64_t move_cells = 0;
+  };
+  [[nodiscard]] const SchedulerStats& last_scheduler_stats() const noexcept {
+    return sched_stats_;
+  }
+
   // --- observability ---------------------------------------------------
 
   /// Attaches a metrics registry (non-owning; must outlive this System's
@@ -306,12 +356,53 @@ class System {
   // canonical (ascending cell-index) order afterwards.
   // `counts` is the shard-private tally slot (nullptr when no registry
   // is attached — the bodies then skip all bookkeeping).
-  void route_cell(std::size_t k, obs::ProtocolCounts* counts);
+  // `changed_out`/`flip_out` are the active-set scheduler's shard-private
+  // change buffers (nullptr under kExhaustive): cells whose dist changed
+  // (Route) / whose occupancy bit flipped (Signal). Both are applied to
+  // the shared scheduler state only at the post-phase barrier, in shard
+  // order, so intra-phase reads of that state see a frozen snapshot on
+  // every engine.
+  void route_cell(std::size_t k, obs::ProtocolCounts* counts,
+                  std::vector<std::size_t>* changed_out);
   void signal_cell(std::size_t k, std::vector<CellId>& blocked_out,
-                   obs::ProtocolCounts* counts);
+                   obs::ProtocolCounts* counts,
+                   std::vector<std::size_t>* flip_out);
   void move_cell(std::size_t k, std::vector<CellId>& moved_out,
                  std::vector<PendingTransfer>& pending_out,
                  obs::ProtocolCounts* counts);
+
+  // --- active-set scheduler internals (DESIGN.md §9) -------------------
+
+  /// B(c): true iff the cell can influence (or be mutated by) Signal or
+  /// Move this round. Computed from the raw fields regardless of
+  /// `failed`, so even adversarially corrupted failed cells keep their
+  /// neighborhoods scheduled exactly as the exhaustive loop behaves.
+  [[nodiscard]] static bool occupied(const CellState& c) noexcept {
+    return !c.members.empty() || c.token.has_value() || c.signal.has_value() ||
+           !c.ne_prev.empty();
+  }
+
+  /// Re-derives every scheduler structure from the current protocol
+  /// state: all cells armed for Route this round, occupancy bits and
+  /// neighborhood refcounts recomputed, dist snapshot synced.
+  void rebuild_active_sets();
+
+  /// Arms `k` and its lattice neighbors to run Route in round `upto`.
+  void arm_route_neighborhood(std::size_t k, std::uint64_t upto);
+
+  /// Toggles occ_b_[k] and propagates ±1 to the closed neighborhood's
+  /// refcounts. Callers guarantee the bit is actually stale.
+  void apply_occupancy_flip(std::size_t k);
+
+  /// Recomputes B(cells_[k]) and applies the flip if it changed
+  /// (idempotent; used by the serial mutation points: injection,
+  /// transfer delivery, seeding, fail/recover/corruption).
+  void refresh_occupancy(std::size_t k);
+
+  /// Bookkeeping shared by fail()/recover()/corrupt_control_state():
+  /// syncs the dist snapshot, re-arms Route around the mutation, and
+  /// refreshes occupancy.
+  void note_control_mutation(std::size_t k);
 
   /// True iff adding an entity centered at `center` to cell `id` keeps the
   /// cell safe: Invariant-1 bounds, pairwise gap ≥ d, and (fairness guard,
@@ -339,7 +430,22 @@ class System {
   obs::ProtocolCounts round_counts_;  ///< merged tally of the current round
 
   // Scratch buffers reused across rounds to avoid per-round allocation.
+  // Under kActiveSet, dist_snapshot_ is not a scratch buffer but an
+  // invariant: dist_snapshot_[k] == cells_[k].dist at every round
+  // boundary (maintained incrementally by the post-Route merge and by
+  // note_control_mutation); under kExhaustive it is recopied each round.
   std::vector<Dist> dist_snapshot_;
+
+  // Active-set scheduler state (kActiveSet; rebuilt on switch). All
+  // three vectors are read-only during the sharded phase loops and
+  // mutated only at the barriers / between rounds, on the calling
+  // thread — shards buffer their changes privately (see route_cell /
+  // signal_cell) and the merges apply them in shard order.
+  RoundScheduler scheduler_ = RoundScheduler::kActiveSet;
+  std::vector<std::uint64_t> route_stamp_;  ///< run Route iff >= round_
+  std::vector<std::uint8_t> occ_b_;         ///< B(cells_[k]), cached
+  std::vector<std::uint8_t> occ_refs_;      ///< # occupied in closed nbhd
+  SchedulerStats sched_stats_;
 };
 
 }  // namespace cellflow

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/csv.hpp"
+
 namespace cellflow::obs {
 
 std::string format_double(double v) {
@@ -453,5 +455,77 @@ class JsonChecker {
 }  // namespace
 
 void validate_json(std::string_view text) { JsonChecker(text).run(); }
+
+// --- CSV block re-encoding (BENCH_*.json sidecars) ------------------------
+
+namespace {
+
+/// Strict JSON number grammar (RFC 8259 §6):
+///   -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+/// Checked character-by-character — deliberately NOT strtod, which is
+/// locale-sensitive and full-matches non-JSON spellings ("5.", ".5",
+/// "+1", "0x1p3", "inf").
+bool is_json_number(std::string_view s) {
+  std::size_t k = 0;
+  const auto digit = [&](std::size_t i) {
+    return i < s.size() && s[i] >= '0' && s[i] <= '9';
+  };
+  if (k < s.size() && s[k] == '-') ++k;
+  if (!digit(k)) return false;
+  if (s[k] == '0') {
+    ++k;
+  } else {
+    while (digit(k)) ++k;
+  }
+  if (k < s.size() && s[k] == '.') {
+    ++k;
+    if (!digit(k)) return false;
+    while (digit(k)) ++k;
+  }
+  if (k < s.size() && (s[k] == 'e' || s[k] == 'E')) {
+    ++k;
+    if (k < s.size() && (s[k] == '+' || s[k] == '-')) ++k;
+    if (!digit(k)) return false;
+    while (digit(k)) ++k;
+  }
+  return k == s.size();
+}
+
+}  // namespace
+
+std::string csv_field_as_json(std::string_view field) {
+  if (is_json_number(field)) return std::string(field);
+  return '"' + json_escape(field) + '"';
+}
+
+std::string csv_block_as_json(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  bool in_csv = false;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    if (!in_csv) {
+      in_csv = line == "CSV:";
+      continue;
+    }
+    if (line.empty()) break;
+    lines.push_back(line);
+  }
+  std::string json = "{\"header\":[";
+  std::string rows = "],\"rows\":[";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string row;
+    for (const std::string& f : parse_csv_line(lines[i])) {
+      if (!row.empty()) row += ',';
+      row += csv_field_as_json(f);
+    }
+    if (i == 0) {
+      json += row;
+    } else {
+      rows += (i > 1 ? ",[" : "[") + row + ']';
+    }
+  }
+  return json + rows + "]}";
+}
 
 }  // namespace cellflow::obs

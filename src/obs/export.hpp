@@ -50,6 +50,22 @@ namespace cellflow::obs {
 /// JSON string escaping (quotes not included).
 [[nodiscard]] std::string json_escape(std::string_view s);
 
+/// One CSV field as a JSON value: emitted bare iff it matches the strict
+/// JSON number grammar (so "5.", ".5", "+1", "007", "nan", "inf" and hex
+/// all stay quoted strings — strtod would accept them but a JSON parser
+/// must not), otherwise as an escaped JSON string. Grammar-matched, not
+/// strtod-matched, so the result is locale-independent: under a
+/// comma-decimal locale strtod full-matches no fractional field, which
+/// used to silently demote every numeric series to strings.
+[[nodiscard]] std::string csv_field_as_json(std::string_view field);
+
+/// Re-parses the `CSV:` block out of captured console text into
+/// {"header":[...],"rows":[[...],...]} with csv_field_as_json applied
+/// per field. The block starts after a line equal to "CSV:" and ends at
+/// the first empty line; text without one yields empty header and rows.
+/// Used by bench::BenchRecorder for the BENCH_<name>.json sidecars.
+[[nodiscard]] std::string csv_block_as_json(const std::string& text);
+
 // --- parsers / validators -------------------------------------------------
 
 /// One sample line of the Prometheus text format.

@@ -25,6 +25,7 @@ RunResult run_workload(const WorkloadSpec& spec, std::uint64_t seed) {
 
   System sys(spec.config, std::move(choose), std::move(source));
   sys.set_parallel_policy(spec.parallel);
+  sys.set_round_scheduler(spec.scheduler);
 
   CF_EXPECTS_MSG(spec.carve_path.empty() || spec.carve_keep.empty(),
                  "carve_path and carve_keep are mutually exclusive");

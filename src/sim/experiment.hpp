@@ -59,6 +59,10 @@ struct WorkloadSpec {
   /// the engines are bit-identical — only wall-clock.
   ParallelPolicy parallel = parallel_policy_from_env();
 
+  /// Round scheduler for System::update(); like `parallel`, never
+  /// affects results (bit-identical schedulers), only wall-clock.
+  RoundScheduler scheduler = RoundScheduler::kActiveSet;
+
   /// Observability attach points (DESIGN.md §7). Non-owning; both may be
   /// null (the default — zero-cost). When `metrics` is set, the run also
   /// attaches a MetricsObserver so gauges/per-cell counters are filled.

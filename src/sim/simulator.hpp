@@ -66,6 +66,12 @@ class Simulator {
     sys_.set_parallel_policy(policy);
   }
 
+  /// Forwards to System::set_round_scheduler — same contract as the
+  /// parallel policy: results are bit-identical across schedulers.
+  void set_round_scheduler(RoundScheduler scheduler) {
+    sys_.set_round_scheduler(scheduler);
+  }
+
   /// Forward to System's observability attach points (DESIGN.md §7).
   void set_metrics(obs::MetricsRegistry* registry) {
     sys_.set_metrics(registry);

@@ -57,11 +57,14 @@ double CliArgs::get_double(std::string_view name, double fallback,
   note(name, help, std::to_string(fallback));
   const auto v = raw(name);
   if (!v) return fallback;
-  try {
-    return std::stod(*v);
-  } catch (const std::exception&) {
+  // Full-match from_chars, like the integer getters: std::stod would
+  // silently accept trailing garbage ("0.5x" → 0.5) and parses the
+  // decimal separator per the global locale.
+  double out = 0.0;
+  const auto res = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (res.ec != std::errc{} || res.ptr != v->data() + v->size())
     fail("flag --" + std::string(name) + " expects a number, got '" + *v + "'");
-  }
+  return out;
 }
 
 std::int64_t CliArgs::get_int(std::string_view name, std::int64_t fallback,

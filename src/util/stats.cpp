@@ -84,13 +84,17 @@ double Histogram::bin_hi(std::size_t b) const {
 
 double Histogram::quantile(double q) const {
   CF_EXPECTS(q >= 0.0 && q <= 1.0);
-  CF_EXPECTS(total_ > 0);
+  if (total_ == 0) return lo_;
   const double target = q * static_cast<double>(total_);
   double cum = 0.0;
   for (std::size_t b = 0; b < counts_.size(); ++b) {
     const auto c = static_cast<double>(counts_[b]);
+    // Empty bins carry no mass: without this skip, q = 0 (target 0)
+    // would resolve to the range's lower bound even when the leading
+    // bins hold no samples.
+    if (c == 0.0) continue;
     if (cum + c >= target) {
-      const double frac = c == 0.0 ? 0.0 : (target - cum) / c;
+      const double frac = (target - cum) / c;
       return bin_lo(b) + frac * (bin_hi(b) - bin_lo(b));
     }
     cum += c;

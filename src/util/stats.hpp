@@ -62,7 +62,10 @@ class Histogram {
   [[nodiscard]] double bin_hi(std::size_t b) const;
 
   /// Value below which fraction q of samples lie (linear within-bin
-  /// interpolation). Precondition: 0 <= q <= 1 and total() > 0.
+  /// interpolation; empty bins carry no mass, so q = 0 is the left edge
+  /// of the first nonempty bin and q = 1 the right edge of the last).
+  /// An empty histogram returns the range's lower bound — exporters may
+  /// query quantiles before any sample lands. Precondition: 0 <= q <= 1.
   [[nodiscard]] double quantile(double q) const;
 
   /// Multi-line ASCII rendering (for example binaries).

@@ -62,6 +62,34 @@ TEST(Cli, MalformedNumberRejected) {
   EXPECT_THROW((void)cli3.get_bool("flag", false), std::runtime_error);
 }
 
+TEST(Cli, DoubleWithTrailingGarbageRejected) {
+  // std::stod would silently parse "--v=0.5x" as 0.5; the full-match
+  // from_chars parser must reject it (and every other partial match).
+  for (const char* bad : {"--v=0.5x", "--v=1e", "--v=2.5.1", "--v=0,5",
+                          "--v= 0.5", "--v=0.5 ", "--v=", "--v=1d0"}) {
+    auto cli = make({bad});
+    EXPECT_THROW((void)cli.get_double("v", 0.0), std::runtime_error)
+        << "accepted '" << bad << "'";
+  }
+}
+
+TEST(Cli, DoubleAcceptsFullMatchForms) {
+  auto cli = make({"--a=-0.25", "--b=1e-3", "--c=2.5E+2", "--d=42"});
+  EXPECT_DOUBLE_EQ(cli.get_double("a", 0.0), -0.25);
+  EXPECT_DOUBLE_EQ(cli.get_double("b", 0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(cli.get_double("c", 0.0), 250.0);
+  EXPECT_DOUBLE_EQ(cli.get_double("d", 0.0), 42.0);
+  cli.finish();
+}
+
+TEST(Cli, IntWithTrailingGarbageRejected) {
+  for (const char* bad : {"--n=3x", "--n=0.5", "--n=2 ", "--n="}) {
+    auto cli = make({bad});
+    EXPECT_THROW((void)cli.get_int("n", 0), std::runtime_error)
+        << "accepted '" << bad << "'";
+  }
+}
+
 TEST(Cli, NonFlagPositionalRejected) {
   std::array<const char*, 2> argv = {"prog", "stray"};
   EXPECT_THROW(CliArgs(2, argv.data()), std::runtime_error);

@@ -253,6 +253,76 @@ TEST(NetStabilization, FlowResumesAfterPartitionHeals) {
   EXPECT_GT(msg.total_arrivals(), at_heal);
 }
 
+// A targeted adversary for the grant round-stamp: every GrantAnnounce is
+// withheld and re-delivered at the NEXT round's grant barrier, twice
+// (a delayed copy plus a duplicate). All other payloads pass untouched.
+class GrantReplayNetwork final : public NetworkModel {
+ protected:
+  void transmit(std::vector<Message>&& sent,
+                std::vector<Message>& out) override {
+    std::vector<Message> captured;
+    for (Message& m : sent) {
+      if (std::holds_alternative<GrantAnnounce>(m.payload)) {
+        note_fault(NetFault::kDelayed, PayloadType::kGrant);
+        note_fault(NetFault::kDuplicated, PayloadType::kGrant);
+        captured.push_back(std::move(m));
+      } else {
+        out.push_back(std::move(m));
+      }
+    }
+    if (!captured.empty()) {
+      // The grant barrier: release the previous round's grants (stale by
+      // exactly one round) and hold this round's.
+      for (const Message& m : held_) {
+        out.push_back(m);
+        out.push_back(m);
+      }
+      held_ = std::move(captured);
+    }
+  }
+
+ private:
+  std::vector<Message> held_;
+};
+
+// The Move guard must read FRESH signal values (§II-B, message.hpp): a
+// grant delayed — even by a single round, even delivered twice — expires
+// by its round stamp and authorizes nothing. Under this adversary no
+// transfer session can ever open: injections pile up at the source, no
+// entity crosses any boundary, and every safety/conservation oracle
+// holds throughout.
+TEST(GrantReplayAdversary, StaleDuplicatedGrantsAuthorizeNothing) {
+  MsgSystemConfig cfg;
+  cfg.side = 4;
+  cfg.params = Params(0.2, 0.1, 0.1);
+  cfg.sources = {CellId{0, 0}};
+  cfg.target = CellId{3, 3};
+  MessageSystem msg{cfg, std::make_unique<GrantReplayNetwork>()};
+
+  for (int round = 0; round < 40; ++round) {
+    msg.update();
+    const auto violations = msg_audit::check_all(msg);
+    ASSERT_TRUE(violations.empty())
+        << "round " << round << ": " << to_string(violations.front());
+  }
+
+  // Grants were issued and every delivered copy was discarded as expired.
+  EXPECT_GT(msg.network().sent_count(PayloadType::kGrant), 0u);
+  EXPECT_GT(msg.expired_grants(), 0u);
+  // No session ever opened: not a single TransferBatch on the wire, no
+  // arrivals, nothing in flight, and entities only where injected.
+  EXPECT_EQ(msg.network().sent_count(PayloadType::kTransfer), 0u);
+  EXPECT_EQ(msg.network().sent_count(PayloadType::kAck), 0u);
+  EXPECT_EQ(msg.total_arrivals(), 0u);
+  EXPECT_TRUE(msg.in_flight_entities().empty());
+  EXPECT_GT(msg.total_injected(), 0u);
+  for (const CellId id : msg.grid().all_cells()) {
+    if (id != CellId{0, 0}) {
+      EXPECT_TRUE(msg.cell(id).members.empty()) << to_string(id);
+    }
+  }
+}
+
 std::vector<FuzzCase> fuzz_cases() {
   std::vector<FuzzCase> cases;
   for (std::uint64_t s = 1; s <= 48; ++s) cases.push_back({s});

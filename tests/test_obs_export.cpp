@@ -149,6 +149,51 @@ TEST(ObsExport, EmptyExportsAreWellFormed) {
   obs::validate_json(obs::to_chrome_trace(prof));
 }
 
+TEST(ObsExport, CsvFieldAsJsonStrictNumberGrammar) {
+  // Bare iff the field matches RFC 8259 §6 exactly. strtod-accepted
+  // spellings outside that grammar must stay quoted strings, or the
+  // sidecars stop being valid JSON.
+  for (const char* bare : {"0", "-0", "20", "-17", "1.5", "-0.25", "1e9",
+                           "2.5E+2", "1e-3", "0.0001", "9007199254740993"}) {
+    EXPECT_EQ(obs::csv_field_as_json(bare), bare) << "quoted '" << bare << "'";
+  }
+  for (const char* quoted : {"5.", ".5", "+1", "007", "1.", "--1", "1e",
+                             "1e+", "0x1p3", "nan", "inf", "Inf", "NaN",
+                             "1 ", " 1", "1,5", "", "route", "1.5.2"}) {
+    EXPECT_EQ(obs::csv_field_as_json(quoted),
+              '"' + obs::json_escape(quoted) + '"')
+        << "bare '" << quoted << "'";
+  }
+}
+
+TEST(ObsExport, CsvBlockAsJsonGolden) {
+  // Pins the exact sidecar series bytes for a representative bench
+  // console capture (table noise before the block, trailer after the
+  // blank line that ends it).
+  const std::string console =
+      "=== some bench ===\n"
+      "  n   rate\n"
+      "  20  0.5\n"
+      "\n"
+      "CSV:\n"
+      "n,rate,label\n"
+      "20,0.5,sparse\n"
+      "100,1e-3,dense.\n"
+      "\n"
+      "done\n";
+  const std::string json = obs::csv_block_as_json(console);
+  EXPECT_EQ(json,
+            "{\"header\":[\"n\",\"rate\",\"label\"],"
+            "\"rows\":[[20,0.5,\"sparse\"],[100,1e-3,\"dense.\"]]}");
+  obs::validate_json(json);
+}
+
+TEST(ObsExport, CsvBlockAsJsonWithoutBlockIsEmptyAndValid) {
+  const std::string json = obs::csv_block_as_json("no csv here\n");
+  EXPECT_EQ(json, "{\"header\":[],\"rows\":[]}");
+  obs::validate_json(json);
+}
+
 // End-to-end on the pinned tiny scenario (the same configuration whose
 // trace test_trace.cpp pins golden): the exported counters must agree
 // with the trace-derived event totals — 6 injections, 6 boundary

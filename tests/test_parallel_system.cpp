@@ -214,6 +214,203 @@ TEST(ParallelGoldenTrace, PinnedTraceAtEveryThreadCount) {
   }
 }
 
+// --- active-set scheduler ---------------------------------------------
+//
+// Three-way differential for the active-set round scheduler: the
+// reference exhaustive serial engine vs the active-set serial engine vs
+// the active-set parallel engine at 1/2/4/8 threads, with fail/recover
+// AND adversarial control-state corruption in the schedule (corruption
+// is the hard case: it can plant a signal on an otherwise-empty cell and
+// a non-adjacent next on an occupied one, both of which the scheduler's
+// re-arm rules must chase). Bit-identical states and events required
+// after every round, oracles checked throughout.
+class ActiveSetDifferential : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(ActiveSetDifferential, BitIdenticalToExhaustiveSerial) {
+  const std::uint64_t seed = GetParam().seed;
+  Xoshiro256 rng(seed * 6151 + 29);
+
+  const auto u = [&rng](int n) {
+    return static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(n)));
+  };
+
+  const int side = 4 + static_cast<int>(rng.below(5));  // 4..8
+  const double l = rng.uniform(0.1, 0.35);
+  const double rs = rng.uniform(0.05, std::min(0.4, 0.95 - l));
+  const double v = rng.uniform(0.05, l);
+  const CellId target{u(side), u(side)};
+  std::vector<CellId> sources;
+  const std::size_t n_sources = 1 + rng.below(2);
+  while (sources.size() < n_sources) {
+    const CellId c{u(side), u(side)};
+    if (c == target) continue;
+    if (std::find(sources.begin(), sources.end(), c) != sources.end())
+      continue;
+    sources.push_back(c);
+  }
+
+  SystemConfig cfg;
+  cfg.side = side;
+  cfg.params = Params(l, rs, v);
+  cfg.target = target;
+  cfg.sources = sources;
+  cfg.movement_rule =
+      (seed % 2 == 0) ? MovementRule::kCoupled : MovementRule::kCompacting;
+  cfg.signal_rule =
+      (seed % 5 == 0) ? SignalRule::kAlwaysGrant : SignalRule::kBlocking;
+  const bool random_choose = (seed % 7 == 0);
+  const auto choose = [&]() -> std::unique_ptr<ChoosePolicy> {
+    return random_choose ? make_choose_policy("random", 2000 + seed) : nullptr;
+  };
+
+  System exhaustive{cfg, choose()};
+  exhaustive.set_parallel_policy(ParallelPolicy::serial());
+  exhaustive.set_round_scheduler(RoundScheduler::kExhaustive);
+
+  // kActiveSet is the construction default; assert rather than set, so a
+  // future default change loudly invalidates this suite's premise.
+  System active_serial{cfg, choose()};
+  active_serial.set_parallel_policy(ParallelPolicy::serial());
+  ASSERT_EQ(active_serial.round_scheduler(), RoundScheduler::kActiveSet);
+
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::vector<std::unique_ptr<System>> engines;
+  for (const int t : thread_counts) {
+    engines.push_back(std::make_unique<System>(cfg, choose()));
+    engines.back()->set_parallel_policy(ParallelPolicy::parallel(t));
+  }
+
+  const auto everywhere = [&](const auto& mutate) {
+    mutate(exhaustive);
+    mutate(active_serial);
+    for (auto& e : engines) mutate(*e);
+  };
+
+  for (int round = 0; round < 60; ++round) {
+    for (const CellId id : exhaustive.grid().all_cells()) {
+      if (exhaustive.cell(id).failed) {
+        if (rng.bernoulli(0.05))
+          everywhere([&](System& s) { s.recover(id); });
+      } else if (rng.bernoulli(0.012)) {
+        everywhere([&](System& s) { s.fail(id); });
+      }
+    }
+    if (rng.bernoulli(0.08)) {
+      const CellId id{u(side), u(side)};
+      const auto random_id = [&]() -> OptCellId {
+        if (rng.bernoulli(0.3)) return std::nullopt;
+        return CellId{u(side), u(side)};
+      };
+      const Dist dist =
+          rng.bernoulli(0.3) ? Dist::infinity() : Dist::finite(rng.below(50));
+      const OptCellId next = random_id();
+      const OptCellId token = random_id();
+      const OptCellId signal = random_id();
+      everywhere([&](System& s) {
+        s.corrupt_control_state(id, dist, next, token, signal);
+      });
+    }
+
+    const RoundEvents ref_events = exhaustive.update();
+    const RoundEvents serial_events = active_serial.update();
+    expect_bit_identical(exhaustive, active_serial, round, "active-serial");
+    expect_identical_events(ref_events, serial_events, round, "active-serial");
+    for (std::size_t k = 0; k < engines.size(); ++k) {
+      const RoundEvents& ev = engines[k]->update();
+      const std::string label =
+          "active-threads=" + std::to_string(thread_counts[k]);
+      expect_bit_identical(exhaustive, *engines[k], round, label);
+      expect_identical_events(ref_events, ev, round, label);
+    }
+
+    if (cfg.signal_rule == SignalRule::kBlocking) {
+      for (const System* sys :
+           {&exhaustive, &active_serial, engines[1].get()}) {
+        const auto violations = check_all(*sys);
+        ASSERT_TRUE(violations.empty())
+            << "round " << round << ": " << to_string(violations.front());
+      }
+    } else {
+      const auto violation = check_members_disjoint(active_serial);
+      ASSERT_FALSE(violation.has_value())
+          << "round " << round << ": " << to_string(*violation);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ActiveSetDifferential,
+                         ::testing::ValuesIn(scenarios()));
+
+// Switching schedulers mid-run must be seamless in both directions:
+// set_round_scheduler(kActiveSet) rebuilds the stamps/occupancy from the
+// current state, so a run that flips back and forth stays bit-identical
+// to one that never left kExhaustive.
+TEST(ActiveSetScheduler, MidRunToggleIsSeamless) {
+  SystemConfig cfg;
+  cfg.side = 6;
+  cfg.params = Params(0.2, 0.1, 0.1);
+  cfg.target = CellId{5, 5};
+  cfg.sources = {CellId{0, 0}, CellId{3, 0}};
+
+  System reference{cfg};
+  reference.set_round_scheduler(RoundScheduler::kExhaustive);
+  System toggled{cfg};
+
+  for (int round = 0; round < 80; ++round) {
+    if (round % 17 == 5) toggled.set_round_scheduler(RoundScheduler::kExhaustive);
+    if (round % 17 == 11) toggled.set_round_scheduler(RoundScheduler::kActiveSet);
+    if (round == 30) {
+      reference.fail(CellId{2, 2});
+      toggled.fail(CellId{2, 2});
+    }
+    if (round == 50) {
+      reference.recover(CellId{2, 2});
+      toggled.recover(CellId{2, 2});
+    }
+    const RoundEvents ea = reference.update();
+    const RoundEvents eb = toggled.update();
+    expect_bit_identical(reference, toggled, round, "toggle");
+    expect_identical_events(ea, eb, round, "toggle");
+  }
+  EXPECT_GT(reference.total_arrivals(), 0u);
+}
+
+// The point of the scheduler: once routing has stabilized and no entity
+// is in flight, every phase's visit count must drop to zero — the system
+// is provably quiescent and update() touches no cell at all.
+TEST(ActiveSetScheduler, QuiescentSystemVisitsNoCells) {
+  SystemConfig cfg;
+  cfg.side = 10;
+  cfg.params = Params(0.2, 0.1, 0.1);
+  cfg.target = CellId{9, 9};
+  cfg.sources = {};  // no injections, no entities, ever
+  System sys{cfg, nullptr, std::make_unique<NullSource>()};
+
+  for (int round = 0; round < 50; ++round) sys.update();
+  const System::SchedulerStats& stats = sys.last_scheduler_stats();
+  EXPECT_EQ(stats.route_cells, 0u);
+  EXPECT_EQ(stats.signal_cells, 0u);
+  EXPECT_EQ(stats.move_cells, 0u);
+
+  // A single perturbation re-arms exactly one neighborhood, then the
+  // wave settles back to full quiescence.
+  sys.fail(CellId{4, 4});
+  sys.update();
+  EXPECT_GT(sys.last_scheduler_stats().route_cells, 0u);
+  for (int round = 0; round < 60; ++round) sys.update();
+  EXPECT_EQ(sys.last_scheduler_stats().route_cells, 0u);
+  EXPECT_EQ(sys.last_scheduler_stats().signal_cells, 0u);
+  EXPECT_EQ(sys.last_scheduler_stats().move_cells, 0u);
+
+  // Under kExhaustive the same state reports every-cell-every-phase.
+  sys.set_round_scheduler(RoundScheduler::kExhaustive);
+  sys.update();
+  const auto n = static_cast<std::uint64_t>(10 * 10);
+  EXPECT_EQ(sys.last_scheduler_stats().route_cells, n);
+  EXPECT_EQ(sys.last_scheduler_stats().signal_cells, n);
+  EXPECT_EQ(sys.last_scheduler_stats().move_cells, n);
+}
+
 // Regression for the latent-nondeterminism fix: canonical_transfer_order
 // must map any permutation of the per-cell transfer groups (the degrees
 // of freedom an engine's internal iteration order has) back to the

@@ -154,6 +154,45 @@ TEST(SignalStep, StaleTokenRotationReentersNEPrev) {
   EXPECT_EQ(r.token, OptCellId(kWest));
 }
 
+TEST(SignalStep, DepartedHolderChurnDoesNotStarveSurvivors) {
+  // Adversarial NEPrev churn around the stale-holder rotation branch
+  // (signal.cpp: `others` may equal ne_prev when the stale token holder
+  // left NEPrev): kNorth's cell refills on even rounds and empties again
+  // right after being served, so rotation repeatedly runs with a token
+  // naming a departed predecessor. The persistent kWest/kEast must keep
+  // being served at a bounded gap — the rotation position may neither
+  // reset to the front nor wedge on the departed holder.
+  OptCellId token = std::nullopt;
+  std::vector<CellId> grants;
+  bool stale_branch_seen = false;
+  for (int round = 0; round < 30; ++round) {
+    std::vector<CellId> ne_prev = {kWest, kEast};
+    if (round % 2 == 0) ne_prev.push_back(kNorth);
+    std::sort(ne_prev.begin(), ne_prev.end());
+    if (token.has_value() && ne_prev.size() > 1 &&
+        std::find(ne_prev.begin(), ne_prev.end(), *token) == ne_prev.end())
+      stale_branch_seen = true;
+    const auto r = step({}, ne_prev, token);
+    ASSERT_TRUE(r.signal.has_value()) << "round " << round;
+    grants.push_back(*r.signal);
+    token = r.token;
+  }
+  EXPECT_TRUE(stale_branch_seen);
+  // No starvation of the persistent predecessors: each is served within
+  // every window of 4 consecutive rounds.
+  for (const CellId pred : {kWest, kEast}) {
+    int gap = 0;
+    int worst = 0;
+    for (const CellId g : grants) {
+      gap = g == pred ? 0 : gap + 1;
+      worst = std::max(worst, gap);
+    }
+    EXPECT_LE(worst, 3) << "starved " << to_string(pred);
+    EXPECT_GE(std::count(grants.begin(), grants.end(), pred), 10)
+        << to_string(pred);
+  }
+}
+
 TEST(SignalStep, GrantRequiresOnlyTokenDirectionClear) {
   // Entity blocks the east strip but not the west one; token kWest grants.
   const auto r = step({at(2.9, 3.5)}, {kWest, kEast}, kWest);

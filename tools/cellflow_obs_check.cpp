@@ -2,7 +2,7 @@
 // cellflow_sim (or any other driver):
 //
 //   cellflow_obs_check --prom=metrics.txt --jsonl=metrics.txt.jsonl
-//                      --trace=profile.json
+//                      --trace=profile.json --json=BENCH_foo.json
 //
 // Each flag is optional; every named file is parsed with the library's
 // own strict parsers (obs/export.hpp) and a one-line summary is printed.
@@ -38,6 +38,8 @@ int main(int argc, char** argv) {
       cli.get_string("jsonl", "", "JSONL metrics stream to validate");
   const std::string trace =
       cli.get_string("trace", "", "Chrome trace_event JSON to validate");
+  const std::string json = cli.get_string(
+      "json", "", "plain JSON document (e.g. a BENCH_* sidecar) to validate");
   if (cli.help_requested()) {
     std::cout << cli.help_text();
     return 0;
@@ -76,6 +78,10 @@ int main(int argc, char** argv) {
       if (text.find("\"traceEvents\"") == std::string::npos)
         throw std::runtime_error(trace + ": missing traceEvents");
       std::cout << trace << ": trace JSON OK\n";
+    }
+    if (!json.empty()) {
+      cellflow::obs::validate_json(read_file(json));
+      std::cout << json << ": JSON OK\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "cellflow_obs_check: " << e.what() << '\n';

@@ -8,6 +8,7 @@
 //                [--movement=coupled|compacting] [--carve-turns=N]
 //                [--render-every=0] [--trace=false] [--csv=false]
 //                [--seed=1] [--threads=0]
+//                [--scheduler=active|exhaustive]
 //                [--metrics-out=FILE] [--metrics-every=0]
 //                [--profile-out=FILE]
 //                [--realization=shared|message]
@@ -220,6 +221,9 @@ int main(int argc, char** argv) {
   const auto threads = cli.get_uint(
       "threads", 0,
       "round-engine worker threads (0: $CELLFLOW_THREADS or serial)");
+  const std::string scheduler_s = cli.get_string(
+      "scheduler", "active",
+      "round scheduler: active (skip quiescent cells) | exhaustive");
   const std::string metrics_out = cli.get_string(
       "metrics-out", "", "write a Prometheus text snapshot here");
   const auto metrics_every = cli.get_uint(
@@ -263,7 +267,7 @@ int main(int argc, char** argv) {
   if (realization == "message") {
     if (movement != "coupled" || carve_turns >= 0 || threads > 0 ||
         policy != "round-robin" || dump_trace || !profile_out.empty() ||
-        render_every > 0 || emit_csv) {
+        render_every > 0 || emit_csv || scheduler_s != "active") {
       std::cerr << "--realization=message supports only the core flags "
                    "(side/l/rs/v/source/target/rounds/pf/pr/seed, --net-*, "
                    "--partition, --metrics-*)\n";
@@ -308,6 +312,14 @@ int main(int argc, char** argv) {
   }
 
   System sys(cfg, make_choose_policy(policy, seed));
+  if (scheduler_s == "active") {
+    sys.set_round_scheduler(RoundScheduler::kActiveSet);
+  } else if (scheduler_s == "exhaustive") {
+    sys.set_round_scheduler(RoundScheduler::kExhaustive);
+  } else {
+    std::cerr << "unknown scheduler: " << scheduler_s << '\n';
+    return 2;
+  }
   if (threads > 0)
     sys.set_parallel_policy(
         ParallelPolicy::parallel(static_cast<int>(threads)));
