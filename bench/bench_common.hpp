@@ -30,17 +30,27 @@ namespace cellflow::bench {
 ///
 /// The recorder tees std::cout (the console output is unchanged), times
 /// the run on the steady clock, and on destruction writes
-/// BENCH_<name>.json into the working directory: wall time, rounds/sec
-/// when note_rounds() was called, and the bench's `CSV:` block re-parsed
-/// into a {header, rows} series (scripts and CI diff the JSON; humans
-/// keep reading the table). Emission is best-effort: a bench never fails
-/// because the sidecar could not be written.
+/// BENCH_<name>.json: wall time, rounds/sec when note_rounds() was
+/// called, and the bench's `CSV:` block re-parsed into a {header, rows}
+/// series (scripts and CI diff the JSON; humans keep reading the table).
+///
+/// Sidecar placement: the constructor's `out_dir` argument wins; when
+/// empty, $CELLFLOW_BENCH_DIR; when that is unset too, the working
+/// directory (the historical behavior). scripts/run_bench.sh points the
+/// whole suite at results/ this way. The directory must already exist —
+/// emission is best-effort, and a bench never fails because the sidecar
+/// could not be written.
 class BenchRecorder {
  public:
-  explicit BenchRecorder(std::string name)
+  explicit BenchRecorder(std::string name, std::string out_dir = {})
       : name_(std::move(name)),
+        out_dir_(std::move(out_dir)),
         tee_(std::cout.rdbuf()),
         start_(std::chrono::steady_clock::now()) {
+    if (out_dir_.empty()) {
+      if (const char* env = std::getenv("CELLFLOW_BENCH_DIR"))
+        out_dir_ = env;
+    }
     std::cout.rdbuf(&tee_);
   }
   BenchRecorder(const BenchRecorder&) = delete;
@@ -57,7 +67,9 @@ class BenchRecorder {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();
-    std::ofstream out("BENCH_" + name_ + ".json");
+    const std::string prefix =
+        out_dir_.empty() ? std::string{} : out_dir_ + "/";
+    std::ofstream out(prefix + "BENCH_" + name_ + ".json");
     if (!out) return;
     out << "{\"bench\":\"" << obs::json_escape(name_)
         << "\",\"elapsed_seconds\":" << obs::format_double(elapsed);
@@ -102,6 +114,7 @@ class BenchRecorder {
   };
 
   std::string name_;
+  std::string out_dir_;
   TeeBuf tee_;
   std::uint64_t rounds_ = 0;
   std::chrono::steady_clock::time_point start_;

@@ -14,6 +14,8 @@
 #include "core/predicates.hpp"
 #include "core/source.hpp"
 #include "core/system.hpp"
+#include "msg/msg_audit.hpp"
+#include "msg/msg_system.hpp"
 
 namespace {
 
@@ -63,6 +65,25 @@ void BM_SafetyOracleSweep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SafetyOracleSweep)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_MsgAuditSweep(benchmark::State& state) {
+  // The message-realization analogue of BM_SafetyOracleSweep: one
+  // msg_audit::check_all over a populated MessageSystem. check_all runs
+  // every round of the fault-schedule property tests, so its single-pass
+  // sweep (one in-flight snapshot shared across oracles) is on the test
+  // suite's critical path.
+  MsgSystemConfig cfg;
+  cfg.side = static_cast<int>(state.range(0));
+  cfg.params = Params(0.25, 0.05, 0.2);
+  cfg.sources = {CellId{1, 0}};
+  cfg.target = CellId{1, cfg.side - 1};
+  MessageSystem msg(std::move(cfg));
+  for (int k = 0; k < 500; ++k) msg.update();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(msg_audit::check_all(msg).empty());
+  }
+}
+BENCHMARK(BM_MsgAuditSweep)->Arg(8)->Arg(32)->Arg(64);
 
 void BM_ReferenceBfs(benchmark::State& state) {
   System sys = make_system(static_cast<int>(state.range(0)), false);

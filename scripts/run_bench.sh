@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Builds the default preset and runs every bench binary, steering each
+# one's BENCH_<name>.json sidecar (bench/bench_common.hpp) into a single
+# collection directory via CELLFLOW_BENCH_DIR — the recorder's output-dir
+# override. The sidecars are the machine-readable record of a bench run
+# (per-series CSV rows plus the run's table); scripts/plot_figures.py
+# consumes the same CSV, and results/ keeps the latest committed run so
+# EXPERIMENTS.md numbers stay reproducible.
+#
+# Usage: scripts/run_bench.sh [out_dir]        (default: results/)
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+out_dir="${1:-results}"
+mkdir -p "$out_dir"
+
+cmake --preset default > /dev/null
+cmake --build --preset default -j "$(nproc)" > /dev/null
+
+CELLFLOW_BENCH_DIR="$out_dir"
+export CELLFLOW_BENCH_DIR
+
+status=0
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  [ -d "$b" ] && continue
+  name="$(basename "$b")"
+  echo "== $name"
+  if ! "$b"; then
+    echo "run_bench.sh: $name FAILED" >&2
+    status=1
+  fi
+  echo
+done
+
+echo "run_bench.sh: sidecars in $out_dir/"
+ls "$out_dir"/BENCH_*.json
+exit "$status"

@@ -17,8 +17,15 @@
 #include "core/entity.hpp"
 #include "util/dist_value.hpp"
 #include "util/ids.hpp"
+#include "util/small_vec.hpp"
 
 namespace cellflow {
+
+/// NEPrev and its derivatives (Signal's rotation candidates, grant lists):
+/// at most the lattice degree many ids — 4 on the square grid, 6 on the
+/// hex/3d extensions — so inline capacity 8 never spills to the heap
+/// (DESIGN.md §10). Sorted ascending wherever the protocol stores it.
+using NeighborSet = SmallVec<CellId, 8>;
 
 struct CellState {
   /// Members_{i,j}. Order is insertion order; identity is Entity::id.
@@ -41,7 +48,7 @@ struct CellState {
 
   /// NEPrev_{i,j}: nonempty neighbors with next = this cell, as computed
   /// by the most recent Signal phase (kept for observability/tests).
-  std::vector<CellId> ne_prev;
+  NeighborSet ne_prev;
 
   /// failed_{i,j}: crash flag. A failed cell does nothing — it never moves
   /// its entities and neighbors read dist = ∞ / signal = ⊥ from it.

@@ -44,9 +44,11 @@ Entity place_at_entry(CellId from, CellId dest, Entity p,
   return p;
 }
 
-MoveResult compact_move_step(CellId self, CellId toward,
-                             std::vector<Entity> members, const Params& params,
-                             const CompactionContext& ctx) {
+void compact_move_step_inplace(CellId self, CellId toward,
+                               std::vector<Entity>& members,
+                               std::vector<Entity>& crossed_out,
+                               const Params& params,
+                               const CompactionContext& ctx) {
   const int di = toward.i - self.i;
   const int dj = toward.j - self.j;
   CF_EXPECTS_MSG((di == 0 || dj == 0) && di * di + dj * dj == 1,
@@ -93,32 +95,45 @@ MoveResult compact_move_step(CellId self, CellId toward,
   std::sort(members.begin(), members.end(),
             [&](const Entity& a, const Entity& b) { return u_of(a) > u_of(b); });
 
-  MoveResult out;
-  std::vector<Entity> placed;  // post-move entities still in the cell
-  placed.reserve(members.size());
-  for (Entity p : members) {
+  // Stable two-pointer partition: members[0, w) are the already-placed
+  // entities still in the cell (exactly the `placed` prefix the lane
+  // constraint reads); w <= r throughout, so members[w] = p never
+  // clobbers an unread element.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < members.size(); ++r) {
+    Entity p = members[r];
     const double u = u_of(p);
     double cap = u + v;                       // at most v per round
     cap = std::min(cap, u_strip_cap);         // promised strip stays clear
     if (!ctx.may_cross) cap = std::min(cap, u_boundary - half);  // flush max
-    for (const Entity& q : placed) {
-      if (std::abs(perp_of(q) - perp_of(p)) < d)
-        cap = std::min(cap, u_of(q) - d);     // hold d behind the lane ahead
+    for (std::size_t q = 0; q < w; ++q) {
+      if (std::abs(perp_of(members[q]) - perp_of(p)) < d)
+        cap = std::min(cap, u_of(members[q]) - d);  // hold d behind the lane
     }
     const double nu = std::max(u, cap);        // never move backward
     set_u(p, nu);
     if (ctx.may_cross && nu + half > u_boundary) {
-      out.crossed.push_back(place_at_entry(self, toward, p, params));
+      crossed_out.push_back(place_at_entry(self, toward, p, params));
     } else {
-      placed.push_back(p);
+      members[w++] = p;
     }
   }
-  out.staying = std::move(placed);
+  members.resize(w);
+}
+
+MoveResult compact_move_step(CellId self, CellId toward,
+                             std::vector<Entity> members, const Params& params,
+                             const CompactionContext& ctx) {
+  MoveResult out;
+  compact_move_step_inplace(self, toward, members, out.crossed, params, ctx);
+  out.staying = std::move(members);
   return out;
 }
 
-MoveResult move_step(CellId self, CellId toward, std::vector<Entity> members,
-                     const Params& params) {
+void move_step_inplace(CellId self, CellId toward,
+                       std::vector<Entity>& members,
+                       std::vector<Entity>& crossed_out,
+                       const Params& params) {
   const int di = toward.i - self.i;
   const int dj = toward.j - self.j;
   CF_EXPECTS_MSG((di == 0 || dj == 0) && di * di + dj * dj == 1,
@@ -126,16 +141,27 @@ MoveResult move_step(CellId self, CellId toward, std::vector<Entity> members,
   const Vec2 delta{params.velocity() * static_cast<double>(di),
                    params.velocity() * static_cast<double>(dj)};
 
-  MoveResult out;
-  out.staying.reserve(members.size());
-  for (Entity p : members) {
+  // Stable two-pointer partition (w <= r throughout): stayers compact to
+  // the front in their original relative order, crossers append to
+  // `crossed_out` in that same order.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < members.size(); ++r) {
+    Entity p = members[r];
     p.center += delta;  // Figure 6 lines 4–5
     if (crosses_boundary(self, toward, p, params)) {
-      out.crossed.push_back(place_at_entry(self, toward, p, params));
+      crossed_out.push_back(place_at_entry(self, toward, p, params));
     } else {
-      out.staying.push_back(p);
+      members[w++] = p;
     }
   }
+  members.resize(w);
+}
+
+MoveResult move_step(CellId self, CellId toward, std::vector<Entity> members,
+                     const Params& params) {
+  MoveResult out;
+  move_step_inplace(self, toward, members, out.crossed, params);
+  out.staying = std::move(members);
   return out;
 }
 

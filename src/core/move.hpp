@@ -45,6 +45,19 @@ struct MoveResult {
                                    std::vector<Entity> members,
                                    const Params& params);
 
+/// In-place form of move_step — the round hot path (DESIGN.md §10).
+/// Partitions `members` with a stable two-pointer pass: stayers keep
+/// their exact relative order in `members` (the write index never
+/// overtakes the read index, so no unread element is clobbered), and
+/// crossers are *appended* to `crossed_out` in that same order, already
+/// re-placed at the destination's entry edge. No allocation unless
+/// `crossed_out` must grow. move_step delegates here, so the two forms
+/// cannot diverge.
+void move_step_inplace(CellId self, CellId toward,
+                       std::vector<Entity>& members,
+                       std::vector<Entity>& crossed_out,
+                       const Params& params);
+
 /// True iff entity `p` (center after displacement) sticks out of cell
 /// `self` across the edge shared with `toward` (Figure 6 line 7).
 [[nodiscard]] bool crosses_boundary(CellId self, CellId toward,
@@ -95,5 +108,16 @@ struct CompactionContext {
                                            std::vector<Entity> members,
                                            const Params& params,
                                            const CompactionContext& ctx);
+
+/// In-place form of compact_move_step (same contract as
+/// move_step_inplace): sorts `members` front-to-back and partitions it
+/// stably, so `members` afterwards equals the pure form's `staying` —
+/// the sort is part of the semantics (the pure form's staying is sorted
+/// too), not an artifact. compact_move_step delegates here.
+void compact_move_step_inplace(CellId self, CellId toward,
+                               std::vector<Entity>& members,
+                               std::vector<Entity>& crossed_out,
+                               const Params& params,
+                               const CompactionContext& ctx);
 
 }  // namespace cellflow

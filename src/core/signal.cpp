@@ -72,8 +72,7 @@ SignalResult signal_step(SignalInputs in, const Params& params,
     out.signal = out.token;  // line 9
     // Lines 10–12: rotate the token for the next round.
     if (out.ne_prev.size() > 1) {
-      std::vector<CellId> others;
-      others.reserve(out.ne_prev.size());
+      NeighborSet others;
       for (const CellId c : out.ne_prev)
         if (c != *out.token) others.push_back(c);
       // `others` may equal ne_prev when the stale token holder left NEPrev.
@@ -110,8 +109,7 @@ SignalResult signal_step_always_grant(SignalInputs in, ChoosePolicy& choose) {
   // The deliberate bug: no entry-strip check before granting.
   out.signal = out.token;
   if (out.ne_prev.size() > 1) {
-    std::vector<CellId> others;
-    others.reserve(out.ne_prev.size());
+    NeighborSet others;
     for (const CellId c : out.ne_prev)
       if (c != *out.token) others.push_back(c);
     out.token = choose.choose(in.self, others, out.token);

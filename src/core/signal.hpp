@@ -46,8 +46,10 @@ namespace cellflow {
 struct SignalResult {
   OptCellId signal;
   OptCellId token;
-  /// NEPrev as computed this round (sorted ascending by id).
-  std::vector<CellId> ne_prev;
+  /// NEPrev as computed this round (sorted ascending by id). Inline
+  /// storage (see cell_state.hpp's NeighborSet): moving it into the
+  /// cell's ne_prev never allocates.
+  NeighborSet ne_prev;
 };
 
 /// Inputs to one Signal step for cell `self`. `ne_prev` must already hold
@@ -57,7 +59,7 @@ struct SignalResult {
 struct SignalInputs {
   CellId self;
   std::span<const Entity> members;
-  std::vector<CellId> ne_prev;
+  NeighborSet ne_prev;
   OptCellId token;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <span>
 #include <stdexcept>
 #include <string>
 
@@ -31,10 +32,17 @@ ParallelPolicy parallel_policy_from_env() {
 
 void canonical_transfer_order(const Grid& grid,
                               std::vector<PendingTransfer>& transfers) {
-  std::stable_sort(transfers.begin(), transfers.end(),
-                   [&grid](const PendingTransfer& a, const PendingTransfer& b) {
-                     return grid.index_of(a.from) < grid.index_of(b.from);
-                   });
+  const auto by_origin = [&grid](const PendingTransfer& a,
+                                 const PendingTransfer& b) {
+    return grid.index_of(a.from) < grid.index_of(b.from);
+  };
+  // The engines produce this order by construction (ascending shards,
+  // in-order within each), so the common case is a linear verification
+  // pass; a stable sort of an already-sorted sequence is the identity,
+  // so skipping it cannot change the result — it only skips the sort's
+  // temporary-buffer allocation on the hot path.
+  if (std::is_sorted(transfers.begin(), transfers.end(), by_origin)) return;
+  std::stable_sort(transfers.begin(), transfers.end(), by_origin);
 }
 
 System::System(SystemConfig config, std::unique_ptr<ChoosePolicy> choose,
@@ -61,6 +69,20 @@ System::System(SystemConfig config, std::unique_ptr<ChoosePolicy> choose,
   // distance, which anchors the routing computation at 0.
   cells_[grid_.index_of(config_.target)].dist = Dist::zero();
   dist_snapshot_.resize(cells_.size());
+  // Flatten the (immutable) grid topology into the dense tables the
+  // phase loops index directly — see the member comments in system.hpp.
+  nbr_idx_.resize(cells_.size());
+  cell_id_.resize(cells_.size());
+  feed_.assign(cells_.size(), kNoNbr);
+  for (std::size_t k = 0; k < cells_.size(); ++k) {
+    const CellId id = grid_.id_of(k);
+    cell_id_[k] = id;
+    for (std::size_t d = 0; d < kAllDirections.size(); ++d) {
+      const auto nb = grid_.neighbor(id, kAllDirections[d]);
+      nbr_idx_[k][d] =
+          nb ? static_cast<std::uint32_t>(grid_.index_of(*nb)) : kNoNbr;
+    }
+  }
   rebuild_active_sets();
   set_parallel_policy(parallel_policy_from_env());
 }
@@ -85,12 +107,10 @@ void System::rebuild_active_sets() {
 
 void System::arm_route_neighborhood(std::size_t k, std::uint64_t upto) {
   route_stamp_[k] = std::max(route_stamp_[k], upto);
-  const CellId id = grid_.id_of(k);
-  for (const Direction d : kAllDirections) {
-    if (const auto nb = grid_.neighbor(id, d)) {
-      std::uint64_t& stamp = route_stamp_[grid_.index_of(*nb)];
-      stamp = std::max(stamp, upto);
-    }
+  for (const std::uint32_t nk : nbr_idx_[k]) {
+    if (nk == kNoNbr) continue;
+    std::uint64_t& stamp = route_stamp_[nk];
+    stamp = std::max(stamp, upto);
   }
 }
 
@@ -98,12 +118,9 @@ void System::apply_occupancy_flip(std::size_t k) {
   occ_b_[k] ^= 1u;
   const int delta = occ_b_[k] != 0 ? 1 : -1;
   occ_refs_[k] = static_cast<std::uint8_t>(occ_refs_[k] + delta);
-  const CellId id = grid_.id_of(k);
-  for (const Direction d : kAllDirections) {
-    if (const auto nb = grid_.neighbor(id, d)) {
-      std::uint8_t& refs = occ_refs_[grid_.index_of(*nb)];
-      refs = static_cast<std::uint8_t>(refs + delta);
-    }
+  for (const std::uint32_t nk : nbr_idx_[k]) {
+    if (nk == kNoNbr) continue;
+    occ_refs_[nk] = static_cast<std::uint8_t>(occ_refs_[nk] + delta);
   }
 }
 
@@ -139,6 +156,12 @@ void System::set_parallel_policy(const ParallelPolicy& policy) {
   } else {
     pool_.reset();
   }
+  // One scratch slot per shard the engine can produce (the serial loop
+  // and a pinned-serial Signal phase use slot 0 only). Shrinking on a
+  // narrower policy would free warmed buffers for nothing, so don't.
+  const auto width =
+      pool_ ? static_cast<std::size_t>(pool_->thread_count()) : 1;
+  if (scratch_.shards.size() < width) scratch_.shards.resize(width);
 }
 
 std::size_t System::entity_count() const noexcept {
@@ -198,7 +221,7 @@ void System::recover(CellId id) {
 }
 
 const RoundEvents& System::update() {
-  events_ = RoundEvents{};
+  events_.clear();
   events_.round = round_;
 
   // Profiling wraps (it never feeds back into the round) and metrics
@@ -258,61 +281,60 @@ void System::run_route_phase() {
 
   const auto nshards =
       pool_ ? static_cast<std::size_t>(pool_->thread_count()) : 1;
-  std::vector<obs::ProtocolCounts> counts(metrics_ ? nshards : 0);
-  std::vector<std::vector<std::size_t>> changed(active ? nshards : 0);
-  std::vector<std::uint64_t> visited(nshards, 0);
-  parallel_for_shards(
-      pool_.get(), cells_.size(), [&](std::size_t s, ShardRange r) {
-        const auto t0 = profiler_ != nullptr
-                            ? obs::PhaseProfiler::Clock::now()
-                            : obs::PhaseProfiler::Clock::time_point{};
-        obs::ProtocolCounts* pc = counts.empty() ? nullptr : &counts[s];
-        if (!active) {
-          for (std::size_t k = r.begin; k < r.end; ++k)
-            route_cell(k, pc, nullptr);
-          visited[s] = r.end - r.begin;
-        } else {
-          for (std::size_t k = r.begin; k < r.end; ++k) {
-            if (route_stamp_[k] >= round_) {
-              route_cell(k, pc, &changed[s]);
-              ++visited[s];
-            } else if (pc != nullptr && !cells_[k].failed) {
-              // The exhaustive loop would have relaxed over every
-              // lattice neighbor (and changed nothing — that is what
-              // quiescence means); the target tallies nothing once
-              // pinned at 0.
-              const CellId id = grid_.id_of(k);
-              if (id != config_.target) {
-                for (const Direction d : kAllDirections)
-                  if (grid_.neighbor(id, d)) ++pc->route_relaxations;
-              }
-            }
+  for (std::size_t s = 0; s < nshards; ++s)
+    scratch_.shards[s].begin_phase();
+  const auto body = [&](std::size_t s, ShardRange r) {
+    const auto t0 = profiler_ != nullptr
+                        ? obs::PhaseProfiler::Clock::now()
+                        : obs::PhaseProfiler::Clock::time_point{};
+    ShardScratch& sc = scratch_.shards[s];
+    obs::ProtocolCounts* pc = metrics_ ? &sc.counts : nullptr;
+    if (!active) {
+      for (std::size_t k = r.begin; k < r.end; ++k)
+        route_cell(k, pc, nullptr);
+      sc.visited = r.end - r.begin;
+    } else {
+      for (std::size_t k = r.begin; k < r.end; ++k) {
+        if (route_stamp_[k] >= round_) {
+          route_cell(k, pc, &sc.changed);
+          ++sc.visited;
+        } else if (pc != nullptr && !cells_[k].failed) {
+          // The exhaustive loop would have relaxed over every
+          // lattice neighbor (and changed nothing — that is what
+          // quiescence means); the target tallies nothing once
+          // pinned at 0.
+          if (cell_id_[k] != config_.target) {
+            for (const std::uint32_t nk : nbr_idx_[k])
+              if (nk != kNoNbr) ++pc->route_relaxations;
           }
         }
-        if (profiler_ != nullptr)
-          profiler_->record("route", round_, static_cast<int>(s), t0,
-                            obs::PhaseProfiler::Clock::now());
-      });
+      }
+    }
+    if (profiler_ != nullptr)
+      profiler_->record("route", round_, static_cast<int>(s), t0,
+                        obs::PhaseProfiler::Clock::now());
+  };
+  parallel_for_shards(pool_.get(), cells_.size(), body);
   // Counter determinism: shard tallies merge in ascending shard order,
   // the same discipline as the event buffers.
-  for (const obs::ProtocolCounts& c : counts) round_counts_.merge(c);
   sched_stats_.route_cells = 0;
-  for (const std::uint64_t v : visited) sched_stats_.route_cells += v;
+  for (std::size_t s = 0; s < nshards; ++s) {
+    if (metrics_) round_counts_.merge(scratch_.shards[s].counts);
+    sched_stats_.route_cells += scratch_.shards[s].visited;
+  }
 
   if (active) {
     // Post-barrier merge, shard order: sync the snapshot for changed
     // cells and arm their readers (the lattice neighbors) for next
     // round. A cell's own Route output depends only on its neighbors'
     // dists, so its own change does not re-arm itself.
-    for (const std::vector<std::size_t>& shard_changed : changed) {
-      for (const std::size_t k : shard_changed) {
+    for (std::size_t s = 0; s < nshards; ++s) {
+      for (const std::size_t k : scratch_.shards[s].changed) {
         dist_snapshot_[k] = cells_[k].dist;
-        const CellId id = grid_.id_of(k);
-        for (const Direction d : kAllDirections) {
-          if (const auto nb = grid_.neighbor(id, d)) {
-            std::uint64_t& stamp = route_stamp_[grid_.index_of(*nb)];
-            stamp = std::max(stamp, round_ + 1);
-          }
+        for (const std::uint32_t nk : nbr_idx_[k]) {
+          if (nk == kNoNbr) continue;
+          std::uint64_t& stamp = route_stamp_[nk];
+          stamp = std::max(stamp, round_ + 1);
         }
       }
     }
@@ -322,8 +344,13 @@ void System::run_route_phase() {
 void System::route_cell(std::size_t k, obs::ProtocolCounts* counts,
                         std::vector<std::size_t>* changed_out) {
   CellState& c = cells_[k];
-  const CellId id = grid_.id_of(k);
-  if (c.failed) return;
+  const CellId id = cell_id_[k];
+  if (c.failed) {
+    // A failed cell feeds nobody (neighbors read signal/dist as if it
+    // were absent), so the exhaustive Signal scan must see kNoNbr here.
+    feed_[k] = kNoNbr;
+    return;
+  }
   if (id == config_.target) {
     // The target anchors routing: dist pinned to 0, next to ⊥. Pinning
     // every round (rather than only at init/recover) also washes out
@@ -334,14 +361,19 @@ void System::route_cell(std::size_t k, obs::ProtocolCounts* counts,
     }
     c.dist = Dist::zero();
     c.next = std::nullopt;
+    feed_[k] = kNoNbr;  // next = ⊥: the target never feeds a neighbor
     return;
   }
 
+  const std::array<std::uint32_t, 4>& nbr = nbr_idx_[k];
   NeighborDist nds[4];
+  std::uint32_t nks[4];
   std::size_t n = 0;
-  for (const Direction d : kAllDirections) {
-    if (const auto nb = grid_.neighbor(id, d))
-      nds[n++] = NeighborDist{*nb, dist_snapshot_[grid_.index_of(*nb)]};
+  for (std::size_t d = 0; d < 4; ++d) {
+    const std::uint32_t nk = nbr[d];
+    if (nk == kNoNbr) continue;
+    nks[n] = nk;
+    nds[n++] = NeighborDist{cell_id_[nk], dist_snapshot_[nk]};
   }
   const RouteResult r = route_step(std::span<const NeighborDist>(nds, n));
   if (counts != nullptr) {
@@ -354,6 +386,18 @@ void System::route_cell(std::size_t k, obs::ProtocolCounts* counts,
   if (changed_out != nullptr && c.dist != r.dist) changed_out->push_back(k);
   c.dist = r.dist;
   c.next = r.next;
+  // Feeder snapshot for the exhaustive Signal scan (header comment on
+  // feed_): next is one of the gathered neighbors, so recover its dense
+  // index from the gather instead of re-deriving it through the grid.
+  feed_[k] = kNoNbr;
+  if (r.next.has_value() && !c.members.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (nds[i].id == *r.next) {
+        feed_[k] = nks[i];
+        break;
+      }
+    }
+  }
 }
 
 void System::run_signal_phase() {
@@ -367,54 +411,57 @@ void System::run_signal_phase() {
   const bool active = scheduler_ == RoundScheduler::kActiveSet;
   const auto nshards =
       pool ? static_cast<std::size_t>(pool->thread_count()) : 1;
-  std::vector<std::vector<CellId>> blocked(nshards);
-  std::vector<obs::ProtocolCounts> counts(metrics_ ? nshards : 0);
-  std::vector<std::vector<std::size_t>> flips(active ? nshards : 0);
-  std::vector<std::uint64_t> visited(nshards, 0);
-  parallel_for_shards(
-      pool, cells_.size(), [&](std::size_t s, ShardRange r) {
-        const auto t0 = profiler_ != nullptr
-                            ? obs::PhaseProfiler::Clock::now()
-                            : obs::PhaseProfiler::Clock::time_point{};
-        obs::ProtocolCounts* pc = counts.empty() ? nullptr : &counts[s];
-        if (!active) {
-          for (std::size_t k = r.begin; k < r.end; ++k)
-            signal_cell(k, blocked[s], pc, nullptr);
-          visited[s] = r.end - r.begin;
-        } else {
-          for (std::size_t k = r.begin; k < r.end; ++k) {
-            // occ_refs_ is frozen for the duration of the phase (flips
-            // buffer per shard and apply at the barrier), so every
-            // engine takes identical skip decisions. A cell with an
-            // all-unoccupied closed neighborhood maps (⊥,⊥,[]) to
-            // (⊥,⊥,[]) without consulting choose_, so skipping it is
-            // exact — it only owes the exhaustive loop's ne_prev_sizes
-            // tally for live cells.
-            if (occ_refs_[k] > 0) {
-              signal_cell(k, blocked[s], pc, &flips[s]);
-              ++visited[s];
-            } else if (pc != nullptr && !cells_[k].failed) {
-              ++pc->ne_prev_sizes[0];
-            }
-          }
+  for (std::size_t s = 0; s < nshards; ++s)
+    scratch_.shards[s].begin_phase();
+  const auto body = [&](std::size_t s, ShardRange r) {
+    const auto t0 = profiler_ != nullptr
+                        ? obs::PhaseProfiler::Clock::now()
+                        : obs::PhaseProfiler::Clock::time_point{};
+    ShardScratch& sc = scratch_.shards[s];
+    obs::ProtocolCounts* pc = metrics_ ? &sc.counts : nullptr;
+    if (!active) {
+      for (std::size_t k = r.begin; k < r.end; ++k)
+        signal_cell(k, sc.blocked, pc, nullptr);
+      sc.visited = r.end - r.begin;
+    } else {
+      for (std::size_t k = r.begin; k < r.end; ++k) {
+        // occ_refs_ is frozen for the duration of the phase (flips
+        // buffer per shard and apply at the barrier), so every
+        // engine takes identical skip decisions. A cell with an
+        // all-unoccupied closed neighborhood maps (⊥,⊥,[]) to
+        // (⊥,⊥,[]) without consulting choose_, so skipping it is
+        // exact — it only owes the exhaustive loop's ne_prev_sizes
+        // tally for live cells.
+        if (occ_refs_[k] > 0) {
+          signal_cell(k, sc.blocked, pc, &sc.flips);
+          ++sc.visited;
+        } else if (pc != nullptr && !cells_[k].failed) {
+          ++pc->ne_prev_sizes[0];
         }
-        if (profiler_ != nullptr)
-          profiler_->record("signal", round_, static_cast<int>(s), t0,
-                            obs::PhaseProfiler::Clock::now());
-      });
+      }
+    }
+    if (profiler_ != nullptr)
+      profiler_->record("signal", round_, static_cast<int>(s), t0,
+                        obs::PhaseProfiler::Clock::now());
+  };
+  parallel_for_shards(pool, cells_.size(), body);
   // Shards cover ascending cell ranges, so concatenating in shard order
   // reproduces the serial loop's blocked-event order exactly.
-  for (const std::vector<CellId>& b : blocked)
-    events_.blocked.insert(events_.blocked.end(), b.begin(), b.end());
-  for (const obs::ProtocolCounts& c : counts) round_counts_.merge(c);
   sched_stats_.signal_cells = 0;
-  for (const std::uint64_t v : visited) sched_stats_.signal_cells += v;
+  for (std::size_t s = 0; s < nshards; ++s) {
+    const ShardScratch& sc = scratch_.shards[s];
+    events_.blocked.insert(events_.blocked.end(), sc.blocked.begin(),
+                           sc.blocked.end());
+    if (metrics_) round_counts_.merge(sc.counts);
+    sched_stats_.signal_cells += sc.visited;
+  }
   // Occupancy flips apply at the barrier, in shard order, so the Move
   // phase's activity reads see the post-Signal occupancy on every
   // engine (a fresh grant makes its destination occupied, which is what
   // schedules the granted mover).
-  for (const std::vector<std::size_t>& shard_flips : flips)
-    for (const std::size_t k : shard_flips) apply_occupancy_flip(k);
+  for (std::size_t s = 0; s < nshards; ++s)
+    for (const std::size_t k : scratch_.shards[s].flips)
+      apply_occupancy_flip(k);
 }
 
 void System::signal_cell(std::size_t k, std::vector<CellId>& blocked_out,
@@ -428,13 +475,24 @@ void System::signal_cell(std::size_t k, std::vector<CellId>& blocked_out,
   in.self = id;
   in.members = c.members;
   in.token = c.token;
-  for (const Direction d : kAllDirections) {
-    const auto nb = grid_.neighbor(id, d);
-    if (!nb) continue;
-    const CellState& nc = cells_[grid_.index_of(*nb)];
-    if (nc.failed) continue;  // a failed cell never communicates
-    if (nc.next == OptCellId{id} && nc.has_entities())
-      in.ne_prev.push_back(*nb);
+  const std::array<std::uint32_t, 4>& nbr = nbr_idx_[k];
+  if (scheduler_ != RoundScheduler::kActiveSet) {
+    // Exhaustive: Route refreshed feed_ for every cell this round, so
+    // "does this neighbor feed me?" is one dense 4-byte load per
+    // direction instead of a gather over four scattered CellStates.
+    for (const std::uint32_t nk : nbr) {
+      if (nk != kNoNbr && feed_[nk] == k) in.ne_prev.push_back(cell_id_[nk]);
+    }
+  } else {
+    // Active-set: Route skips quiescent cells, so feed_ may be stale —
+    // read the neighbors directly (see the feed_ member comment).
+    for (const std::uint32_t nk : nbr) {
+      if (nk == kNoNbr) continue;
+      const CellState& nc = cells_[nk];
+      if (nc.failed) continue;  // a failed cell never communicates
+      if (nc.next == OptCellId{id} && nc.has_entities())
+        in.ne_prev.push_back(cell_id_[nk]);
+    }
   }
   std::sort(in.ne_prev.begin(), in.ne_prev.end());
 
@@ -473,53 +531,58 @@ void System::run_move_phase() {
   const bool active = scheduler_ == RoundScheduler::kActiveSet;
   const auto nshards =
       pool_ ? static_cast<std::size_t>(pool_->thread_count()) : 1;
-  std::vector<std::vector<CellId>> moved(nshards);
-  std::vector<std::vector<PendingTransfer>> pending(nshards);
-  std::vector<obs::ProtocolCounts> counts(metrics_ ? nshards : 0);
-  std::vector<std::uint64_t> visited(nshards, 0);
-  parallel_for_shards(
-      pool_.get(), cells_.size(), [&](std::size_t s, ShardRange r) {
-        const auto t0 = profiler_ != nullptr
-                            ? obs::PhaseProfiler::Clock::now()
-                            : obs::PhaseProfiler::Clock::time_point{};
-        obs::ProtocolCounts* pc = counts.empty() ? nullptr : &counts[s];
-        if (!active) {
-          for (std::size_t k = r.begin; k < r.end; ++k)
-            move_cell(k, moved[s], pending[s], pc);
-          visited[s] = r.end - r.begin;
-        } else {
-          for (std::size_t k = r.begin; k < r.end; ++k) {
-            // An unoccupied cell with an unoccupied closed neighborhood
-            // cannot move: it has no members to relocate or compact,
-            // and a grant in its favor would make its destination (a
-            // lattice neighbor, post-Route) occupied — so move_cell
-            // would be a no-op that tallies nothing. occ_refs_ already
-            // reflects this round's Signal output (flips merged at the
-            // barrier).
-            if (occ_refs_[k] > 0) {
-              move_cell(k, moved[s], pending[s], pc);
-              ++visited[s];
-            }
-          }
+  for (std::size_t s = 0; s < nshards; ++s)
+    scratch_.shards[s].begin_phase();
+  const auto body = [&](std::size_t s, ShardRange r) {
+    const auto t0 = profiler_ != nullptr
+                        ? obs::PhaseProfiler::Clock::now()
+                        : obs::PhaseProfiler::Clock::time_point{};
+    ShardScratch& sc = scratch_.shards[s];
+    obs::ProtocolCounts* pc = metrics_ ? &sc.counts : nullptr;
+    if (!active) {
+      for (std::size_t k = r.begin; k < r.end; ++k)
+        move_cell(k, sc.moved, sc.pending, sc.crossed, pc);
+      sc.visited = r.end - r.begin;
+    } else {
+      for (std::size_t k = r.begin; k < r.end; ++k) {
+        // An unoccupied cell with an unoccupied closed neighborhood
+        // cannot move: it has no members to relocate or compact,
+        // and a grant in its favor would make its destination (a
+        // lattice neighbor, post-Route) occupied — so move_cell
+        // would be a no-op that tallies nothing. occ_refs_ already
+        // reflects this round's Signal output (flips merged at the
+        // barrier).
+        if (occ_refs_[k] > 0) {
+          move_cell(k, sc.moved, sc.pending, sc.crossed, pc);
+          ++sc.visited;
         }
-        if (profiler_ != nullptr)
-          profiler_->record("move", round_, static_cast<int>(s), t0,
-                            obs::PhaseProfiler::Clock::now());
-      });
+      }
+    }
+    if (profiler_ != nullptr)
+      profiler_->record("move", round_, static_cast<int>(s), t0,
+                        obs::PhaseProfiler::Clock::now());
+  };
+  parallel_for_shards(pool_.get(), cells_.size(), body);
 
-  for (const std::vector<CellId>& m : moved)
-    events_.moved.insert(events_.moved.end(), m.begin(), m.end());
-  for (const obs::ProtocolCounts& c : counts) round_counts_.merge(c);
   sched_stats_.move_cells = 0;
-  for (const std::uint64_t v : visited) sched_stats_.move_cells += v;
+  for (std::size_t s = 0; s < nshards; ++s) {
+    const ShardScratch& sc = scratch_.shards[s];
+    events_.moved.insert(events_.moved.end(), sc.moved.begin(),
+                         sc.moved.end());
+    if (metrics_) round_counts_.merge(sc.counts);
+    sched_stats_.move_cells += sc.visited;
+  }
 
   const auto merge_t0 = profiler_ != nullptr
                             ? obs::PhaseProfiler::Clock::now()
                             : obs::PhaseProfiler::Clock::time_point{};
-  std::vector<PendingTransfer> transfers;
-  for (std::vector<PendingTransfer>& p : pending)
+  std::vector<PendingTransfer>& transfers = scratch_.transfers;
+  transfers.clear();
+  for (std::size_t s = 0; s < nshards; ++s) {
+    std::vector<PendingTransfer>& p = scratch_.shards[s].pending;
     transfers.insert(transfers.end(), std::make_move_iterator(p.begin()),
                      std::make_move_iterator(p.end()));
+  }
   // Already canonical by construction (ascending shards, in-order within
   // each); enforce it anyway so no engine can drift.
   canonical_transfer_order(grid_, transfers);
@@ -554,6 +617,7 @@ void System::run_move_phase() {
 
 void System::move_cell(std::size_t k, std::vector<CellId>& moved_out,
                        std::vector<PendingTransfer>& pending_out,
+                       std::vector<Entity>& crossed_scratch,
                        obs::ProtocolCounts* counts) {
   CellState& c = cells_[k];
   if (c.failed || !c.next.has_value()) return;
@@ -562,12 +626,15 @@ void System::move_cell(std::size_t k, std::vector<CellId>& moved_out,
   const CellState& dc = cells_[grid_.index_of(dest)];
   const bool permitted = dc.signal == OptCellId{id};
 
-  MoveResult mr;
+  // The in-place steps partition c.members directly (stayers keep their
+  // order, crossers land in the shard's crossing scratch) — no per-cell
+  // staying/crossed vectors; see move.hpp.
+  crossed_scratch.clear();
   if (config_.movement_rule == MovementRule::kCoupled) {
     if (!permitted) return;  // Figure 6: move only with permission
     moved_out.push_back(id);
     if (counts != nullptr) ++counts->moves;
-    mr = move_step(id, dest, std::move(c.members), config_.params);
+    move_step_inplace(id, dest, c.members, crossed_scratch, config_.params);
   } else {
     // §V relaxed coupling: compact every round; cross only when
     // permitted; never compact into our own promised strip.
@@ -580,12 +647,11 @@ void System::move_cell(std::size_t k, std::vector<CellId>& moved_out,
     ctx.may_cross = permitted;
     if (c.signal.has_value())
       ctx.promised_strip = grid_.direction_between(id, *c.signal);
-    mr = compact_move_step(id, dest, std::move(c.members), config_.params,
-                           ctx);
+    compact_move_step_inplace(id, dest, c.members, crossed_scratch,
+                              config_.params, ctx);
   }
-  c.members = std::move(mr.staying);
-  if (counts != nullptr) counts->transfers += mr.crossed.size();
-  for (Entity& e : mr.crossed)
+  if (counts != nullptr) counts->transfers += crossed_scratch.size();
+  for (Entity& e : crossed_scratch)
     pending_out.push_back(PendingTransfer{e, id, dest});
 }
 
@@ -631,13 +697,17 @@ bool System::injection_is_safe(CellId id, Vec2 center) const {
 
   // Fairness guard (assumption (b) of §III-B): never fill the entry strip
   // toward the neighbor currently being served, so injection cannot
-  // perpetually re-block it.
+  // perpetually re-block it. The strip predicate is a conjunction over
+  // entities, so clear(members ∪ {new}) ≡ clear(members) ∧ clear({new})
+  // — probing the new entity alone avoids materializing the union.
   if (c.token.has_value()) {
-    std::vector<Entity> with_new(c.members.begin(), c.members.end());
-    with_new.push_back(Entity{EntityId{~0ULL}, center});
     const bool was_clear = entry_strip_clear(id, *c.token, c.members, p);
-    const bool still_clear = entry_strip_clear(id, *c.token, with_new, p);
-    if (was_clear && !still_clear) return false;
+    if (was_clear) {
+      const Entity probe{EntityId{~0ULL}, center};
+      const bool probe_clear = entry_strip_clear(
+          id, *c.token, std::span<const Entity>(&probe, 1), p);
+      if (!probe_clear) return false;
+    }
   }
   return true;
 }

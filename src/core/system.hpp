@@ -27,8 +27,10 @@
 // predicate H at the xS point, where the paper asserts it).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <span>
 #include <vector>
@@ -184,6 +186,17 @@ struct RoundEvents {
   std::vector<std::pair<CellId, EntityId>> injected;
   /// Arrivals (= transfers with consumed == true).
   std::uint64_t arrivals = 0;
+
+  /// Empties the event lists keeping their capacity — update() reuses one
+  /// RoundEvents across rounds so the steady state never reallocates.
+  void clear() noexcept {
+    round = 0;
+    transfers.clear();
+    moved.clear();
+    blocked.clear();
+    injected.clear();
+    arrivals = 0;
+  }
 };
 
 /// Phases of update(), in execution order, for PhaseHook.
@@ -369,7 +382,42 @@ class System {
                    std::vector<std::size_t>* flip_out);
   void move_cell(std::size_t k, std::vector<CellId>& moved_out,
                  std::vector<PendingTransfer>& pending_out,
+                 std::vector<Entity>& crossed_scratch,
                  obs::ProtocolCounts* counts);
+
+  // --- round scratch arena (DESIGN.md §10) -----------------------------
+  //
+  // Every buffer the phase loops used to allocate locally per round lives
+  // here instead, cleared (capacity retained) at each use. One slot per
+  // shard: a shard only ever touches its own slot during a phase, and the
+  // post-barrier merges walk the slots in ascending shard order — the
+  // same discipline that makes the engines bit-identical also makes the
+  // arena race-free. Sized by set_parallel_policy to the engine width.
+  struct ShardScratch {
+    std::vector<CellId> blocked;           ///< Signal: blocked-grant events
+    std::vector<CellId> moved;             ///< Move: cells that moved
+    std::vector<PendingTransfer> pending;  ///< Move: crossers, pre-merge
+    std::vector<Entity> crossed;           ///< Move: per-cell crossing batch
+    std::vector<std::size_t> changed;      ///< Route: dist-changed cells
+    std::vector<std::size_t> flips;        ///< Signal: occupancy flips
+    obs::ProtocolCounts counts;            ///< shard-private tallies
+    std::uint64_t visited = 0;             ///< cells this shard ran
+
+    void begin_phase() noexcept {
+      blocked.clear();
+      moved.clear();
+      pending.clear();
+      crossed.clear();
+      changed.clear();
+      flips.clear();
+      counts.reset();
+      visited = 0;
+    }
+  };
+  struct RoundScratch {
+    std::vector<ShardScratch> shards;       ///< >= 1; index = shard id
+    std::vector<PendingTransfer> transfers; ///< canonical merge buffer
+  };
 
   // --- active-set scheduler internals (DESIGN.md §9) -------------------
 
@@ -423,6 +471,7 @@ class System {
 
   ParallelPolicy parallel_;
   std::unique_ptr<ThreadPool> pool_;  ///< live iff mode == kParallel
+  RoundScratch scratch_;              ///< see the struct comment above
 
   // Observability attachments; both optional, both non-owning.
   std::unique_ptr<obs::ProtocolMetrics> metrics_;  ///< live iff attached
@@ -435,6 +484,36 @@ class System {
   // boundary (maintained incrementally by the post-Route merge and by
   // note_control_mutation); under kExhaustive it is recopied each round.
   std::vector<Dist> dist_snapshot_;
+
+  // --- cache-tight topology tables (DESIGN.md §10) ---------------------
+  //
+  // The grid is immutable after construction, so the per-cell adjacency
+  // the phase loops used to recompute through Grid (bounds-checked
+  // neighbor()/index_of()/id_of() per access) is flattened once into
+  // dense arrays the hot loops index directly.
+
+  /// Sentinel for "no neighbor in this direction" in nbr_idx_.
+  static constexpr std::uint32_t kNoNbr =
+      std::numeric_limits<std::uint32_t>::max();
+
+  /// nbr_idx_[k][d]: dense index of cell k's neighbor in kAllDirections
+  /// order, or kNoNbr at the boundary.
+  std::vector<std::array<std::uint32_t, 4>> nbr_idx_;
+  /// cell_id_[k] == grid_.id_of(k), cached (avoids a div/mod per access).
+  std::vector<CellId> cell_id_;
+
+  /// Signal feeder snapshot: feed_[k] is the dense index of the cell that
+  /// k *feeds* this round — i.e. index_of(next_k) iff k is live, nonempty
+  /// and next_k ≠ ⊥ — else kNoNbr. Written by route_cell (the inputs —
+  /// next is Route's own output; members/failed cannot change between
+  /// Route and Signal) so the exhaustive Signal scan tests
+  /// `feed_[nbr] == k` against one dense 4-byte-per-cell array instead of
+  /// gathering failed/next/members from four scattered CellStates. Only
+  /// kExhaustive reads it: under kActiveSet, Route skips quiescent cells,
+  /// whose feed entry would go stale when Move empties or fills them, so
+  /// the active engine keeps the direct CellState reads (equivalence
+  /// pinned by the differential suites and the bench digest checks).
+  std::vector<std::uint32_t> feed_;
 
   // Active-set scheduler state (kActiveSet; rebuilt on switch). All
   // three vectors are read-only during the sharded phase loops and

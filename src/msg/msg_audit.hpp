@@ -20,7 +20,9 @@
 // partition schedule, every one of them must hold.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/predicates.hpp"  // Violation, kPredicateEps
@@ -40,6 +42,12 @@ namespace cellflow::msg_audit {
 [[nodiscard]] std::optional<Violation> check_members_disjoint(
     const MessageSystem& msg);
 
+/// As above, but over a caller-provided in-flight snapshot (one
+/// `msg.in_flight_entities()` call shared across oracles — check_all
+/// uses this so the audit sweep assembles the O(grid) snapshot once).
+[[nodiscard]] std::optional<Violation> check_members_disjoint(
+    const MessageSystem& msg, std::span<const Entity> in_flight);
+
 [[nodiscard]] std::optional<Violation> check_footprints_separated(
     const MessageSystem& msg, double eps = kPredicateEps);
 
@@ -48,6 +56,11 @@ namespace cellflow::msg_audit {
 /// Loss shows up as injected > accounted; duplication as the reverse.
 [[nodiscard]] std::optional<Violation> check_conservation(
     const MessageSystem& msg);
+
+/// As above with the in-flight count precomputed (see the span overload
+/// of check_members_disjoint).
+[[nodiscard]] std::optional<Violation> check_conservation(
+    const MessageSystem& msg, std::uint64_t in_flight);
 
 /// Runs every oracle above; returns all violations (empty = all good).
 [[nodiscard]] std::vector<Violation> check_all(const MessageSystem& msg,

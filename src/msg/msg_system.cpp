@@ -170,7 +170,7 @@ void MessageSystem::exchange_dists() {
     for (const CellId nb : p.nbrs)
       network_->send(Message{id, nb, DistAnnounce{p.state.dist}});
   }
-  auto inboxes = network_->deliver_all(grid_);
+  network_->deliver_all(grid_, inboxes_);
 
   // Local Route step. A neighbor that stayed silent reads as dist = ∞
   // (paper footnote 1) — which is exactly what NOT listing it achieves,
@@ -184,7 +184,7 @@ void MessageSystem::exchange_dists() {
     if (p.state.failed) continue;
     const CellId id = grid_.id_of(k);
     p.heard_dists.clear();
-    for (const Message& m : inboxes[k]) {
+    for (const Message& m : inboxes_[k]) {
       if (const auto* ann = std::get_if<DistAnnounce>(&m.payload))
         p.heard_dists.push_back(NeighborDistView{m.sender, ann->dist});
     }
@@ -195,17 +195,18 @@ void MessageSystem::exchange_dists() {
       p.state.next = std::nullopt;
       continue;
     }
-    std::vector<NeighborDist> nds;
+    NeighborDist nds[4];  // lattice degree ≤ 4; no heap
+    std::size_t n = 0;
     for (const CellId nb : p.nbrs) {
       const auto it = std::find_if(
           p.heard_dists.begin(), p.heard_dists.end(),
           [nb](const NeighborDistView& v) { return v.id == nb; });
-      nds.push_back(NeighborDist{
-          nb, it == p.heard_dists.end() ? Dist::infinity() : it->dist});
+      nds[n++] = NeighborDist{
+          nb, it == p.heard_dists.end() ? Dist::infinity() : it->dist};
     }
-    const RouteResult r = route_step(nds);
+    const RouteResult r = route_step(std::span<const NeighborDist>(nds, n));
     if (metrics_) {
-      round_counts_.route_relaxations += nds.size();
+      round_counts_.route_relaxations += n;
       if (p.state.dist != r.dist) ++round_counts_.route_dist_changes;
     }
     p.state.dist = r.dist;
@@ -223,7 +224,7 @@ void MessageSystem::exchange_intents() {
           id, nb, IntentAnnounce{p.state.next, p.state.has_entities()}});
     }
   }
-  auto inboxes = network_->deliver_all(grid_);
+  network_->deliver_all(grid_, inboxes_);
 
   // Local Signal step: NEPrev = senders whose intent names me and who
   // carry entities (deduplicated — the network may deliver copies).
@@ -232,7 +233,7 @@ void MessageSystem::exchange_intents() {
     if (p.state.failed) continue;
     const CellId id = grid_.id_of(k);
     p.heard_wanting.clear();
-    for (const Message& m : inboxes[k]) {
+    for (const Message& m : inboxes_[k]) {
       if (const auto* intent = std::get_if<IntentAnnounce>(&m.payload)) {
         if (intent->next == OptCellId{id} && intent->has_entities)
           p.heard_wanting.push_back(m.sender);
@@ -285,14 +286,14 @@ void MessageSystem::exchange_grants() {
       network_->send(Message{id, nb, GrantAnnounce{p.state.signal, seq,
                                                    round_}});
   }
-  auto inboxes = network_->deliver_all(grid_);
+  network_->deliver_all(grid_, inboxes_);
 
   for (std::size_t k = 0; k < processes_.size(); ++k) {
     MessageProcess& p = processes_[k];
     p.heard_grants.clear();
     if (p.state.failed) continue;
     const CellId id = grid_.id_of(k);
-    for (const Message& m : inboxes[k]) {
+    for (const Message& m : inboxes_[k]) {
       const auto* g = std::get_if<GrantAnnounce>(&m.payload);
       if (g == nullptr) continue;
       if (g->round != round_) {
@@ -327,14 +328,13 @@ void MessageSystem::exchange_transfers() {
       const CellId dest = p.nbrs[slot];
       if (p.state.next != OptCellId{dest}) continue;
       if (metrics_) ++round_counts_.moves;
-      MoveResult mr =
-          move_step(id, dest, std::move(p.state.members), config_.params);
-      p.state.members = std::move(mr.staying);
-      if (metrics_) round_counts_.transfers += mr.crossed.size();
-      if (!mr.crossed.empty()) {
-        ob.batch_seq = ob.heard_seq;
-        ob.batch = std::move(mr.crossed);
-      }
+      // In-place Move: crossers land directly in the link's retained
+      // batch (empty while the link is idle — pending() was false and
+      // acks clear it), stayers partition in place.
+      ob.batch.clear();
+      move_step_inplace(id, dest, p.state.members, ob.batch, config_.params);
+      if (metrics_) round_counts_.transfers += ob.batch.size();
+      if (!ob.batch.empty()) ob.batch_seq = ob.heard_seq;
     }
     for (std::size_t s = 0; s < p.nbrs.size(); ++s) {
       const OutboundLink& ob = p.outbound[s];
@@ -344,12 +344,12 @@ void MessageSystem::exchange_transfers() {
     }
   }
 
-  auto inboxes = network_->deliver_all(grid_);
+  network_->deliver_all(grid_, inboxes_);
   for (std::size_t k = 0; k < processes_.size(); ++k) {
     MessageProcess& p = processes_[k];
     if (p.state.failed) continue;  // messages to a crashed process are lost
     const CellId id = grid_.id_of(k);
-    for (Message& m : inboxes[k]) {
+    for (Message& m : inboxes_[k]) {
       auto* b = std::get_if<TransferBatch>(&m.payload);
       if (b == nullptr) continue;
       InboundLink& ib = p.inbound[p.slot_of(m.sender)];
@@ -394,11 +394,11 @@ void MessageSystem::exchange_acks() {
     p.pending_acks.clear();
   }
 
-  auto inboxes = network_->deliver_all(grid_);
+  network_->deliver_all(grid_, inboxes_);
   for (std::size_t k = 0; k < processes_.size(); ++k) {
     MessageProcess& p = processes_[k];
     if (p.state.failed) continue;
-    for (const Message& m : inboxes[k]) {
+    for (const Message& m : inboxes_[k]) {
       const auto* a = std::get_if<TransferAck>(&m.payload);
       if (a == nullptr) continue;
       OutboundLink& ob = p.outbound[p.slot_of(m.sender)];
@@ -447,11 +447,16 @@ bool MessageSystem::injection_is_safe(CellId id, Vec2 center) const {
       return false;
   }
   if (c.token.has_value()) {
-    std::vector<Entity> with_new(c.members.begin(), c.members.end());
-    with_new.push_back(Entity{EntityId{~0ULL}, center});
+    // clear(members ∪ {new}) ≡ clear(members) ∧ clear({new}) — probe the
+    // new entity alone instead of materializing the union (same
+    // decomposition as System::injection_is_safe).
     const bool was_clear = entry_strip_clear(id, *c.token, c.members, prm);
-    const bool still_clear = entry_strip_clear(id, *c.token, with_new, prm);
-    if (was_clear && !still_clear) return false;
+    if (was_clear) {
+      const Entity probe{EntityId{~0ULL}, center};
+      const bool probe_clear = entry_strip_clear(
+          id, *c.token, std::span<const Entity>(&probe, 1), prm);
+      if (!probe_clear) return false;
+    }
   }
   return true;
 }

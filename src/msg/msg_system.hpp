@@ -95,7 +95,7 @@ struct MessageProcess {
 
   // Views assembled from the current round's inboxes:
   std::vector<NeighborDistView> heard_dists;
-  std::vector<CellId> heard_wanting;       // NEPrev candidates
+  NeighborSet heard_wanting;               // NEPrev candidates (inline)
   std::vector<std::size_t> heard_grants;   // link slots granted this round
   std::vector<std::pair<CellId, std::uint64_t>> pending_acks;
 
@@ -200,6 +200,10 @@ class MessageSystem {
   std::vector<MessageProcess> processes_;
   std::unique_ptr<NetworkModel> network_;
   RoundRobinChoose choose_;  // stateless, per-call; same as System default
+
+  /// Per-round inbox buffers, reused across the five exchanges (cleared,
+  /// never freed — the steady state performs no per-round allocation).
+  std::vector<std::vector<Message>> inboxes_;
 
   std::uint64_t round_ = 0;
   std::uint64_t total_arrivals_ = 0;

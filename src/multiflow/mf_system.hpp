@@ -41,6 +41,7 @@
 #include <span>
 #include <vector>
 
+#include "core/cell_state.hpp"
 #include "core/choose.hpp"
 #include "core/entity.hpp"
 #include "core/params.hpp"
@@ -77,7 +78,7 @@ struct MfCellState {
   std::vector<OptCellId> next;  ///< next[f]
   OptCellId token;
   OptCellId signal;
-  std::vector<CellId> ne_prev;
+  NeighborSet ne_prev;
   bool failed = false;
 
   [[nodiscard]] bool has_entities() const noexcept { return !members.empty(); }

@@ -17,35 +17,52 @@ void NetworkModel::send(Message m) {
 }
 
 std::vector<std::vector<Message>> NetworkModel::deliver_all(const Grid& grid) {
-  std::vector<Message> deliver;
-  deliver.reserve(in_flight_.size());
-  transmit(std::move(in_flight_), deliver);
+  std::vector<std::vector<Message>> inboxes;
+  deliver_all(grid, inboxes);
+  return inboxes;
+}
+
+void NetworkModel::deliver_all(const Grid& grid,
+                               std::vector<std::vector<Message>>& inboxes) {
+  deliver_.clear();
+  transmit(std::move(in_flight_), deliver_);
   in_flight_.clear();
   ++barriers_;
-  last_exchange_ = deliver.size();
+  last_exchange_ = deliver_.size();
 
-  // Canonical delivery order: (receiver, sender) in CellId order; the
-  // stable sort preserves per-link send order as the payload-index tie
-  // break, so each inbox reads ascending in sender id with every
-  // (sender → receiver) link FIFO.
-  std::stable_sort(deliver.begin(), deliver.end(),
-                   [](const Message& a, const Message& b) {
-                     if (a.receiver != b.receiver)
-                       return a.receiver < b.receiver;
-                     return a.sender < b.sender;
-                   });
+  // Canonical delivery order: (receiver, sender) in CellId order with
+  // per-link send order preserved, so each inbox reads ascending in
+  // sender id and every (sender → receiver) link FIFO. Sorting an index
+  // array with the queue position as the explicit tie break gives the
+  // stable order without std::stable_sort's per-call temporary buffer
+  // (the barrier runs five times per round — DESIGN.md §10 keeps it
+  // allocation-free once order_'s capacity is warm).
+  order_.resize(deliver_.size());
+  for (std::size_t k = 0; k < order_.size(); ++k) order_[k] = k;
+  std::sort(order_.begin(), order_.end(),
+            [this](std::size_t a, std::size_t b) {
+              const Message& ma = deliver_[a];
+              const Message& mb = deliver_[b];
+              if (ma.receiver != mb.receiver) return ma.receiver < mb.receiver;
+              if (ma.sender != mb.sender) return ma.sender < mb.sender;
+              return a < b;
+            });
 
-  std::vector<std::vector<Message>> inboxes(grid.cell_count());
-  for (Message& m : deliver) {
+  inboxes.resize(grid.cell_count());
+  for (std::vector<Message>& inbox : inboxes) inbox.clear();
+  for (const std::size_t k : order_) {
+    Message& m = deliver_[k];
     CF_EXPECTS_MSG(grid.contains(m.receiver), "message to unknown process");
     inboxes[grid.index_of(m.receiver)].push_back(std::move(m));
   }
-  return inboxes;
 }
 
 void NetworkModel::transmit(std::vector<Message>&& sent,
                             std::vector<Message>& out) {
-  out = std::move(sent);
+  // `out` arrives empty (see the header contract): swapping hands the
+  // queue to the barrier and recycles the previous delivery buffer as
+  // the next round's queue — no allocation either way.
+  out.swap(sent);
 }
 
 std::uint64_t NetworkModel::fault_count(NetFault f) const noexcept {

@@ -69,6 +69,15 @@ class NetworkModel {
   [[nodiscard]] std::vector<std::vector<Message>> deliver_all(
       const Grid& grid);
 
+  /// Buffer-reusing form of the barrier: fills `inboxes` (resized to
+  /// grid.cell_count(); each inbox cleared, capacity retained) instead of
+  /// returning fresh vectors, so a caller that passes the same buffers
+  /// every exchange stops allocating once they are warm. Semantically
+  /// identical to the returning form — the MessageSystem round loop uses
+  /// this one.
+  void deliver_all(const Grid& grid,
+                   std::vector<std::vector<Message>>& inboxes);
+
   /// True once the schedule can no longer perturb an exchange: no fault
   /// will fire and nothing is buffered for late delivery. Mirrors
   /// FailureModel::quiescent so stabilization-after-faults-cease is
@@ -106,8 +115,10 @@ class NetworkModel {
  protected:
   /// Fault-schedule hook: consume `sent` (this exchange's queue, in send
   /// order) and append every message to deliver at this barrier to `out`
-  /// (order irrelevant; the caller canonicalizes). The base barrier index
-  /// and round are available via barrier_count() / current_round().
+  /// (passed in empty; order irrelevant — the caller canonicalizes). The
+  /// base barrier index and round are available via barrier_count() /
+  /// current_round(). The reliable base swaps the buffers, so the queue
+  /// and delivery vectors ping-pong without allocating.
   virtual void transmit(std::vector<Message>&& sent,
                         std::vector<Message>& out);
 
@@ -120,6 +131,8 @@ class NetworkModel {
 
  private:
   std::vector<Message> in_flight_;
+  std::vector<Message> deliver_;      ///< barrier scratch, reused per exchange
+  std::vector<std::size_t> order_;    ///< canonical-sort permutation scratch
   std::uint64_t round_ = 0;
   std::uint64_t total_messages_ = 0;
   std::uint64_t last_exchange_ = 0;

@@ -1,0 +1,113 @@
+// Global operator-new/delete replacement that feeds obs/alloc_stats.
+//
+// NOT part of the cellflow library. This translation unit is compiled
+// into its own object library (cellflow_alloc_interposer in
+// src/CMakeLists.txt) and linked ONLY into the binaries that measure
+// allocation — tests/test_alloc_churn and bench/micro_alloc_churn.
+// Linking it anywhere else would tax every allocation in that binary
+// with two atomic increments; linking it nowhere leaves alloc_stats'
+// counters at zero and alloc_interposer_linked() false.
+//
+// [new.delete.single]: replacing the (size_t) and (size_t, align_val_t)
+// throwing forms is sufficient — the default nothrow and array forms
+// forward to them — but we replace the whole family anyway so the count
+// does not depend on libstdc++'s forwarding choices.
+#include <cstdlib>
+#include <new>
+
+#include "obs/alloc_stats.hpp"
+
+namespace {
+
+// Flips the "instrumented binary" flag during static initialization.
+[[maybe_unused]] const bool g_marked = [] {
+  cellflow::obs::mark_interposer_linked();
+  return true;
+}();
+
+void* counted_alloc(std::size_t size) noexcept {
+  cellflow::obs::note_alloc(size);
+  // malloc(0) may return nullptr; operator new must not.
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  cellflow::obs::note_alloc(size);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t padded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, padded == 0 ? align : padded);
+}
+
+void counted_free(void* p) noexcept {
+  if (p != nullptr) cellflow::obs::note_free();
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align)))
+    return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  if (void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align)))
+    return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  counted_free(p);
+}

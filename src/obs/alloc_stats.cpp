@@ -1,0 +1,39 @@
+#include "obs/alloc_stats.hpp"
+
+#include <atomic>
+
+namespace cellflow::obs {
+namespace {
+
+// Plain namespace-scope atomics: zero-initialized before any dynamic
+// initialization, so interposer calls that happen during static init of
+// other translation units are already counted correctly.
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<bool> g_linked{false};
+
+}  // namespace
+
+void note_alloc(std::size_t bytes) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void note_free() noexcept { g_frees.fetch_add(1, std::memory_order_relaxed); }
+
+AllocTotals alloc_totals() noexcept {
+  return {g_allocs.load(std::memory_order_relaxed),
+          g_frees.load(std::memory_order_relaxed),
+          g_bytes.load(std::memory_order_relaxed)};
+}
+
+void mark_interposer_linked() noexcept {
+  g_linked.store(true, std::memory_order_relaxed);
+}
+
+bool alloc_interposer_linked() noexcept {
+  return g_linked.load(std::memory_order_relaxed);
+}
+
+}  // namespace cellflow::obs

@@ -1,0 +1,59 @@
+// Allocation observability for the zero-allocation round hot path
+// (DESIGN.md §10). The counters here are fed by an *optional* global
+// operator-new/delete interposer (alloc_interposer.cpp) that is linked
+// only into the binaries that measure allocation — tests/test_alloc_churn
+// and bench/micro_alloc_churn. The cellflow library itself never calls
+// note_alloc; in every other binary the counters stay zero and
+// alloc_interposer_linked() reports false, so callers can distinguish
+// "no allocations" from "not instrumented".
+//
+// Thread safety: counters are relaxed atomics — the contract is only that
+// a quiesced program (all round work joined at a barrier) reads exact
+// totals, which is how both the test and the bench use them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cellflow::obs {
+
+/// Snapshot of the global allocation counters.
+struct AllocTotals {
+  std::uint64_t allocs = 0;  ///< operator-new calls
+  std::uint64_t frees = 0;   ///< operator-delete calls
+  std::uint64_t bytes = 0;   ///< bytes requested from operator-new
+
+  friend AllocTotals operator-(const AllocTotals& a, const AllocTotals& b) {
+    return {a.allocs - b.allocs, a.frees - b.frees, a.bytes - b.bytes};
+  }
+};
+
+/// Called by the interposer on every operator-new. Relaxed atomics; safe
+/// from any thread, including before main().
+void note_alloc(std::size_t bytes) noexcept;
+/// Called by the interposer on every operator-delete.
+void note_free() noexcept;
+
+/// Current global totals (exact only while no other thread allocates).
+[[nodiscard]] AllocTotals alloc_totals() noexcept;
+
+/// Interposer registration: its translation unit flips this at static
+/// initialization, so instrumented binaries can assert they really are.
+void mark_interposer_linked() noexcept;
+[[nodiscard]] bool alloc_interposer_linked() noexcept;
+
+/// Delta helper: captures totals at construction; delta() is the
+/// allocation traffic since then.
+class AllocWindow {
+ public:
+  AllocWindow() noexcept : start_(alloc_totals()) {}
+  [[nodiscard]] AllocTotals delta() const noexcept {
+    return alloc_totals() - start_;
+  }
+  void reset() noexcept { start_ = alloc_totals(); }
+
+ private:
+  AllocTotals start_;
+};
+
+}  // namespace cellflow::obs

@@ -6,22 +6,28 @@
 
 namespace cellflow {
 
-std::vector<ShardRange> shard_ranges(std::size_t size, int shards) {
+std::size_t shard_count(std::size_t size, int shards) {
   CF_EXPECTS(shards >= 1);
-  std::vector<ShardRange> out;
-  if (size == 0) return out;
-  const std::size_t count =
-      std::min(static_cast<std::size_t>(shards), size);
+  return std::min(static_cast<std::size_t>(shards), size);
+}
+
+ShardRange shard_range_at(std::size_t size, std::size_t count,
+                          std::size_t s) {
+  CF_EXPECTS(count >= 1 && count <= size && s < count);
   const std::size_t base = size / count;
   const std::size_t extra = size % count;
+  const std::size_t begin = s * base + std::min(s, extra);
+  const std::size_t len = base + (s < extra ? 1 : 0);
+  return ShardRange{begin, begin + len};
+}
+
+std::vector<ShardRange> shard_ranges(std::size_t size, int shards) {
+  const std::size_t count = shard_count(size, shards);
+  std::vector<ShardRange> out;
   out.reserve(count);
-  std::size_t begin = 0;
-  for (std::size_t s = 0; s < count; ++s) {
-    const std::size_t len = base + (s < extra ? 1 : 0);
-    out.push_back(ShardRange{begin, begin + len});
-    begin += len;
-  }
-  CF_ENSURES(begin == size);
+  for (std::size_t s = 0; s < count; ++s)
+    out.push_back(shard_range_at(size, count, s));
+  CF_ENSURES(out.empty() || out.back().end == size);
   return out;
 }
 
@@ -53,7 +59,7 @@ void ThreadPool::worker_loop() {
       lk.unlock();
       std::exception_ptr err;
       try {
-        (*task_)(k);
+        task_(k);
       } catch (...) {
         err = std::current_exception();
       }
@@ -65,12 +71,11 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::run(std::size_t count,
-                     const std::function<void(std::size_t)>& task) {
+void ThreadPool::run(std::size_t count, FunctionRef<void(std::size_t)> task) {
   if (count == 0) return;
   std::unique_lock<std::mutex> lk(mu_);
-  CF_EXPECTS_MSG(task_ == nullptr, "ThreadPool::run is not reentrant");
-  task_ = &task;
+  CF_EXPECTS_MSG(!task_, "ThreadPool::run is not reentrant");
+  task_ = task;
   task_count_ = count;
   next_task_ = 0;
   completed_ = 0;
@@ -91,24 +96,28 @@ void ThreadPool::run(std::size_t count,
   }
 }
 
-void parallel_for_shards(
-    ThreadPool* pool, std::size_t size,
-    const std::function<void(std::size_t, ShardRange)>& body) {
-  const int shards = pool ? pool->thread_count() : 1;
-  const std::vector<ShardRange> ranges = shard_ranges(size, shards);
-  if (pool == nullptr || ranges.size() <= 1) {
-    for (std::size_t s = 0; s < ranges.size(); ++s) body(s, ranges[s]);
+void parallel_for_shards(ThreadPool* pool, std::size_t size,
+                         FunctionRef<void(std::size_t, ShardRange)> body) {
+  if (size == 0) return;
+  const std::size_t count =
+      shard_count(size, pool ? pool->thread_count() : 1);
+  if (pool == nullptr || count <= 1) {
+    for (std::size_t s = 0; s < count; ++s)
+      body(s, shard_range_at(size, count, s));
     return;
   }
-  pool->run(ranges.size(),
-            [&](std::size_t s) { body(s, ranges[s]); });
+  const auto one = [&](std::size_t s) {
+    body(s, shard_range_at(size, count, s));
+  };
+  pool->run(count, one);
 }
 
 void parallel_for(ThreadPool* pool, std::size_t size,
-                  const std::function<void(std::size_t)>& body) {
-  parallel_for_shards(pool, size, [&](std::size_t, ShardRange r) {
+                  FunctionRef<void(std::size_t)> body) {
+  const auto per_shard = [&](std::size_t, ShardRange r) {
     for (std::size_t k = r.begin; k < r.end; ++k) body(k);
-  });
+  };
+  parallel_for_shards(pool, size, per_shard);
 }
 
 }  // namespace cellflow

@@ -11,17 +11,21 @@
 //
 // The pool is intentionally tiny: a fixed set of workers, one blocking
 // run() at a time, no task queue, no futures. That is exactly what a
-// barrier-synchronized phase loop needs, and nothing more.
+// barrier-synchronized phase loop needs, and nothing more. Batches are
+// passed as FunctionRef (util/function_ref.hpp) so dispatching a phase
+// performs no heap allocation regardless of how much the phase lambda
+// captures — part of the zero-allocation round contract (DESIGN.md §10).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/function_ref.hpp"
 
 namespace cellflow {
 
@@ -34,11 +38,25 @@ struct ShardRange {
                                    const ShardRange&) = default;
 };
 
+/// Number of shards shard_ranges(size, shards) would produce: at most
+/// `shards`, never more than `size`. Precondition: shards >= 1.
+[[nodiscard]] std::size_t shard_count(std::size_t size, int shards);
+
+/// Shard `s` of the deterministic partition of [0, size) into `count`
+/// contiguous ascending ranges (the first size % count shards are one
+/// element longer). Pure arithmetic — no allocation — so phase loops can
+/// compute their shard on the fly. Precondition: 1 <= count <= size and
+/// s < count (i.e. count came from shard_count on the same size).
+[[nodiscard]] ShardRange shard_range_at(std::size_t size, std::size_t count,
+                                        std::size_t s);
+
 /// Deterministic partition of [0, size) into at most `shards` contiguous,
 /// ascending, non-empty ranges. The first (size % count) shards are one
 /// element longer, so boundaries are a pure function of (size, shards):
 /// the same pair always yields the same partition, on any machine.
 /// size == 0 yields no shards. Precondition: shards >= 1.
+/// (Materialized convenience over shard_range_at; hot loops use the
+/// arithmetic form directly.)
 [[nodiscard]] std::vector<ShardRange> shard_ranges(std::size_t size,
                                                    int shards);
 
@@ -65,7 +83,8 @@ class ThreadPool {
   /// workers, and returns when all have completed. If tasks threw, the
   /// exception of the *lowest* task index is rethrown (a deterministic
   /// choice, independent of scheduling); the remaining tasks still ran.
-  void run(std::size_t count, const std::function<void(std::size_t)>& task);
+  /// The task callable only needs to outlive this (blocking) call.
+  void run(std::size_t count, FunctionRef<void(std::size_t)> task);
 
  private:
   void worker_loop();
@@ -76,7 +95,7 @@ class ThreadPool {
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   // Current batch, guarded by mu_.
-  const std::function<void(std::size_t)>* task_ = nullptr;
+  FunctionRef<void(std::size_t)> task_;
   std::size_t task_count_ = 0;
   std::size_t next_task_ = 0;
   std::size_t completed_ = 0;
@@ -90,13 +109,12 @@ class ThreadPool {
 /// order when `pool` is nullptr (then the partition has a single shard).
 /// Callers needing merged output keep one buffer per shard — indexed by
 /// shard_index — and concatenate in shard order; see the file comment.
-void parallel_for_shards(
-    ThreadPool* pool, std::size_t size,
-    const std::function<void(std::size_t, ShardRange)>& body);
+void parallel_for_shards(ThreadPool* pool, std::size_t size,
+                         FunctionRef<void(std::size_t, ShardRange)> body);
 
 /// Element-wise convenience over parallel_for_shards: body(k) for every
 /// k in [0, size), sharded the same deterministic way.
 void parallel_for(ThreadPool* pool, std::size_t size,
-                  const std::function<void(std::size_t)>& body);
+                  FunctionRef<void(std::size_t)> body);
 
 }  // namespace cellflow

@@ -73,7 +73,7 @@ TEST(EntryStrip, NonNeighborViolatesContract) {
 
 // --- signal_step -----------------------------------------------------
 
-SignalResult step(std::vector<Entity> members, std::vector<CellId> ne_prev,
+SignalResult step(std::vector<Entity> members, NeighborSet ne_prev,
                   OptCellId token) {
   RoundRobinChoose rr;
   SignalInputs in;
@@ -121,8 +121,8 @@ TEST(SignalStep, GrantRotatesTokenAwayFromServed) {
 }
 
 TEST(SignalStep, RotationCyclesThroughThreePredecessors) {
-  const std::vector<CellId> three = {kWest, kSouth, kEast};  // sorted: W,S,E
-  std::vector<CellId> sorted = three;
+  const NeighborSet three = {kWest, kSouth, kEast};  // sorted: W,S,E
+  NeighborSet sorted = three;
   std::sort(sorted.begin(), sorted.end());
   OptCellId token = std::nullopt;
   std::vector<CellId> grants;
@@ -166,7 +166,7 @@ TEST(SignalStep, DepartedHolderChurnDoesNotStarveSurvivors) {
   std::vector<CellId> grants;
   bool stale_branch_seen = false;
   for (int round = 0; round < 30; ++round) {
-    std::vector<CellId> ne_prev = {kWest, kEast};
+    NeighborSet ne_prev = {kWest, kEast};
     if (round % 2 == 0) ne_prev.push_back(kNorth);
     std::sort(ne_prev.begin(), ne_prev.end());
     if (token.has_value() && ne_prev.size() > 1 &&
