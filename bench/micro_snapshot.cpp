@@ -1,0 +1,269 @@
+// Micro-benchmark: cost and payoff of engine snapshots (DESIGN.md §11,
+// EXPERIMENTS.md E18). Three questions per grid side:
+//   1. How big is a snapshot at steady state (bytes, bytes/cell)?
+//   2. What do save() and restore() cost (µs — is per-round periodic
+//      checkpointing viable)?
+//   3. What does a warm start save end-to-end: reach round W+R cold
+//      (run everything) vs warm (restore the round-W snapshot, run R)?
+//
+// Correctness rides along: every restore is digest-checked against the
+// engine it was saved from, and the warm continuation must land on the
+// same digest as the cold run — any mismatch aborts nonzero, so this
+// bench doubles as a round-trip conformance check at bench scale.
+// scripts/plot_figures.py consumes the CSV block.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/choose.hpp"
+#include "core/system.hpp"
+#include "failure/failure_model.hpp"
+#include "sim/experiment.hpp"
+#include "snapshot/snapshot.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace cellflow;
+
+/// Saturated workload (same shape as micro_parallel_scaling): sources
+/// along the west edge, target mid-east, plus fail/recover churn so the
+/// snapshot carries a busy failure stream.
+SystemConfig snapshot_config(int side) {
+  SystemConfig cfg;
+  cfg.side = side;
+  cfg.params = Params(0.2, 0.05, 0.2);
+  cfg.target = CellId{side - 1, side / 2};
+  cfg.sources.clear();
+  for (int j = 0; j < side; ++j) cfg.sources.push_back(CellId{0, j});
+  return cfg;
+}
+
+struct Engine {
+  std::unique_ptr<System> sys;
+  std::unique_ptr<FailureModel> failures;
+};
+
+Engine build(int side) {
+  Engine e;
+  e.sys = std::make_unique<System>(snapshot_config(side),
+                                   make_choose_policy("random", 1234));
+  e.failures = std::make_unique<RandomFailRecover>(0.01, 0.1, 77);
+  return e;
+}
+
+void run(Engine& e, std::uint64_t rounds) {
+  for (std::uint64_t k = 0; k < rounds; ++k) {
+    e.failures->apply(*e.sys);
+    e.sys->update();
+  }
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Row {
+  int side = 0;
+  std::size_t bytes = 0;
+  double save_us = 0.0;
+  double restore_us = 0.0;
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs cli(argc, argv);
+  const auto warmup =
+      cli.get_uint("warmup", 200, "rounds before the snapshot boundary W");
+  const auto rounds =
+      cli.get_uint("rounds", 200, "rounds after the boundary (R)");
+  const auto reps =
+      cli.get_uint("reps", 50, "save/restore repetitions per side");
+  const auto max_side = static_cast<int>(
+      cli.get_uint("max-side", 50, "largest grid side to measure"));
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  cli.finish();
+  cellflow::bench::BenchRecorder recorder("micro_snapshot");
+
+  cellflow::bench::banner(
+      "Micro: snapshot save/restore cost and warm-start payoff",
+      "versioned engine snapshots (DESIGN.md §11, EXPERIMENTS.md E18)");
+
+  bool ok = true;
+  std::vector<Row> rows;
+  for (const int side : {10, 20, 50}) {
+    if (side > max_side) continue;
+    Row row;
+    row.side = side;
+
+    // Steady-state engine at the snapshot boundary W.
+    Engine origin = build(side);
+    run(origin, warmup);
+    recorder.note_rounds(warmup);
+    const std::uint64_t boundary_digest = snapshot::state_digest(*origin.sys);
+
+    // Save cost + size.
+    std::vector<std::uint8_t> snap;
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::uint64_t k = 0; k < reps; ++k) {
+        snap = snapshot::save(*origin.sys, origin.failures.get());
+      }
+      row.save_us = 1000.0 * ms_since(t0) / static_cast<double>(reps);
+    }
+    row.bytes = snap.size();
+
+    // Restore cost, digest-checked every repetition.
+    Engine target = build(side);
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::uint64_t k = 0; k < reps; ++k) {
+        snapshot::restore(*target.sys, snap, target.failures.get());
+      }
+      row.restore_us = 1000.0 * ms_since(t0) / static_cast<double>(reps);
+    }
+    if (snapshot::state_digest(*target.sys) != boundary_digest) {
+      std::cerr << "DIGEST MISMATCH after restore: side=" << side << '\n';
+      ok = false;
+    }
+
+    // Warm-start payoff: cold runs W+R from scratch; warm restores the
+    // round-W snapshot and runs R. Both must land on the same digest.
+    std::uint64_t cold_digest = 0;
+    {
+      Engine cold = build(side);
+      const auto t0 = std::chrono::steady_clock::now();
+      run(cold, warmup + rounds);
+      row.cold_ms = ms_since(t0);
+      cold_digest = snapshot::state_digest(*cold.sys);
+      recorder.note_rounds(warmup + rounds);
+    }
+    {
+      Engine warm = build(side);
+      const auto t0 = std::chrono::steady_clock::now();
+      snapshot::restore(*warm.sys, snap, warm.failures.get());
+      run(warm, rounds);
+      row.warm_ms = ms_since(t0);
+      recorder.note_rounds(rounds);
+      if (snapshot::state_digest(*warm.sys) != cold_digest) {
+        std::cerr << "WARM-START DIVERGENCE: side=" << side
+                  << " — restored continuation is not the cold run\n";
+        ok = false;
+      }
+    }
+    rows.push_back(row);
+  }
+
+  // Warm-start through the Experiment layer on the Figure-7 workload
+  // (EXPERIMENTS.md E18): cold runs W+R rounds from scratch; warm runs a
+  // W-round preamble once (snapshotted via WorkloadSpec.snapshot_out),
+  // then restores and runs R. Equivalence is final-SNAPSHOT byte
+  // equality — the strongest available check, covering every counter and
+  // rng stream, not just the digest.
+  double fig_cold_ms = 0.0;
+  double fig_warm_ms = 0.0;
+  std::size_t fig_bytes = 0;
+  {
+    WorkloadSpec base = fig7_base(0.3, 0.2);
+    base.choose_policy = "random";  // rng-bearing policy rides the snapshot
+
+    std::vector<std::uint8_t> cold_snap, mid_snap, warm_snap;
+    WorkloadSpec cold = base;
+    cold.rounds = warmup + rounds;
+    cold.snapshot_out = &cold_snap;
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      const RunResult rc = run_workload(cold, 1);
+      fig_cold_ms = ms_since(t0);
+      recorder.note_rounds(cold.rounds);
+      if (!rc.safety_clean) ok = false;
+    }
+    WorkloadSpec pre = base;
+    pre.rounds = warmup;
+    pre.snapshot_out = &mid_snap;
+    (void)run_workload(pre, 1);
+    recorder.note_rounds(pre.rounds);
+    fig_bytes = mid_snap.size();
+    WorkloadSpec warm = base;
+    warm.rounds = rounds;
+    warm.restore_from = &mid_snap;
+    warm.snapshot_out = &warm_snap;
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      const RunResult rw = run_workload(warm, 1);
+      fig_warm_ms = ms_since(t0);
+      recorder.note_rounds(warm.rounds);
+      if (!rw.safety_clean) ok = false;
+    }
+    if (warm_snap != cold_snap) {
+      std::cerr << "FIG7 WARM-START DIVERGENCE: resumed final snapshot "
+                   "differs from the uninterrupted run's\n";
+      ok = false;
+    }
+  }
+
+  TextTable table;
+  table.set_header({"side", "bytes", "bytes/cell", "save us", "restore us",
+                    "cold ms", "warm ms", "saved %"});
+  for (const Row& r : rows) {
+    const double cells = static_cast<double>(r.side) * r.side;
+    const double saved =
+        r.cold_ms > 0.0 ? 100.0 * (1.0 - r.warm_ms / r.cold_ms) : 0.0;
+    table.add_numeric_row(std::to_string(r.side),
+                          {static_cast<double>(r.bytes),
+                           static_cast<double>(r.bytes) / cells, r.save_us,
+                           r.restore_us, r.cold_ms, r.warm_ms, saved});
+  }
+  std::cout << table.to_string() << '\n';
+
+  const double fig_saved =
+      fig_cold_ms > 0.0 ? 100.0 * (1.0 - fig_warm_ms / fig_cold_ms) : 0.0;
+  std::cout << "fig7 warm-start (8x8, rs=0.3, v=0.2, Experiment layer): cold "
+            << format_sig(fig_cold_ms, 4) << " ms, warm "
+            << format_sig(fig_warm_ms, 4) << " ms, saved "
+            << format_sig(fig_saved, 4) << "% (snapshot "
+            << fig_bytes << " bytes, final snapshots byte-equal)\n\n";
+
+  std::cout << "CSV:\n";
+  CsvWriter csv(std::cout);
+  csv.header({"workload", "side", "snapshot_bytes", "save_us", "restore_us",
+              "cold_ms", "warm_ms", "warm_saved_pct"});
+  for (const Row& r : rows) {
+    const double saved =
+        r.cold_ms > 0.0 ? 100.0 * (1.0 - r.warm_ms / r.cold_ms) : 0.0;
+    csv.field("sweep")
+        .field(static_cast<std::int64_t>(r.side))
+        .field(static_cast<std::int64_t>(r.bytes))
+        .field(r.save_us)
+        .field(r.restore_us)
+        .field(r.cold_ms)
+        .field(r.warm_ms)
+        .field(saved);
+    csv.end_row();
+  }
+  csv.field("fig7")
+      .field(std::int64_t{8})
+      .field(static_cast<std::int64_t>(fig_bytes))
+      .field(0.0)
+      .field(0.0)
+      .field(fig_cold_ms)
+      .field(fig_warm_ms)
+      .field(fig_saved);
+  csv.end_row();
+
+  std::cout << (ok ? "\nround-trip: all restores digest-identical\n"
+                   : "\nround-trip: DIGEST MISMATCH (bug)\n");
+  return ok ? 0 : 1;
+}

@@ -12,8 +12,11 @@
 # engine over the stamp/occupancy arrays — the scheduler reads them
 # inside worker threads and mutates them only at phase barriers, which
 # is exactly the discipline TSan verifies) and the GrantReplay transport
-# adversary. Any data race in the parallel round engine or the
-# instrumentation aborts the run.
+# adversary, plus the snapshot/replay suites (the round-trip property
+# tests restore into engines running the parallel policy at 2 and 4
+# threads, so save/restore racing the pool would surface here). Any data
+# race in the parallel round engine or the instrumentation aborts the
+# run.
 #
 # Exits 0 with a notice when the toolchain cannot link -fsanitize=thread
 # (some minimal images ship gcc without libtsan) so CI lanes without the

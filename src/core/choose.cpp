@@ -27,6 +27,17 @@ CellId RandomChoose::choose(CellId /*self*/,
   return candidates[static_cast<std::size_t>(rng_.below(candidates.size()))];
 }
 
+void RandomChoose::encode_state(std::vector<std::uint64_t>& out) const {
+  const auto words = rng_.state();
+  out.insert(out.end(), words.begin(), words.end());
+}
+
+bool RandomChoose::decode_state(std::span<const std::uint64_t> words) {
+  if (words.size() != 4) return false;
+  rng_.set_state({words[0], words[1], words[2], words[3]});
+  return true;
+}
+
 CellId LowestIdChoose::choose(CellId /*self*/,
                               std::span<const CellId> candidates,
                               OptCellId /*previous*/) {

@@ -17,8 +17,10 @@
 //     test for the fairness assumption in Lemma 9.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "util/ids.hpp"
 #include "util/rng.hpp"
@@ -47,6 +49,19 @@ class ChoosePolicy {
   [[nodiscard]] virtual bool concurrent_safe() const noexcept {
     return false;
   }
+
+  /// Appends the policy's mutable state as opaque u64 words (snapshot
+  /// support, DESIGN.md §11). Stateless policies append nothing.
+  virtual void encode_state(std::vector<std::uint64_t>&) const {}
+
+  /// Restores state captured by encode_state(). Returns false when the
+  /// word count does not match this policy (the snapshot was taken with a
+  /// differently configured engine); the caller reports that as a typed
+  /// config mismatch.
+  [[nodiscard]] virtual bool decode_state(
+      std::span<const std::uint64_t> words) {
+    return words.empty();
+  }
 };
 
 /// Deterministic fair rotation: the smallest candidate strictly greater
@@ -68,6 +83,10 @@ class RandomChoose final : public ChoosePolicy {
 
   [[nodiscard]] CellId choose(CellId self, std::span<const CellId> candidates,
                               OptCellId previous) override;
+
+  void encode_state(std::vector<std::uint64_t>& out) const override;
+  [[nodiscard]] bool decode_state(
+      std::span<const std::uint64_t> words) override;
 
  private:
   Xoshiro256 rng_;

@@ -38,6 +38,17 @@ std::optional<Vec2> RateLimitedSource::propose(const Grid& grid,
   return inner_.propose(grid, params, self, state);
 }
 
+void RateLimitedSource::encode_state(std::vector<std::uint64_t>& out) const {
+  const auto words = rng_.state();
+  out.insert(out.end(), words.begin(), words.end());
+}
+
+bool RateLimitedSource::decode_state(std::span<const std::uint64_t> words) {
+  if (words.size() != 4) return false;
+  rng_.set_state({words[0], words[1], words[2], words[3]});
+  return true;
+}
+
 std::optional<Vec2> BoundedSource::propose(const Grid& grid,
                                            const Params& params, CellId self,
                                            const CellState& state) {
@@ -47,6 +58,16 @@ std::optional<Vec2> BoundedSource::propose(const Grid& grid,
 
 void BoundedSource::note_accepted() noexcept {
   if (remaining_ > 0) --remaining_;
+}
+
+void BoundedSource::encode_state(std::vector<std::uint64_t>& out) const {
+  out.push_back(remaining_);
+}
+
+bool BoundedSource::decode_state(std::span<const std::uint64_t> words) {
+  if (words.size() != 1) return false;
+  remaining_ = words[0];
+  return true;
 }
 
 }  // namespace cellflow

@@ -11,9 +11,12 @@
 // discharge assumption (b) by construction.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "core/cell_state.hpp"
 #include "core/params.hpp"
@@ -39,6 +42,17 @@ class SourcePolicy {
   /// Called by the System when a proposal passed validation and the entity
   /// was actually created. Default: nothing.
   virtual void note_accepted() noexcept {}
+
+  /// Appends the policy's mutable state as opaque u64 words (snapshot
+  /// support, DESIGN.md §11). Stateless policies append nothing.
+  virtual void encode_state(std::vector<std::uint64_t>&) const {}
+
+  /// Restores state captured by encode_state(). Returns false when the
+  /// word count does not match this policy.
+  [[nodiscard]] virtual bool decode_state(
+      std::span<const std::uint64_t> words) {
+    return words.empty();
+  }
 };
 
 /// Injects at the center of the edge *opposite* the cell's current `next`
@@ -63,6 +77,10 @@ class RateLimitedSource final : public SourcePolicy {
                                             const Params& params, CellId self,
                                             const CellState& state) override;
 
+  void encode_state(std::vector<std::uint64_t>& out) const override;
+  [[nodiscard]] bool decode_state(
+      std::span<const std::uint64_t> words) override;
+
  private:
   EntryEdgeSource inner_;
   double rate_;
@@ -82,6 +100,10 @@ class BoundedSource final : public SourcePolicy {
 
   void note_accepted() noexcept override;
   [[nodiscard]] std::uint64_t remaining() const noexcept { return remaining_; }
+
+  void encode_state(std::vector<std::uint64_t>& out) const override;
+  [[nodiscard]] bool decode_state(
+      std::span<const std::uint64_t> words) override;
 
  private:
   EntryEdgeSource inner_;

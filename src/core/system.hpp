@@ -49,6 +49,10 @@ namespace cellflow::obs {
 class PhaseProfiler;
 }  // namespace cellflow::obs
 
+namespace cellflow::snapshot {
+struct Access;
+}  // namespace cellflow::snapshot
+
 namespace cellflow {
 
 /// Which grant rule Signal uses. The paper argues its blocking
@@ -357,6 +361,10 @@ class System {
                              OptCellId token, OptCellId signal);
 
  private:
+  // Snapshot/restore (src/snapshot) reads and rebuilds the full private
+  // state; it is the one sanctioned backdoor (DESIGN.md §11).
+  friend struct snapshot::Access;
+
   void run_route_phase();
   void run_signal_phase();
   void run_move_phase();

@@ -35,6 +35,16 @@ bool ScriptedFailures::quiescent() const noexcept {
   return true;
 }
 
+void ScriptedFailures::encode_state(std::vector<std::uint64_t>& out) const {
+  out.push_back(cursor_);
+}
+
+bool ScriptedFailures::decode_state(std::span<const std::uint64_t> words) {
+  if (words.size() != 1 || words[0] > actions_.size()) return false;
+  cursor_ = static_cast<std::size_t>(words[0]);
+  return true;
+}
+
 RandomFailRecover::RandomFailRecover(double pf, double pr, std::uint64_t seed,
                                      bool protect_target)
     : pf_(pf), pr_(pr), rng_(seed), protect_target_(protect_target) {
@@ -63,6 +73,21 @@ void RandomFailRecover::apply(System& sys) {
       }
     }
   }
+}
+
+void RandomFailRecover::encode_state(std::vector<std::uint64_t>& out) const {
+  const auto words = rng_.state();
+  out.insert(out.end(), words.begin(), words.end());
+  out.push_back(total_failures_);
+  out.push_back(total_recoveries_);
+}
+
+bool RandomFailRecover::decode_state(std::span<const std::uint64_t> words) {
+  if (words.size() != 6) return false;
+  rng_.set_state({words[0], words[1], words[2], words[3]});
+  total_failures_ = words[4];
+  total_recoveries_ = words[5];
+  return true;
 }
 
 void carve_path(System& sys, const Path& path) {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/system.hpp"
@@ -32,6 +33,17 @@ class FailureModel {
   /// guarantees (Lemma 6, Theorem 10) kick in. Stochastic models return
   /// false forever.
   [[nodiscard]] virtual bool quiescent() const noexcept { return true; }
+
+  /// Appends the model's mutable state as opaque u64 words (snapshot
+  /// support, DESIGN.md §11). Stateless models append nothing.
+  virtual void encode_state(std::vector<std::uint64_t>&) const {}
+
+  /// Restores state captured by encode_state(). Returns false when the
+  /// word count does not match this model.
+  [[nodiscard]] virtual bool decode_state(
+      std::span<const std::uint64_t> words) {
+    return words.empty();
+  }
 };
 
 /// The failure-free environment.
@@ -64,6 +76,10 @@ class ScriptedFailures final : public FailureModel {
     return last_fail_round_;
   }
 
+  void encode_state(std::vector<std::uint64_t>& out) const override;
+  [[nodiscard]] bool decode_state(
+      std::span<const std::uint64_t> words) override;
+
  private:
   std::vector<Action> actions_;  // sorted by round
   std::size_t cursor_ = 0;
@@ -89,6 +105,10 @@ class RandomFailRecover final : public FailureModel {
   [[nodiscard]] std::uint64_t total_recoveries() const noexcept {
     return total_recoveries_;
   }
+
+  void encode_state(std::vector<std::uint64_t>& out) const override;
+  [[nodiscard]] bool decode_state(
+      std::span<const std::uint64_t> words) override;
 
  private:
   double pf_;

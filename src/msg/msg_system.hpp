@@ -50,6 +50,10 @@
 #include "obs/protocol_metrics.hpp"
 #include "util/ids.hpp"
 
+namespace cellflow::snapshot {
+struct Access;
+}  // namespace cellflow::snapshot
+
 namespace cellflow {
 
 /// Minimal view of a neighbor's announced dist.
@@ -184,6 +188,10 @@ class MessageSystem {
   void set_metrics(obs::MetricsRegistry* registry);
 
  private:
+  // Snapshot/restore (src/snapshot) reads and rebuilds the full private
+  // state; it is the one sanctioned backdoor (DESIGN.md §11).
+  friend struct snapshot::Access;
+
   void exchange_dists();
   void exchange_intents();
   void exchange_grants();

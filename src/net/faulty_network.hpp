@@ -97,6 +97,10 @@ class FaultyNetwork final : public NetworkModel {
                 std::vector<Message>& out) override;
 
  private:
+  // Snapshot/restore (src/snapshot) serializes the fault stream and the
+  // delayed-message queue.
+  friend struct snapshot::Access;
+
   struct Delayed {
     std::uint64_t release_barrier;
     Message message;

@@ -27,6 +27,10 @@
 
 #include "net/message.hpp"
 
+namespace cellflow::snapshot {
+struct Access;
+}  // namespace cellflow::snapshot
+
 namespace cellflow {
 
 class Grid;
@@ -130,6 +134,9 @@ class NetworkModel {
   }
 
  private:
+  // Snapshot/restore (src/snapshot) serializes the transport counters.
+  friend struct snapshot::Access;
+
   std::vector<Message> in_flight_;
   std::vector<Message> deliver_;      ///< barrier scratch, reused per exchange
   std::vector<std::size_t> order_;    ///< canonical-sort permutation scratch

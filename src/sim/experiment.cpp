@@ -3,6 +3,7 @@
 #include "core/choose.hpp"
 #include "core/source.hpp"
 #include "sim/simulator.hpp"
+#include "snapshot/snapshot.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -44,6 +45,13 @@ RunResult run_workload(const WorkloadSpec& spec, std::uint64_t seed) {
     failures = std::make_unique<NoFailures>();
   }
 
+  // Warm start: restore AFTER carving/scheduler setup so the snapshot's
+  // state overwrites the cold-start pattern (the restore validates that
+  // the spec matches the snapshot's configuration).
+  if (spec.restore_from != nullptr) {
+    snapshot::restore(sys, *spec.restore_from, failures.get());
+  }
+
   Simulator sim(sys, *failures);
   ThroughputMeter throughput;
   SafetyMonitor safety;
@@ -66,6 +74,10 @@ RunResult run_workload(const WorkloadSpec& spec, std::uint64_t seed) {
   }
 
   sim.run(spec.rounds);
+
+  if (spec.snapshot_out != nullptr) {
+    *spec.snapshot_out = snapshot::save(sys, failures.get());
+  }
 
   RunResult r;
   r.throughput = throughput.throughput();

@@ -72,6 +72,17 @@ struct WorkloadSpec {
   /// one line every `metrics_every` rounds plus a final line.
   std::ostream* metrics_jsonl = nullptr;
   std::uint64_t metrics_every = 0;
+
+  /// Warm start: engine-state snapshot bytes (src/snapshot) to restore
+  /// into the freshly built System before the run. The spec must describe
+  /// the same configuration the snapshot was taken under; `rounds` then
+  /// counts ADDITIONAL rounds from the restored boundary. Non-owning.
+  /// @throws snapshot::SnapshotError on mismatch or corruption
+  const std::vector<std::uint8_t>* restore_from = nullptr;
+  /// When set, receives a snapshot of the final engine state (including
+  /// the failure model's stream) after the run — feed it back through
+  /// `restore_from` to continue the same trajectory bit-identically.
+  std::vector<std::uint8_t>* snapshot_out = nullptr;
 };
 
 /// Everything measured in one run.

@@ -1,0 +1,298 @@
+#include "snapshot/replay.hpp"
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/system.hpp"
+#include "failure/failure_model.hpp"
+#include "snapshot/snapshot.hpp"
+#include "snapshot/wire.hpp"
+#include "util/check.hpp"
+
+namespace cellflow::snapshot {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kLogMagic{'C', 'F', 'R', 'L'};
+constexpr std::uint32_t kLogVersion = 1;
+
+enum Tag : std::uint32_t {
+  kTagHeader = 1,   // start round, start digest
+  kTagEvents = 2,   // the environment event stream
+  kTagDigests = 3,  // one boundary digest per executed round
+};
+
+constexpr std::uint64_t kInfDist = ~0ULL;
+// kind + round + cell: the minimum encoded event.
+constexpr std::uint64_t kEventBytes = 1 + 8 + 8;
+
+void write_opt_cell(Writer& w, OptCellId c) {
+  w.boolean(c.has_value());
+  if (c) {
+    w.i32(c->i);
+    w.i32(c->j);
+  }
+}
+
+OptCellId read_opt_cell(Reader& r) {
+  if (!r.boolean()) return std::nullopt;
+  const std::int32_t i = r.i32();
+  const std::int32_t j = r.i32();
+  return CellId{i, j};
+}
+
+void write_event(Writer& w, const ReplayEvent& e) {
+  w.u8(static_cast<std::uint8_t>(e.kind));
+  w.u64(e.round);
+  w.i32(e.cell.i);
+  w.i32(e.cell.j);
+  switch (e.kind) {
+    case ReplayEvent::Kind::kFail:
+    case ReplayEvent::Kind::kRecover:
+      return;
+    case ReplayEvent::Kind::kCorrupt:
+      w.u64(e.dist.is_infinite() ? kInfDist : e.dist.hops());
+      write_opt_cell(w, e.next);
+      write_opt_cell(w, e.token);
+      write_opt_cell(w, e.signal);
+      return;
+    case ReplayEvent::Kind::kInject:
+      w.u64(e.entity.value);
+      w.f64(e.center.x);
+      w.f64(e.center.y);
+      return;
+  }
+}
+
+ReplayEvent read_event(Reader& r) {
+  ReplayEvent e;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(ReplayEvent::Kind::kInject)) {
+    fail(Errc::kMalformed, "replay event kind byte");
+  }
+  e.kind = static_cast<ReplayEvent::Kind>(kind);
+  e.round = r.u64();
+  e.cell.i = r.i32();
+  e.cell.j = r.i32();
+  switch (e.kind) {
+    case ReplayEvent::Kind::kFail:
+    case ReplayEvent::Kind::kRecover:
+      break;
+    case ReplayEvent::Kind::kCorrupt: {
+      const std::uint64_t raw = r.u64();
+      e.dist = raw == kInfDist ? Dist::infinity() : Dist::finite(raw);
+      e.next = read_opt_cell(r);
+      e.token = read_opt_cell(r);
+      e.signal = read_opt_cell(r);
+      break;
+    }
+    case ReplayEvent::Kind::kInject:
+      e.entity.value = r.u64();
+      e.center.x = r.f64();
+      e.center.y = r.f64();
+      break;
+  }
+  return e;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ReplayLog::to_bytes() const {
+  Writer w(kLogMagic, kLogVersion);
+  w.begin_section(kTagHeader);
+  w.u64(start_round);
+  w.u64(start_digest);
+  w.end_section();
+
+  w.begin_section(kTagEvents);
+  w.u64(static_cast<std::uint64_t>(events.size()));
+  for (const ReplayEvent& e : events) write_event(w, e);
+  w.end_section();
+
+  w.begin_section(kTagDigests);
+  w.u64(static_cast<std::uint64_t>(digests.size()));
+  for (const std::uint64_t d : digests) w.u64(d);
+  w.end_section();
+
+  return w.finish();
+}
+
+ReplayLog ReplayLog::from_bytes(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, kLogMagic, kLogVersion, kTagHeader, kTagDigests);
+  ReplayLog log;
+  bool have_header = false, have_events = false, have_digests = false;
+  while (const auto tag = r.next_section()) {
+    switch (*tag) {
+      case kTagHeader:
+        log.start_round = r.u64();
+        log.start_digest = r.u64();
+        have_header = true;
+        break;
+      case kTagEvents: {
+        const std::uint64_t n = r.count(kEventBytes);
+        log.events.reserve(static_cast<std::size_t>(n));
+        std::uint64_t last_round = 0;
+        for (std::uint64_t k = 0; k < n; ++k) {
+          ReplayEvent e = read_event(r);
+          if (k > 0 && e.round < last_round) {
+            fail(Errc::kMalformed, "replay events out of round order");
+          }
+          last_round = e.round;
+          log.events.push_back(e);
+        }
+        have_events = true;
+        break;
+      }
+      case kTagDigests: {
+        const std::uint64_t n = r.count(8);
+        log.digests.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t k = 0; k < n; ++k) log.digests.push_back(r.u64());
+        have_digests = true;
+        break;
+      }
+      default:
+        fail(Errc::kMalformed, "section not valid for a replay log");
+    }
+    r.close_section();
+  }
+  if (!have_header || !have_events || !have_digests) {
+    fail(Errc::kMissingSection,
+         "replay log needs header, events, digests");
+  }
+  if (!log.events.empty() && log.events.front().round < log.start_round) {
+    fail(Errc::kMalformed, "replay event precedes the log start");
+  }
+  return log;
+}
+
+RunRecorder::RunRecorder(System& sys, FailureModel* failures)
+    : sys_(sys), failures_(failures) {
+  log_.start_round = sys_.round();
+  log_.start_digest = state_digest(sys_);
+  prev_failed_.reserve(sys_.cells().size());
+}
+
+void RunRecorder::step() {
+  const std::uint64_t round = sys_.round();
+
+  prev_failed_.clear();
+  for (const CellState& c : sys_.cells()) prev_failed_.push_back(c.failed);
+  if (failures_ != nullptr) failures_->apply(sys_);
+  for (std::size_t k = 0; k < prev_failed_.size(); ++k) {
+    const bool now = sys_.cells()[k].failed;
+    if (now == prev_failed_[k]) continue;
+    ReplayEvent e;
+    e.kind = now ? ReplayEvent::Kind::kFail : ReplayEvent::Kind::kRecover;
+    e.round = round;
+    e.cell = sys_.grid().id_of(k);
+    log_.events.push_back(e);
+  }
+
+  sys_.update();
+
+  for (const auto& [cell, id] : sys_.last_events().injected) {
+    ReplayEvent e;
+    e.kind = ReplayEvent::Kind::kInject;
+    e.round = round;
+    e.cell = cell;
+    e.entity = id;
+    // Inject is the round's final phase, so the entity still sits at its
+    // initial position in the source cell.
+    if (const Entity* ent = sys_.cell(cell).find(id)) e.center = ent->center;
+    log_.events.push_back(e);
+  }
+
+  log_.digests.push_back(state_digest(sys_));
+}
+
+void RunRecorder::note_corrupt(CellId id, Dist dist, OptCellId next,
+                               OptCellId token, OptCellId signal) {
+  sys_.corrupt_control_state(id, dist, next, token, signal);
+  ReplayEvent e;
+  e.kind = ReplayEvent::Kind::kCorrupt;
+  e.round = sys_.round();
+  e.cell = id;
+  e.dist = dist;
+  e.next = next;
+  e.token = token;
+  e.signal = signal;
+  log_.events.push_back(e);
+}
+
+ReplayReport replay(System& sys, const ReplayLog& log) {
+  const std::uint64_t r0 = sys.round();
+  CF_EXPECTS_MSG(r0 >= log.start_round && r0 <= log.end_round(),
+                 "replay must start at a boundary the log covers");
+
+  ReplayReport report;
+  const auto boundary_digest = [&log](std::uint64_t n) {
+    return n == 0 ? log.start_digest : log.digests[n - 1];
+  };
+  std::uint64_t offset = r0 - log.start_round;
+  if (state_digest(sys) != boundary_digest(offset)) {
+    report.first_divergence = r0;
+  }
+
+  std::size_t cursor = 0;
+  while (cursor < log.events.size() && log.events[cursor].round < r0) {
+    ++cursor;
+  }
+
+  while (offset < log.digests.size()) {
+    const std::uint64_t round = sys.round();
+
+    // Environment events at this boundary (fail/recover/corrupt precede
+    // the round's inject echoes in recording order).
+    while (cursor < log.events.size() &&
+           log.events[cursor].round == round &&
+           log.events[cursor].kind != ReplayEvent::Kind::kInject) {
+      const ReplayEvent& e = log.events[cursor];
+      switch (e.kind) {
+        case ReplayEvent::Kind::kFail:
+          sys.fail(e.cell);
+          break;
+        case ReplayEvent::Kind::kRecover:
+          sys.recover(e.cell);
+          break;
+        case ReplayEvent::Kind::kCorrupt:
+          sys.corrupt_control_state(e.cell, e.dist, e.next, e.token,
+                                    e.signal);
+          break;
+        case ReplayEvent::Kind::kInject:
+          break;
+      }
+      ++cursor;
+    }
+
+    sys.update();
+    ++report.rounds_replayed;
+
+    // The recorded injection trace is an output echo: the engine's own
+    // restored Source policy must reproduce it exactly.
+    const auto& injected = sys.last_events().injected;
+    std::size_t seen = 0;
+    while (cursor < log.events.size() &&
+           log.events[cursor].round == round &&
+           log.events[cursor].kind == ReplayEvent::Kind::kInject) {
+      const ReplayEvent& e = log.events[cursor];
+      if (seen >= injected.size() || injected[seen].first != e.cell ||
+          injected[seen].second != e.entity) {
+        report.inputs_consistent = false;
+      }
+      ++seen;
+      ++cursor;
+    }
+    if (seen != injected.size()) report.inputs_consistent = false;
+
+    ++offset;
+    if (!report.first_divergence &&
+        state_digest(sys) != boundary_digest(offset)) {
+      report.first_divergence = sys.round();
+    }
+  }
+  return report;
+}
+
+}  // namespace cellflow::snapshot

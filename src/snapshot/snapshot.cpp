@@ -1,0 +1,951 @@
+#include "snapshot/snapshot.hpp"
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <iterator>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/choose.hpp"
+#include "core/source.hpp"
+#include "core/system.hpp"
+#include "failure/failure_model.hpp"
+#include "msg/msg_system.hpp"
+#include "net/faulty_network.hpp"
+#include "util/check.hpp"
+
+namespace cellflow::snapshot {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kSnapMagic{'C', 'F', 'S', 'N'};
+constexpr std::uint32_t kSnapVersion = 1;
+
+// Section tags, in the exact order the writers emit them (the reader
+// enforces strictly increasing tags, so this order IS the format).
+enum Tag : std::uint32_t {
+  kTagHeader = 1,       // kind, round, arrivals, next entity id
+  kTagConfig = 2,       // engine configuration echo (validated on restore)
+  kTagCells = 3,        // per-cell Figure-3 state + members
+  kTagChoose = 4,       // shared: ChoosePolicy state words
+  kTagSource = 5,       // shared: SourcePolicy state words
+  kTagFailure = 6,      // shared, optional: FailureModel state words
+  kTagLinks = 7,        // message: stop-and-wait sessions per link
+  kTagMsgCounters = 8,  // message: realization-level counters
+  kTagNetwork = 9,      // message: NetworkModel transport state
+  kTagEnvRng = 10,      // message, optional: environment fail/recover rng
+};
+constexpr std::uint32_t kMinTag = kTagHeader;
+constexpr std::uint32_t kMaxTag = kTagEnvRng;
+
+constexpr std::uint8_t kKindShared = 0;
+constexpr std::uint8_t kKindMessage = 1;
+
+constexpr std::uint64_t kInfDist = ~0ULL;
+
+// Minimum encoded sizes, for Reader::count() bounds.
+constexpr std::uint64_t kEntityBytes = 8 + 8 + 8;  // id, x, y
+constexpr std::uint64_t kCellBytes = 1 + 8 + 3 * 1 + 1 + 8;  // empty cell
+constexpr std::uint64_t kDelayedBytes = 8 + 16 + 1 + 2;  // min payload=intent
+
+std::uint64_t encode_dist(Dist d) {
+  return d.is_infinite() ? kInfDist : d.hops();
+}
+
+Dist decode_dist(std::uint64_t raw) {
+  return raw == kInfDist ? Dist::infinity() : Dist::finite(raw);
+}
+
+CellId read_cell_id(Reader& r, const Grid& grid) {
+  const std::int32_t i = r.i32();
+  const std::int32_t j = r.i32();
+  const CellId id{i, j};
+  if (!grid.contains(id)) fail(Errc::kMalformed, "cell id off the grid");
+  return id;
+}
+
+void write_opt_cell(Writer& w, OptCellId c) {
+  w.boolean(c.has_value());
+  if (c) {
+    w.i32(c->i);
+    w.i32(c->j);
+  }
+}
+
+OptCellId read_opt_cell(Reader& r, const Grid& grid) {
+  if (!r.boolean()) return std::nullopt;
+  return read_cell_id(r, grid);
+}
+
+void write_entity(Writer& w, const Entity& e) {
+  w.u64(e.id.value);
+  w.f64(e.center.x);
+  w.f64(e.center.y);
+}
+
+Entity read_entity(Reader& r) {
+  const std::uint64_t id = r.u64();
+  const double x = r.f64();
+  const double y = r.f64();
+  return Entity{EntityId{id}, Vec2{x, y}};
+}
+
+void write_cell(Writer& w, const CellState& c) {
+  w.boolean(c.failed);
+  w.u64(encode_dist(c.dist));
+  write_opt_cell(w, c.next);
+  write_opt_cell(w, c.token);
+  write_opt_cell(w, c.signal);
+  w.u8(static_cast<std::uint8_t>(c.ne_prev.size()));
+  for (const CellId id : c.ne_prev) {
+    w.i32(id.i);
+    w.i32(id.j);
+  }
+  w.u64(static_cast<std::uint64_t>(c.members.size()));
+  for (const Entity& e : c.members) write_entity(w, e);
+}
+
+CellState read_cell(Reader& r, const Grid& grid) {
+  CellState c;
+  c.failed = r.boolean();
+  c.dist = decode_dist(r.u64());
+  c.next = read_opt_cell(r, grid);
+  c.token = read_opt_cell(r, grid);
+  c.signal = read_opt_cell(r, grid);
+  const std::uint8_t nne = r.u8();
+  if (nne > 8) fail(Errc::kMalformed, "NEPrev beyond lattice degree bound");
+  for (std::uint8_t n = 0; n < nne; ++n) c.ne_prev.push_back(read_cell_id(r, grid));
+  const std::uint64_t nm = r.count(kEntityBytes);
+  c.members.reserve(static_cast<std::size_t>(nm));
+  for (std::uint64_t n = 0; n < nm; ++n) c.members.push_back(read_entity(r));
+  return c;
+}
+
+void write_words(Writer& w, std::span<const std::uint64_t> words) {
+  w.u64(static_cast<std::uint64_t>(words.size()));
+  for (const std::uint64_t word : words) w.u64(word);
+}
+
+std::vector<std::uint64_t> read_words(Reader& r) {
+  const std::uint64_t n = r.count(8);
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(n));
+  for (auto& word : words) word = r.u64();
+  return words;
+}
+
+void write_payload(Writer& w, const Payload& p) {
+  w.u8(static_cast<std::uint8_t>(p.index()));
+  switch (payload_type_of(p)) {
+    case PayloadType::kDist:
+      w.u64(encode_dist(std::get<DistAnnounce>(p).dist));
+      return;
+    case PayloadType::kIntent: {
+      const auto& intent = std::get<IntentAnnounce>(p);
+      write_opt_cell(w, intent.next);
+      w.boolean(intent.has_entities);
+      return;
+    }
+    case PayloadType::kGrant: {
+      const auto& grant = std::get<GrantAnnounce>(p);
+      write_opt_cell(w, grant.signal);
+      w.u64(grant.seq);
+      w.u64(grant.round);
+      return;
+    }
+    case PayloadType::kTransfer: {
+      const auto& batch = std::get<TransferBatch>(p);
+      w.u64(batch.seq);
+      w.u64(static_cast<std::uint64_t>(batch.entities.size()));
+      for (const Entity& e : batch.entities) write_entity(w, e);
+      return;
+    }
+    case PayloadType::kAck:
+      w.u64(std::get<TransferAck>(p).seq);
+      return;
+  }
+}
+
+Payload read_payload(Reader& r, const Grid& grid) {
+  const std::uint8_t type = r.u8();
+  switch (type) {
+    case 0:
+      return DistAnnounce{decode_dist(r.u64())};
+    case 1: {
+      IntentAnnounce intent;
+      intent.next = read_opt_cell(r, grid);
+      intent.has_entities = r.boolean();
+      return intent;
+    }
+    case 2: {
+      GrantAnnounce grant;
+      grant.signal = read_opt_cell(r, grid);
+      grant.seq = r.u64();
+      grant.round = r.u64();
+      return grant;
+    }
+    case 3: {
+      TransferBatch batch;
+      batch.seq = r.u64();
+      const std::uint64_t n = r.count(kEntityBytes);
+      batch.entities.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t k = 0; k < n; ++k)
+        batch.entities.push_back(read_entity(r));
+      return batch;
+    }
+    case 4:
+      return TransferAck{r.u64()};
+    default:
+      fail(Errc::kMalformed, "payload type byte");
+  }
+}
+
+void write_config(Writer& w, int side, const Params& params,
+                  CellId target, std::span<const CellId> sources,
+                  std::uint8_t signal_rule, std::uint8_t movement_rule) {
+  w.u32(static_cast<std::uint32_t>(side));
+  w.f64(params.entity_length());
+  w.f64(params.safety_gap());
+  w.f64(params.velocity());
+  w.i32(target.i);
+  w.i32(target.j);
+  w.u8(signal_rule);
+  w.u8(movement_rule);
+  w.u32(static_cast<std::uint32_t>(sources.size()));
+  for (const CellId s : sources) {
+    w.i32(s.i);
+    w.i32(s.j);
+  }
+}
+
+/// Reads the config echo and compares against the restore target; any
+/// difference means the caller built a non-equivalent engine.
+void check_config(Reader& r, int side, const Params& params,
+                  CellId target, std::span<const CellId> sources,
+                  std::uint8_t signal_rule, std::uint8_t movement_rule) {
+  if (r.u32() != static_cast<std::uint32_t>(side)) {
+    fail(Errc::kConfigMismatch, "grid side");
+  }
+  if (r.f64() != params.entity_length()) {
+    fail(Errc::kConfigMismatch, "entity length l");
+  }
+  if (r.f64() != params.safety_gap()) {
+    fail(Errc::kConfigMismatch, "safety gap rs");
+  }
+  if (r.f64() != params.velocity()) {
+    fail(Errc::kConfigMismatch, "velocity v");
+  }
+  const std::int32_t ti = r.i32();
+  const std::int32_t tj = r.i32();
+  if (CellId{ti, tj} != target) fail(Errc::kConfigMismatch, "target cell");
+  const std::uint8_t sig = r.u8();
+  const std::uint8_t mov = r.u8();
+  if (sig > 1 || mov > 1) fail(Errc::kMalformed, "protocol rule byte");
+  if (sig != signal_rule) fail(Errc::kConfigMismatch, "signal rule");
+  if (mov != movement_rule) fail(Errc::kConfigMismatch, "movement rule");
+  const std::uint32_t nsources = r.u32();
+  if (nsources != sources.size()) fail(Errc::kConfigMismatch, "source set");
+  for (std::uint32_t k = 0; k < nsources; ++k) {
+    const std::int32_t si = r.i32();
+    const std::int32_t sj = r.i32();
+    if (CellId{si, sj} != sources[k]) {
+      fail(Errc::kConfigMismatch, "source set");
+    }
+  }
+}
+
+struct Header {
+  std::uint8_t kind = 0;
+  std::uint64_t round = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t next_entity_id = 0;
+};
+
+void write_header(Writer& w, std::uint8_t kind, std::uint64_t round,
+                  std::uint64_t arrivals, std::uint64_t next_entity_id) {
+  w.begin_section(kTagHeader);
+  w.u8(kind);
+  w.u64(round);
+  w.u64(arrivals);
+  w.u64(next_entity_id);
+  w.end_section();
+}
+
+Header read_header(Reader& r) {
+  Header h;
+  h.kind = r.u8();
+  if (h.kind > kKindMessage) fail(Errc::kMalformed, "realization kind byte");
+  h.round = r.u64();
+  h.arrivals = r.u64();
+  h.next_entity_id = r.u64();
+  return h;
+}
+
+void digest_cell(DigestAccumulator& d, const CellState& c) {
+  d.boolean(c.failed);
+  d.u64(encode_dist(c.dist));
+  for (const OptCellId& opt : {c.next, c.token, c.signal}) {
+    d.boolean(opt.has_value());
+    if (opt) {
+      d.u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(opt->i)));
+      d.u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(opt->j)));
+    }
+  }
+  d.u64(static_cast<std::uint64_t>(c.ne_prev.size()));
+  for (const CellId id : c.ne_prev) {
+    d.u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(id.i)));
+    d.u64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(id.j)));
+  }
+  d.u64(static_cast<std::uint64_t>(c.members.size()));
+  for (const Entity& e : c.members) {
+    d.u64(e.id.value);
+    d.f64(e.center.x);
+    d.f64(e.center.y);
+  }
+}
+
+void digest_payload(DigestAccumulator& d, const Payload& p) {
+  d.u64(static_cast<std::uint64_t>(p.index()));
+  switch (payload_type_of(p)) {
+    case PayloadType::kDist:
+      d.u64(encode_dist(std::get<DistAnnounce>(p).dist));
+      return;
+    case PayloadType::kIntent: {
+      const auto& intent = std::get<IntentAnnounce>(p);
+      d.boolean(intent.next.has_value());
+      if (intent.next) {
+        d.u64(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(intent.next->i)));
+        d.u64(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(intent.next->j)));
+      }
+      d.boolean(intent.has_entities);
+      return;
+    }
+    case PayloadType::kGrant: {
+      const auto& grant = std::get<GrantAnnounce>(p);
+      d.boolean(grant.signal.has_value());
+      if (grant.signal) {
+        d.u64(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(grant.signal->i)));
+        d.u64(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(grant.signal->j)));
+      }
+      d.u64(grant.seq);
+      d.u64(grant.round);
+      return;
+    }
+    case PayloadType::kTransfer: {
+      const auto& batch = std::get<TransferBatch>(p);
+      d.u64(batch.seq);
+      d.u64(static_cast<std::uint64_t>(batch.entities.size()));
+      for (const Entity& e : batch.entities) {
+        d.u64(e.id.value);
+        d.f64(e.center.x);
+        d.f64(e.center.y);
+      }
+      return;
+    }
+    case PayloadType::kAck:
+      d.u64(std::get<TransferAck>(p).seq);
+      return;
+  }
+}
+
+/// Rolls a policy back to previously captured words on a failed restore
+/// (decode_state with the right count always succeeds, so this cannot
+/// itself fail).
+template <typename Policy>
+void roll_back(Policy& policy, std::span<const std::uint64_t> old_words) {
+  const bool ok = policy.decode_state(old_words);
+  CF_CHECK_MSG(ok, "policy rollback failed");
+}
+
+}  // namespace
+
+/// The one sanctioned backdoor into the engines' private state
+/// (befriended by System, MessageSystem, NetworkModel, FaultyNetwork).
+struct Access {
+  // ---- shared-variable System ---------------------------------------
+
+  static std::vector<std::uint8_t> save_system(const System& sys,
+                                               const FailureModel* failures) {
+    Writer w(kSnapMagic, kSnapVersion);
+    write_header(w, kKindShared, sys.round(), sys.total_arrivals(),
+                 sys.total_injected());
+
+    const SystemConfig& cfg = sys.config();
+    w.begin_section(kTagConfig);
+    write_config(w, cfg.side, cfg.params, cfg.target, cfg.sources,
+                 static_cast<std::uint8_t>(cfg.signal_rule),
+                 static_cast<std::uint8_t>(cfg.movement_rule));
+    w.end_section();
+
+    w.begin_section(kTagCells);
+    w.u64(static_cast<std::uint64_t>(sys.cells().size()));
+    for (const CellState& c : sys.cells()) write_cell(w, c);
+    w.end_section();
+
+    std::vector<std::uint64_t> words;
+    sys.choose_->encode_state(words);
+    w.begin_section(kTagChoose);
+    write_words(w, words);
+    w.end_section();
+
+    words.clear();
+    sys.source_->encode_state(words);
+    w.begin_section(kTagSource);
+    write_words(w, words);
+    w.end_section();
+
+    if (failures != nullptr) {
+      words.clear();
+      failures->encode_state(words);
+      w.begin_section(kTagFailure);
+      write_words(w, words);
+      w.end_section();
+    }
+    return w.finish();
+  }
+
+  static void restore_system(System& sys, std::span<const std::uint8_t> bytes,
+                             FailureModel* failures) {
+    Reader r(bytes, kSnapMagic, kSnapVersion, kMinTag, kMaxTag);
+
+    Header header;
+    std::vector<CellState> cells;
+    std::vector<std::uint64_t> choose_words;
+    std::vector<std::uint64_t> source_words;
+    std::vector<std::uint64_t> failure_words;
+    bool have_header = false, have_config = false, have_cells = false;
+    bool have_choose = false, have_source = false, have_failure = false;
+
+    while (const auto tag = r.next_section()) {
+      switch (*tag) {
+        case kTagHeader:
+          header = read_header(r);
+          have_header = true;
+          break;
+        case kTagConfig: {
+          const SystemConfig& cfg = sys.config();
+          check_config(r, cfg.side, cfg.params, cfg.target, cfg.sources,
+                       static_cast<std::uint8_t>(cfg.signal_rule),
+                       static_cast<std::uint8_t>(cfg.movement_rule));
+          have_config = true;
+          break;
+        }
+        case kTagCells: {
+          const std::uint64_t n = r.count(kCellBytes);
+          if (n != sys.grid().cell_count()) {
+            fail(Errc::kMalformed, "cell count does not match the grid");
+          }
+          cells.reserve(static_cast<std::size_t>(n));
+          for (std::uint64_t k = 0; k < n; ++k) {
+            cells.push_back(read_cell(r, sys.grid()));
+          }
+          have_cells = true;
+          break;
+        }
+        case kTagChoose:
+          choose_words = read_words(r);
+          have_choose = true;
+          break;
+        case kTagSource:
+          source_words = read_words(r);
+          have_source = true;
+          break;
+        case kTagFailure:
+          failure_words = read_words(r);
+          have_failure = true;
+          break;
+        default:
+          // Tags 7–10 are the message realization's sections: the bytes
+          // are well-formed, the engine kinds disagree.
+          fail(Errc::kConfigMismatch,
+               "snapshot was taken from the message realization");
+      }
+      r.close_section();
+    }
+    if (!have_header || !have_config || !have_cells || !have_choose ||
+        !have_source) {
+      fail(Errc::kMissingSection, "shared snapshot needs header, config, "
+                                  "cells, choose, source");
+    }
+    if (header.kind != kKindShared) {
+      fail(Errc::kConfigMismatch,
+           "snapshot was taken from the message realization");
+    }
+    if (have_failure != (failures != nullptr)) {
+      fail(Errc::kConfigMismatch,
+           have_failure ? "snapshot carries failure-model state but none "
+                          "was supplied"
+                        : "failure model supplied but snapshot carries no "
+                          "failure-model state");
+    }
+
+    // Commit point. Policies first, with rollback, so a mismatch in a
+    // later policy leaves the earlier ones untouched; the engine state
+    // itself is swapped in last and cannot fail.
+    std::vector<std::uint64_t> old_choose;
+    sys.choose_->encode_state(old_choose);
+    if (!sys.choose_->decode_state(choose_words)) {
+      fail(Errc::kConfigMismatch, "choose-policy state words");
+    }
+    std::vector<std::uint64_t> old_source;
+    sys.source_->encode_state(old_source);
+    if (!sys.source_->decode_state(source_words)) {
+      roll_back(*sys.choose_, old_choose);
+      fail(Errc::kConfigMismatch, "source-policy state words");
+    }
+    if (failures != nullptr && !failures->decode_state(failure_words)) {
+      roll_back(*sys.choose_, old_choose);
+      roll_back(*sys.source_, old_source);
+      fail(Errc::kConfigMismatch, "failure-model state words");
+    }
+
+    sys.cells_ = std::move(cells);
+    sys.round_ = header.round;
+    sys.total_arrivals_ = header.arrivals;
+    sys.next_entity_id_ = header.next_entity_id;
+    sys.events_.clear();
+    // Every derived structure — active sets, occupancy refcounts, dist
+    // snapshot — is re-derived from the restored protocol state; valid
+    // at any round boundary (same guarantee set_round_scheduler relies
+    // on).
+    sys.rebuild_active_sets();
+  }
+
+  // ---- MessageSystem -------------------------------------------------
+
+  struct NetState {
+    std::uint8_t kind = 0;
+    std::uint64_t round = 0;
+    std::uint64_t total_messages = 0;
+    std::uint64_t last_exchange = 0;
+    std::uint64_t barriers = 0;
+    std::array<std::uint64_t, kPayloadTypeCount> sent{};
+    std::array<std::array<std::uint64_t, kPayloadTypeCount>, kNetFaultCount>
+        faults{};
+    std::array<std::uint64_t, 4> rng{};
+    std::vector<FaultyNetwork::Delayed> delayed;
+  };
+
+  static void write_network(Writer& w, const NetworkModel& net) {
+    // Snapshots are round-boundary-only: every exchange both sends and
+    // delivers within update(), so nothing may sit in the queue here.
+    CF_EXPECTS_MSG(net.in_flight_.empty(),
+                   "snapshot taken mid-exchange (not at a round boundary)");
+    const auto* faulty = dynamic_cast<const FaultyNetwork*>(&net);
+    w.u8(faulty != nullptr ? std::uint8_t{1} : std::uint8_t{0});
+    w.u64(net.round_);
+    w.u64(net.total_messages_);
+    w.u64(net.last_exchange_);
+    w.u64(net.barriers_);
+    for (const std::uint64_t c : net.sent_counts_) w.u64(c);
+    for (const auto& row : net.fault_counts_) {
+      for (const std::uint64_t c : row) w.u64(c);
+    }
+    if (faulty == nullptr) return;
+    const NetFaultSpec& spec = faulty->spec_;
+    w.f64(spec.drop_prob);
+    w.f64(spec.dup_prob);
+    w.f64(spec.delay_prob);
+    w.u64(spec.max_delay_rounds);
+    w.u64(spec.last_fault_round);
+    w.u32(static_cast<std::uint32_t>(spec.partitions.size()));
+    for (const NetPartition& part : spec.partitions) {
+      w.u64(part.start_round);
+      w.u64(part.end_round);
+      const std::vector<CellId> side = part.side.set_cells();
+      w.u32(static_cast<std::uint32_t>(part.side.side()));
+      w.u64(static_cast<std::uint64_t>(side.size()));
+      for (const CellId id : side) {
+        w.i32(id.i);
+        w.i32(id.j);
+      }
+    }
+    const auto rng = faulty->rng_.state();
+    for (const std::uint64_t word : rng) w.u64(word);
+    w.u64(static_cast<std::uint64_t>(faulty->delayed_.size()));
+    for (const FaultyNetwork::Delayed& d : faulty->delayed_) {
+      w.u64(d.release_barrier);
+      w.i32(d.message.sender.i);
+      w.i32(d.message.sender.j);
+      w.i32(d.message.receiver.i);
+      w.i32(d.message.receiver.j);
+      write_payload(w, d.message.payload);
+    }
+  }
+
+  /// Decodes and validates the network section against the restore
+  /// target (kind and, for a FaultyNetwork, the full fault spec — the
+  /// spec is construction-time config, so it must match rather than be
+  /// overwritten). Pure: mutates nothing.
+  static NetState read_network(Reader& r, const Grid& grid,
+                               const NetworkModel& net) {
+    NetState s;
+    s.kind = r.u8();
+    if (s.kind > 1) fail(Errc::kMalformed, "network kind byte");
+    const auto* faulty = dynamic_cast<const FaultyNetwork*>(&net);
+    if ((s.kind == 1) != (faulty != nullptr)) {
+      fail(Errc::kConfigMismatch, "network kind (sync vs faulty)");
+    }
+    s.round = r.u64();
+    s.total_messages = r.u64();
+    s.last_exchange = r.u64();
+    s.barriers = r.u64();
+    for (auto& c : s.sent) c = r.u64();
+    for (auto& row : s.faults) {
+      for (auto& c : row) c = r.u64();
+    }
+    if (faulty == nullptr) return s;
+    const NetFaultSpec& spec = faulty->spec_;
+    if (r.f64() != spec.drop_prob) {
+      fail(Errc::kConfigMismatch, "network drop probability");
+    }
+    if (r.f64() != spec.dup_prob) {
+      fail(Errc::kConfigMismatch, "network duplication probability");
+    }
+    if (r.f64() != spec.delay_prob) {
+      fail(Errc::kConfigMismatch, "network delay probability");
+    }
+    if (r.u64() != spec.max_delay_rounds) {
+      fail(Errc::kConfigMismatch, "network max delay");
+    }
+    if (r.u64() != spec.last_fault_round) {
+      fail(Errc::kConfigMismatch, "network last fault round");
+    }
+    if (r.u32() != spec.partitions.size()) {
+      fail(Errc::kConfigMismatch, "partition schedule");
+    }
+    for (const NetPartition& part : spec.partitions) {
+      if (r.u64() != part.start_round || r.u64() != part.end_round) {
+        fail(Errc::kConfigMismatch, "partition schedule");
+      }
+      if (r.u32() != static_cast<std::uint32_t>(part.side.side())) {
+        fail(Errc::kConfigMismatch, "partition mask");
+      }
+      const std::uint64_t nset = r.count(8);
+      CellMask mask(grid);
+      for (std::uint64_t k = 0; k < nset; ++k) {
+        mask.set(read_cell_id(r, grid));
+      }
+      if (mask != part.side) fail(Errc::kConfigMismatch, "partition mask");
+    }
+    for (auto& word : s.rng) word = r.u64();
+    const std::uint64_t ndelayed = r.count(kDelayedBytes);
+    s.delayed.reserve(static_cast<std::size_t>(ndelayed));
+    for (std::uint64_t k = 0; k < ndelayed; ++k) {
+      FaultyNetwork::Delayed d;
+      d.release_barrier = r.u64();
+      d.message.sender = read_cell_id(r, grid);
+      d.message.receiver = read_cell_id(r, grid);
+      d.message.payload = read_payload(r, grid);
+      s.delayed.push_back(std::move(d));
+    }
+    return s;
+  }
+
+  static void apply_network(NetworkModel& net, NetState&& s) {
+    net.in_flight_.clear();
+    net.deliver_.clear();
+    net.order_.clear();
+    net.round_ = s.round;
+    net.total_messages_ = s.total_messages;
+    net.last_exchange_ = s.last_exchange;
+    net.barriers_ = s.barriers;
+    net.sent_counts_ = s.sent;
+    net.fault_counts_ = s.faults;
+    if (auto* faulty = dynamic_cast<FaultyNetwork*>(&net)) {
+      faulty->rng_.set_state(s.rng);
+      faulty->delayed_ = std::move(s.delayed);
+    }
+  }
+
+  static std::vector<std::uint8_t> save_message(const MessageSystem& msg,
+                                                const Xoshiro256* env_rng) {
+    Writer w(kSnapMagic, kSnapVersion);
+    write_header(w, kKindMessage, msg.round(), msg.total_arrivals(),
+                 msg.total_injected());
+
+    const MsgSystemConfig& cfg = msg.config_;
+    w.begin_section(kTagConfig);
+    write_config(w, cfg.side, cfg.params, cfg.target, cfg.sources, 0, 0);
+    w.end_section();
+
+    w.begin_section(kTagCells);
+    w.u64(static_cast<std::uint64_t>(msg.processes_.size()));
+    for (const MessageProcess& p : msg.processes_) write_cell(w, p.state);
+    w.end_section();
+
+    w.begin_section(kTagLinks);
+    for (const MessageProcess& p : msg.processes_) {
+      w.u32(static_cast<std::uint32_t>(p.nbrs.size()));
+      for (std::size_t slot = 0; slot < p.nbrs.size(); ++slot) {
+        const OutboundLink& ob = p.outbound[slot];
+        w.u64(ob.heard_seq);
+        w.u64(ob.batch_seq);
+        w.u64(static_cast<std::uint64_t>(ob.batch.size()));
+        for (const Entity& e : ob.batch) write_entity(w, e);
+        const InboundLink& ib = p.inbound[slot];
+        w.u64(ib.granted_seq);
+        w.u64(ib.completed_seq);
+      }
+    }
+    w.end_section();
+
+    w.begin_section(kTagMsgCounters);
+    w.u64(msg.last_round_messages_);
+    w.u64(msg.expired_grants_);
+    w.u64(msg.deferred_acceptances_);
+    w.end_section();
+
+    w.begin_section(kTagNetwork);
+    write_network(w, *msg.network_);
+    w.end_section();
+
+    if (env_rng != nullptr) {
+      w.begin_section(kTagEnvRng);
+      for (const std::uint64_t word : env_rng->state()) w.u64(word);
+      w.end_section();
+    }
+    return w.finish();
+  }
+
+  static void restore_message(MessageSystem& msg,
+                              std::span<const std::uint8_t> bytes,
+                              Xoshiro256* env_rng) {
+    Reader r(bytes, kSnapMagic, kSnapVersion, kMinTag, kMaxTag);
+    const Grid& grid = msg.grid_;
+
+    struct LinkState {
+      std::vector<OutboundLink> outbound;
+      std::vector<InboundLink> inbound;
+    };
+    Header header;
+    std::vector<CellState> cells;
+    std::vector<LinkState> links;
+    std::array<std::uint64_t, 3> counters{};
+    NetState net;
+    std::array<std::uint64_t, 4> env_words{};
+    bool have_header = false, have_config = false, have_cells = false;
+    bool have_links = false, have_counters = false, have_network = false;
+    bool have_env = false;
+
+    while (const auto tag = r.next_section()) {
+      switch (*tag) {
+        case kTagHeader:
+          header = read_header(r);
+          have_header = true;
+          break;
+        case kTagConfig: {
+          const MsgSystemConfig& cfg = msg.config_;
+          check_config(r, cfg.side, cfg.params, cfg.target, cfg.sources, 0,
+                       0);
+          have_config = true;
+          break;
+        }
+        case kTagCells: {
+          const std::uint64_t n = r.count(kCellBytes);
+          if (n != grid.cell_count()) {
+            fail(Errc::kMalformed, "cell count does not match the grid");
+          }
+          cells.reserve(static_cast<std::size_t>(n));
+          for (std::uint64_t k = 0; k < n; ++k) {
+            cells.push_back(read_cell(r, grid));
+          }
+          have_cells = true;
+          break;
+        }
+        case kTagLinks: {
+          links.reserve(msg.processes_.size());
+          for (const MessageProcess& p : msg.processes_) {
+            const std::uint32_t nslots = r.u32();
+            if (nslots != p.nbrs.size()) {
+              fail(Errc::kMalformed, "link slot count mismatch");
+            }
+            LinkState ls;
+            ls.outbound.resize(nslots);
+            ls.inbound.resize(nslots);
+            for (std::uint32_t slot = 0; slot < nslots; ++slot) {
+              OutboundLink& ob = ls.outbound[slot];
+              ob.heard_seq = r.u64();
+              ob.batch_seq = r.u64();
+              const std::uint64_t nb = r.count(kEntityBytes);
+              ob.batch.reserve(static_cast<std::size_t>(nb));
+              for (std::uint64_t k = 0; k < nb; ++k) {
+                ob.batch.push_back(read_entity(r));
+              }
+              InboundLink& ib = ls.inbound[slot];
+              ib.granted_seq = r.u64();
+              ib.completed_seq = r.u64();
+            }
+            links.push_back(std::move(ls));
+          }
+          have_links = true;
+          break;
+        }
+        case kTagMsgCounters:
+          for (auto& c : counters) c = r.u64();
+          have_counters = true;
+          break;
+        case kTagNetwork:
+          net = read_network(r, grid, *msg.network_);
+          have_network = true;
+          break;
+        case kTagEnvRng:
+          for (auto& word : env_words) word = r.u64();
+          have_env = true;
+          break;
+        default:
+          // Tags 4–6 are the shared realization's policy sections.
+          fail(Errc::kConfigMismatch,
+               "snapshot was taken from the shared realization");
+      }
+      r.close_section();
+    }
+    if (!have_header || !have_config || !have_cells || !have_links ||
+        !have_counters || !have_network) {
+      fail(Errc::kMissingSection, "message snapshot needs header, config, "
+                                  "cells, links, counters, network");
+    }
+    if (header.kind != kKindMessage) {
+      fail(Errc::kConfigMismatch,
+           "snapshot was taken from the shared realization");
+    }
+    if (have_env != (env_rng != nullptr)) {
+      fail(Errc::kConfigMismatch,
+           have_env ? "snapshot carries an environment rng but none was "
+                      "supplied"
+                    : "environment rng supplied but snapshot carries none");
+    }
+
+    // Commit point: all validation done, nothing below can throw.
+    for (std::size_t k = 0; k < msg.processes_.size(); ++k) {
+      MessageProcess& p = msg.processes_[k];
+      p.state = std::move(cells[k]);
+      p.outbound = std::move(links[k].outbound);
+      p.inbound = std::move(links[k].inbound);
+      // Per-round views; rebuilt from received messages before every use.
+      p.heard_dists.clear();
+      p.heard_wanting.clear();
+      p.heard_grants.clear();
+      p.pending_acks.clear();
+    }
+    msg.round_ = header.round;
+    msg.total_arrivals_ = header.arrivals;
+    msg.next_entity_id_ = header.next_entity_id;
+    msg.last_round_messages_ = counters[0];
+    msg.expired_grants_ = counters[1];
+    msg.deferred_acceptances_ = counters[2];
+    for (auto& inbox : msg.inboxes_) inbox.clear();
+    apply_network(*msg.network_, std::move(net));
+    if (env_rng != nullptr) env_rng->set_state(env_words);
+  }
+
+  static std::uint64_t digest_message(const MessageSystem& msg) {
+    DigestAccumulator d;
+    d.u64(msg.round());
+    d.u64(msg.total_arrivals());
+    d.u64(msg.total_injected());
+    for (const MessageProcess& p : msg.processes_) {
+      digest_cell(d, p.state);
+      for (std::size_t slot = 0; slot < p.nbrs.size(); ++slot) {
+        const OutboundLink& ob = p.outbound[slot];
+        d.u64(ob.heard_seq);
+        d.u64(ob.batch_seq);
+        d.u64(static_cast<std::uint64_t>(ob.batch.size()));
+        for (const Entity& e : ob.batch) {
+          d.u64(e.id.value);
+          d.f64(e.center.x);
+          d.f64(e.center.y);
+        }
+        d.u64(p.inbound[slot].granted_seq);
+        d.u64(p.inbound[slot].completed_seq);
+      }
+    }
+    d.u64(msg.last_round_messages_);
+    d.u64(msg.expired_grants_);
+    d.u64(msg.deferred_acceptances_);
+    const NetworkModel& net = *msg.network_;
+    d.u64(net.total_messages_);
+    d.u64(net.last_exchange_);
+    d.u64(net.barriers_);
+    for (const std::uint64_t c : net.sent_counts_) d.u64(c);
+    for (const auto& row : net.fault_counts_) {
+      for (const std::uint64_t c : row) d.u64(c);
+    }
+    if (const auto* faulty = dynamic_cast<const FaultyNetwork*>(&net)) {
+      for (const std::uint64_t word : faulty->rng_.state()) d.u64(word);
+      d.u64(static_cast<std::uint64_t>(faulty->delayed_.size()));
+      for (const FaultyNetwork::Delayed& del : faulty->delayed_) {
+        d.u64(del.release_barrier);
+        d.u64(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(del.message.sender.i)));
+        d.u64(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(del.message.sender.j)));
+        d.u64(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(del.message.receiver.i)));
+        d.u64(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(del.message.receiver.j)));
+        digest_payload(d, del.message.payload);
+      }
+    }
+    return d.value();
+  }
+};
+
+// ---- public API ------------------------------------------------------
+
+std::vector<std::uint8_t> save(const System& sys,
+                               const FailureModel* failures) {
+  return Access::save_system(sys, failures);
+}
+
+void restore(System& sys, std::span<const std::uint8_t> bytes,
+             FailureModel* failures) {
+  Access::restore_system(sys, bytes, failures);
+}
+
+std::vector<std::uint8_t> save(const MessageSystem& msg,
+                               const Xoshiro256* env_rng) {
+  return Access::save_message(msg, env_rng);
+}
+
+void restore(MessageSystem& msg, std::span<const std::uint8_t> bytes,
+             Xoshiro256* env_rng) {
+  Access::restore_message(msg, bytes, env_rng);
+}
+
+std::uint64_t state_digest(const System& sys) {
+  DigestAccumulator d;
+  d.u64(sys.round());
+  d.u64(sys.total_arrivals());
+  d.u64(sys.total_injected());
+  for (const CellState& c : sys.cells()) digest_cell(d, c);
+  return d.value();
+}
+
+std::uint64_t state_digest(const MessageSystem& msg) {
+  return Access::digest_message(msg);
+}
+
+void write_file(const std::string& path,
+                std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("snapshot: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("snapshot: short write to " + path);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(Errc::kTruncated, "cannot open " + path);
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  return bytes;
+}
+
+}  // namespace cellflow::snapshot

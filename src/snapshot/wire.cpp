@@ -1,0 +1,241 @@
+#include "snapshot/wire.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace cellflow::snapshot {
+
+namespace {
+
+constexpr std::size_t kMagicBytes = 4;
+constexpr std::size_t kVersionBytes = 4;
+constexpr std::size_t kChecksumBytes = 8;
+constexpr std::size_t kSectionHeaderBytes = 4 + 8;  // tag + length
+
+void append_le(std::vector<std::uint8_t>& out, std::uint64_t v,
+               std::size_t n) {
+  for (std::size_t b = 0; b < n; ++b) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * b)) & 0xFFu));
+  }
+}
+
+std::uint64_t read_le(std::span<const std::uint8_t> bytes, std::size_t at,
+                      std::size_t n) {
+  std::uint64_t v = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    v |= static_cast<std::uint64_t>(bytes[at + b]) << (8 * b);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(Errc code) noexcept {
+  switch (code) {
+    case Errc::kTruncated: return "truncated";
+    case Errc::kBadMagic: return "bad magic";
+    case Errc::kBadVersion: return "bad version";
+    case Errc::kChecksumMismatch: return "checksum mismatch";
+    case Errc::kUnknownTag: return "unknown tag";
+    case Errc::kDuplicateTag: return "duplicate tag";
+    case Errc::kOutOfOrderTag: return "out-of-order tag";
+    case Errc::kMissingSection: return "missing section";
+    case Errc::kMalformed: return "malformed field";
+    case Errc::kTrailingBytes: return "trailing bytes in section";
+    case Errc::kConfigMismatch: return "engine config mismatch";
+  }
+  return "unknown error";
+}
+
+void fail(Errc code, const std::string& what) {
+  throw SnapshotError(code, std::string("snapshot: ") + to_string(code) +
+                                ": " + what);
+}
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes,
+                    std::uint64_t seed) noexcept {
+  std::uint64_t hash = seed;
+  for (const std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void DigestAccumulator::f64(double value) noexcept {
+  u64(std::bit_cast<std::uint64_t>(value));
+}
+
+Writer::Writer(std::array<std::uint8_t, 4> magic, std::uint32_t version) {
+  bytes_.reserve(256);
+  for (const std::uint8_t b : magic) bytes_.push_back(b);
+  append_le(bytes_, version, kVersionBytes);
+}
+
+void Writer::begin_section(std::uint32_t tag) {
+  CF_EXPECTS_MSG(!in_section_ && !finished_, "writer misuse");
+  append_le(bytes_, tag, 4);
+  section_start_ = bytes_.size();
+  append_le(bytes_, 0, 8);  // length placeholder, patched by end_section
+  in_section_ = true;
+}
+
+void Writer::end_section() {
+  CF_EXPECTS_MSG(in_section_, "no open section");
+  const std::uint64_t len =
+      static_cast<std::uint64_t>(bytes_.size() - section_start_ - 8);
+  for (std::size_t b = 0; b < 8; ++b) {
+    bytes_[section_start_ + b] =
+        static_cast<std::uint8_t>((len >> (8 * b)) & 0xFFu);
+  }
+  in_section_ = false;
+}
+
+void Writer::u8(std::uint8_t v) {
+  CF_EXPECTS_MSG(in_section_, "write outside section");
+  bytes_.push_back(v);
+}
+
+void Writer::u32(std::uint32_t v) {
+  CF_EXPECTS_MSG(in_section_, "write outside section");
+  append_le(bytes_, v, 4);
+}
+
+void Writer::u64(std::uint64_t v) {
+  CF_EXPECTS_MSG(in_section_, "write outside section");
+  append_le(bytes_, v, 8);
+}
+
+void Writer::i32(std::int32_t v) {
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void Writer::f64(double v) {
+  u64(std::bit_cast<std::uint64_t>(v));
+}
+
+std::vector<std::uint8_t> Writer::finish() {
+  CF_EXPECTS_MSG(!in_section_ && !finished_, "writer misuse");
+  finished_ = true;
+  const std::uint64_t checksum = fnv1a(bytes_);
+  append_le(bytes_, checksum, kChecksumBytes);
+  return std::move(bytes_);
+}
+
+Reader::Reader(std::span<const std::uint8_t> bytes,
+               std::array<std::uint8_t, 4> magic, std::uint32_t version,
+               std::uint32_t min_tag, std::uint32_t max_tag)
+    : bytes_(bytes), min_tag_(min_tag), max_tag_(max_tag) {
+  if (bytes_.size() < kMagicBytes + kVersionBytes + kChecksumBytes) {
+    fail(Errc::kTruncated, "buffer smaller than envelope (" +
+                               std::to_string(bytes_.size()) + " bytes)");
+  }
+  for (std::size_t b = 0; b < kMagicBytes; ++b) {
+    if (bytes_[b] != magic[b]) fail(Errc::kBadMagic, "wrong file type");
+  }
+  const auto got_version =
+      static_cast<std::uint32_t>(read_le(bytes_, kMagicBytes, 4));
+  if (got_version != version) {
+    fail(Errc::kBadVersion, "version " + std::to_string(got_version) +
+                                ", expected " + std::to_string(version));
+  }
+  payload_end_ = bytes_.size() - kChecksumBytes;
+  const std::uint64_t stored = read_le(bytes_, payload_end_, 8);
+  const std::uint64_t actual = fnv1a(bytes_.subspan(0, payload_end_));
+  if (stored != actual) {
+    fail(Errc::kChecksumMismatch, "stored checksum does not match payload");
+  }
+  cursor_ = kMagicBytes + kVersionBytes;
+  section_end_ = cursor_;
+}
+
+std::optional<std::uint32_t> Reader::next_section() {
+  CF_EXPECTS_MSG(!in_section_, "previous section not closed");
+  if (cursor_ == payload_end_) return std::nullopt;
+  if (payload_end_ - cursor_ < kSectionHeaderBytes) {
+    fail(Errc::kMalformed, "dangling partial section header");
+  }
+  const auto tag = static_cast<std::uint32_t>(read_le(bytes_, cursor_, 4));
+  const std::uint64_t len = read_le(bytes_, cursor_ + 4, 8);
+  cursor_ += kSectionHeaderBytes;
+  if (tag < min_tag_ || tag > max_tag_) {
+    fail(Errc::kUnknownTag, "tag " + std::to_string(tag));
+  }
+  if (last_tag_) {
+    if (tag == *last_tag_) {
+      fail(Errc::kDuplicateTag, "tag " + std::to_string(tag));
+    }
+    if (tag < *last_tag_) {
+      fail(Errc::kOutOfOrderTag, "tag " + std::to_string(tag) + " after " +
+                                     std::to_string(*last_tag_));
+    }
+  }
+  last_tag_ = tag;
+  if (len > payload_end_ - cursor_) {
+    fail(Errc::kMalformed, "section length overruns buffer");
+  }
+  section_end_ = cursor_ + len;
+  in_section_ = true;
+  return tag;
+}
+
+void Reader::close_section() {
+  CF_EXPECTS_MSG(in_section_, "no open section");
+  if (cursor_ != section_end_) {
+    fail(Errc::kTrailingBytes, std::to_string(section_end_ - cursor_) +
+                                   " unconsumed bytes");
+  }
+  in_section_ = false;
+}
+
+void Reader::need(std::size_t n) const {
+  CF_EXPECTS_MSG(in_section_, "read outside section");
+  if (section_end_ - cursor_ < n) {
+    fail(Errc::kMalformed, "field crosses section boundary");
+  }
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return bytes_[cursor_++];
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  const auto v = static_cast<std::uint32_t>(read_le(bytes_, cursor_, 4));
+  cursor_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  const std::uint64_t v = read_le(bytes_, cursor_, 8);
+  cursor_ += 8;
+  return v;
+}
+
+std::int32_t Reader::i32() {
+  return static_cast<std::int32_t>(u32());
+}
+
+double Reader::f64() {
+  return std::bit_cast<double>(u64());
+}
+
+bool Reader::boolean() {
+  const std::uint8_t v = u8();
+  if (v > 1) fail(Errc::kMalformed, "boolean byte not 0/1");
+  return v == 1;
+}
+
+std::uint64_t Reader::count(std::uint64_t min_bytes_per_item) {
+  CF_EXPECTS(min_bytes_per_item > 0);
+  const std::uint64_t n = u64();
+  if (n > section_remaining() / min_bytes_per_item) {
+    fail(Errc::kMalformed, "element count overruns section");
+  }
+  return n;
+}
+
+}  // namespace cellflow::snapshot

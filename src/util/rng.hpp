@@ -91,6 +91,28 @@ class Xoshiro256 {
   /// A decorrelated child stream, for handing to sub-components.
   constexpr Xoshiro256 split() noexcept { return Xoshiro256((*this)()); }
 
+  /// The four xoshiro words, in the order the update rule indexes them.
+  /// This IS the serialized stream format (src/snapshot writes these words
+  /// verbatim, little-endian); the word order and the seed-expansion used
+  /// by the constructor are pinned by golden values in tests/test_rng.cpp.
+  [[nodiscard]] constexpr std::array<std::uint64_t, 4> state() const noexcept {
+    return state_;
+  }
+
+  /// Overwrites the stream position with previously captured state().
+  constexpr void set_state(
+      const std::array<std::uint64_t, 4>& words) noexcept {
+    state_ = words;
+  }
+
+  /// Rebuilds a generator mid-stream from state() words.
+  [[nodiscard]] static constexpr Xoshiro256 from_state(
+      const std::array<std::uint64_t, 4>& words) noexcept {
+    Xoshiro256 g(0);
+    g.state_ = words;
+    return g;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,351 @@
+// Record-replay + divergence-bisection tests (DESIGN.md §11). A 500-round
+// stochastic run (random choose, rate-limited source, fail/recover churn)
+// is recorded once: the ReplayLog captures the environment event stream
+// and a digest at every round boundary, and snapshots are taken at five
+// interior boundaries. Pinned here:
+//   * the log round-trips through its wire form byte-identically;
+//   * replaying from round 0 or from ANY of the five snapshots tracks the
+//     recording exactly (no divergence, injection trace consistent);
+//   * a deliberate note_corrupt() perturbation is part of the recorded
+//     inputs, so replay reproduces it;
+//   * the bisection contract — restore a snapshot whose bytes were
+//     perturbed by ONE BIT (a member-center mantissa flip, checksum
+//     refixed), replay, and first_divergence names exactly the snapshot's
+//     round, not some later smear;
+//   * adversarial replay-log bytes fail with typed SnapshotErrors.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/choose.hpp"
+#include "core/source.hpp"
+#include "core/system.hpp"
+#include "failure/failure_model.hpp"
+#include "snapshot/replay.hpp"
+#include "snapshot/snapshot.hpp"
+#include "snapshot/wire.hpp"
+#include "util/rng.hpp"
+
+namespace cellflow {
+namespace {
+
+using snapshot::Errc;
+using snapshot::ReplayEvent;
+using snapshot::ReplayLog;
+using snapshot::SnapshotError;
+
+constexpr std::uint64_t kRounds = 500;
+constexpr std::uint64_t kSnapRounds[] = {50, 150, 250, 350, 450};
+
+SystemConfig config() {
+  SystemConfig cfg;
+  cfg.side = 5;
+  cfg.params = Params(0.25, 0.05, 0.1);
+  cfg.sources = {CellId{1, 0}};
+  cfg.target = CellId{1, 4};
+  return cfg;
+}
+
+struct Engine {
+  std::unique_ptr<System> sys;
+  std::unique_ptr<FailureModel> failures;
+};
+
+/// Rebuilding with the same literals is the "process-equivalent engine"
+/// a snapshot restores into.
+Engine build() {
+  Engine e;
+  e.sys = std::make_unique<System>(
+      config(), make_choose_policy("random", 0xC0FFEE),
+      std::make_unique<RateLimitedSource>(0.8, 0xBEEF));
+  e.failures = std::make_unique<RandomFailRecover>(0.01, 0.1, 0xFA11);
+  return e;
+}
+
+struct Recording {
+  ReplayLog log;
+  std::vector<std::vector<std::uint8_t>> snaps;  // parallel to kSnapRounds
+  double probe_x = 0.0;  ///< a member center.x live at the round-250 snap
+  bool probe_found = false;
+};
+
+const Recording& recording() {
+  static const Recording rec = [] {
+    Recording out;
+    Engine e = build();
+    snapshot::RunRecorder r(*e.sys, e.failures.get());
+    while (e.sys->round() < kRounds) {
+      for (const std::uint64_t sr : kSnapRounds) {
+        if (e.sys->round() != sr) continue;
+        out.snaps.push_back(snapshot::save(*e.sys, e.failures.get()));
+        if (sr == 250 && !out.probe_found) {
+          for (const CellState& c : e.sys->cells()) {
+            if (c.members.empty()) continue;
+            out.probe_x = c.members.front().center.x;
+            out.probe_found = true;
+            break;
+          }
+        }
+      }
+      r.step();
+    }
+    out.log = r.log();
+    return out;
+  }();
+  return rec;
+}
+
+/// Strips and recomputes the trailing checksum after a byte surgery.
+std::vector<std::uint8_t> refix_checksum(std::vector<std::uint8_t> b) {
+  b.resize(b.size() - 8);
+  const std::uint64_t c =
+      snapshot::fnv1a(std::span<const std::uint8_t>(b.data(), b.size()));
+  for (int k = 0; k < 8; ++k) {
+    b.push_back(static_cast<std::uint8_t>((c >> (8 * k)) & 0xFFu));
+  }
+  return b;
+}
+
+/// Walks the section headers and returns the payload offset of `want`
+/// (and its length): lets tests do targeted byte surgery.
+std::size_t section_payload_offset(const std::vector<std::uint8_t>& bytes,
+                                   std::uint32_t want,
+                                   std::uint64_t* len_out = nullptr) {
+  std::size_t at = 8;
+  for (;;) {
+    const auto tag = static_cast<std::uint32_t>(
+        static_cast<std::uint32_t>(bytes[at]) |
+        (static_cast<std::uint32_t>(bytes[at + 1]) << 8) |
+        (static_cast<std::uint32_t>(bytes[at + 2]) << 16) |
+        (static_cast<std::uint32_t>(bytes[at + 3]) << 24));
+    std::uint64_t len = 0;
+    for (std::size_t k = 0; k < 8; ++k) {
+      len |= static_cast<std::uint64_t>(bytes[at + 4 + k]) << (8 * k);
+    }
+    if (tag == want) {
+      if (len_out != nullptr) *len_out = len;
+      return at + 12;
+    }
+    at += 12 + static_cast<std::size_t>(len);
+  }
+}
+
+TEST(Replay, RecordingCoversTheRun) {
+  const Recording& rec = recording();
+  EXPECT_EQ(rec.log.start_round, 0u);
+  EXPECT_EQ(rec.log.digests.size(), kRounds);
+  EXPECT_EQ(rec.log.end_round(), kRounds);
+  ASSERT_EQ(rec.snaps.size(), std::size(kSnapRounds));
+  // pf=0.01 over 500 rounds × 25 cells: fail/recover churn must show up,
+  // and a 0.8-rate source must have injected.
+  bool saw_fail = false, saw_inject = false;
+  for (const ReplayEvent& e : rec.log.events) {
+    saw_fail |= e.kind == ReplayEvent::Kind::kFail;
+    saw_inject |= e.kind == ReplayEvent::Kind::kInject;
+  }
+  EXPECT_TRUE(saw_fail);
+  EXPECT_TRUE(saw_inject);
+}
+
+TEST(Replay, LogRoundTripsThroughBytesExactly) {
+  const Recording& rec = recording();
+  const auto bytes = rec.log.to_bytes();
+  const ReplayLog parsed = ReplayLog::from_bytes(bytes);
+  EXPECT_EQ(parsed.start_round, rec.log.start_round);
+  EXPECT_EQ(parsed.start_digest, rec.log.start_digest);
+  EXPECT_EQ(parsed.digests, rec.log.digests);
+  EXPECT_EQ(parsed.events.size(), rec.log.events.size());
+  // Byte stability subsumes field-by-field event equality.
+  EXPECT_EQ(parsed.to_bytes(), bytes);
+}
+
+TEST(Replay, FromFreshEngineTracksRecordingExactly) {
+  const Recording& rec = recording();
+  Engine e = build();
+  const snapshot::ReplayReport rep = snapshot::replay(*e.sys, rec.log);
+  EXPECT_EQ(rep.rounds_replayed, kRounds);
+  EXPECT_FALSE(rep.first_divergence.has_value());
+  EXPECT_TRUE(rep.inputs_consistent);
+  EXPECT_EQ(snapshot::state_digest(*e.sys), rec.log.digests.back());
+}
+
+TEST(Replay, FromEverySnapshotTracksRecordingExactly) {
+  const Recording& rec = recording();
+  for (std::size_t n = 0; n < std::size(kSnapRounds); ++n) {
+    Engine e = build();
+    snapshot::restore(*e.sys, rec.snaps[n], e.failures.get());
+    ASSERT_EQ(e.sys->round(), kSnapRounds[n]);
+    const snapshot::ReplayReport rep = snapshot::replay(*e.sys, rec.log);
+    EXPECT_EQ(rep.rounds_replayed, kRounds - kSnapRounds[n])
+        << "snapshot at round " << kSnapRounds[n];
+    EXPECT_FALSE(rep.first_divergence.has_value())
+        << "snapshot at round " << kSnapRounds[n] << " diverged at "
+        << *rep.first_divergence;
+    EXPECT_TRUE(rep.inputs_consistent);
+    EXPECT_EQ(snapshot::state_digest(*e.sys), rec.log.digests.back());
+  }
+}
+
+TEST(Replay, NoteCorruptIsRecordedAndReplayed) {
+  Engine a = build();
+  snapshot::RunRecorder r(*a.sys, a.failures.get());
+  for (int k = 0; k < 20; ++k) r.step();
+  // A §V-style adversarial perturbation: cell (2,2)'s control state is
+  // overwritten at the round-20 boundary. Recording it makes it an input.
+  r.note_corrupt(CellId{2, 2}, Dist::finite(7), CellId{2, 3}, std::nullopt,
+                 std::nullopt);
+  for (int k = 0; k < 20; ++k) r.step();
+
+  bool saw_corrupt = false;
+  for (const ReplayEvent& e : r.log().events) {
+    if (e.kind == ReplayEvent::Kind::kCorrupt) {
+      saw_corrupt = true;
+      EXPECT_EQ(e.round, 20u);
+      EXPECT_EQ(e.cell, (CellId{2, 2}));
+    }
+  }
+  EXPECT_TRUE(saw_corrupt);
+
+  Engine b = build();
+  const snapshot::ReplayReport rep = snapshot::replay(*b.sys, r.log());
+  EXPECT_EQ(rep.rounds_replayed, 40u);
+  EXPECT_FALSE(rep.first_divergence.has_value());
+  EXPECT_TRUE(rep.inputs_consistent);
+}
+
+// The headline bisection contract: a single flipped mantissa bit in a
+// snapshot's cell payload must be localized by replay to EXACTLY the
+// snapshot's round — the first boundary whose digest can see it.
+TEST(Replay, PerturbedSnapshotBisectsToExactRound) {
+  const Recording& rec = recording();
+  ASSERT_TRUE(rec.probe_found)
+      << "no entity in flight at round 250 — widen the recording";
+  std::vector<std::uint8_t> bytes = rec.snaps[2];  // round 250
+
+  // Surgical strike: find the probe entity's center.x inside the CELLS
+  // section (tag 3) only — a hit elsewhere (e.g. rng words) would not be
+  // covered by the boundary digest and would smear the divergence.
+  std::uint64_t cells_len = 0;
+  const std::size_t cells_at = section_payload_offset(bytes, 3, &cells_len);
+  const std::uint64_t pattern = std::bit_cast<std::uint64_t>(rec.probe_x);
+  std::optional<std::size_t> hit;
+  for (std::size_t at = cells_at;
+       at + 8 <= cells_at + static_cast<std::size_t>(cells_len); ++at) {
+    std::uint64_t v = 0;
+    for (std::size_t k = 0; k < 8; ++k) {
+      v |= static_cast<std::uint64_t>(bytes[at + k]) << (8 * k);
+    }
+    if (v == pattern) {
+      hit = at;
+      break;
+    }
+  }
+  ASSERT_TRUE(hit.has_value()) << "probe center.x not found in cells section";
+  bytes[*hit] ^= 0x01;  // least significant mantissa bit
+  bytes = refix_checksum(bytes);
+
+  Engine e = build();
+  snapshot::restore(*e.sys, bytes, e.failures.get());  // well-formed bytes
+  ASSERT_EQ(e.sys->round(), 250u);
+  ASSERT_NE(snapshot::state_digest(*e.sys), rec.log.digests[249])
+      << "perturbation was not digest-visible";
+
+  const snapshot::ReplayReport rep = snapshot::replay(*e.sys, rec.log);
+  EXPECT_EQ(rep.rounds_replayed, kRounds - 250);
+  ASSERT_TRUE(rep.first_divergence.has_value());
+  EXPECT_EQ(*rep.first_divergence, 250u);
+}
+
+TEST(ReplayFormat, AdversarialBytesFailTyped) {
+  const Recording& rec = recording();
+  const auto bytes = rec.log.to_bytes();
+
+  // Truncations and a payload bit flip.
+  for (const std::size_t len : {std::size_t{0}, std::size_t{3},
+                                std::size_t{15}, bytes.size() / 2}) {
+    const std::vector<std::uint8_t> prefix(
+        bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW((void)ReplayLog::from_bytes(prefix), SnapshotError);
+  }
+  {
+    auto flipped = bytes;
+    flipped[bytes.size() / 2] ^= 0x10;
+    try {
+      (void)ReplayLog::from_bytes(flipped);
+      FAIL();
+    } catch (const SnapshotError& e) {
+      EXPECT_EQ(e.code(), Errc::kChecksumMismatch);
+    }
+  }
+
+  // A snapshot is not a replay log.
+  Engine e = build();
+  try {
+    (void)ReplayLog::from_bytes(snapshot::save(*e.sys));
+    FAIL();
+  } catch (const SnapshotError& err) {
+    EXPECT_EQ(err.code(), Errc::kBadMagic);
+  }
+}
+
+TEST(ReplayFormat, OutOfOrderEventsRejected) {
+  ReplayLog bad;
+  bad.digests = {1, 2, 3, 4, 5, 6};
+  ReplayEvent e1;
+  e1.kind = ReplayEvent::Kind::kFail;
+  e1.round = 5;
+  e1.cell = CellId{0, 0};
+  ReplayEvent e2 = e1;
+  e2.round = 3;  // decreasing
+  bad.events = {e1, e2};
+  try {
+    (void)ReplayLog::from_bytes(bad.to_bytes());
+    FAIL();
+  } catch (const SnapshotError& err) {
+    EXPECT_EQ(err.code(), Errc::kMalformed);
+  }
+}
+
+TEST(ReplayFormat, EventBeforeStartRoundRejected) {
+  ReplayLog bad;
+  bad.start_round = 10;
+  bad.digests = {1, 2};
+  ReplayEvent e;
+  e.kind = ReplayEvent::Kind::kRecover;
+  e.round = 5;  // before the log's first boundary
+  e.cell = CellId{0, 0};
+  bad.events = {e};
+  try {
+    (void)ReplayLog::from_bytes(bad.to_bytes());
+    FAIL();
+  } catch (const SnapshotError& err) {
+    EXPECT_EQ(err.code(), Errc::kMalformed);
+  }
+}
+
+TEST(ReplayFormat, BadEventKindByteRejected) {
+  ReplayLog log;
+  log.digests = {42};
+  ReplayEvent e;
+  e.kind = ReplayEvent::Kind::kFail;
+  e.round = 0;
+  e.cell = CellId{1, 1};
+  log.events = {e};
+  auto bytes = log.to_bytes();
+  const std::size_t events_at = section_payload_offset(bytes, 2);
+  bytes[events_at + 8] = 9;  // kind byte follows the u64 event count
+  bytes = refix_checksum(bytes);
+  try {
+    (void)ReplayLog::from_bytes(bytes);
+    FAIL();
+  } catch (const SnapshotError& err) {
+    EXPECT_EQ(err.code(), Errc::kMalformed);
+  }
+}
+
+}  // namespace
+}  // namespace cellflow

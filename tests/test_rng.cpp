@@ -148,5 +148,44 @@ TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
   EXPECT_GE(v, Xoshiro256::min());
 }
 
+// state() IS the serialized stream format (src/snapshot writes these four
+// words verbatim): the word order and the SplitMix64 seed expansion are
+// pinned here with literal golden values. If this test breaks, every
+// previously written snapshot decodes into a different stream — bump the
+// snapshot format version rather than updating the constants casually.
+TEST(Xoshiro256, StateWordsMatchSeedExpansionGolden) {
+  const Xoshiro256 rng(42);
+  const std::array<std::uint64_t, 4> words = rng.state();
+  EXPECT_EQ(words[0], 0xBDD732262FEB6E95ULL);
+  EXPECT_EQ(words[1], 0x28EFE333B266F103ULL);
+  EXPECT_EQ(words[2], 0x47526757130F9F52ULL);
+  EXPECT_EQ(words[3], 0x581CE1FF0E4AE394ULL);
+}
+
+TEST(Xoshiro256, FromStateResumesMidStream) {
+  Xoshiro256 a(7);
+  for (int k = 0; k < 13; ++k) a();  // advance into the stream
+  Xoshiro256 b = Xoshiro256::from_state(a.state());
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, SetStateOverwritesPosition) {
+  Xoshiro256 a(7);
+  const auto mark = a.state();
+  const std::uint64_t first = a();
+  for (int k = 0; k < 50; ++k) a();
+  a.set_state(mark);  // rewind
+  EXPECT_EQ(a(), first);
+}
+
+// The captured state must be position-sensitive: consuming one value
+// changes the words (no silent aliasing of streams).
+TEST(Xoshiro256, StateAdvancesWithConsumption) {
+  Xoshiro256 a(9);
+  const auto before = a.state();
+  (void)a();
+  EXPECT_NE(before, a.state());
+}
+
 }  // namespace
 }  // namespace cellflow

@@ -15,6 +15,8 @@
 //                [--net-loss=P --net-dup=P --net-delay=P
 //                 --net-delay-max=R --net-seed=S --net-until=R
 //                 --partition=START:END:COL]
+//                [--snapshot-out=FILE] [--snapshot-every=N]
+//                [--restore=FILE]
 //
 // Prints a one-line summary plus (optionally) periodic ASCII renders, the
 // full event trace, and a machine-readable CSV record. --metrics-out
@@ -34,6 +36,14 @@
 // (safety + entity conservation); violations exit nonzero. --movement,
 // --carve-turns, --threads, --policy, --trace, and --profile-out are
 // shared-realization features and are rejected in message mode.
+//
+// Snapshots (src/snapshot, both realizations): --snapshot-out writes the
+// final engine state to FILE; with --snapshot-every=N the file is also
+// rewritten every N rounds (crash-resumable runs). --restore=FILE warm
+// starts from a snapshot taken under the SAME flags — the run then
+// executes --rounds additional rounds, bit-identically to the
+// uninterrupted run. A corrupt or mismatched snapshot exits 2 with a
+// typed error on stderr.
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -51,6 +61,7 @@
 #include "sim/render.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
+#include "snapshot/snapshot.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
@@ -83,6 +94,12 @@ NetPartition parse_partition(const std::string& s, const Grid& grid) {
   return part;
 }
 
+struct SnapshotOptions {
+  std::string out;       // --snapshot-out: final (and periodic) state file
+  std::uint64_t every = 0;  // --snapshot-every: rewrite cadence (0: end only)
+  std::string restore;   // --restore: warm-start file
+};
+
 struct NetOptions {
   double loss = 0.0;
   double dup = 0.0;
@@ -103,7 +120,8 @@ struct NetOptions {
 int run_message_mode(const MsgSystemConfig& cfg, std::uint64_t rounds,
                      double pf, double pr, std::uint64_t seed,
                      const NetOptions& net, const std::string& metrics_out,
-                     std::uint64_t metrics_every) {
+                     std::uint64_t metrics_every,
+                     const SnapshotOptions& snap) {
   std::unique_ptr<NetworkModel> network;
   if (net.any()) {
     NetFaultSpec spec;
@@ -117,6 +135,18 @@ int run_message_mode(const MsgSystemConfig& cfg, std::uint64_t rounds,
     network = std::make_unique<FaultyNetwork>(spec, net.seed);
   }
   MessageSystem msg(cfg, std::move(network));
+
+  // The environment's fail/recover stream travels with the snapshot, so a
+  // restored run draws the same schedule tail as the uninterrupted one.
+  Xoshiro256 fail_rng(seed ^ 0x51D);
+  if (!snap.restore.empty()) {
+    try {
+      snapshot::restore(msg, snapshot::read_file(snap.restore), &fail_rng);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << '\n';
+      return 2;
+    }
+  }
 
   obs::MetricsRegistry registry;
   std::ofstream jsonl_file;
@@ -134,7 +164,6 @@ int run_message_mode(const MsgSystemConfig& cfg, std::uint64_t rounds,
   // Stochastic fail/recover mirroring the shared driver's model (each
   // round every live cell fails w.p. pf, every failed one recovers
   // w.p. pr; the target is not protected).
-  Xoshiro256 fail_rng(seed ^ 0x51D);
   std::string violation_report;
   for (std::uint64_t k = 0; k < rounds; ++k) {
     if (pf > 0.0) {
@@ -158,8 +187,24 @@ int run_message_mode(const MsgSystemConfig& cfg, std::uint64_t rounds,
     }
     if (jsonl_file.is_open() && (k + 1) % metrics_every == 0)
       jsonl_file << obs::jsonl_snapshot(registry, k + 1);
+    if (!snap.out.empty() && snap.every > 0 && (k + 1) % snap.every == 0) {
+      try {
+        snapshot::write_file(snap.out, snapshot::save(msg, &fail_rng));
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << '\n';
+        return 2;
+      }
+    }
   }
   if (jsonl_file.is_open()) jsonl_file << obs::jsonl_snapshot(registry, rounds);
+  if (!snap.out.empty()) {
+    try {
+      snapshot::write_file(snap.out, snapshot::save(msg, &fail_rng));
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << '\n';
+      return 2;
+    }
+  }
 
   if (!metrics_out.empty()) {
     std::ofstream out(metrics_out);
@@ -250,6 +295,14 @@ int main(int argc, char** argv) {
   net.partition = cli.get_string(
       "partition", "",
       "cut columns j<COL for rounds [START,END): START:END:COL (message)");
+  SnapshotOptions snap;
+  snap.out = cli.get_string("snapshot-out", "",
+                            "write the final engine state snapshot here");
+  snap.every = cli.get_uint(
+      "snapshot-every", 0,
+      "also rewrite --snapshot-out every N rounds (0: end of run only)");
+  snap.restore = cli.get_string(
+      "restore", "", "warm-start from a snapshot taken under the same flags");
   if (cli.help_requested()) {
     std::cout << cli.help_text();
     return 0;
@@ -258,6 +311,10 @@ int main(int argc, char** argv) {
 
   if (realization != "shared" && realization != "message") {
     std::cerr << "unknown realization: " << realization << '\n';
+    return 2;
+  }
+  if (snap.every > 0 && snap.out.empty()) {
+    std::cerr << "--snapshot-every requires --snapshot-out\n";
     return 2;
   }
   if (realization == "shared" && (net.any() || net.until > 0)) {
@@ -281,7 +338,7 @@ int main(int argc, char** argv) {
     mcfg.target = target_s.empty() ? CellId{msource.i, side - 1}
                                    : parse_cell(target_s);
     return run_message_mode(mcfg, rounds, pf, pr, seed, net, metrics_out,
-                            metrics_every);
+                            metrics_every, snap);
   }
 
   SystemConfig cfg;
@@ -332,6 +389,16 @@ int main(int argc, char** argv) {
     failures = std::make_unique<NoFailures>();
   }
 
+  if (!snap.restore.empty()) {
+    try {
+      snapshot::restore(sys, snapshot::read_file(snap.restore),
+                        failures.get());
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << '\n';
+      return 2;
+    }
+  }
+
   Simulator sim(sys, *failures);
   ThroughputMeter meter;
   SafetyMonitor safety;
@@ -371,8 +438,26 @@ int main(int argc, char** argv) {
       std::cout << "-- " << render_summary(sys) << " --\n"
                 << render_ascii(sys) << '\n';
     }
+    if (!snap.out.empty() && snap.every > 0 && (k + 1) % snap.every == 0) {
+      try {
+        snapshot::write_file(snap.out,
+                             snapshot::save(sys, failures.get()));
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << '\n';
+        return 2;
+      }
+    }
   }
   sim.finish();
+
+  if (!snap.out.empty()) {
+    try {
+      snapshot::write_file(snap.out, snapshot::save(sys, failures.get()));
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << '\n';
+      return 2;
+    }
+  }
 
   if (!metrics_out.empty()) {
     std::ofstream out(metrics_out);
