@@ -3,15 +3,20 @@
 // BENCH_<name>.json sidecar every bench writes for cross-PR tracking.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <span>
 #include <sstream>
 #include <streambuf>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -40,6 +45,14 @@ namespace cellflow::bench {
 /// whole suite at results/ this way. The directory must already exist —
 /// emission is best-effort, and a bench never fails because the sidecar
 /// could not be written.
+///
+/// Sidecars are schema v2 (obs/sidecar.hpp): alongside the v1 fields
+/// they stamp "sidecar_version":2, a "provenance" object (git SHA from
+/// $CELLFLOW_GIT_SHA — run_bench.sh exports it — build type + compiler
+/// baked in at compile time, $CELLFLOW_THREADS, hardware threads,
+/// repetitions), and a "dispersion" map filled by note_samples() so the
+/// regression gate (tools/cellflow_bench_diff) can widen its thresholds
+/// on metrics this machine measures noisily.
 class BenchRecorder {
  public:
   explicit BenchRecorder(std::string name, std::string out_dir = {})
@@ -60,6 +73,34 @@ class BenchRecorder {
   /// so the sidecar can report an aggregate rounds/sec figure.
   void note_rounds(std::uint64_t rounds) noexcept { rounds_ += rounds; }
 
+  /// Number of measurement repetitions behind each reported value
+  /// (provenance only; dispersion carries the actual spread).
+  void set_repetitions(int reps) noexcept {
+    if (reps >= 1) repetitions_ = reps;
+  }
+
+  /// Records the per-repetition samples behind one reported metric; the
+  /// sidecar's "dispersion" map gets {n, mean, rel = (max-min)/mean} so
+  /// bench_diff can scale its regression threshold to observed noise.
+  /// Call once per metric with all samples (later calls overwrite).
+  void note_samples(std::string_view metric, std::span<const double> values) {
+    if (values.empty()) return;
+    double sum = 0.0;
+    double lo = values[0];
+    double hi = values[0];
+    for (const double v : values) {
+      sum += v;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const double mean = sum / static_cast<double>(values.size());
+    Samples s;
+    s.n = values.size();
+    s.mean = mean;
+    s.rel = mean != 0.0 ? (hi - lo) / std::abs(mean) : 0.0;
+    dispersion_[std::string(metric)] = s;
+  }
+
   ~BenchRecorder() {
     std::cout.flush();
     std::cout.rdbuf(tee_.inner());
@@ -79,12 +120,33 @@ class BenchRecorder {
                                     ? static_cast<double>(rounds_) / elapsed
                                     : 0.0);
     }
+    out << ",\"sidecar_version\":2,\"provenance\":{\"git_sha\":\""
+        << obs::json_escape(env_or("CELLFLOW_GIT_SHA", "unknown"))
+        << "\",\"build_type\":\"" << obs::json_escape(build_type())
+        << "\",\"compiler\":\"" << obs::json_escape(compiler())
+        << "\",\"threads\":" << env_int("CELLFLOW_THREADS")
+        << ",\"hardware_threads\":"
+        << std::max(1u, std::thread::hardware_concurrency())
+        << ",\"repetitions\":" << repetitions_ << "}";
     // obs::csv_block_as_json emits numeric fields as bare JSON numbers
     // under the strict RFC-8259 grammar (locale-independent; the old
     // strtod full-match quoted every fractional field under a
     // comma-decimal locale, leaving the sidecars with no numeric
     // series). Pinned by tests/test_export.cpp's golden sidecar test.
-    out << ",\"series\":" << obs::csv_block_as_json(tee_.text()) << "}\n";
+    out << ",\"series\":" << obs::csv_block_as_json(tee_.text());
+    if (!dispersion_.empty()) {
+      out << ",\"dispersion\":{";
+      bool first = true;
+      for (const auto& [metric, s] : dispersion_) {
+        if (!first) out << ',';
+        first = false;
+        out << '"' << obs::json_escape(metric) << "\":{\"n\":" << s.n
+            << ",\"mean\":" << obs::format_double(s.mean)
+            << ",\"rel\":" << obs::format_double(s.rel) << '}';
+      }
+      out << '}';
+    }
+    out << "}\n";
   }
 
  private:
@@ -113,10 +175,45 @@ class BenchRecorder {
     std::string text_;
   };
 
+  struct Samples {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double rel = 0.0;
+  };
+
+  static std::string env_or(const char* var, const char* fallback) {
+    const char* v = std::getenv(var);
+    return (v != nullptr && *v != '\0') ? v : fallback;
+  }
+
+  static int env_int(const char* var) {
+    const char* v = std::getenv(var);
+    return v != nullptr ? std::atoi(v) : 0;
+  }
+
+  // Build provenance baked in by bench/CMakeLists.txt; "unknown" keeps
+  // ad-hoc compiles (e.g. compile_commands tooling) working.
+  static const char* build_type() {
+#ifdef CELLFLOW_BUILD_TYPE
+    return CELLFLOW_BUILD_TYPE;
+#else
+    return "unknown";
+#endif
+  }
+  static const char* compiler() {
+#ifdef CELLFLOW_COMPILER
+    return CELLFLOW_COMPILER;
+#else
+    return "unknown";
+#endif
+  }
+
   std::string name_;
   std::string out_dir_;
   TeeBuf tee_;
   std::uint64_t rounds_ = 0;
+  int repetitions_ = 1;
+  std::map<std::string, Samples> dispersion_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -8,12 +8,28 @@
 # EXPERIMENTS.md numbers stay reproducible.
 #
 # Usage: scripts/run_bench.sh [out_dir]        (default: results/)
+#        scripts/run_bench.sh --check [out_dir]
+#
+# --check runs the suite into a scratch directory (default:
+# build/bench_check) and gates the fresh sidecars against the committed
+# baselines in results/ with tools/cellflow_bench_diff — exits nonzero
+# on any noise-adjusted regression. Intended as the pre-commit /
+# pre-merge performance gate.
 set -eu
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
 
-out_dir="${1:-results}"
+check=0
+if [ "${1:-}" = "--check" ]; then
+  check=1
+  shift
+fi
+if [ "$check" -eq 1 ]; then
+  out_dir="${1:-build/bench_check}"
+else
+  out_dir="${1:-results}"
+fi
 mkdir -p "$out_dir"
 
 cmake --preset default > /dev/null
@@ -21,6 +37,10 @@ cmake --build --preset default -j "$(nproc)" > /dev/null
 
 CELLFLOW_BENCH_DIR="$out_dir"
 export CELLFLOW_BENCH_DIR
+# Provenance stamp for the v2 sidecars (bench_common.hpp reads it).
+if CELLFLOW_GIT_SHA="$(git rev-parse --short=12 HEAD 2>/dev/null)"; then
+  export CELLFLOW_GIT_SHA
+fi
 
 status=0
 for b in build/bench/*; do
@@ -37,4 +57,12 @@ done
 
 echo "run_bench.sh: sidecars in $out_dir/"
 ls "$out_dir"/BENCH_*.json
+
+if [ "$check" -eq 1 ]; then
+  echo
+  echo "== bench_diff (baseline: results/)"
+  if ! build/tools/cellflow_bench_diff --baseline=results --fresh="$out_dir"; then
+    status=1
+  fi
+fi
 exit "$status"

@@ -10,11 +10,24 @@
 #include "core/move.hpp"
 #include "core/route.hpp"
 #include "core/signal.hpp"
+#include "obs/engine_telemetry.hpp"
 #include "obs/profiler.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 
 namespace cellflow {
+
+namespace {
+
+// Reporting-only clock difference in whole ns, clamped at zero.
+std::uint64_t span_ns(obs::PhaseProfiler::Clock::time_point a,
+                      obs::PhaseProfiler::Clock::time_point b) {
+  const auto d =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+  return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
+
+}  // namespace
 
 ParallelPolicy parallel_policy_from_env() {
   const char* raw = std::getenv("CELLFLOW_THREADS");
@@ -146,13 +159,107 @@ void System::set_metrics(obs::MetricsRegistry* registry) {
   round_counts_.reset();
 }
 
+void System::set_profiler(obs::PhaseProfiler* profiler) {
+  profiler_ = profiler;
+  sync_pool_timing();
+}
+
+void System::set_telemetry(obs::EngineTelemetry* telemetry) {
+  telemetry_ = telemetry;
+  sync_pool_timing();
+}
+
+void System::sync_pool_timing() {
+  if (!pool_) return;
+  const bool want = profiler_ != nullptr || telemetry_ != nullptr;
+  if (want == pool_->timing_enabled()) return;
+  pool_->set_timing(want);
+  pool_->reset_timings();
+  if (want)
+    batch_samples_.reserve(static_cast<std::size_t>(pool_->thread_count()));
+}
+
+void System::note_phase_timing(int phase_idx, ThreadPool* pool,
+                               std::size_t used) {
+  // `pooled`: the partition actually ran on workers (parallel_for_shards
+  // falls back to the caller for single-shard partitions).
+  const bool pooled = pool != nullptr && used > 1;
+  if (telemetry_ != nullptr) {
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    for (std::size_t s = 0; s < used; ++s) {
+      const std::uint64_t v = scratch_.shards[s].span_ns;
+      sum += v;
+      if (v > max) max = v;
+    }
+    round_timing_.imbalance[static_cast<std::size_t>(phase_idx)] =
+        (used > 1 && sum > 0) ? static_cast<double>(max) *
+                                    static_cast<double>(used) /
+                                    static_cast<double>(sum)
+                              : 1.0;
+    // A phase that ran on the calling thread needs no attribution here:
+    // update()'s timed() wrapper counts its whole wall span as serial
+    // work (merges and glue included).
+  }
+  if (pooled && (telemetry_ != nullptr || profiler_ != nullptr)) {
+    pool->last_batch_samples(batch_samples_);
+    const auto dispatched = pool->last_batch_dispatch();
+    const auto done = pool->last_batch_done();
+    if (telemetry_ != nullptr && !batch_samples_.empty()) {
+      // Wall-equivalent decomposition of the batch that just ran: each
+      // participating worker's dispatch+busy+barrier chain spans
+      // dispatched->done exactly, so the participant-normalized sums
+      // partition the batch wall (see RoundTiming). busy (wake to own
+      // last task end) rather than task time, so queue-claim waits and
+      // OS preemption gaps inside the batch stay accounted.
+      std::uint64_t disp = 0;
+      std::uint64_t busy = 0;
+      std::uint64_t barrier = 0;
+      std::uint64_t task = 0;
+      for (const ThreadPool::BatchWorkerSample& w : batch_samples_) {
+        disp += span_ns(dispatched, w.wake);
+        busy += span_ns(w.wake, w.last_task_end);
+        barrier += span_ns(w.last_task_end, done);
+        task += w.work_ns;
+      }
+      const auto n = static_cast<std::uint64_t>(batch_samples_.size());
+      round_timing_.pool_dispatch_ns += disp / n;
+      round_timing_.pool_busy_ns += busy / n;
+      round_timing_.pool_barrier_ns += barrier / n;
+      round_timing_.pool_task_ns += task;
+      // Caller-resume latency: the last worker stamped `done`, but this
+      // thread only continues once the OS reschedules it — on a
+      // contended machine that gap is real round time, billed as
+      // dispatch (both are scheduling, not protocol work).
+      round_timing_.pool_resume_ns +=
+          span_ns(done, obs::PhaseProfiler::Clock::now());
+    }
+    if (profiler_ != nullptr) {
+      // Per-worker spans of the batch that just ran: dispatch latency,
+      // the task-executing envelope, and the barrier stall — these
+      // render as per-worker tracks in the Chrome-trace export, so
+      // Perfetto shows exactly which worker idled at which barrier.
+      for (const ThreadPool::BatchWorkerSample& w : batch_samples_) {
+        profiler_->record_worker("dispatch", round_, w.worker, dispatched,
+                                 w.wake);
+        profiler_->record_worker("work", round_, w.worker, w.first_task_start,
+                                 w.last_task_end);
+        profiler_->record_worker("barrier_wait", round_, w.worker,
+                                 w.last_task_end, done);
+      }
+    }
+  }
+}
+
 void System::set_parallel_policy(const ParallelPolicy& policy) {
   CF_EXPECTS_MSG(policy.num_threads >= 1 && policy.num_threads <= 1024,
                  "ParallelPolicy::num_threads out of [1, 1024]");
   parallel_ = policy;
   if (policy.mode == ParallelPolicy::Mode::kParallel) {
-    if (!pool_ || pool_->thread_count() != policy.num_threads)
+    if (!pool_ || pool_->thread_count() != policy.num_threads) {
       pool_ = std::make_unique<ThreadPool>(policy.num_threads);
+      sync_pool_timing();
+    }
   } else {
     pool_.reset();
   }
@@ -224,32 +331,79 @@ const RoundEvents& System::update() {
   events_.clear();
   events_.round = round_;
 
-  // Profiling wraps (it never feeds back into the round) and metrics
-  // flush once per round, after the phases — see set_metrics().
+  // Profiling/telemetry wrap (they never feed back into the round) and
+  // metrics flush once per round, after the phases — see set_metrics().
   using ProfClock = obs::PhaseProfiler::Clock;
-  const auto t_round =
-      profiler_ != nullptr ? ProfClock::now() : ProfClock::time_point{};
-  const auto timed = [this](const char* name, auto&& phase) {
-    if (profiler_ == nullptr) {
+  const bool track = profiler_ != nullptr || telemetry_ != nullptr;
+  const auto t_round = track ? ProfClock::now() : ProfClock::time_point{};
+  if (telemetry_ != nullptr) round_timing_.reset();
+  // `count_serial`: the phase will run entirely on the calling thread,
+  // so its whole wall span — body, merges, glue — is telemetry "work"
+  // (pooled phases decompose themselves via note_phase_timing instead).
+  // Whether a phase pools is decided here exactly the way
+  // parallel_for_shards decides it: a pool exists and the partition
+  // yields more than one shard; Signal additionally pins serial under a
+  // stateful choose policy.
+  const bool pooled =
+      pool_ != nullptr &&
+      shard_count(cells_.size(), pool_->thread_count()) > 1;
+  const bool signal_pooled = pooled && choose_->concurrent_safe();
+  const auto timed = [this, track](const char* name, bool count_serial,
+                                   auto&& phase) {
+    if (!track) {
       phase();
       return;
     }
     const auto t0 = ProfClock::now();
     phase();
-    profiler_->record(name, round_, -1, t0, ProfClock::now());
+    const auto t1 = ProfClock::now();
+    if (profiler_ != nullptr) profiler_->record(name, round_, -1, t0, t1);
+    if (count_serial && telemetry_ != nullptr)
+      round_timing_.serial_work_ns += span_ns(t0, t1);
   };
 
-  timed("route", [this] { run_route_phase(); });
+  timed("route", !pooled, [this] { run_route_phase(); });
   if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterRoute);
-  timed("signal", [this] { run_signal_phase(); });
+  timed("signal", !signal_pooled, [this] { run_signal_phase(); });
   if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterSignal);
-  timed("move", [this] { run_move_phase(); });
+  timed("move", !pooled, [this] { run_move_phase(); });
   if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterMove);
-  timed("inject", [this] { run_inject_phase(); });
+  timed("inject", true, [this] { run_inject_phase(); });
   if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterInject);
 
+  const auto t_end = track ? ProfClock::now() : ProfClock::time_point{};
   if (profiler_ != nullptr)
-    profiler_->record("round", round_, -1, t_round, ProfClock::now());
+    profiler_->record("round", round_, -1, t_round, t_end);
+  if (telemetry_ != nullptr) {
+    obs::RoundBreakdown b;
+    b.round_ns = span_ns(t_round, t_end);
+    b.workers = pool_ ? pool_->thread_count() : 1;
+    b.work_ns = round_timing_.serial_work_ns + round_timing_.pool_busy_ns;
+    b.barrier_wait_ns = round_timing_.pool_barrier_ns;
+    b.dispatch_ns =
+        round_timing_.pool_dispatch_ns + round_timing_.pool_resume_ns;
+    b.merge_ns = round_timing_.merge_ns;
+    b.imbalance_route = round_timing_.imbalance[0];
+    b.imbalance_signal = round_timing_.imbalance[1];
+    b.imbalance_move = round_timing_.imbalance[2];
+    if (pool_ && b.round_ns > 0) {
+      // Utilization: summed task-body time over the theoretical
+      // width × wall budget (busy would overstate it on a preempted
+      // machine — preemption gaps are not useful parallelism).
+      b.parallel_work_fraction =
+          static_cast<double>(round_timing_.pool_task_ns) /
+          (static_cast<double>(pool_->thread_count()) *
+           static_cast<double>(b.round_ns));
+    }
+    telemetry_->record_round(b);
+    if (profiler_ != nullptr) {
+      profiler_->record_counter("imbalance_route", t_end, b.imbalance_route);
+      profiler_->record_counter("imbalance_signal", t_end, b.imbalance_signal);
+      profiler_->record_counter("imbalance_move", t_end, b.imbalance_move);
+      profiler_->record_counter("parallel_work_fraction", t_end,
+                                b.parallel_work_fraction);
+    }
+  }
   if (metrics_) {
     metrics_->add(round_counts_);
     metrics_->add_round();
@@ -281,12 +435,19 @@ void System::run_route_phase() {
 
   const auto nshards =
       pool_ ? static_cast<std::size_t>(pool_->thread_count()) : 1;
+  const std::size_t used =
+      shard_count(cells_.size(), static_cast<int>(nshards));
+  const bool pooled = pool_ != nullptr && used > 1;
   for (std::size_t s = 0; s < nshards; ++s)
     scratch_.shards[s].begin_phase();
+  // Per-shard spans feed the profiler and the imbalance statistic; a
+  // serial phase needs neither (imbalance is 1.0 and timed() already
+  // covers the wall), so telemetry alone reads no clocks here.
+  const bool shard_timing =
+      profiler_ != nullptr || (telemetry_ != nullptr && pooled);
   const auto body = [&](std::size_t s, ShardRange r) {
-    const auto t0 = profiler_ != nullptr
-                        ? obs::PhaseProfiler::Clock::now()
-                        : obs::PhaseProfiler::Clock::time_point{};
+    const auto t0 = shard_timing ? obs::PhaseProfiler::Clock::now()
+                                 : obs::PhaseProfiler::Clock::time_point{};
     ShardScratch& sc = scratch_.shards[s];
     obs::ProtocolCounts* pc = metrics_ ? &sc.counts : nullptr;
     if (!active) {
@@ -310,11 +471,22 @@ void System::run_route_phase() {
         }
       }
     }
-    if (profiler_ != nullptr)
-      profiler_->record("route", round_, static_cast<int>(s), t0,
-                        obs::PhaseProfiler::Clock::now());
+    if (shard_timing) {
+      const auto t1 = obs::PhaseProfiler::Clock::now();
+      sc.span_ns = span_ns(t0, t1);
+      if (profiler_ != nullptr)
+        profiler_->record("route", round_, static_cast<int>(s), t0, t1);
+    }
   };
   parallel_for_shards(pool_.get(), cells_.size(), body);
+  note_phase_timing(0, pool_.get(), used);
+  // Merge is a separate telemetry component only when the phase pooled
+  // (post-barrier serial section); in a serial phase it is simply part
+  // of the phase's timed() work span.
+  const bool merge_timing = telemetry_ != nullptr && pooled;
+  const auto merge_t0 = merge_timing
+                            ? obs::PhaseProfiler::Clock::now()
+                            : obs::PhaseProfiler::Clock::time_point{};
   // Counter determinism: shard tallies merge in ascending shard order,
   // the same discipline as the event buffers.
   sched_stats_.route_cells = 0;
@@ -339,6 +511,9 @@ void System::run_route_phase() {
       }
     }
   }
+  if (merge_timing)
+    round_timing_.merge_ns +=
+        span_ns(merge_t0, obs::PhaseProfiler::Clock::now());
 }
 
 void System::route_cell(std::size_t k, obs::ProtocolCounts* counts,
@@ -411,12 +586,16 @@ void System::run_signal_phase() {
   const bool active = scheduler_ == RoundScheduler::kActiveSet;
   const auto nshards =
       pool ? static_cast<std::size_t>(pool->thread_count()) : 1;
+  const std::size_t used =
+      shard_count(cells_.size(), static_cast<int>(nshards));
+  const bool pooled = pool != nullptr && used > 1;
   for (std::size_t s = 0; s < nshards; ++s)
     scratch_.shards[s].begin_phase();
+  const bool shard_timing =
+      profiler_ != nullptr || (telemetry_ != nullptr && pooled);
   const auto body = [&](std::size_t s, ShardRange r) {
-    const auto t0 = profiler_ != nullptr
-                        ? obs::PhaseProfiler::Clock::now()
-                        : obs::PhaseProfiler::Clock::time_point{};
+    const auto t0 = shard_timing ? obs::PhaseProfiler::Clock::now()
+                                 : obs::PhaseProfiler::Clock::time_point{};
     ShardScratch& sc = scratch_.shards[s];
     obs::ProtocolCounts* pc = metrics_ ? &sc.counts : nullptr;
     if (!active) {
@@ -440,11 +619,19 @@ void System::run_signal_phase() {
         }
       }
     }
-    if (profiler_ != nullptr)
-      profiler_->record("signal", round_, static_cast<int>(s), t0,
-                        obs::PhaseProfiler::Clock::now());
+    if (shard_timing) {
+      const auto t1 = obs::PhaseProfiler::Clock::now();
+      sc.span_ns = span_ns(t0, t1);
+      if (profiler_ != nullptr)
+        profiler_->record("signal", round_, static_cast<int>(s), t0, t1);
+    }
   };
   parallel_for_shards(pool, cells_.size(), body);
+  note_phase_timing(1, pool, used);
+  const bool merge_timing = telemetry_ != nullptr && pooled;
+  const auto merge_t0 = merge_timing
+                            ? obs::PhaseProfiler::Clock::now()
+                            : obs::PhaseProfiler::Clock::time_point{};
   // Shards cover ascending cell ranges, so concatenating in shard order
   // reproduces the serial loop's blocked-event order exactly.
   sched_stats_.signal_cells = 0;
@@ -462,6 +649,9 @@ void System::run_signal_phase() {
   for (std::size_t s = 0; s < nshards; ++s)
     for (const std::size_t k : scratch_.shards[s].flips)
       apply_occupancy_flip(k);
+  if (merge_timing)
+    round_timing_.merge_ns +=
+        span_ns(merge_t0, obs::PhaseProfiler::Clock::now());
 }
 
 void System::signal_cell(std::size_t k, std::vector<CellId>& blocked_out,
@@ -531,12 +721,16 @@ void System::run_move_phase() {
   const bool active = scheduler_ == RoundScheduler::kActiveSet;
   const auto nshards =
       pool_ ? static_cast<std::size_t>(pool_->thread_count()) : 1;
+  const std::size_t used =
+      shard_count(cells_.size(), static_cast<int>(nshards));
+  const bool pooled = pool_ != nullptr && used > 1;
   for (std::size_t s = 0; s < nshards; ++s)
     scratch_.shards[s].begin_phase();
+  const bool shard_timing =
+      profiler_ != nullptr || (telemetry_ != nullptr && pooled);
   const auto body = [&](std::size_t s, ShardRange r) {
-    const auto t0 = profiler_ != nullptr
-                        ? obs::PhaseProfiler::Clock::now()
-                        : obs::PhaseProfiler::Clock::time_point{};
+    const auto t0 = shard_timing ? obs::PhaseProfiler::Clock::now()
+                                 : obs::PhaseProfiler::Clock::time_point{};
     ShardScratch& sc = scratch_.shards[s];
     obs::ProtocolCounts* pc = metrics_ ? &sc.counts : nullptr;
     if (!active) {
@@ -558,11 +752,15 @@ void System::run_move_phase() {
         }
       }
     }
-    if (profiler_ != nullptr)
-      profiler_->record("move", round_, static_cast<int>(s), t0,
-                        obs::PhaseProfiler::Clock::now());
+    if (shard_timing) {
+      const auto t1 = obs::PhaseProfiler::Clock::now();
+      sc.span_ns = span_ns(t0, t1);
+      if (profiler_ != nullptr)
+        profiler_->record("move", round_, static_cast<int>(s), t0, t1);
+    }
   };
   parallel_for_shards(pool_.get(), cells_.size(), body);
+  note_phase_timing(2, pool_.get(), used);
 
   sched_stats_.move_cells = 0;
   for (std::size_t s = 0; s < nshards; ++s) {
@@ -573,9 +771,10 @@ void System::run_move_phase() {
     sched_stats_.move_cells += sc.visited;
   }
 
-  const auto merge_t0 = profiler_ != nullptr
-                            ? obs::PhaseProfiler::Clock::now()
-                            : obs::PhaseProfiler::Clock::time_point{};
+  const bool merge_timing =
+      profiler_ != nullptr || (telemetry_ != nullptr && pooled);
+  const auto merge_t0 = merge_timing ? obs::PhaseProfiler::Clock::now()
+                                     : obs::PhaseProfiler::Clock::time_point{};
   std::vector<PendingTransfer>& transfers = scratch_.transfers;
   transfers.clear();
   for (std::size_t s = 0; s < nshards; ++s) {
@@ -610,9 +809,13 @@ void System::run_move_phase() {
     for (const TransferEvent& t : events_.transfers)
       if (!t.consumed) refresh_occupancy(grid_.index_of(t.to));
   }
-  if (profiler_ != nullptr)
-    profiler_->record("merge", round_, -1, merge_t0,
-                      obs::PhaseProfiler::Clock::now());
+  if (merge_timing) {
+    const auto merge_t1 = obs::PhaseProfiler::Clock::now();
+    if (profiler_ != nullptr)
+      profiler_->record("merge", round_, -1, merge_t0, merge_t1);
+    if (telemetry_ != nullptr && pooled)
+      round_timing_.merge_ns += span_ns(merge_t0, merge_t1);
+  }
 }
 
 void System::move_cell(std::size_t k, std::vector<CellId>& moved_out,

@@ -46,6 +46,7 @@
 #include "util/thread_pool.hpp"
 
 namespace cellflow::obs {
+class EngineTelemetry;
 class PhaseProfiler;
 }  // namespace cellflow::obs
 
@@ -334,10 +335,19 @@ class System {
 
   /// Attaches a phase profiler (non-owning; nullptr detaches). Timing
   /// only — spans never feed back into protocol state, and the counts
-  /// contract above is untouched.
-  void set_profiler(obs::PhaseProfiler* profiler) noexcept {
-    profiler_ = profiler;
-  }
+  /// contract above is untouched. With a pool live, also enables
+  /// per-worker timing so worker/barrier spans land in the profiler.
+  void set_profiler(obs::PhaseProfiler* profiler);
+
+  /// Attaches engine telemetry (non-owning; nullptr detaches): per-round
+  /// work/barrier_wait/dispatch/merge attribution, per-phase imbalance,
+  /// and the Amdahl serial-fraction estimate — see
+  /// obs/engine_telemetry.hpp. Timings are outside the determinism
+  /// contract; the per-round observation *counts* it produces are
+  /// inside (bit-identical across engines and thread counts). Attached
+  /// explicitly — never implied by set_metrics — so registries shared
+  /// with determinism byte-diff fixtures stay timing-free.
+  void set_telemetry(obs::EngineTelemetry* telemetry);
 
   // --- direct state access (testing / fault injection) -----------------
 
@@ -410,6 +420,8 @@ class System {
     std::vector<std::size_t> flips;        ///< Signal: occupancy flips
     obs::ProtocolCounts counts;            ///< shard-private tallies
     std::uint64_t visited = 0;             ///< cells this shard ran
+    std::uint64_t span_ns = 0;             ///< this shard's phase-body time
+                                           ///< (profiler/telemetry only)
 
     void begin_phase() noexcept {
       blocked.clear();
@@ -420,6 +432,7 @@ class System {
       flips.clear();
       counts.reset();
       visited = 0;
+      span_ns = 0;
     }
   };
   struct RoundScratch {
@@ -481,10 +494,51 @@ class System {
   std::unique_ptr<ThreadPool> pool_;  ///< live iff mode == kParallel
   RoundScratch scratch_;              ///< see the struct comment above
 
-  // Observability attachments; both optional, both non-owning.
+  // Observability attachments; all optional, all non-owning.
   std::unique_ptr<obs::ProtocolMetrics> metrics_;  ///< live iff attached
   obs::PhaseProfiler* profiler_ = nullptr;
+  obs::EngineTelemetry* telemetry_ = nullptr;
   obs::ProtocolCounts round_counts_;  ///< merged tally of the current round
+
+  // --- engine timing scaffolding (profiler / telemetry only) ----------
+  //
+  // Everything below is reporting-only plumbing: written on the calling
+  // thread (worker timings come pre-aggregated from the pool, under its
+  // mutex) and untouched when neither attachment is live.
+
+  /// Syncs the pool's per-worker timing with the current attachments
+  /// (enabled iff profiler or telemetry is live).
+  void sync_pool_timing();
+
+  /// Post-phase bookkeeping: shard-span imbalance, serial-phase work
+  /// attribution, and per-worker profiler spans for the batch that just
+  /// ran. `phase_idx`: 0 = route, 1 = signal, 2 = move. `pool` is the
+  /// pool the phase actually used (nullptr when pinned serial), `used`
+  /// the shard count the partition produced.
+  void note_phase_timing(int phase_idx, ThreadPool* pool, std::size_t used);
+
+  /// Accumulators for the round in flight, reset at each update() when
+  /// telemetry is attached. The pool_* fields come from the per-batch
+  /// worker samples of each pooled phase, summed over the participating
+  /// workers and divided by their count — each participant's
+  /// dispatch+busy+barrier chain spans the batch's dispatch->done wall
+  /// exactly, so the normalized components sum to the batch wall even
+  /// when fewer workers than the pool width claimed tasks (routine on
+  /// an oversubscribed machine).
+  struct RoundTiming {
+    std::uint64_t serial_work_ns = 0;    ///< phase loops run on the caller
+    std::uint64_t merge_ns = 0;          ///< post-barrier serial sections
+    std::uint64_t pool_busy_ns = 0;      ///< wall-equiv worker busy spans
+    std::uint64_t pool_barrier_ns = 0;   ///< wall-equiv barrier stalls
+    std::uint64_t pool_dispatch_ns = 0;  ///< wall-equiv dispatch latency
+    std::uint64_t pool_resume_ns = 0;    ///< batch done -> caller resumed
+    std::uint64_t pool_task_ns = 0;      ///< summed task bodies (utilization)
+    std::array<double, 3> imbalance{1.0, 1.0, 1.0};
+
+    void reset() noexcept { *this = RoundTiming{}; }
+  };
+  RoundTiming round_timing_;
+  std::vector<ThreadPool::BatchWorkerSample> batch_samples_;  ///< scratch
 
   // Scratch buffers reused across rounds to avoid per-round allocation.
   // Under kActiveSet, dist_snapshot_ is not a scratch buffer but an

@@ -6,6 +6,8 @@
 #include "core/move.hpp"
 #include "core/route.hpp"
 #include "core/signal.hpp"
+#include "obs/engine_telemetry.hpp"
+#include "obs/profiler.hpp"
 #include "util/check.hpp"
 
 namespace cellflow {
@@ -143,13 +145,48 @@ void MessageSystem::recover(CellId id) {
 
 void MessageSystem::update() {
   const std::uint64_t before = network_->total_messages();
+  // Profiler/telemetry wrap, reporting only — exactly as in
+  // System::update(); the exchanges are the serial realization's
+  // "phases", so all of their wall time is telemetry work.
+  using ProfClock = obs::PhaseProfiler::Clock;
+  const bool track = profiler_ != nullptr || telemetry_ != nullptr;
+  const auto t_round = track ? ProfClock::now() : ProfClock::time_point{};
+  std::uint64_t work_ns = 0;
+  const auto timed = [&](const char* name, auto&& exchange) {
+    if (!track) {
+      exchange();
+      return;
+    }
+    const auto t0 = ProfClock::now();
+    exchange();
+    const auto t1 = ProfClock::now();
+    if (profiler_ != nullptr) profiler_->record(name, round_, -1, t0, t1);
+    const auto d =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+    work_ns += d > 0 ? static_cast<std::uint64_t>(d) : 0;
+  };
   network_->begin_round(round_);
-  exchange_dists();
-  exchange_intents();
-  exchange_grants();
-  exchange_transfers();
-  exchange_acks();
-  inject();
+  timed("dist", [this] { exchange_dists(); });
+  timed("intent", [this] { exchange_intents(); });
+  timed("grant", [this] { exchange_grants(); });
+  timed("transfer", [this] { exchange_transfers(); });
+  timed("ack", [this] { exchange_acks(); });
+  timed("inject", [this] { inject(); });
+  if (track) {
+    const auto t_end = ProfClock::now();
+    if (profiler_ != nullptr)
+      profiler_->record("round", round_, -1, t_round, t_end);
+    if (telemetry_ != nullptr) {
+      obs::RoundBreakdown b;
+      const auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         t_end - t_round)
+                         .count();
+      b.round_ns = d > 0 ? static_cast<std::uint64_t>(d) : 0;
+      b.work_ns = work_ns;
+      b.workers = 1;
+      telemetry_->record_round(b);
+    }
+  }
   last_round_messages_ = network_->total_messages() - before;
   if (metrics_) {
     metrics_->add(round_counts_);

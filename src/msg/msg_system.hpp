@@ -50,6 +50,11 @@
 #include "obs/protocol_metrics.hpp"
 #include "util/ids.hpp"
 
+namespace cellflow::obs {
+class EngineTelemetry;
+class PhaseProfiler;
+}  // namespace cellflow::obs
+
 namespace cellflow::snapshot {
 struct Access;
 }  // namespace cellflow::snapshot
@@ -187,6 +192,23 @@ class MessageSystem {
   /// shared-variable System's {realization="shared"} series exactly.
   void set_metrics(obs::MetricsRegistry* registry);
 
+  /// Attach a phase profiler (non-owning; nullptr detaches). Spans per
+  /// exchange — "dist" | "intent" | "grant" | "transfer" | "ack" |
+  /// "inject" — plus one "round" span, all shard = -1 (this realization
+  /// is serial). Reporting only.
+  void set_profiler(obs::PhaseProfiler* profiler) noexcept {
+    profiler_ = profiler;
+  }
+
+  /// Attach engine telemetry (non-owning; nullptr detaches). The serial
+  /// realization reports work = Σ exchange walls, no barrier/dispatch/
+  /// merge components, imbalance pinned 1.0, width 1 — the honest
+  /// decomposition of a single-threaded engine. Observation counts obey
+  /// the same one-per-round structure as System's.
+  void set_telemetry(obs::EngineTelemetry* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
+
  private:
   // Snapshot/restore (src/snapshot) reads and rebuilds the full private
   // state; it is the one sanctioned backdoor (DESIGN.md §11).
@@ -224,6 +246,8 @@ class MessageSystem {
   std::unique_ptr<obs::ProtocolMetrics> metrics_;
   obs::ProtocolCounts round_counts_;
   obs::MetricsRegistry* registry_ = nullptr;
+  obs::PhaseProfiler* profiler_ = nullptr;
+  obs::EngineTelemetry* telemetry_ = nullptr;
   std::array<obs::Counter*, kPayloadTypeCount> msgs_by_type_{};
   std::array<std::uint64_t, kPayloadTypeCount> msgs_flushed_{};
   std::array<std::array<std::uint64_t, kPayloadTypeCount>, kNetFaultCount>

@@ -186,21 +186,55 @@ std::string jsonl_snapshot(const MetricsRegistry& registry,
 }
 
 std::string to_chrome_trace(const PhaseProfiler& profiler) {
+  // Track layout: tid 0 = whole-phase spans, tid 1.. = per-shard spans,
+  // tid kWorkerTidBase + w = pool worker w (its work/barrier_wait/
+  // dispatch spans from ThreadPool timing — a Perfetto lane per worker,
+  // so a barrier stall shows as a "barrier_wait" slice on the stalled
+  // worker). Counter samples (record_counter) export as "C" events and
+  // render as continuous counter tracks (imbalance, parallel work
+  // fraction).
+  constexpr int kWorkerTidBase = 100;
   std::string out = "{\"traceEvents\":[";
   bool first = true;
-  for (const PhaseProfiler::Span& s : profiler.spans()) {
+  const auto append = [&](const std::string& event) {
     if (!first) out += ',';
     first = false;
+    out += event;
+  };
+  int max_worker = -1;
+  for (const PhaseProfiler::Span& s : profiler.spans()) {
+    const int tid =
+        s.worker >= 0 ? kWorkerTidBase + s.worker : s.shard + 1;
+    if (s.worker > max_worker) max_worker = s.worker;
     // trace_event timestamps are microseconds; keep nanosecond precision
     // via fractional values.
-    out += "{\"name\":\"" + json_escape(s.name) +
-           "\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":" +
-           format_double(static_cast<double>(s.start_ns) / 1000.0) +
-           ",\"dur\":" +
-           format_double(static_cast<double>(s.duration_ns) / 1000.0) +
-           ",\"pid\":1,\"tid\":" + std::to_string(s.shard + 1) +
-           ",\"args\":{\"round\":" + std::to_string(s.round) +
-           ",\"shard\":" + std::to_string(s.shard) + "}}";
+    std::string ev = "{\"name\":\"" + json_escape(s.name) +
+                     "\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":" +
+                     format_double(static_cast<double>(s.start_ns) / 1000.0) +
+                     ",\"dur\":" +
+                     format_double(static_cast<double>(s.duration_ns) /
+                                   1000.0) +
+                     ",\"pid\":1,\"tid\":" + std::to_string(tid) +
+                     ",\"args\":{\"round\":" + std::to_string(s.round);
+    if (s.worker >= 0)
+      ev += ",\"worker\":" + std::to_string(s.worker);
+    else
+      ev += ",\"shard\":" + std::to_string(s.shard);
+    ev += "}}";
+    append(ev);
+  }
+  for (const PhaseProfiler::CounterSample& c : profiler.counter_samples()) {
+    append("{\"name\":\"" + json_escape(c.name) +
+           "\",\"cat\":\"telemetry\",\"ph\":\"C\",\"ts\":" +
+           format_double(static_cast<double>(c.ts_ns) / 1000.0) +
+           ",\"pid\":1,\"args\":{\"value\":" + format_double(c.value) + "}}");
+  }
+  // Name the worker lanes so Perfetto labels them "worker N" instead of
+  // a bare tid.
+  for (int w = 0; w <= max_worker; ++w) {
+    append("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(kWorkerTidBase + w) +
+           ",\"args\":{\"name\":\"worker " + std::to_string(w) + "\"}}");
   }
   out += "],\"displayTimeUnit\":\"ms\"}\n";
   return out;

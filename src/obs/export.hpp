@@ -11,7 +11,9 @@
 //     by MetricsObserver (--metrics-every) and once at end of run.
 //   * Chrome trace_event JSON (to_chrome_trace) — the PhaseProfiler's
 //     spans as complete ("ph":"X") events; load the file in Perfetto or
-//     chrome://tracing. Shards render as separate tid tracks.
+//     chrome://tracing. Shards render as separate tid tracks; pool
+//     workers get their own named lanes (work / barrier_wait / dispatch
+//     spans), and counter samples render as "C" counter tracks.
 //
 // All exports are byte-deterministic functions of their input snapshot:
 // families sorted by name, series by label set, doubles printed in
@@ -39,7 +41,8 @@ namespace cellflow::obs {
 
 /// The profiler's spans as a Chrome trace_event JSON document
 /// ({"traceEvents":[...]}). Phase spans (shard == -1) render on tid 0,
-/// shard spans on tid shard+1.
+/// shard spans on tid shard+1, worker-attributed spans on their own
+/// named lanes (tid 100+worker), counter samples as "C" events.
 [[nodiscard]] std::string to_chrome_trace(const PhaseProfiler& profiler);
 
 /// Shortest round-trip decimal form of `v` ("+Inf"/"-Inf"/"NaN" for the

@@ -1,6 +1,57 @@
 #include "obs/profiler.hpp"
 
+#include <algorithm>
+
 namespace cellflow::obs {
+
+namespace {
+
+std::uint64_t clamped_ns(PhaseProfiler::Clock::time_point a,
+                         PhaseProfiler::Clock::time_point b) {
+  const auto d =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+  return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
+
+// Shrinks `ring` (with ring head `head`) to hold at most `capacity`
+// newest entries, rebasing it to a linear vector with head 0.
+template <typename T>
+void rebound_ring(std::vector<T>& ring, std::size_t& head,
+                  std::size_t capacity) {
+  std::vector<T> ordered;
+  ordered.reserve(std::min(ring.size(), capacity));
+  const std::size_t n = ring.size();
+  const std::size_t skip = n > capacity ? n - capacity : 0;
+  for (std::size_t i = skip; i < n; ++i)
+    ordered.push_back(ring[(head + i) % n]);
+  ring = std::move(ordered);
+  head = 0;
+}
+
+}  // namespace
+
+void PhaseProfiler::set_capacity(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity ? capacity : 1;
+  rebound_ring(spans_, span_head_, capacity_);
+  rebound_ring(counters_, counter_head_, capacity_);
+}
+
+std::size_t PhaseProfiler::capacity() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void PhaseProfiler::push_span(const Span& s) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() < capacity_) {
+    spans_.push_back(s);
+  } else {
+    spans_[span_head_] = s;
+    span_head_ = (span_head_ + 1) % spans_.size();
+    ++dropped_spans_;
+  }
+}
 
 void PhaseProfiler::record(const char* name, std::uint64_t round, int shard,
                            Clock::time_point start, Clock::time_point end) {
@@ -8,26 +59,67 @@ void PhaseProfiler::record(const char* name, std::uint64_t round, int shard,
   s.name = name;
   s.round = round;
   s.shard = shard;
-  s.start_ns = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(start - epoch_)
-          .count());
-  s.duration_ns = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
-          .count());
+  s.start_ns = clamped_ns(epoch_, start);
+  s.duration_ns = clamped_ns(start, end);
+  push_span(s);
+}
+
+void PhaseProfiler::record_worker(const char* name, std::uint64_t round,
+                                  int worker, Clock::time_point start,
+                                  Clock::time_point end) {
+  Span s;
+  s.name = name;
+  s.round = round;
+  s.shard = -1;
+  s.worker = worker;
+  s.start_ns = clamped_ns(epoch_, start);
+  s.duration_ns = clamped_ns(start, end);
+  push_span(s);
+}
+
+void PhaseProfiler::record_counter(const char* name, Clock::time_point ts,
+                                   double value) {
+  CounterSample c;
+  c.name = name;
+  c.ts_ns = clamped_ns(epoch_, ts);
+  c.value = value;
   const std::lock_guard<std::mutex> lock(mu_);
-  spans_.push_back(s);
+  if (counters_.size() < capacity_) {
+    counters_.push_back(c);
+  } else {
+    counters_[counter_head_] = c;
+    counter_head_ = (counter_head_ + 1) % counters_.size();
+    ++dropped_counters_;
+  }
 }
 
 std::vector<PhaseProfiler::Span> PhaseProfiler::spans() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  return spans_;
+  std::vector<Span> out;
+  out.reserve(spans_.size());
+  const std::size_t n = spans_.size();
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(spans_[(span_head_ + i) % n]);
+  return out;
+}
+
+std::vector<PhaseProfiler::CounterSample> PhaseProfiler::counter_samples()
+    const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CounterSample> out;
+  out.reserve(counters_.size());
+  const std::size_t n = counters_.size();
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(counters_[(counter_head_ + i) % n]);
+  return out;
 }
 
 std::uint64_t PhaseProfiler::total_ns(std::string_view name) const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t total = 0;
   for (const Span& s : spans_)
-    if (s.shard == -1 && name == s.name) total += s.duration_ns;
+    if (s.shard == -1 && s.worker == -1 && name == s.name)
+      total += s.duration_ns;
   return total;
 }
 
@@ -36,9 +128,29 @@ std::size_t PhaseProfiler::span_count() const {
   return spans_.size();
 }
 
+std::size_t PhaseProfiler::counter_sample_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size();
+}
+
+std::uint64_t PhaseProfiler::dropped_spans() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_spans_;
+}
+
+std::uint64_t PhaseProfiler::dropped_counter_samples() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_counters_;
+}
+
 void PhaseProfiler::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   spans_.clear();
+  span_head_ = 0;
+  dropped_spans_ = 0;
+  counters_.clear();
+  counter_head_ = 0;
+  dropped_counters_ = 0;
 }
 
 }  // namespace cellflow::obs

@@ -10,13 +10,22 @@
 // the determinism contract.
 //
 // Span model: one span per (phase, round) with shard = -1, plus one span
-// per (phase, round, shard) recorded by the worker that ran the shard.
-// record() is mutex-guarded — workers call it once per phase, not per
-// cell, so contention is negligible. Export to Chrome trace_event JSON
-// (obs/export.hpp) renders shards as separate tracks in Perfetto.
+// per (phase, round, shard) recorded by the worker that ran the shard,
+// plus worker-attributed spans (shard = -1, worker >= 0, names "work" |
+// "barrier_wait" | "dispatch") that render as per-worker tracks in
+// Perfetto so barrier stalls are visible. record() is mutex-guarded —
+// engines call it a handful of times per phase, not per cell, so
+// contention is negligible. Counter samples (record_counter) export as
+// Chrome "C" events: continuous tracks for imbalance and parallel work
+// fraction.
+//
+// Storage is a bounded ring (set_capacity): when full, recording drops
+// the *oldest* span/sample and counts the drop, so soak-scale runs hold
+// a window of recent activity instead of growing without bound.
 #pragma once
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <string_view>
@@ -33,33 +42,83 @@ class PhaseProfiler {
                                ///< "inject" | "round" (engines may add more)
     std::uint64_t round = 0;
     int shard = -1;            ///< -1: whole phase; >= 0: one shard's slice
+    int worker = -1;           ///< -1: caller thread; >= 0: pool worker track
     std::uint64_t start_ns = 0;  ///< relative to the profiler's epoch
     std::uint64_t duration_ns = 0;
   };
 
-  PhaseProfiler() : epoch_(Clock::now()) {}
+  /// One sampled value of a continuous counter track (Chrome "C" event).
+  struct CounterSample {
+    const char* name = "";
+    std::uint64_t ts_ns = 0;  ///< relative to the profiler's epoch
+    double value = 0.0;
+  };
+
+  /// Default ring capacity: ~1M spans (≈48 MB when full) covers hours of
+  /// per-round spans at bench scale before the ring starts dropping.
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 20;
+
+  explicit PhaseProfiler(std::size_t capacity = kDefaultCapacity)
+      : epoch_(Clock::now()), capacity_(capacity ? capacity : 1) {}
   PhaseProfiler(const PhaseProfiler&) = delete;
   PhaseProfiler& operator=(const PhaseProfiler&) = delete;
+
+  /// Re-bounds both rings (spans and counter samples), keeping the
+  /// newest entries that fit. Drop counters are preserved. Thread-safe,
+  /// but meant for setup, not the hot path.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const;
 
   /// Records one completed span. `name` must point at storage outliving
   /// the profiler (the engines pass string literals). Thread-safe.
   void record(const char* name, std::uint64_t round, int shard,
               Clock::time_point start, Clock::time_point end);
 
-  /// Copy of all spans recorded so far, in record() order.
+  /// Worker-attributed variant: shard = -1, worker >= 0. Renders as a
+  /// per-worker thread track in the Chrome-trace export.
+  void record_worker(const char* name, std::uint64_t round, int worker,
+                     Clock::time_point start, Clock::time_point end);
+
+  /// Records one counter sample (its own bounded ring). Thread-safe.
+  void record_counter(const char* name, Clock::time_point ts, double value);
+
+  /// Copy of the retained spans, oldest first.
   [[nodiscard]] std::vector<Span> spans() const;
 
-  /// Sum of the durations of every shard == -1 span named `name`.
+  /// Copy of the retained counter samples, oldest first.
+  [[nodiscard]] std::vector<CounterSample> counter_samples() const;
+
+  /// Sum of the durations of every shard == -1, worker == -1 span named
+  /// `name` (whole-phase spans; excludes per-shard and per-worker spans).
   [[nodiscard]] std::uint64_t total_ns(std::string_view name) const;
 
   [[nodiscard]] std::size_t span_count() const;
+  [[nodiscard]] std::size_t counter_sample_count() const;
 
+  /// Spans / counter samples overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped_spans() const;
+  [[nodiscard]] std::uint64_t dropped_counter_samples() const;
+
+  /// Drops all retained spans and samples and zeroes the drop counters.
   void clear();
 
+  [[nodiscard]] Clock::time_point epoch() const noexcept { return epoch_; }
+
  private:
+  void push_span(const Span& s);
+
   Clock::time_point epoch_;
   mutable std::mutex mu_;
+  std::size_t capacity_;
+  // Ring storage: grows by push_back until `capacity_`, then overwrites
+  // in place at `head_` (the oldest entry). Ordered read-out is
+  // [head_, end) ++ [0, head_).
   std::vector<Span> spans_;
+  std::size_t span_head_ = 0;
+  std::uint64_t dropped_spans_ = 0;
+  std::vector<CounterSample> counters_;
+  std::size_t counter_head_ = 0;
+  std::uint64_t dropped_counters_ = 0;
 };
 
 }  // namespace cellflow::obs

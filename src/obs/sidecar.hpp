@@ -1,0 +1,135 @@
+// Bench sidecar model: parse, validate, compare, and synthesize the
+// BENCH_<name>.json files the bench binaries drop next to their console
+// output (bench/bench_common.hpp writes them, results/ commits them).
+//
+// Two schema generations coexist:
+//   * v1 (no "sidecar_version" key): {"bench","elapsed_seconds",
+//     optional "rounds"/"rounds_per_sec","series":{"header","rows"}} —
+//     the committed baselines predating the regression gate.
+//   * v2 ("sidecar_version": 2): adds "provenance" (git_sha, build_type,
+//     compiler, threads, hardware_threads, repetitions) and an optional
+//     "dispersion" map {metric: {n, mean, rel}} carrying the relative
+//     spread of each metric across repetitions.
+//
+// The comparison logic (used by tools/cellflow_bench_diff and the
+// benchdiff ctest fixtures) classifies series columns by naming
+// convention — see classify_metric — and flags a regression only when
+// the relative change exceeds a noise-aware threshold:
+//     threshold = max(margin, dispersion_mult * max(rel disp of the two
+//                     runs, per-row *_rd column when present)).
+// Timings are noisy; the gate is deliberately one-sided per metric
+// direction (a faster run never fails) and wide by default (35%), so it
+// catches real cliffs (2x) without flaking on scheduler jitter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace cellflow::obs {
+
+/// How a series column (or top-level scalar) participates in the gate.
+enum class MetricDirection {
+  kHigherBetter,    ///< *_per_sec — throughput; regression = drop
+  kLowerBetter,     ///< *_ns/_us/_ms/_seconds — latency; regression = rise
+  kInformational,   ///< ratios/percentages — reported, never gated
+  kDispersion,      ///< *_rd — relative dispersion of the base metric
+  kKey,             ///< everything else — identifies the row
+};
+
+/// Column/metric classification by naming convention (suffix match).
+[[nodiscard]] MetricDirection classify_metric(std::string_view name);
+
+/// Cross-repetition spread of one metric.
+struct Dispersion {
+  std::uint64_t n = 0;  ///< repetitions observed
+  double mean = 0.0;    ///< mean across repetitions
+  double rel = 0.0;     ///< (max-min)/mean, 0 when degenerate
+};
+
+/// Build/run provenance stamped into v2 sidecars.
+struct Provenance {
+  std::string git_sha;     ///< "unknown" when not supplied
+  std::string build_type;  ///< CMAKE_BUILD_TYPE at compile time
+  std::string compiler;    ///< compiler id + version at compile time
+  int threads = 0;         ///< CELLFLOW_THREADS (0 = serial/unset)
+  int hardware_threads = 0;
+  int repetitions = 1;     ///< measurement repetitions behind dispersion
+};
+
+/// One parsed sidecar document.
+struct Sidecar {
+  std::string bench;
+  double elapsed_seconds = 0.0;
+  std::optional<double> rounds;
+  std::optional<double> rounds_per_sec;
+  int version = 1;  ///< 1 when the key is absent
+  Provenance provenance;
+  std::vector<std::string> header;
+  std::vector<std::vector<JsonValue>> rows;
+  std::map<std::string, Dispersion> dispersion;
+};
+
+/// Parses either schema generation. Tolerant of v1 (missing provenance/
+/// dispersion → defaults); throws std::runtime_error on malformed JSON
+/// or a structurally broken document (ragged rows, wrong types).
+[[nodiscard]] Sidecar parse_sidecar(std::string_view json_text);
+
+/// Strict v2 schema validation on the raw document: every provenance
+/// field present and typed, series rows rectangular, dispersion entries
+/// complete. Throws std::runtime_error naming the offending key.
+/// (v1 documents fail — callers gate on parse_sidecar().version.)
+void validate_sidecar_schema(std::string_view json_text);
+
+/// Gate tuning. Defaults are wide on purpose: micro-bench timings on a
+/// shared machine routinely wobble 10-20%; the injected-regression
+/// fixture doctors by 2x, comfortably past the default margin.
+struct CompareOptions {
+  double margin = 0.35;          ///< minimum relative-change threshold
+  double dispersion_mult = 4.0;  ///< threshold >= mult * observed rel disp
+};
+
+/// One gated (or informational) metric comparison.
+struct CompareRow {
+  std::string row_key;   ///< concatenated key columns ("8/4"), or "#i"
+  std::string metric;    ///< column / scalar name
+  double base = 0.0;
+  double fresh = 0.0;
+  double rel_change = 0.0;  ///< (fresh-base)/|base|
+  double threshold = 0.0;   ///< 0 for informational rows
+  bool gated = false;
+  bool regression = false;
+};
+
+/// Full per-bench comparison.
+struct CompareReport {
+  std::string bench;
+  std::vector<CompareRow> rows;
+  std::vector<std::string> notes;  ///< rows only in one run, etc.
+  int regressions = 0;
+
+  [[nodiscard]] bool ok() const { return regressions == 0; }
+};
+
+/// Compares two sidecars of the same bench. Series rows are matched by
+/// their key columns (falling back to row order when a bench has none);
+/// rows present on only one side are reported as notes, not failures.
+[[nodiscard]] CompareReport compare_sidecars(const Sidecar& baseline,
+                                             const Sidecar& fresh,
+                                             const CompareOptions& options);
+
+/// Returns a copy of `json_text` with every gated metric scaled to look
+/// `factor`x as fast (throughput columns and top-level rounds_per_sec
+/// multiplied by factor, time columns divided by it). Key, dispersion,
+/// and informational columns are untouched. Powers the benchdiff.inject
+/// fixture: factor 0.5 synthesizes a credible "2x slower" run without
+/// re-timing anything. Throws on malformed input.
+[[nodiscard]] std::string scale_sidecar_metrics(std::string_view json_text,
+                                                double factor);
+
+}  // namespace cellflow::obs

@@ -66,6 +66,7 @@ RunResult run_workload(const WorkloadSpec& spec, std::uint64_t seed) {
 
   sim.set_metrics(spec.metrics);
   sim.set_profiler(spec.profiler);
+  sim.set_telemetry(spec.telemetry);
   std::optional<MetricsObserver> metrics_obs;
   if (spec.metrics != nullptr) {
     metrics_obs.emplace(*spec.metrics);

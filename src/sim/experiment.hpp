@@ -68,6 +68,10 @@ struct WorkloadSpec {
   /// attaches a MetricsObserver so gauges/per-cell counters are filled.
   obs::MetricsRegistry* metrics = nullptr;
   obs::PhaseProfiler* profiler = nullptr;
+  /// Engine telemetry (obs/engine_telemetry.hpp): round decomposition,
+  /// imbalance, serial fraction. Attached separately from `metrics` so
+  /// count-determinism byte-diff consumers can opt out of timing series.
+  obs::EngineTelemetry* telemetry = nullptr;
   /// JSONL snapshot stream for the MetricsObserver (needs `metrics`);
   /// one line every `metrics_every` rounds plus a final line.
   std::ostream* metrics_jsonl = nullptr;

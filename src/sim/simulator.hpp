@@ -79,6 +79,9 @@ class Simulator {
   void set_profiler(obs::PhaseProfiler* profiler) {
     sys_.set_profiler(profiler);
   }
+  void set_telemetry(obs::EngineTelemetry* telemetry) {
+    sys_.set_telemetry(telemetry);
+  }
 
  private:
   System& sys_;

@@ -31,11 +31,28 @@ std::vector<ShardRange> shard_ranges(std::size_t size, int shards) {
   return out;
 }
 
+namespace {
+
+// steady_clock difference in whole nanoseconds, clamped at zero (the
+// clock is monotonic, but clamping keeps arithmetic on derived pairs —
+// e.g. done - last_task when they were read in opposite order — safe).
+std::uint64_t ns_between(ThreadPool::Clock::time_point a,
+                         ThreadPool::Clock::time_point b) {
+  const auto d =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+  return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(int threads) {
   CF_EXPECTS(threads >= 1);
-  workers_.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t)
-    workers_.emplace_back([this] { worker_loop(); });
+  const auto n = static_cast<std::size_t>(threads);
+  timings_.resize(n);
+  batch_.resize(n);
+  workers_.reserve(n);
+  for (std::size_t t = 0; t < n; ++t)
+    workers_.emplace_back([this, t] { worker_loop(t); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -47,23 +64,49 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker) {
   std::unique_lock<std::mutex> lk(mu_);
   std::uint64_t seen = 0;
   for (;;) {
     cv_work_.wait(lk, [&] { return stopping_ || generation_ != seen; });
     if (stopping_) return;
     seen = generation_;
+    const bool timing = timing_;
+    if (timing) {
+      // All timing writes happen with mu_ held, so they are ordinary
+      // (race-free) accesses even though run() reads them afterwards.
+      const Clock::time_point wake = Clock::now();
+      BatchSlot& slot = batch_[worker];
+      slot.generation = seen;
+      slot.wake = wake;
+      slot.work_ns = 0;
+      slot.tasks = 0;
+      timings_[worker].dispatch_ns += ns_between(dispatched_at_, wake);
+      ++timings_[worker].batches;
+    }
     while (next_task_ < task_count_) {
       const std::size_t k = next_task_++;
       lk.unlock();
+      Clock::time_point t0;
+      if (timing) t0 = Clock::now();
       std::exception_ptr err;
       try {
         task_(k);
       } catch (...) {
         err = std::current_exception();
       }
+      const Clock::time_point t1 = timing ? Clock::now() : Clock::time_point{};
       lk.lock();
+      if (timing) {
+        BatchSlot& slot = batch_[worker];
+        if (slot.tasks == 0) slot.first_task = t0;
+        slot.last_task = t1;
+        const std::uint64_t dt = ns_between(t0, t1);
+        slot.work_ns += dt;
+        ++slot.tasks;
+        timings_[worker].work_ns += dt;
+        ++timings_[worker].tasks;
+      }
       if (err) errors_.emplace_back(k, err);
       ++completed_;
       if (completed_ == task_count_) cv_done_.notify_all();
@@ -80,9 +123,23 @@ void ThreadPool::run(std::size_t count, FunctionRef<void(std::size_t)> task) {
   next_task_ = 0;
   completed_ = 0;
   errors_.clear();
+  if (timing_) dispatched_at_ = Clock::now();
   ++generation_;
   cv_work_.notify_all();
   cv_done_.wait(lk, [&] { return completed_ == task_count_; });
+  if (timing_) {
+    // Barrier wait: each participating worker idled from its last task
+    // end until the whole batch completed.
+    batch_done_ = Clock::now();
+    timed_generation_ = generation_;
+    for (std::size_t w = 0; w < batch_.size(); ++w) {
+      const BatchSlot& slot = batch_[w];
+      if (slot.generation == generation_ && slot.tasks > 0) {
+        timings_[w].busy_ns += ns_between(slot.wake, slot.last_task);
+        timings_[w].barrier_wait_ns += ns_between(slot.last_task, batch_done_);
+      }
+    }
+  }
   task_ = nullptr;
   task_count_ = 0;
   if (!errors_.empty()) {
@@ -94,6 +151,59 @@ void ThreadPool::run(std::size_t count, FunctionRef<void(std::size_t)> task) {
     lk.unlock();
     std::rethrow_exception(err);
   }
+}
+
+void ThreadPool::set_timing(bool enabled) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  timing_ = enabled;
+}
+
+WorkerTimings ThreadPool::total_timings() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  WorkerTimings total;
+  for (const WorkerTimings& t : timings_) total += t;
+  return total;
+}
+
+void ThreadPool::timings_by_worker(std::vector<WorkerTimings>& out) const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  out.clear();
+  out.insert(out.end(), timings_.begin(), timings_.end());
+}
+
+void ThreadPool::reset_timings() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  for (WorkerTimings& t : timings_) t = WorkerTimings{};
+  for (BatchSlot& slot : batch_) slot = BatchSlot{};
+  timed_generation_ = 0;
+}
+
+void ThreadPool::last_batch_samples(std::vector<BatchWorkerSample>& out) const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  out.clear();
+  if (timed_generation_ == 0) return;
+  for (std::size_t w = 0; w < batch_.size(); ++w) {
+    const BatchSlot& slot = batch_[w];
+    if (slot.generation != timed_generation_ || slot.tasks == 0) continue;
+    BatchWorkerSample s;
+    s.worker = static_cast<int>(w);
+    s.wake = slot.wake;
+    s.first_task_start = slot.first_task;
+    s.last_task_end = slot.last_task;
+    s.work_ns = slot.work_ns;
+    s.tasks = slot.tasks;
+    out.push_back(s);
+  }
+}
+
+ThreadPool::Clock::time_point ThreadPool::last_batch_dispatch() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return dispatched_at_;
+}
+
+ThreadPool::Clock::time_point ThreadPool::last_batch_done() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return batch_done_;
 }
 
 void parallel_for_shards(ThreadPool* pool, std::size_t size,

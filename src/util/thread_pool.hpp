@@ -17,8 +17,10 @@
 // captures — part of the zero-allocation round contract (DESIGN.md §10).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -60,12 +62,66 @@ struct ShardRange {
 [[nodiscard]] std::vector<ShardRange> shard_ranges(std::size_t size,
                                                    int shards);
 
+/// Cumulative per-worker wall-time accounting for a pool with timing
+/// enabled (ThreadPool::set_timing). All fields are sums over every
+/// batch the worker participated in since construction / the last
+/// reset_timings(). Timings are observational only — they are outside
+/// the determinism contract (DESIGN.md §6/§7) and never influence which
+/// shard runs where.
+/// For every worker that executed >= 1 task in a batch,
+/// dispatch_ns + busy_ns + barrier_wait_ns partitions the batch's
+/// dispatch -> batch-done wall span exactly; busy_ns >= work_ns, the
+/// surplus being queue-claim lock waits and OS preemption gaps between
+/// task bodies (which is why round accounting sums busy, not work —
+/// on an oversubscribed machine the difference is most of the story).
+struct WorkerTimings {
+  std::uint64_t work_ns = 0;          ///< time spent inside task bodies
+  std::uint64_t busy_ns = 0;          ///< first wake -> own last task end
+  std::uint64_t barrier_wait_ns = 0;  ///< finished own tasks, batch not done
+  std::uint64_t dispatch_ns = 0;      ///< run() notified -> worker woke
+  std::uint64_t tasks = 0;            ///< task bodies executed
+  std::uint64_t batches = 0;          ///< run() batches the worker woke for
+
+  WorkerTimings& operator+=(const WorkerTimings& o) noexcept {
+    work_ns += o.work_ns;
+    busy_ns += o.busy_ns;
+    barrier_wait_ns += o.barrier_wait_ns;
+    dispatch_ns += o.dispatch_ns;
+    tasks += o.tasks;
+    batches += o.batches;
+    return *this;
+  }
+  friend WorkerTimings operator-(WorkerTimings a,
+                                 const WorkerTimings& b) noexcept {
+    a.work_ns -= b.work_ns;
+    a.busy_ns -= b.busy_ns;
+    a.barrier_wait_ns -= b.barrier_wait_ns;
+    a.dispatch_ns -= b.dispatch_ns;
+    a.tasks -= b.tasks;
+    a.batches -= b.batches;
+    return a;
+  }
+};
+
 /// A fixed set of worker threads executing one indexed task batch at a
 /// time. run() blocks the caller until every task finished; the pool is
 /// idle between run() calls. Not reentrant: run() must not be called
 /// concurrently or from inside a task (the latter would deadlock).
 class ThreadPool {
  public:
+  using Clock = std::chrono::steady_clock;
+
+  /// One worker's participation in the most recent run() batch; valid
+  /// between run() calls, only for workers that executed >= 1 task.
+  struct BatchWorkerSample {
+    int worker = -1;
+    Clock::time_point wake;             ///< first wake after dispatch
+    Clock::time_point first_task_start;
+    Clock::time_point last_task_end;
+    std::uint64_t work_ns = 0;
+    std::uint64_t tasks = 0;
+  };
+
   /// Spawns `threads` workers. Precondition: threads >= 1.
   explicit ThreadPool(int threads);
 
@@ -86,12 +142,51 @@ class ThreadPool {
   /// The task callable only needs to outlive this (blocking) call.
   void run(std::size_t count, FunctionRef<void(std::size_t)> task);
 
+  /// Enables/disables per-worker timing. Off by default: when off, run()
+  /// performs zero clock reads. All timing state is preallocated in the
+  /// constructor and written only under the pool mutex, so enabling it
+  /// keeps run() allocation-free and race-free. Takes effect at the next
+  /// run(); must not be called concurrently with run().
+  void set_timing(bool enabled);
+  [[nodiscard]] bool timing_enabled() const noexcept { return timing_; }
+
+  /// Sum of every worker's cumulative timings since construction or the
+  /// last reset_timings(). Callable between run() calls.
+  [[nodiscard]] WorkerTimings total_timings() const;
+
+  /// Per-worker cumulative timings, indexed by worker. out is cleared
+  /// and refilled (capacity reuse keeps repeated calls allocation-free).
+  void timings_by_worker(std::vector<WorkerTimings>& out) const;
+
+  void reset_timings();
+
+  /// Per-worker samples of the most recent run() batch (only workers
+  /// that executed >= 1 task appear, in worker order). Empty when timing
+  /// is off or no batch has run. out is cleared and refilled.
+  void last_batch_samples(std::vector<BatchWorkerSample>& out) const;
+
+  /// Timestamps bracketing the most recent timed batch: when run()
+  /// published the tasks and when the last task completed.
+  [[nodiscard]] Clock::time_point last_batch_dispatch() const;
+  [[nodiscard]] Clock::time_point last_batch_done() const;
+
  private:
-  void worker_loop();
+  // Per-worker slot for the batch currently / most recently run;
+  // guarded by mu_. `generation` tags which batch the slot belongs to.
+  struct BatchSlot {
+    std::uint64_t generation = 0;
+    Clock::time_point wake;
+    Clock::time_point first_task;
+    Clock::time_point last_task;
+    std::uint64_t work_ns = 0;
+    std::uint64_t tasks = 0;
+  };
+
+  void worker_loop(std::size_t worker);
 
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   // Current batch, guarded by mu_.
@@ -102,6 +197,13 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   bool stopping_ = false;
   std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
+  // Timing state, guarded by mu_. Preallocated to thread_count() slots.
+  bool timing_ = false;
+  Clock::time_point dispatched_at_;
+  Clock::time_point batch_done_;
+  std::uint64_t timed_generation_ = 0;  ///< generation of last timed batch
+  std::vector<WorkerTimings> timings_;
+  std::vector<BatchSlot> batch_;
 };
 
 /// Runs body(shard_index, range) over the shard_ranges() partition of

@@ -1,0 +1,151 @@
+// PhaseProfiler ring-buffer semantics: bounded storage that drops the
+// *oldest* entries, exact drop counters, capacity re-bounding, and
+// exact record counts under concurrent recording (the profiler is the
+// one obs component workers write into from inside a batch, so its
+// mutex discipline gets a dedicated hammer here).
+#include "obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace cellflow {
+namespace {
+
+using obs::PhaseProfiler;
+
+/// Deterministic time points: epoch + k microseconds. The profiler only
+/// stores differences against its epoch, so tests never read a clock.
+PhaseProfiler::Clock::time_point at(const PhaseProfiler& p, std::uint64_t k) {
+  return p.epoch() + std::chrono::microseconds(k);
+}
+
+TEST(Profiler, RecordsSpansUntilCapacityWithoutDrops) {
+  PhaseProfiler prof(/*capacity=*/4);
+  for (std::uint64_t r = 0; r < 4; ++r)
+    prof.record("route", r, -1, at(prof, r), at(prof, r + 1));
+  EXPECT_EQ(prof.span_count(), 4u);
+  EXPECT_EQ(prof.dropped_spans(), 0u);
+}
+
+TEST(Profiler, FullRingDropsOldestFirst) {
+  PhaseProfiler prof(/*capacity=*/4);
+  for (std::uint64_t r = 0; r < 7; ++r)
+    prof.record("route", r, -1, at(prof, r), at(prof, r + 1));
+  EXPECT_EQ(prof.span_count(), 4u);
+  EXPECT_EQ(prof.dropped_spans(), 3u);
+  const std::vector<PhaseProfiler::Span> spans = prof.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first read-out of the newest four records.
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    EXPECT_EQ(spans[i].round, i + 3) << "slot " << i;
+}
+
+TEST(Profiler, CounterRingDropsOldestIndependently) {
+  PhaseProfiler prof(/*capacity=*/3);
+  for (std::uint64_t k = 0; k < 5; ++k)
+    prof.record_counter("imbalance_route", at(prof, k),
+                        static_cast<double>(k));
+  // Span ring untouched by counter traffic.
+  EXPECT_EQ(prof.span_count(), 0u);
+  EXPECT_EQ(prof.dropped_spans(), 0u);
+  EXPECT_EQ(prof.counter_sample_count(), 3u);
+  EXPECT_EQ(prof.dropped_counter_samples(), 2u);
+  const auto samples = prof.counter_samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(samples.front().value, 2.0);
+  EXPECT_DOUBLE_EQ(samples.back().value, 4.0);
+}
+
+TEST(Profiler, SetCapacityKeepsNewestAndPreservesDropCounters) {
+  PhaseProfiler prof(/*capacity=*/8);
+  for (std::uint64_t r = 0; r < 10; ++r)
+    prof.record("move", r, -1, at(prof, r), at(prof, r + 1));
+  ASSERT_EQ(prof.span_count(), 8u);
+  ASSERT_EQ(prof.dropped_spans(), 2u);
+  prof.set_capacity(3);
+  EXPECT_EQ(prof.capacity(), 3u);
+  EXPECT_EQ(prof.span_count(), 3u);
+  EXPECT_EQ(prof.dropped_spans(), 2u);  // re-bounding is not a drop event
+  const auto spans = prof.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].round, 7u);
+  EXPECT_EQ(spans[2].round, 9u);
+  // The re-bounded ring keeps ringing: one more record drops the oldest.
+  prof.record("move", 10, -1, at(prof, 10), at(prof, 11));
+  EXPECT_EQ(prof.span_count(), 3u);
+  EXPECT_EQ(prof.dropped_spans(), 3u);
+  EXPECT_EQ(prof.spans().front().round, 8u);
+}
+
+TEST(Profiler, TotalNsCountsOnlyWholePhaseSpans) {
+  PhaseProfiler prof;
+  prof.record("route", 0, -1, at(prof, 0), at(prof, 10));   // whole phase
+  prof.record("route", 0, 2, at(prof, 0), at(prof, 4));     // shard slice
+  prof.record_worker("route", 0, 1, at(prof, 0), at(prof, 7));  // worker
+  EXPECT_EQ(prof.total_ns("route"), 10u * 1000u);
+}
+
+TEST(Profiler, ClearDropsEverythingAndZeroesCounters) {
+  PhaseProfiler prof(/*capacity=*/2);
+  for (std::uint64_t r = 0; r < 5; ++r) {
+    prof.record("signal", r, -1, at(prof, r), at(prof, r + 1));
+    prof.record_counter("c", at(prof, r), 1.0);
+  }
+  prof.clear();
+  EXPECT_EQ(prof.span_count(), 0u);
+  EXPECT_EQ(prof.counter_sample_count(), 0u);
+  EXPECT_EQ(prof.dropped_spans(), 0u);
+  EXPECT_EQ(prof.dropped_counter_samples(), 0u);
+}
+
+TEST(Profiler, ConcurrentRecordKeepsExactCounts) {
+  // Unbounded enough to hold everything: every record must be retained.
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 2000;
+  PhaseProfiler prof(kThreads * kPerThread);
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&prof, t] {
+      for (std::uint64_t r = 0; r < kPerThread; ++r)
+        prof.record_worker("work", r, t, at(prof, r), at(prof, r + 1));
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(prof.span_count(), kThreads * kPerThread);
+  EXPECT_EQ(prof.dropped_spans(), 0u);
+  // Per-worker attribution survived: each lane has exactly kPerThread.
+  std::vector<std::uint64_t> per_worker(kThreads, 0);
+  for (const PhaseProfiler::Span& s : prof.spans()) {
+    ASSERT_GE(s.worker, 0);
+    ASSERT_LT(s.worker, kThreads);
+    ++per_worker[static_cast<std::size_t>(s.worker)];
+  }
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(per_worker[static_cast<std::size_t>(t)], kPerThread);
+}
+
+TEST(Profiler, ConcurrentRecordIntoSaturatedRingCountsEveryDrop) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 1500;
+  constexpr std::size_t kCapacity = 64;
+  PhaseProfiler prof(kCapacity);
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&prof, t] {
+      for (std::uint64_t r = 0; r < kPerThread; ++r)
+        prof.record("route", r, t, at(prof, r), at(prof, r + 1));
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(prof.span_count(), kCapacity);
+  EXPECT_EQ(prof.dropped_spans(), kThreads * kPerThread - kCapacity);
+}
+
+}  // namespace
+}  // namespace cellflow

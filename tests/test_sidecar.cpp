@@ -1,0 +1,243 @@
+// Sidecar model tests: metric classification, both schema generations,
+// strict v2 validation, the noise-aware regression gate (one-sided per
+// metric direction, dispersion-widened thresholds, row matching by key
+// columns), and the doctored-sidecar synthesizer the benchdiff.inject
+// ctest fixture relies on. Everything here is pure string/JSON work —
+// fully deterministic, no clocks.
+#include "obs/sidecar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace cellflow {
+namespace {
+
+using obs::classify_metric;
+using obs::CompareOptions;
+using obs::CompareReport;
+using obs::CompareRow;
+using obs::compare_sidecars;
+using obs::MetricDirection;
+using obs::parse_sidecar;
+using obs::scale_sidecar_metrics;
+using obs::Sidecar;
+using obs::validate_sidecar_schema;
+
+/// A representative v2 document: key columns, a throughput column, a
+/// duration column, its *_rd dispersion column, and an informational
+/// percentage. Mirrors what bench_common.hpp emits.
+std::string v2_doc(double rps, double work_ns, double cover_pct,
+                   double rps_rd = 0.02, double top_rps = 1000.0) {
+  const auto num = [](double v) { return std::to_string(v); };
+  return std::string("{\"bench\":\"micro_demo\",\"sidecar_version\":2,") +
+         "\"provenance\":{\"git_sha\":\"abc123\",\"build_type\":\"Release\"," +
+         "\"compiler\":\"GNU 13\",\"threads\":0,\"hardware_threads\":4," +
+         "\"repetitions\":3}," +
+         "\"elapsed_seconds\":1.5,\"rounds\":100,\"rounds_per_sec\":" +
+         num(top_rps) + "," +
+         "\"series\":{\"header\":[\"side\",\"threads\",\"rounds_per_sec\"," +
+         "\"rounds_per_sec_rd\",\"work_ns\",\"coverage_pct\"]," +
+         "\"rows\":[[20,0," + num(rps) + "," + num(rps_rd) + "," +
+         num(work_ns) + "," + num(cover_pct) + "]," +
+         "[20,4," + num(rps * 0.5) + "," + num(rps_rd) + "," +
+         num(work_ns * 2) + "," + num(cover_pct) + "]]}," +
+         "\"dispersion\":{\"rounds_per_sec\":{\"n\":3,\"mean\":" + num(rps) +
+         ",\"rel\":" + num(rps_rd) + "}}}";
+}
+
+const CompareRow* find_row(const CompareReport& r, const std::string& key,
+                           const std::string& metric) {
+  const auto it = std::find_if(
+      r.rows.begin(), r.rows.end(), [&](const CompareRow& row) {
+        return row.row_key == key && row.metric == metric;
+      });
+  return it == r.rows.end() ? nullptr : &*it;
+}
+
+TEST(Sidecar, ClassifyMetricBySuffix) {
+  EXPECT_EQ(classify_metric("rounds_per_sec"),
+            MetricDirection::kHigherBetter);
+  EXPECT_EQ(classify_metric("work_ns"), MetricDirection::kLowerBetter);
+  EXPECT_EQ(classify_metric("elapsed_seconds"),
+            MetricDirection::kLowerBetter);
+  EXPECT_EQ(classify_metric("rounds_per_sec_rd"),
+            MetricDirection::kDispersion);
+  EXPECT_EQ(classify_metric("coverage_pct"),
+            MetricDirection::kInformational);
+  EXPECT_EQ(classify_metric("speedup_vs_serial"),
+            MetricDirection::kInformational);
+  EXPECT_EQ(classify_metric("imbalance"), MetricDirection::kInformational);
+  EXPECT_EQ(classify_metric("side"), MetricDirection::kKey);
+  EXPECT_EQ(classify_metric("threads"), MetricDirection::kKey);
+}
+
+TEST(Sidecar, ParsesV1WithoutProvenance) {
+  const Sidecar s = parse_sidecar(
+      "{\"bench\":\"old\",\"elapsed_seconds\":2.0,"
+      "\"series\":{\"header\":[\"x\",\"y_ns\"],\"rows\":[[1,10],[2,20]]}}");
+  EXPECT_EQ(s.version, 1);
+  EXPECT_EQ(s.bench, "old");
+  EXPECT_EQ(s.provenance.git_sha, "");
+  ASSERT_EQ(s.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.rows[1][1].as_number(), 20.0);
+  EXPECT_TRUE(s.dispersion.empty());
+}
+
+TEST(Sidecar, ParsesV2ProvenanceAndDispersion) {
+  const Sidecar s = parse_sidecar(v2_doc(100.0, 500.0, 97.0));
+  EXPECT_EQ(s.version, 2);
+  EXPECT_EQ(s.provenance.git_sha, "abc123");
+  EXPECT_EQ(s.provenance.build_type, "Release");
+  EXPECT_EQ(s.provenance.hardware_threads, 4);
+  EXPECT_EQ(s.provenance.repetitions, 3);
+  ASSERT_TRUE(s.rounds_per_sec.has_value());
+  EXPECT_DOUBLE_EQ(*s.rounds_per_sec, 1000.0);
+  ASSERT_EQ(s.dispersion.count("rounds_per_sec"), 1u);
+  EXPECT_EQ(s.dispersion.at("rounds_per_sec").n, 3u);
+}
+
+TEST(Sidecar, StrictSchemaAcceptsV2RejectsV1AndRaggedRows) {
+  EXPECT_NO_THROW(validate_sidecar_schema(v2_doc(100.0, 500.0, 97.0)));
+  EXPECT_THROW(
+      validate_sidecar_schema(
+          "{\"bench\":\"old\",\"elapsed_seconds\":1.0,"
+          "\"series\":{\"header\":[\"x\"],\"rows\":[[1]]}}"),
+      std::runtime_error);
+  // Provenance key missing.
+  EXPECT_THROW(validate_sidecar_schema(
+                   "{\"bench\":\"b\",\"sidecar_version\":2,"
+                   "\"provenance\":{\"git_sha\":\"a\"},"
+                   "\"elapsed_seconds\":1.0,"
+                   "\"series\":{\"header\":[],\"rows\":[]}}"),
+               std::runtime_error);
+  // Ragged rows: 1 column declared, 2 present.
+  const std::string ragged = std::string(
+      "{\"bench\":\"b\",\"sidecar_version\":2,"
+      "\"provenance\":{\"git_sha\":\"a\",\"build_type\":\"R\","
+      "\"compiler\":\"G\",\"threads\":0,\"hardware_threads\":1,"
+      "\"repetitions\":1},\"elapsed_seconds\":1.0,"
+      "\"series\":{\"header\":[\"x\"],\"rows\":[[1,2]]}}");
+  EXPECT_THROW(validate_sidecar_schema(ragged), std::runtime_error);
+}
+
+TEST(Sidecar, SelfComparisonIsClean) {
+  const Sidecar s = parse_sidecar(v2_doc(100.0, 500.0, 97.0));
+  const CompareReport r = compare_sidecars(s, s, CompareOptions{});
+  EXPECT_TRUE(r.ok());
+  for (const CompareRow& row : r.rows) {
+    EXPECT_DOUBLE_EQ(row.rel_change, 0.0) << row.metric;
+    EXPECT_FALSE(row.regression) << row.metric;
+  }
+}
+
+TEST(Sidecar, GateIsOneSidedPerMetricDirection) {
+  const Sidecar base = parse_sidecar(v2_doc(100.0, 500.0, 97.0));
+  // Faster everywhere: throughput up, durations down — never a failure.
+  const Sidecar faster = parse_sidecar(v2_doc(300.0, 100.0, 97.0));
+  EXPECT_TRUE(compare_sidecars(base, faster, CompareOptions{}).ok());
+  // The reverse direction at the same magnitude is a regression.
+  const CompareReport slow =
+      compare_sidecars(faster, base, CompareOptions{});
+  EXPECT_FALSE(slow.ok());
+  const CompareRow* rps = find_row(slow, "20/0", "rounds_per_sec");
+  ASSERT_NE(rps, nullptr);
+  EXPECT_TRUE(rps->gated);
+  EXPECT_TRUE(rps->regression);
+  const CompareRow* work = find_row(slow, "20/0", "work_ns");
+  ASSERT_NE(work, nullptr);
+  EXPECT_TRUE(work->regression);  // duration rose 5x
+}
+
+TEST(Sidecar, ChangesInsideTheMarginPass) {
+  const Sidecar base = parse_sidecar(v2_doc(100.0, 500.0, 97.0));
+  // 20% throughput drop, 20% duration rise: inside the default 35%.
+  const Sidecar wobble = parse_sidecar(v2_doc(80.0, 600.0, 95.0));
+  EXPECT_TRUE(compare_sidecars(base, wobble, CompareOptions{}).ok());
+}
+
+TEST(Sidecar, DispersionWidensTheThreshold) {
+  // A 50% drop on a metric whose *_rd column says the best-of statistic
+  // wobbles 20%: threshold = max(0.35, 4 * 0.2) = 0.8, so it passes...
+  const Sidecar base = parse_sidecar(v2_doc(100.0, 500.0, 97.0, 0.2));
+  const Sidecar half = parse_sidecar(v2_doc(50.0, 500.0, 97.0, 0.2));
+  const CompareReport wide = compare_sidecars(base, half, CompareOptions{});
+  const CompareRow* rps = find_row(wide, "20/0", "rounds_per_sec");
+  ASSERT_NE(rps, nullptr);
+  EXPECT_DOUBLE_EQ(rps->threshold, 0.8);
+  EXPECT_FALSE(rps->regression);
+  // ...while a tight-dispersion run fails the same 50% drop.
+  const Sidecar tight_base = parse_sidecar(v2_doc(100.0, 500.0, 97.0, 0.01));
+  const Sidecar tight_half = parse_sidecar(v2_doc(50.0, 500.0, 97.0, 0.01));
+  EXPECT_FALSE(
+      compare_sidecars(tight_base, tight_half, CompareOptions{}).ok());
+}
+
+TEST(Sidecar, InformationalColumnsAreNeverGated) {
+  const Sidecar base = parse_sidecar(v2_doc(100.0, 500.0, 97.0));
+  const Sidecar low_cover = parse_sidecar(v2_doc(100.0, 500.0, 10.0));
+  const CompareReport r =
+      compare_sidecars(base, low_cover, CompareOptions{});
+  EXPECT_TRUE(r.ok());
+  const CompareRow* cover = find_row(r, "20/0", "coverage_pct");
+  ASSERT_NE(cover, nullptr);
+  EXPECT_FALSE(cover->gated);
+}
+
+TEST(Sidecar, RowsOnlyInOneRunAreNotesNotFailures) {
+  const Sidecar base = parse_sidecar(v2_doc(100.0, 500.0, 97.0));
+  Sidecar fresh = base;
+  fresh.rows.pop_back();  // drop the 4-thread row
+  const CompareReport r = compare_sidecars(base, fresh, CompareOptions{});
+  EXPECT_TRUE(r.ok());
+  ASSERT_FALSE(r.notes.empty());
+  EXPECT_NE(r.notes.back().find("20/4"), std::string::npos);
+}
+
+TEST(Sidecar, TopLevelRoundsPerSecIsGated) {
+  const Sidecar base = parse_sidecar(
+      v2_doc(100.0, 500.0, 97.0, 0.02, /*top_rps=*/1000.0));
+  const Sidecar slow = parse_sidecar(
+      v2_doc(100.0, 500.0, 97.0, 0.02, /*top_rps=*/400.0));
+  const CompareReport r = compare_sidecars(base, slow, CompareOptions{});
+  EXPECT_FALSE(r.ok());
+  const CompareRow* top = find_row(r, "-", "rounds_per_sec");
+  ASSERT_NE(top, nullptr);
+  EXPECT_TRUE(top->regression);
+}
+
+TEST(Sidecar, ScaleSidecarSynthesizesACredibleRegression) {
+  const std::string original = v2_doc(100.0, 500.0, 97.0);
+  const std::string doctored = scale_sidecar_metrics(original, 0.5);
+  const Sidecar base = parse_sidecar(original);
+  const Sidecar bad = parse_sidecar(doctored);
+  // Gated metrics moved in their "worse" direction...
+  EXPECT_DOUBLE_EQ(bad.rows[0][2].as_number(), 50.0);    // rps halved
+  EXPECT_DOUBLE_EQ(bad.rows[0][4].as_number(), 1000.0);  // ns doubled
+  ASSERT_TRUE(bad.rounds_per_sec.has_value());
+  EXPECT_DOUBLE_EQ(*bad.rounds_per_sec, 500.0);
+  // ...keys, dispersion, and informational columns stayed put...
+  EXPECT_DOUBLE_EQ(bad.rows[0][0].as_number(), 20.0);
+  EXPECT_DOUBLE_EQ(bad.rows[0][3].as_number(), 0.02);
+  EXPECT_DOUBLE_EQ(bad.rows[0][5].as_number(), 97.0);
+  // ...the doctored document still satisfies the strict v2 schema, and
+  // the gate flags it (this is exactly the benchdiff.inject fixture).
+  EXPECT_NO_THROW(validate_sidecar_schema(doctored));
+  EXPECT_FALSE(compare_sidecars(base, bad, CompareOptions{}).ok());
+}
+
+TEST(Sidecar, ParseRejectsMalformedDocuments) {
+  EXPECT_THROW(parse_sidecar("not json"), std::runtime_error);
+  EXPECT_THROW(parse_sidecar("{\"bench\":3}"), std::runtime_error);
+  // Ragged series rows are structural corruption, v1 or v2.
+  EXPECT_THROW(
+      parse_sidecar("{\"bench\":\"b\",\"elapsed_seconds\":1.0,"
+                    "\"series\":{\"header\":[\"x\",\"y\"],"
+                    "\"rows\":[[1,2],[3]]}}"),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cellflow

@@ -1,0 +1,212 @@
+// cellflow_bench_diff — the noise-aware bench-regression gate.
+//
+//   cellflow_bench_diff --baseline=results --fresh=/tmp/bench_fresh
+//                       [--margin=0.35] [--disp-mult=4.0]
+//
+// Compares every BENCH_*.json sidecar present in --fresh against the
+// same-named file in --baseline (both may also be single .json files),
+// prints a trend table, and exits 1 iff any gated metric regressed past
+// its threshold (obs/sidecar.hpp: max(margin, disp-mult x observed
+// relative dispersion), one-sided per metric direction — a faster run
+// never fails). Sidecars present on only one side, informational columns
+// and provenance changes (build type, compiler, git SHA) are reported
+// but never fail the gate.
+//
+// A second mode synthesizes a doctored sidecar for testing the gate
+// itself (the benchdiff.inject ctest fixture):
+//
+//   cellflow_bench_diff --scale-sidecar=IN.json --scale-out=OUT.json
+//                       --scale=0.5
+//
+// scales every gated metric to look 0.5x as fast (throughput halved,
+// times doubled) and writes the result; the gate must then fail.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/sidecar.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using cellflow::obs::CompareOptions;
+using cellflow::obs::CompareReport;
+using cellflow::obs::Sidecar;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return std::move(os).str();
+}
+
+// --baseline/--fresh accept either a directory of BENCH_*.json files or
+// a single sidecar file; normalize both to {filename -> full path}.
+std::vector<std::pair<std::string, std::string>> sidecar_files(
+    const std::string& root) {
+  std::vector<std::pair<std::string, std::string>> out;
+  const fs::path p(root);
+  if (fs::is_directory(p)) {
+    for (const auto& entry : fs::directory_iterator(p)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 &&
+          name.size() > 5 && name.substr(name.size() - 5) == ".json")
+        out.emplace_back(name, entry.path().string());
+    }
+  } else if (fs::is_regular_file(p)) {
+    out.emplace_back(p.filename().string(), p.string());
+  } else {
+    throw std::runtime_error("no such file or directory: " + root);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string pct(double rel) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", rel * 100.0);
+  return buf;
+}
+
+std::string num(double v) {
+  char buf[32];
+  if (v != 0.0 && (std::abs(v) >= 1e6 || std::abs(v) < 1e-3))
+    std::snprintf(buf, sizeof buf, "%.3e", v);
+  else
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+void print_report(const CompareReport& report, bool verbose_ok) {
+  for (const auto& note : report.notes)
+    std::cout << "  note: " << note << '\n';
+  for (const auto& row : report.rows) {
+    const bool interesting =
+        row.regression || std::abs(row.rel_change) > row.threshold;
+    if (!verbose_ok && !interesting && row.gated) continue;
+    if (!row.gated && !verbose_ok) continue;
+    std::cout << "  " << (row.regression ? "REGRESSION" :
+                          row.gated ? "ok        " : "info      ")
+              << "  " << row.row_key << "  " << row.metric << "  "
+              << num(row.base) << " -> " << num(row.fresh) << "  ("
+              << pct(row.rel_change);
+    if (row.gated) std::cout << ", threshold " << pct(row.threshold);
+    std::cout << ")\n";
+  }
+}
+
+void note_provenance_drift(const Sidecar& base, const Sidecar& fresh) {
+  const auto& b = base.provenance;
+  const auto& f = fresh.provenance;
+  if (!b.build_type.empty() && !f.build_type.empty() &&
+      b.build_type != f.build_type)
+    std::cout << "  note: build_type changed " << b.build_type << " -> "
+              << f.build_type << " (timings not comparable)\n";
+  if (!b.compiler.empty() && !f.compiler.empty() && b.compiler != f.compiler)
+    std::cout << "  note: compiler changed " << b.compiler << " -> "
+              << f.compiler << '\n';
+  if (b.threads != f.threads)
+    std::cout << "  note: threads changed " << b.threads << " -> "
+              << f.threads << '\n';
+  if (!b.git_sha.empty() && b.git_sha != "unknown" &&
+      !f.git_sha.empty() && b.git_sha != f.git_sha)
+    std::cout << "  note: baseline " << b.git_sha << ", fresh "
+              << (f.git_sha.empty() ? "unknown" : f.git_sha) << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cellflow::CliArgs cli(argc, argv);
+  const std::string baseline = cli.get_string(
+      "baseline", "", "baseline sidecar directory (or single file)");
+  const std::string fresh = cli.get_string(
+      "fresh", "", "fresh sidecar directory (or single file) to gate");
+  const double margin = cli.get_double(
+      "margin", 0.35, "minimum relative-change threshold per gated metric");
+  const double disp_mult = cli.get_double(
+      "disp-mult", 4.0, "threshold >= this multiple of observed dispersion");
+  const bool verbose = cli.get_bool(
+      "verbose", false, "print every comparison, not just notable ones");
+  const std::string scale_in = cli.get_string(
+      "scale-sidecar", "", "sidecar to doctor (testing the gate itself)");
+  const std::string scale_out =
+      cli.get_string("scale-out", "", "where to write the doctored sidecar");
+  const double scale = cli.get_double(
+      "scale", 1.0, "speed factor for --scale-sidecar (0.5 = 2x slower)");
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  cli.finish();
+
+  try {
+    if (!scale_in.empty()) {
+      if (scale_out.empty())
+        throw std::runtime_error("--scale-sidecar needs --scale-out");
+      const std::string doctored =
+          cellflow::obs::scale_sidecar_metrics(read_file(scale_in), scale);
+      std::ofstream out(scale_out, std::ios::binary);
+      if (!out) throw std::runtime_error("cannot write " + scale_out);
+      out << doctored;
+      std::cout << "wrote " << scale_out << " (" << scale << "x speed)\n";
+      return 0;
+    }
+
+    if (baseline.empty() || fresh.empty())
+      throw std::runtime_error("need --baseline and --fresh (or --help)");
+
+    const auto base_files = sidecar_files(baseline);
+    const auto fresh_files = sidecar_files(fresh);
+    const CompareOptions options{margin, disp_mult};
+
+    int regressions = 0;
+    int compared = 0;
+    for (const auto& [name, fresh_path] : fresh_files) {
+      const auto it = std::find_if(
+          base_files.begin(), base_files.end(),
+          [&name = name](const auto& p) { return p.first == name; });
+      if (it == base_files.end()) {
+        std::cout << name << ": no baseline (new bench?)\n";
+        continue;
+      }
+      const Sidecar base = cellflow::obs::parse_sidecar(read_file(it->second));
+      const Sidecar cur = cellflow::obs::parse_sidecar(read_file(fresh_path));
+      const CompareReport report = cellflow::obs::compare_sidecars(
+          base, cur, options);
+      std::cout << report.bench << ": "
+                << (report.ok() ? "OK" : "REGRESSED") << " ("
+                << report.rows.size() << " metrics, " << report.regressions
+                << " regressions)\n";
+      note_provenance_drift(base, cur);
+      print_report(report, verbose);
+      regressions += report.regressions;
+      ++compared;
+    }
+    for (const auto& [name, path] : base_files) {
+      (void)path;
+      const bool in_fresh = std::any_of(
+          fresh_files.begin(), fresh_files.end(),
+          [&name = name](const auto& p) { return p.first == name; });
+      if (!in_fresh) std::cout << name << ": only in baseline\n";
+    }
+    if (compared == 0)
+      throw std::runtime_error("no sidecar pairs to compare");
+    std::cout << (regressions == 0 ? "bench_diff: PASS" : "bench_diff: FAIL")
+              << " (" << compared << " benches, " << regressions
+              << " regressions)\n";
+    return regressions == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "cellflow_bench_diff: " << e.what() << '\n';
+    return 2;
+  }
+}

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "obs/export.hpp"
+#include "obs/sidecar.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -80,8 +81,25 @@ int main(int argc, char** argv) {
       std::cout << trace << ": trace JSON OK\n";
     }
     if (!json.empty()) {
-      cellflow::obs::validate_json(read_file(json));
-      std::cout << json << ": JSON OK\n";
+      const std::string text = read_file(json);
+      cellflow::obs::validate_json(text);
+      // Bench sidecars get the deeper check: v2 documents must carry the
+      // full provenance + dispersion schema (obs/sidecar.hpp) or the
+      // regression gate would silently lose its noise model.
+      const auto doc = cellflow::obs::parse_json(text);
+      if (doc.is_object() && doc.find("bench") != nullptr) {
+        const auto sidecar = cellflow::obs::parse_sidecar(text);
+        if (sidecar.version >= 2) {
+          cellflow::obs::validate_sidecar_schema(text);
+          std::cout << json << ": sidecar v" << sidecar.version
+                    << " schema OK (" << sidecar.rows.size() << " rows, "
+                    << sidecar.dispersion.size() << " dispersion entries)\n";
+        } else {
+          std::cout << json << ": sidecar v1 JSON OK\n";
+        }
+      } else {
+        std::cout << json << ": JSON OK\n";
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << "cellflow_obs_check: " << e.what() << '\n';

@@ -10,7 +10,7 @@
 //                [--seed=1] [--threads=0]
 //                [--scheduler=active|exhaustive]
 //                [--metrics-out=FILE] [--metrics-every=0]
-//                [--profile-out=FILE]
+//                [--profile-out=FILE] [--telemetry=false]
 //                [--realization=shared|message]
 //                [--net-loss=P --net-dup=P --net-delay=P
 //                 --net-delay-max=R --net-seed=S --net-until=R
@@ -22,7 +22,11 @@
 // full event trace, and a machine-readable CSV record. --metrics-out
 // writes a Prometheus text snapshot (plus a JSONL stream next to it when
 // --metrics-every > 0); --profile-out writes a Chrome trace_event JSON
-// viewable in Perfetto. Exits nonzero if any §III-A safety oracle fires —
+// viewable in Perfetto (with a worker track per pool thread when
+// --threads > 1); --telemetry adds the engine-telemetry families (round
+// decomposition, phase imbalance, Amdahl serial fraction; DESIGN.md §7)
+// to the metrics registry — kept opt-in because those series carry
+// timings, which byte-diff consumers of --metrics-out must exclude. Exits nonzero if any §III-A safety oracle fires —
 // so the tool doubles as a conformance checker for modified protocol
 // variants.
 //
@@ -48,6 +52,7 @@
 #include <iostream>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/choose.hpp"
@@ -56,6 +61,7 @@
 #include "msg/msg_audit.hpp"
 #include "msg/msg_system.hpp"
 #include "net/faulty_network.hpp"
+#include "obs/engine_telemetry.hpp"
 #include "obs/export.hpp"
 #include "sim/observers.hpp"
 #include "sim/render.hpp"
@@ -120,7 +126,7 @@ struct NetOptions {
 int run_message_mode(const MsgSystemConfig& cfg, std::uint64_t rounds,
                      double pf, double pr, std::uint64_t seed,
                      const NetOptions& net, const std::string& metrics_out,
-                     std::uint64_t metrics_every,
+                     std::uint64_t metrics_every, bool telemetry,
                      const SnapshotOptions& snap) {
   std::unique_ptr<NetworkModel> network;
   if (net.any()) {
@@ -150,8 +156,13 @@ int run_message_mode(const MsgSystemConfig& cfg, std::uint64_t rounds,
 
   obs::MetricsRegistry registry;
   std::ofstream jsonl_file;
+  std::optional<obs::EngineTelemetry> engine_telemetry;
   if (!metrics_out.empty()) {
     msg.set_metrics(&registry);
+    if (telemetry) {
+      engine_telemetry.emplace(registry, "message");
+      msg.set_telemetry(&*engine_telemetry);
+    }
     if (metrics_every > 0) {
       jsonl_file.open(metrics_out + ".jsonl");
       if (!jsonl_file) {
@@ -277,6 +288,10 @@ int main(int argc, char** argv) {
       "<metrics-out>.jsonl (0: off)");
   const std::string profile_out = cli.get_string(
       "profile-out", "", "write a Chrome trace_event JSON profile here");
+  const bool telemetry = cli.get_bool(
+      "telemetry", false,
+      "add engine telemetry (round decomposition, imbalance, serial "
+      "fraction) to the --metrics-out registry");
   const std::string realization = cli.get_string(
       "realization", "shared",
       "protocol realization: shared (variable) | message (passing)");
@@ -338,7 +353,7 @@ int main(int argc, char** argv) {
     mcfg.target = target_s.empty() ? CellId{msource.i, side - 1}
                                    : parse_cell(target_s);
     return run_message_mode(mcfg, rounds, pf, pr, seed, net, metrics_out,
-                            metrics_every, snap);
+                            metrics_every, telemetry, snap);
   }
 
   SystemConfig cfg;
@@ -428,6 +443,11 @@ int main(int argc, char** argv) {
       metrics_obs->stream_jsonl(&jsonl_file, metrics_every);
     }
     sim.add_observer(*metrics_obs);
+  }
+  std::optional<obs::EngineTelemetry> engine_telemetry;
+  if (telemetry) {
+    engine_telemetry.emplace(registry, "shared");
+    sim.set_telemetry(&*engine_telemetry);
   }
   obs::PhaseProfiler profiler;
   if (!profile_out.empty()) sim.set_profiler(&profiler);
