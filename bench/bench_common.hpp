@@ -101,6 +101,16 @@ class BenchRecorder {
     dispersion_[std::string(metric)] = s;
   }
 
+  /// Records one memory figure (bytes) for the sidecar's "memory" map —
+  /// e.g. note_memory("vm_hwm_bytes", obs::process_memory().vm_hwm_bytes)
+  /// or the store's peak resident bytes. *_bytes metrics gate
+  /// lower-better in cellflow_bench_diff. Zero values are skipped ("not
+  /// measured" — a 0 baseline would turn any later real figure into a
+  /// vacuous pass and mask the platform gap).
+  void note_memory(std::string_view metric, std::uint64_t bytes) {
+    if (bytes > 0) memory_[std::string(metric)] = bytes;
+  }
+
   ~BenchRecorder() {
     std::cout.flush();
     std::cout.rdbuf(tee_.inner());
@@ -143,6 +153,16 @@ class BenchRecorder {
         out << '"' << obs::json_escape(metric) << "\":{\"n\":" << s.n
             << ",\"mean\":" << obs::format_double(s.mean)
             << ",\"rel\":" << obs::format_double(s.rel) << '}';
+      }
+      out << '}';
+    }
+    if (!memory_.empty()) {
+      out << ",\"memory\":{";
+      bool first = true;
+      for (const auto& [metric, bytes] : memory_) {
+        if (!first) out << ',';
+        first = false;
+        out << '"' << obs::json_escape(metric) << "\":" << bytes;
       }
       out << '}';
     }
@@ -214,6 +234,7 @@ class BenchRecorder {
   std::uint64_t rounds_ = 0;
   int repetitions_ = 1;
   std::map<std::string, Samples> dispersion_;
+  std::map<std::string, std::uint64_t> memory_;
   std::chrono::steady_clock::time_point start_;
 };
 

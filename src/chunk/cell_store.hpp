@@ -1,0 +1,78 @@
+// The cell-store seam (DESIGN.md §12): System's per-cell state lives
+// behind a minimal store type instead of a bare std::vector, so the dense
+// reference engine and the chunked sparse engine name the same concept.
+//
+// The "interface" is deliberately a compile-time shape, not a virtual
+// class — the round hot path indexes cells per neighbor per phase, and a
+// vtable dispatch there would be pure overhead. A cell store provides:
+//
+//   size()                 — total cells (dense index space of the Grid)
+//   operator[](k)          — reference to cell k's CellState
+//   resident_bytes()       — heap footprint actually materialized
+//
+// DenseCellStore (below) is the trivial realization backing `System`: all
+// N² cells resident, indexing is vector indexing. ChunkedCellStore
+// (chunked_store.hpp) materializes 32×32 tiles lazily and parks quiescent
+// ones; it backs chunk::ChunkedSystem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/cell_state.hpp"
+
+namespace cellflow::chunk {
+
+/// Heap bytes owned by one CellState beyond sizeof(CellState): the
+/// members vector's buffer (NeighborSet is inline by construction).
+[[nodiscard]] inline std::uint64_t cell_heap_bytes(
+    const CellState& c) noexcept {
+  return static_cast<std::uint64_t>(c.members.capacity()) * sizeof(Entity);
+}
+
+/// The dense cell store: every cell of the grid resident, always. This is
+/// the reference storage model — the chunked store must be observationally
+/// identical to it (pinned by tests/test_chunk_differential.cpp).
+class DenseCellStore {
+ public:
+  DenseCellStore() = default;
+  explicit DenseCellStore(std::size_t n) : cells_(n) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+
+  [[nodiscard]] CellState& operator[](std::size_t k) { return cells_[k]; }
+  [[nodiscard]] const CellState& operator[](std::size_t k) const {
+    return cells_[k];
+  }
+
+  [[nodiscard]] auto begin() noexcept { return cells_.begin(); }
+  [[nodiscard]] auto end() noexcept { return cells_.end(); }
+  [[nodiscard]] auto begin() const noexcept { return cells_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return cells_.end(); }
+
+  [[nodiscard]] std::span<const CellState> span() const noexcept {
+    return cells_;
+  }
+
+  /// Snapshot restore swaps the whole state in at the commit point
+  /// (snapshot::Access is the one caller).
+  DenseCellStore& operator=(std::vector<CellState>&& cells) {
+    cells_ = std::move(cells);
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t resident_bytes() const noexcept {
+    std::uint64_t b = static_cast<std::uint64_t>(cells_.capacity()) *
+                      sizeof(CellState);
+    for (const CellState& c : cells_) b += cell_heap_bytes(c);
+    return b;
+  }
+
+ private:
+  std::vector<CellState> cells_;
+};
+
+}  // namespace cellflow::chunk

@@ -35,6 +35,7 @@
 #include <span>
 #include <vector>
 
+#include "chunk/cell_store.hpp"
 #include "core/cell_state.hpp"
 #include "core/choose.hpp"
 #include "core/params.hpp"
@@ -238,7 +239,7 @@ class System {
     return cells_[grid_.index_of(id)];
   }
   [[nodiscard]] std::span<const CellState> cells() const noexcept {
-    return cells_;
+    return cells_.span();
   }
 
   /// Rounds executed so far.
@@ -480,7 +481,9 @@ class System {
 
   SystemConfig config_;
   Grid grid_;
-  std::vector<CellState> cells_;
+  /// The dense realization of the cell-store seam (chunk/cell_store.hpp):
+  /// all N² cells resident. chunk::ChunkedSystem is the sparse sibling.
+  chunk::DenseCellStore cells_;
   std::unique_ptr<ChoosePolicy> choose_;
   std::unique_ptr<SourcePolicy> source_;
   PhaseHook phase_hook_;

@@ -1,6 +1,9 @@
 #include "obs/alloc_stats.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstring>
 
 namespace cellflow::obs {
 namespace {
@@ -34,6 +37,86 @@ void mark_interposer_linked() noexcept {
 
 bool alloc_interposer_linked() noexcept {
   return g_linked.load(std::memory_order_relaxed);
+}
+
+ProcessMemory process_memory() noexcept {
+  ProcessMemory mem;
+  // C stdio, not fstream: callable from contexts where allocating is
+  // unwelcome (the interposer's own binaries measure around this call).
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return mem;
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    // "VmRSS:   123456 kB" — procfs reports kB unconditionally.
+    unsigned long long kb = 0;
+    if (std::strncmp(line, "VmRSS:", 6) == 0 &&
+        std::sscanf(line + 6, "%llu", &kb) == 1) {
+      mem.vm_rss_bytes = static_cast<std::uint64_t>(kb) * 1024;
+    } else if (std::strncmp(line, "VmHWM:", 6) == 0 &&
+               std::sscanf(line + 6, "%llu", &kb) == 1) {
+      mem.vm_hwm_bytes = static_cast<std::uint64_t>(kb) * 1024;
+    }
+    if (mem.vm_rss_bytes != 0 && mem.vm_hwm_bytes != 0) break;
+  }
+  std::fclose(f);
+  return mem;
+}
+
+StoreStatsPublisher::StoreStatsPublisher(MetricsRegistry& registry,
+                                         Labels labels)
+    : resident_bytes_(&registry.gauge(
+          "cellflow_store_resident_bytes",
+          "Heap bytes materialized by the chunked cell store", labels)),
+      resident_peak_(&registry.gauge(
+          "cellflow_resident_bytes_peak",
+          "Process peak resident set (VmHWM); falls back to the peak "
+          "store figure observed when procfs is unavailable",
+          labels)),
+      live_(&registry.gauge("cellflow_store_chunks",
+                            "Chunks per lifecycle state",
+                            [&labels] {
+                              Labels l = labels;
+                              l.push_back({"state", "live"});
+                              return l;
+                            }())),
+      parked_(&registry.gauge("cellflow_store_chunks",
+                              "Chunks per lifecycle state",
+                              [&labels] {
+                                Labels l = labels;
+                                l.push_back({"state", "parked"});
+                                return l;
+                              }())),
+      virgin_(&registry.gauge("cellflow_store_chunks",
+                              "Chunks per lifecycle state",
+                              [&labels] {
+                                Labels l = labels;
+                                l.push_back({"state", "virgin"});
+                                return l;
+                              }())),
+      materialized_(&registry.counter("cellflow_chunk_materialized_total",
+                                      "virgin->live chunk transitions",
+                                      labels)),
+      parked_total_(&registry.counter("cellflow_chunk_parked_total",
+                                      "live->parked chunk transitions",
+                                      labels)),
+      unparked_total_(&registry.counter("cellflow_chunk_unparked_total",
+                                        "parked->live chunk transitions",
+                                        std::move(labels))) {}
+
+void StoreStatsPublisher::publish(const StoreStatsSample& sample) noexcept {
+  resident_bytes_->set(static_cast<double>(sample.resident_bytes));
+  live_->set(static_cast<double>(sample.live_chunks));
+  parked_->set(static_cast<double>(sample.parked_chunks));
+  virgin_->set(static_cast<double>(sample.virgin_chunks));
+  // The lifecycle totals are monotone on the store; re-publishing feeds
+  // the counters their delta so the exported series stays monotone too.
+  materialized_->inc(sample.materialized_total - last_.materialized_total);
+  parked_total_->inc(sample.parked_total - last_.parked_total);
+  unparked_total_->inc(sample.unparked_total - last_.unparked_total);
+  last_ = sample;
+  peak_seen_ = std::max(peak_seen_, sample.resident_bytes);
+  const std::uint64_t hwm = process_memory().vm_hwm_bytes;
+  resident_peak_->set(static_cast<double>(hwm != 0 ? hwm : peak_seen_));
 }
 
 }  // namespace cellflow::obs

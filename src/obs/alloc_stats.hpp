@@ -15,6 +15,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "obs/metrics.hpp"
+
 namespace cellflow::obs {
 
 /// Snapshot of the global allocation counters.
@@ -41,6 +43,58 @@ void note_free() noexcept;
 /// initialization, so instrumented binaries can assert they really are.
 void mark_interposer_linked() noexcept;
 [[nodiscard]] bool alloc_interposer_linked() noexcept;
+
+/// Process-level resident memory, read from /proc/self/status. All-zero
+/// when the platform has no procfs (or the read fails) — callers treat 0
+/// as "not measured", never as "no memory".
+struct ProcessMemory {
+  std::uint64_t vm_rss_bytes = 0;  ///< VmRSS: current resident set
+  std::uint64_t vm_hwm_bytes = 0;  ///< VmHWM: lifetime peak resident set
+};
+
+[[nodiscard]] ProcessMemory process_memory() noexcept;
+
+/// One sample of a chunked store's footprint and lifecycle totals — plain
+/// numbers so obs does not depend on src/chunk (the store provides them;
+/// see ChunkedCellStore::stats/resident_bytes).
+struct StoreStatsSample {
+  std::uint64_t resident_bytes = 0;      ///< store-attributed heap bytes
+  std::uint64_t live_chunks = 0;
+  std::uint64_t parked_chunks = 0;
+  std::uint64_t virgin_chunks = 0;
+  std::uint64_t materialized_total = 0;  ///< monotone lifecycle counters
+  std::uint64_t parked_total = 0;
+  std::uint64_t unparked_total = 0;
+};
+
+/// Publishes store samples into a MetricsRegistry: instantaneous gauges
+/// (`cellflow_store_resident_bytes`, `cellflow_store_chunks{state=...}`),
+/// the process high-water gauge `cellflow_resident_bytes_peak` (VmHWM
+/// when procfs is available, otherwise the peak store figure observed),
+/// and the lifecycle counters (`cellflow_chunk_{materialized,parked,
+/// unparked}_total`), incremented by delta so repeated publishing of the
+/// monotone totals stays correct. Deliberately NOT wired into
+/// ChunkedSystem::set_metrics: the protocol exposition must stay
+/// byte-identical across storage models (the differential suites compare
+/// it), so store telemetry is attached explicitly by benches and the sim.
+class StoreStatsPublisher {
+ public:
+  explicit StoreStatsPublisher(MetricsRegistry& registry, Labels labels = {});
+
+  void publish(const StoreStatsSample& sample) noexcept;
+
+ private:
+  Gauge* resident_bytes_;
+  Gauge* resident_peak_;
+  Gauge* live_;
+  Gauge* parked_;
+  Gauge* virgin_;
+  Counter* materialized_;
+  Counter* parked_total_;
+  Counter* unparked_total_;
+  StoreStatsSample last_;
+  std::uint64_t peak_seen_ = 0;
+};
 
 /// Delta helper: captures totals at construction; delta() is the
 /// allocation traffic since then.

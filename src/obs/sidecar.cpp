@@ -116,6 +116,17 @@ void parse_dispersion_map(const JsonValue& doc, Sidecar& out) {
   }
 }
 
+void parse_memory_map(const JsonValue& doc, Sidecar& out) {
+  const JsonValue* mem = doc.find("memory");
+  if (mem == nullptr) return;
+  if (!mem->is_object()) schema_fail("\"memory\" not an object");
+  for (const auto& [metric, value] : mem->as_object()) {
+    if (!value.is_number())
+      schema_fail("memory entry \"" + metric + "\" not a number");
+    out.memory.emplace(metric, value.as_number());
+  }
+}
+
 void parse_series(const JsonValue& doc, Sidecar& out) {
   const JsonValue& series = require(doc, "series");
   if (!series.is_object()) schema_fail("\"series\" not an object");
@@ -143,7 +154,8 @@ MetricDirection classify_metric(std::string_view name) {
   if (ends_with(name, "_rd")) return MetricDirection::kDispersion;
   if (ends_with(name, "_per_sec")) return MetricDirection::kHigherBetter;
   if (ends_with(name, "_ns") || ends_with(name, "_us") ||
-      ends_with(name, "_ms") || ends_with(name, "_seconds"))
+      ends_with(name, "_ms") || ends_with(name, "_seconds") ||
+      ends_with(name, "_bytes"))
     return MetricDirection::kLowerBetter;
   // Derived ratios: meaningful to eyeball, unstable to gate (their inputs
   // are gated already; gating both double-counts every wobble).
@@ -191,6 +203,7 @@ Sidecar parse_sidecar(std::string_view json_text) {
   }
   parse_series(doc, out);
   parse_dispersion_map(doc, out);
+  parse_memory_map(doc, out);
   return out;
 }
 
@@ -215,9 +228,13 @@ void validate_sidecar_schema(std::string_view json_text) {
   Sidecar parsed;  // reuse the structural checks on series + dispersion
   parse_series(doc, parsed);
   parse_dispersion_map(doc, parsed);
+  parse_memory_map(doc, parsed);
   for (const auto& [metric, d] : parsed.dispersion) {
     if (d.n < 1) schema_fail("dispersion." + metric + ".n < 1");
     if (d.rel < 0.0) schema_fail("dispersion." + metric + ".rel < 0");
+  }
+  for (const auto& [metric, bytes] : parsed.memory) {
+    if (bytes < 0.0) schema_fail("memory." + metric + " < 0");
   }
 }
 
@@ -241,6 +258,31 @@ CompareReport compare_sidecars(const Sidecar& baseline, const Sidecar& fresh,
       fresh_rel = it->second.rel;
     compare_one("-", "rounds_per_sec", *baseline.rounds_per_sec,
                 *fresh.rounds_per_sec, base_rel, fresh_rel, options, report);
+  }
+
+  // Memory figures compare like top-level scalars; metrics present on
+  // only one side are noted (new instrumentation, not a regression).
+  for (const auto& [metric, fresh_bytes] : fresh.memory) {
+    const auto bit = baseline.memory.find(metric);
+    if (bit == baseline.memory.end()) {
+      report.notes.push_back("memory." + metric + " only in fresh run");
+      continue;
+    }
+    double base_rel = 0.0;
+    double fresh_rel = 0.0;
+    if (const auto it = baseline.dispersion.find(metric);
+        it != baseline.dispersion.end())
+      base_rel = it->second.rel;
+    if (const auto it = fresh.dispersion.find(metric);
+        it != fresh.dispersion.end())
+      fresh_rel = it->second.rel;
+    compare_one("-", metric, bit->second, fresh_bytes, base_rel, fresh_rel,
+                options, report);
+  }
+  for (const auto& [metric, bytes] : baseline.memory) {
+    (void)bytes;
+    if (fresh.memory.find(metric) == fresh.memory.end())
+      report.notes.push_back("memory." + metric + " only in baseline");
   }
 
   if (baseline.header != fresh.header) {
@@ -311,6 +353,9 @@ std::string scale_sidecar_metrics(std::string_view json_text, double factor) {
   };
   if (JsonValue* v = doc.find("rounds_per_sec"))
     scale(*v, MetricDirection::kHigherBetter);
+  if (JsonValue* mem = doc.find("memory"); mem != nullptr && mem->is_object())
+    for (auto& [metric, cell] : mem->as_object())
+      scale(cell, classify_metric(metric));
   if (JsonValue* series = doc.find("series")) {
     std::vector<MetricDirection> dirs;
     if (const JsonValue* header = series->find("header");

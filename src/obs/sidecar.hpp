@@ -7,9 +7,11 @@
 //     optional "rounds"/"rounds_per_sec","series":{"header","rows"}} —
 //     the committed baselines predating the regression gate.
 //   * v2 ("sidecar_version": 2): adds "provenance" (git_sha, build_type,
-//     compiler, threads, hardware_threads, repetitions) and an optional
+//     compiler, threads, hardware_threads, repetitions), an optional
 //     "dispersion" map {metric: {n, mean, rel}} carrying the relative
-//     spread of each metric across repetitions.
+//     spread of each metric across repetitions, and an optional "memory"
+//     map {metric: bytes} of process/store memory figures (VmHWM, store
+//     peak) — *_bytes metrics gate lower-better like any other column.
 //
 // The comparison logic (used by tools/cellflow_bench_diff and the
 // benchdiff ctest fixtures) classifies series columns by naming
@@ -36,7 +38,7 @@ namespace cellflow::obs {
 /// How a series column (or top-level scalar) participates in the gate.
 enum class MetricDirection {
   kHigherBetter,    ///< *_per_sec — throughput; regression = drop
-  kLowerBetter,     ///< *_ns/_us/_ms/_seconds — latency; regression = rise
+  kLowerBetter,     ///< *_ns/_us/_ms/_seconds/_bytes — cost; regression = rise
   kInformational,   ///< ratios/percentages — reported, never gated
   kDispersion,      ///< *_rd — relative dispersion of the base metric
   kKey,             ///< everything else — identifies the row
@@ -73,6 +75,9 @@ struct Sidecar {
   std::vector<std::string> header;
   std::vector<std::vector<JsonValue>> rows;
   std::map<std::string, Dispersion> dispersion;
+  /// v2 optional "memory" map: metric name → bytes (e.g. vm_hwm_bytes,
+  /// store_peak_bytes). Compared like top-level scalars.
+  std::map<std::string, double> memory;
 };
 
 /// Parses either schema generation. Tolerant of v1 (missing provenance/

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "chunk/chunked_system.hpp"
 #include "core/choose.hpp"
 #include "core/source.hpp"
 #include "core/system.hpp"
@@ -36,12 +37,19 @@ enum Tag : std::uint32_t {
   kTagMsgCounters = 8,  // message: realization-level counters
   kTagNetwork = 9,      // message: NetworkModel transport state
   kTagEnvRng = 10,      // message, optional: environment fail/recover rng
+  kTagChunks = 11,      // chunked: materialized tiles (live + parked)
 };
 constexpr std::uint32_t kMinTag = kTagHeader;
-constexpr std::uint32_t kMaxTag = kTagEnvRng;
+constexpr std::uint32_t kMaxTag = kTagChunks;
 
 constexpr std::uint8_t kKindShared = 0;
 constexpr std::uint8_t kKindMessage = 1;
+constexpr std::uint8_t kKindChunked = 2;
+
+// Chunk state bytes on the wire (== ChunkedCellStore::State values;
+// virgin chunks are simply absent from the section).
+constexpr std::uint8_t kChunkLive = 1;
+constexpr std::uint8_t kChunkParked = 2;
 
 constexpr std::uint64_t kInfDist = ~0ULL;
 
@@ -275,7 +283,7 @@ void write_header(Writer& w, std::uint8_t kind, std::uint64_t round,
 Header read_header(Reader& r) {
   Header h;
   h.kind = r.u8();
-  if (h.kind > kKindMessage) fail(Errc::kMalformed, "realization kind byte");
+  if (h.kind > kKindChunked) fail(Errc::kMalformed, "realization kind byte");
   h.round = r.u64();
   h.arrivals = r.u64();
   h.next_entity_id = r.u64();
@@ -460,10 +468,10 @@ struct Access {
           have_failure = true;
           break;
         default:
-          // Tags 7–10 are the message realization's sections: the bytes
-          // are well-formed, the engine kinds disagree.
+          // Tags 7–11 belong to the message/chunked realizations: the
+          // bytes are well-formed, the engine kinds disagree.
           fail(Errc::kConfigMismatch,
-               "snapshot was taken from the message realization");
+               "snapshot was taken from a different realization");
       }
       r.close_section();
     }
@@ -474,7 +482,7 @@ struct Access {
     }
     if (header.kind != kKindShared) {
       fail(Errc::kConfigMismatch,
-           "snapshot was taken from the message realization");
+           "snapshot was taken from a different realization");
     }
     if (have_failure != (failures != nullptr)) {
       fail(Errc::kConfigMismatch,
@@ -514,6 +522,294 @@ struct Access {
     // at any round boundary (same guarantee set_round_scheduler relies
     // on).
     sys.rebuild_active_sets();
+  }
+
+  // ---- chunk::ChunkedSystem ------------------------------------------
+
+  static std::vector<std::uint8_t> save_chunked(
+      const chunk::ChunkedSystem& sys, const FailureModel* failures) {
+    Writer w(kSnapMagic, kSnapVersion);
+    write_header(w, kKindChunked, sys.round(), sys.total_arrivals(),
+                 sys.total_injected());
+
+    const SystemConfig& cfg = sys.config();
+    w.begin_section(kTagConfig);
+    write_config(w, cfg.side, cfg.params, cfg.target, cfg.sources,
+                 static_cast<std::uint8_t>(cfg.signal_rule),
+                 static_cast<std::uint8_t>(cfg.movement_rule));
+    w.end_section();
+
+    std::vector<std::uint64_t> words;
+    sys.choose_->encode_state(words);
+    w.begin_section(kTagChoose);
+    write_words(w, words);
+    w.end_section();
+
+    words.clear();
+    sys.source_->encode_state(words);
+    w.begin_section(kTagSource);
+    write_words(w, words);
+    w.end_section();
+
+    if (failures != nullptr) {
+      words.clear();
+      failures->encode_state(words);
+      w.begin_section(kTagFailure);
+      write_words(w, words);
+      w.end_section();
+    }
+
+    // Only materialized chunks go on the wire, ascending by chunk index:
+    // live chunks as full cells, parked chunks as their summaries. Virgin
+    // chunks are absent — their state is the initial state by definition.
+    const chunk::ChunkedCellStore& store = sys.store();
+    w.begin_section(kTagChunks);
+    w.u64(static_cast<std::uint64_t>(store.live_count() +
+                                     store.parked_count()));
+    for (std::size_t q = 0; q < store.chunk_count(); ++q) {
+      switch (store.state(q)) {
+        case chunk::ChunkedCellStore::State::kVirgin:
+          break;
+        case chunk::ChunkedCellStore::State::kLive: {
+          w.u32(static_cast<std::uint32_t>(q));
+          w.u8(kChunkLive);
+          for (const CellState& c : store.live(q).cells) write_cell(w, c);
+          break;
+        }
+        case chunk::ChunkedCellStore::State::kParked: {
+          w.u32(static_cast<std::uint32_t>(q));
+          w.u8(kChunkParked);
+          const chunk::ParkedChunk& p = store.parked(q);
+          for (std::size_t slot = 0; slot < p.meta.size(); ++slot) {
+            w.u8(p.meta[slot]);
+            w.u32(p.dist[slot]);
+          }
+          break;
+        }
+      }
+    }
+    w.end_section();
+    return w.finish();
+  }
+
+  static void restore_chunked(chunk::ChunkedSystem& sys,
+                              std::span<const std::uint8_t> bytes,
+                              FailureModel* failures) {
+    Reader r(bytes, kSnapMagic, kSnapVersion, kMinTag, kMaxTag);
+    const Grid& grid = sys.grid();
+    const chunk::ChunkLayout& layout = sys.layout_;
+
+    struct MatChunk {
+      std::uint32_t q = 0;
+      std::uint8_t state = 0;
+      std::vector<CellState> cells;       // kChunkLive
+      std::vector<std::uint8_t> meta;     // kChunkParked
+      std::vector<std::uint32_t> dist;    // kChunkParked
+    };
+    Header header;
+    std::vector<MatChunk> chunks;
+    std::vector<std::uint64_t> choose_words;
+    std::vector<std::uint64_t> source_words;
+    std::vector<std::uint64_t> failure_words;
+    bool have_header = false, have_config = false, have_chunks = false;
+    bool have_choose = false, have_source = false, have_failure = false;
+
+    while (const auto tag = r.next_section()) {
+      switch (*tag) {
+        case kTagHeader:
+          header = read_header(r);
+          have_header = true;
+          break;
+        case kTagConfig: {
+          const SystemConfig& cfg = sys.config();
+          check_config(r, cfg.side, cfg.params, cfg.target, cfg.sources,
+                       static_cast<std::uint8_t>(cfg.signal_rule),
+                       static_cast<std::uint8_t>(cfg.movement_rule));
+          have_config = true;
+          break;
+        }
+        case kTagChoose:
+          choose_words = read_words(r);
+          have_choose = true;
+          break;
+        case kTagSource:
+          source_words = read_words(r);
+          have_source = true;
+          break;
+        case kTagFailure:
+          failure_words = read_words(r);
+          have_failure = true;
+          break;
+        case kTagChunks: {
+          // 5 bytes of header (index + state) per chunk at minimum.
+          const std::uint64_t n = r.count(5);
+          if (n > layout.chunk_count()) {
+            fail(Errc::kMalformed, "more chunks than the grid holds");
+          }
+          chunks.reserve(static_cast<std::size_t>(n));
+          std::int64_t prev = -1;
+          for (std::uint64_t k = 0; k < n; ++k) {
+            MatChunk mc;
+            mc.q = r.u32();
+            if (mc.q >= layout.chunk_count()) {
+              fail(Errc::kMalformed, "chunk index off the grid");
+            }
+            if (static_cast<std::int64_t>(mc.q) <= prev) {
+              fail(Errc::kMalformed, "chunk indices not strictly ascending");
+            }
+            prev = static_cast<std::int64_t>(mc.q);
+            mc.state = r.u8();
+            const std::size_t cells_n = layout.cells_in(mc.q);
+            if (mc.state == kChunkLive) {
+              mc.cells.reserve(cells_n);
+              for (std::size_t slot = 0; slot < cells_n; ++slot) {
+                mc.cells.push_back(read_cell(r, grid));
+              }
+            } else if (mc.state == kChunkParked) {
+              mc.meta.resize(cells_n);
+              mc.dist.resize(cells_n);
+              for (std::size_t slot = 0; slot < cells_n; ++slot) {
+                const std::uint8_t meta = r.u8();
+                // Low 3 bits: next direction (0–3) or 4 = ⊥; bit 7:
+                // failed; everything else must be zero.
+                const std::uint8_t dir = meta & 0x07;
+                if (dir > chunk::ParkedChunk::kNoDir ||
+                    (meta & 0x78) != 0) {
+                  fail(Errc::kMalformed, "parked cell meta byte");
+                }
+                if (dir < chunk::ParkedChunk::kNoDir) {
+                  // The encoded next pointer must be a cell of the grid.
+                  const CellId id = layout.cell_at(mc.q, slot);
+                  const auto [di, dj] = step_of(kAllDirections[dir]);
+                  if (!grid.contains(CellId{id.i + di, id.j + dj})) {
+                    fail(Errc::kMalformed,
+                         "parked next pointer off the grid");
+                  }
+                }
+                mc.meta[slot] = meta;
+                mc.dist[slot] = r.u32();
+              }
+            } else {
+              fail(Errc::kMalformed, "chunk state byte");
+            }
+            chunks.push_back(std::move(mc));
+          }
+          have_chunks = true;
+          break;
+        }
+        default:
+          // Tags 3 and 7–10 belong to the dense realizations.
+          fail(Errc::kConfigMismatch,
+               "snapshot was taken from a different realization");
+      }
+      r.close_section();
+    }
+    if (!have_header || !have_config || !have_chunks || !have_choose ||
+        !have_source) {
+      fail(Errc::kMissingSection, "chunked snapshot needs header, config, "
+                                  "choose, source, chunks");
+    }
+    if (header.kind != kKindChunked) {
+      fail(Errc::kConfigMismatch,
+           "snapshot was taken from a different realization");
+    }
+    if (have_failure != (failures != nullptr)) {
+      fail(Errc::kConfigMismatch,
+           have_failure ? "snapshot carries failure-model state but none "
+                          "was supplied"
+                        : "failure model supplied but snapshot carries no "
+                          "failure-model state");
+    }
+
+    // Commit point, same discipline as the dense restore: policies first
+    // (with rollback), then the store is rebuilt into a temporary and
+    // swapped in whole — nothing below the policy checks can fail.
+    std::vector<std::uint64_t> old_choose;
+    sys.choose_->encode_state(old_choose);
+    if (!sys.choose_->decode_state(choose_words)) {
+      fail(Errc::kConfigMismatch, "choose-policy state words");
+    }
+    std::vector<std::uint64_t> old_source;
+    sys.source_->encode_state(old_source);
+    if (!sys.source_->decode_state(source_words)) {
+      roll_back(*sys.choose_, old_choose);
+      fail(Errc::kConfigMismatch, "source-policy state words");
+    }
+    if (failures != nullptr && !failures->decode_state(failure_words)) {
+      roll_back(*sys.choose_, old_choose);
+      roll_back(*sys.source_, old_source);
+      fail(Errc::kConfigMismatch, "failure-model state words");
+    }
+
+    chunk::ChunkedCellStore store(sys.config().side, sys.config().target);
+    for (MatChunk& mc : chunks) {
+      chunk::LiveChunk& lc = store.ensure_live(mc.q);
+      if (mc.state == kChunkLive) {
+        for (std::size_t slot = 0; slot < mc.cells.size(); ++slot) {
+          lc.cells[slot] = std::move(mc.cells[slot]);
+        }
+      } else {
+        // Reconstruct the cells from the summary, then park again: the
+        // restored store holds the identical ParkedChunk (park() re-
+        // derives the compensation terms), and the validation above
+        // guarantees park()'s encodability preconditions.
+        for (std::size_t slot = 0; slot < mc.meta.size(); ++slot) {
+          CellState& c = lc.cells[slot];
+          c.dist = mc.dist[slot] == chunk::ParkedChunk::kInfDist32
+                       ? Dist::infinity()
+                       : Dist::finite(mc.dist[slot]);
+          c.failed = (mc.meta[slot] & chunk::ParkedChunk::kFailedBit) != 0;
+          const std::uint8_t dir = mc.meta[slot] & 0x07;
+          if (dir < chunk::ParkedChunk::kNoDir) {
+            const CellId id = layout.cell_at(mc.q, slot);
+            const auto [di, dj] = step_of(kAllDirections[dir]);
+            c.next = CellId{id.i + di, id.j + dj};
+          }
+        }
+        store.park(mc.q);
+      }
+    }
+    // The engine's pinned chunks (target + sources) are live by invariant;
+    // enforce it on whatever the snapshot said.
+    store.ensure_live(layout.chunk_of(sys.config().target));
+    for (const CellId s : sys.config().sources) {
+      store.ensure_live(layout.chunk_of(s));
+    }
+    if (sys.scheduler_ == RoundScheduler::kExhaustive) {
+      for (std::size_t q = 0; q < store.chunk_count(); ++q) {
+        store.ensure_live(q);
+      }
+    }
+
+    sys.store_ = std::move(store);
+    sys.round_ = header.round;
+    sys.total_arrivals_ = header.arrivals;
+    sys.next_entity_id_ = header.next_entity_id;
+    sys.events_.clear();
+    sys.rebuild_active_sets();
+  }
+
+  static std::uint64_t digest_chunked(const chunk::ChunkedSystem& sys) {
+    // Same accumulation as the dense digest, over the same row-major cell
+    // order — non-live cells contribute their (provable) rest state, so a
+    // ChunkedSystem and a System in the same protocol state collide.
+    DigestAccumulator d;
+    d.u64(sys.round());
+    d.u64(sys.total_arrivals());
+    d.u64(sys.total_injected());
+    const chunk::ChunkedCellStore& store = sys.store();
+    const chunk::ChunkLayout& layout = sys.layout_;
+    for (const CellId id : sys.grid().all_cells()) {
+      const std::size_t q = layout.chunk_of(id);
+      const std::size_t slot = layout.slot_of(id);
+      if (store.is_live(q)) {
+        digest_cell(d, store.live(q).cells[slot]);
+      } else {
+        const CellState c = store.rest_cell(q, slot);
+        digest_cell(d, c);
+      }
+    }
+    return d.value();
   }
 
   // ---- MessageSystem -------------------------------------------------
@@ -799,9 +1095,9 @@ struct Access {
           have_env = true;
           break;
         default:
-          // Tags 4–6 are the shared realization's policy sections.
+          // Tags 4–6 and 11 belong to the shared/chunked realizations.
           fail(Errc::kConfigMismatch,
-               "snapshot was taken from the shared realization");
+               "snapshot was taken from a different realization");
       }
       r.close_section();
     }
@@ -812,7 +1108,7 @@ struct Access {
     }
     if (header.kind != kKindMessage) {
       fail(Errc::kConfigMismatch,
-           "snapshot was taken from the shared realization");
+           "snapshot was taken from a different realization");
     }
     if (have_env != (env_rng != nullptr)) {
       fail(Errc::kConfigMismatch,
@@ -929,6 +1225,20 @@ std::uint64_t state_digest(const System& sys) {
 
 std::uint64_t state_digest(const MessageSystem& msg) {
   return Access::digest_message(msg);
+}
+
+std::vector<std::uint8_t> save(const chunk::ChunkedSystem& sys,
+                               const FailureModel* failures) {
+  return Access::save_chunked(sys, failures);
+}
+
+void restore(chunk::ChunkedSystem& sys, std::span<const std::uint8_t> bytes,
+             FailureModel* failures) {
+  Access::restore_chunked(sys, bytes, failures);
+}
+
+std::uint64_t state_digest(const chunk::ChunkedSystem& sys) {
+  return Access::digest_chunked(sys);
 }
 
 void write_file(const std::string& path,

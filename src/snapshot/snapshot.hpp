@@ -42,6 +42,10 @@ class System;
 class Xoshiro256;
 }  // namespace cellflow
 
+namespace cellflow::chunk {
+class ChunkedSystem;
+}  // namespace cellflow::chunk
+
 namespace cellflow::snapshot {
 
 /// Serializes the full state of `sys` (round boundary only). When
@@ -68,6 +72,18 @@ void restore(System& sys, std::span<const std::uint8_t> bytes,
 void restore(MessageSystem& msg, std::span<const std::uint8_t> bytes,
              Xoshiro256* env_rng = nullptr);
 
+/// ChunkedSystem form (DESIGN.md §12): only *materialized* chunks go on
+/// the wire — live chunks as full per-cell state, parked chunks as their
+/// {dist, meta} summaries — so snapshot size is proportional to the
+/// active region, not N². Restore rebuilds the same chunk states (then
+/// re-derives scheduler aux), so a restored engine parks, faults-in, and
+/// computes exactly like the uninterrupted one.
+[[nodiscard]] std::vector<std::uint8_t> save(const chunk::ChunkedSystem& sys,
+                                             const FailureModel* failures =
+                                                 nullptr);
+void restore(chunk::ChunkedSystem& sys, std::span<const std::uint8_t> bytes,
+             FailureModel* failures = nullptr);
+
 /// FNV-1a-64 digest of the observable engine state (round, counters,
 /// every cell's protocol + physical variables; the message form adds the
 /// per-link sessions and transport state). Two engines with equal digests
@@ -75,6 +91,11 @@ void restore(MessageSystem& msg, std::span<const std::uint8_t> bytes,
 /// equality currency of the round-trip tests and the replay bisector.
 [[nodiscard]] std::uint64_t state_digest(const System& sys);
 [[nodiscard]] std::uint64_t state_digest(const MessageSystem& msg);
+/// Digests the full N×N cell space in row-major order — materialized or
+/// not (non-live cells via their rest-state reconstruction) — so the
+/// value is comparable across storage models: a ChunkedSystem and a dense
+/// System in the same protocol state produce the SAME digest.
+[[nodiscard]] std::uint64_t state_digest(const chunk::ChunkedSystem& sys);
 
 /// File helpers for the CLI. write_file throws std::runtime_error on I/O
 /// failure; read_file throws SnapshotError{kTruncated} on a missing or

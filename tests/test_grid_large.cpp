@@ -1,0 +1,115 @@
+// Large-side index-arithmetic tests (ISSUE 8, S1): at side 4096 a dense
+// cell index reaches 16'777'215 and products like j*side overflow 16-bit
+// int and get uncomfortably close to INT_MAX misuse patterns. The grid,
+// mask, and path modules widen to std::size_t before multiplying (audit
+// note in the ChunkLayout file comment); these tests pin that discipline
+// at N = 4096 — well past the N = 2048 the huge-grid bench runs — so a
+// future refactor reintroducing a narrow product is caught by a unit
+// test, not a corrupted world.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "chunk/chunk_layout.hpp"
+#include "grid/grid.hpp"
+#include "grid/path.hpp"
+#include "util/rng.hpp"
+
+namespace cellflow {
+namespace {
+
+constexpr int kSide = 4096;
+
+TEST(GridLarge, IndexRoundTripsAtSide4096) {
+  const Grid grid(kSide);
+  ASSERT_EQ(grid.cell_count(), 16'777'216u);
+
+  // Corners and extreme indices exactly.
+  EXPECT_EQ(grid.index_of(CellId{0, 0}), 0u);
+  EXPECT_EQ(grid.index_of(CellId{4095, 0}), 4095u);
+  EXPECT_EQ(grid.index_of(CellId{0, 4095}), 16'773'120u);
+  EXPECT_EQ(grid.index_of(CellId{4095, 4095}), 16'777'215u);
+  EXPECT_EQ(grid.id_of(16'777'215u), (CellId{4095, 4095}));
+
+  // Randomly sampled cells round-trip (the full sweep is 16.7M cells —
+  // sampling keeps the suite fast while covering high/low mixes).
+  Xoshiro256 rng(4096);
+  for (int k = 0; k < 20'000; ++k) {
+    const CellId id{static_cast<std::int32_t>(rng.below(kSide)),
+                    static_cast<std::int32_t>(rng.below(kSide))};
+    const std::size_t index = grid.index_of(id);
+    ASSERT_LT(index, grid.cell_count());
+    ASSERT_EQ(grid.id_of(index), id);
+  }
+
+  // Row-major adjacency of the index space at the widest row.
+  EXPECT_EQ(grid.index_of(CellId{0, 2048}),
+            grid.index_of(CellId{4095, 2047}) + 1);
+}
+
+TEST(GridLarge, ManhattanAtFullDiagonal) {
+  const Grid grid(kSide);
+  EXPECT_EQ(grid.manhattan(CellId{0, 0}, CellId{4095, 4095}), 8190);
+  EXPECT_EQ(grid.manhattan(CellId{4095, 0}, CellId{0, 4095}), 8190);
+  EXPECT_EQ(grid.manhattan(CellId{2048, 2048}, CellId{2048, 2048}), 0);
+  // Symmetry with mixed magnitudes.
+  EXPECT_EQ(grid.manhattan(CellId{1, 4095}, CellId{4095, 0}),
+            grid.manhattan(CellId{4095, 0}, CellId{1, 4095}));
+}
+
+TEST(GridLarge, ChunkLayoutCoversSide4096) {
+  const chunk::ChunkLayout layout(kSide);
+  ASSERT_EQ(layout.chunks_x(), 128);
+  ASSERT_EQ(layout.chunk_count(), 16'384u);
+  // Last chunk's rect is full-size (4096 = 128·32, no clipping).
+  const chunk::ChunkLayout::Rect last = layout.rect_of(16'383);
+  EXPECT_EQ(last.i0, 4064);
+  EXPECT_EQ(last.j0, 4064);
+  EXPECT_EQ(last.w, chunk::kChunkSide);
+  EXPECT_EQ(last.h, chunk::kChunkSide);
+  // Slot arithmetic round-trips at the far corner.
+  const CellId corner{4095, 4095};
+  EXPECT_EQ(layout.cell_at(layout.chunk_of(corner), layout.slot_of(corner)),
+            corner);
+}
+
+TEST(GridLarge, SnakePathSpansFullWidth) {
+  const Grid grid(kSide);
+  // 8 full-width boustrophedon rows: 32'768 cells, alternating heading.
+  const Path p = make_snake_path(grid, CellId{0, 0}, kSide, 8);
+  ASSERT_EQ(p.length(), 32'768u);
+  EXPECT_EQ(p.source(), (CellId{0, 0}));
+  EXPECT_EQ(p.target(), (CellId{0, 7}));  // even rows east, odd rows west
+  EXPECT_EQ(p.cells()[4095], (CellId{4095, 0}));
+  EXPECT_EQ(p.cells()[4096], (CellId{4095, 1}));
+  // One turn entering and one leaving each row joint: 2 per joint.
+  EXPECT_EQ(p.turns(), 14u);
+}
+
+TEST(GridLarge, SerpentinePathCrossesTheGrid) {
+  const Grid grid(kSide);
+  const Path p = make_serpentine_path(grid, CellId{0, 0}, kSide, 4);
+  // 4 lanes of 4096 plus 3 connector cells.
+  ASSERT_EQ(p.length(), 4u * 4096u + 3u);
+  EXPECT_EQ(p.source(), (CellId{0, 0}));
+  EXPECT_EQ(p.target(), (CellId{0, 6}));
+}
+
+TEST(GridLarge, StaircasePathHoldsExactTurnCount) {
+  const Grid grid(kSide);
+  // 6000 cells over 21 runs: the round-robin segment split reaches east
+  // extent 3142 and north extent 2857 — both inside the 4096 side, while
+  // 8000 cells would overflow the east edge.
+  const Path p =
+      make_turning_path(grid, CellId{0, 0}, Direction::kEast,
+                        Direction::kNorth, 6000, 20);
+  ASSERT_EQ(p.length(), 6000u);
+  ASSERT_EQ(p.turns(), 20u);
+  for (const CellId c : p.cells()) {
+    ASSERT_TRUE(grid.contains(c));
+  }
+}
+
+}  // namespace
+}  // namespace cellflow

@@ -228,6 +228,87 @@ TEST(Sidecar, ScaleSidecarSynthesizesACredibleRegression) {
   EXPECT_FALSE(compare_sidecars(base, bad, CompareOptions{}).ok());
 }
 
+/// v2 document carrying the optional "memory" map (S2: process VmHWM +
+/// store peak, the figures bench/macro_huge_grid stamps).
+std::string v2_memory_doc(double vm_hwm, double store_peak) {
+  const auto num = [](double v) { return std::to_string(v); };
+  return std::string("{\"bench\":\"macro_demo\",\"sidecar_version\":2,") +
+         "\"provenance\":{\"git_sha\":\"abc123\",\"build_type\":\"Release\"," +
+         "\"compiler\":\"GNU 13\",\"threads\":0,\"hardware_threads\":4," +
+         "\"repetitions\":1}," +
+         "\"elapsed_seconds\":1.0," +
+         "\"series\":{\"header\":[\"round\",\"store_bytes\"]," +
+         "\"rows\":[[0,1000],[1,2000]]}," +
+         "\"memory\":{\"vm_hwm_bytes\":" + num(vm_hwm) +
+         ",\"store_peak_bytes\":" + num(store_peak) + "}}";
+}
+
+TEST(Sidecar, BytesMetricsGateLowerBetter) {
+  EXPECT_EQ(classify_metric("store_peak_bytes"),
+            MetricDirection::kLowerBetter);
+  EXPECT_EQ(classify_metric("vm_hwm_bytes"), MetricDirection::kLowerBetter);
+  EXPECT_EQ(classify_metric("snapshot_bytes"), MetricDirection::kLowerBetter);
+}
+
+TEST(Sidecar, ParsesAndValidatesMemoryMap) {
+  const std::string doc = v2_memory_doc(50e6, 30e6);
+  const Sidecar s = parse_sidecar(doc);
+  ASSERT_EQ(s.memory.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.memory.at("vm_hwm_bytes"), 50e6);
+  EXPECT_DOUBLE_EQ(s.memory.at("store_peak_bytes"), 30e6);
+  EXPECT_NO_THROW(validate_sidecar_schema(doc));
+
+  // Malformed memory blocks are typed schema failures.
+  EXPECT_THROW(parse_sidecar("{\"bench\":\"b\",\"elapsed_seconds\":1.0,"
+                             "\"series\":{\"header\":[],\"rows\":[]},"
+                             "\"memory\":[1,2]}"),
+               std::runtime_error);
+  EXPECT_THROW(parse_sidecar("{\"bench\":\"b\",\"elapsed_seconds\":1.0,"
+                             "\"series\":{\"header\":[],\"rows\":[]},"
+                             "\"memory\":{\"vm_hwm_bytes\":\"big\"}}"),
+               std::runtime_error);
+  EXPECT_THROW(validate_sidecar_schema(v2_memory_doc(-1.0, 30e6)),
+               std::runtime_error);
+}
+
+TEST(Sidecar, MemoryGrowthPastTheMarginRegresses) {
+  const Sidecar base = parse_sidecar(v2_memory_doc(50e6, 30e6));
+  // 3x the store footprint: exactly the "memory no longer tracks active
+  // chunks" cliff the huge-grid gate exists for.
+  const Sidecar fat = parse_sidecar(v2_memory_doc(50e6, 90e6));
+  const CompareReport report = compare_sidecars(base, fat, CompareOptions{});
+  EXPECT_FALSE(report.ok());
+  const CompareRow* row = find_row(report, "-", "store_peak_bytes");
+  ASSERT_NE(row, nullptr);
+  EXPECT_TRUE(row->regression);
+  // Shrinking memory is an improvement, never a failure (one-sided gate).
+  EXPECT_TRUE(compare_sidecars(base, parse_sidecar(v2_memory_doc(50e6, 3e6)),
+                               CompareOptions{})
+                  .ok());
+}
+
+TEST(Sidecar, MemoryOnOneSideIsANoteNotAFailure) {
+  const Sidecar with = parse_sidecar(v2_memory_doc(50e6, 30e6));
+  Sidecar without = with;
+  without.memory.clear();
+  EXPECT_TRUE(compare_sidecars(without, with, CompareOptions{}).ok());
+  EXPECT_TRUE(compare_sidecars(with, without, CompareOptions{}).ok());
+  EXPECT_FALSE(compare_sidecars(without, with, CompareOptions{})
+                   .notes.empty());
+}
+
+TEST(Sidecar, ScaleDoctorsMemoryFigures) {
+  const std::string doctored =
+      scale_sidecar_metrics(v2_memory_doc(50e6, 30e6), 0.5);
+  const Sidecar bad = parse_sidecar(doctored);
+  // Lower-better figures divided by the speed factor: 0.5x speed = 2x
+  // memory, so the gate must flag the doctored run.
+  EXPECT_DOUBLE_EQ(bad.memory.at("store_peak_bytes"), 60e6);
+  EXPECT_FALSE(compare_sidecars(parse_sidecar(v2_memory_doc(50e6, 30e6)),
+                                bad, CompareOptions{})
+                   .ok());
+}
+
 TEST(Sidecar, ParseRejectsMalformedDocuments) {
   EXPECT_THROW(parse_sidecar("not json"), std::runtime_error);
   EXPECT_THROW(parse_sidecar("{\"bench\":3}"), std::runtime_error);

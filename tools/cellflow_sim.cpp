@@ -12,6 +12,7 @@
 //                [--metrics-out=FILE] [--metrics-every=0]
 //                [--profile-out=FILE] [--telemetry=false]
 //                [--realization=shared|message]
+//                [--store=dense|chunked]
 //                [--net-loss=P --net-dup=P --net-delay=P
 //                 --net-delay-max=R --net-seed=S --net-until=R
 //                 --partition=START:END:COL]
@@ -41,22 +42,39 @@
 // --carve-turns, --threads, --policy, --trace, and --profile-out are
 // shared-realization features and are rejected in message mode.
 //
-// Snapshots (src/snapshot, both realizations): --snapshot-out writes the
+// --store=chunked runs the sparse-world ChunkedSystem (src/chunk;
+// DESIGN.md §12) instead of the dense store — same automaton, memory
+// proportional to the materialized chunk set. Supported alongside it:
+// the core flags, --policy, --movement, --threads, --scheduler,
+// --metrics-*, and the snapshot flags (the chunked wire format writes
+// only materialized chunks). The observer-based instrumentation
+// (--trace/--csv/--render-every/--profile-out/--telemetry), --carve-turns
+// (which would materialize the whole grid), and --realization=message are
+// rejected with a typed error (exit 2). Every round is audited with the
+// §III-A oracles over the live chunks (parked/virgin chunks provably
+// hold no entities); violations exit nonzero, as in the other modes.
+//
+// Snapshots (src/snapshot, all realizations): --snapshot-out writes the
 // final engine state to FILE; with --snapshot-every=N the file is also
 // rewritten every N rounds (crash-resumable runs). --restore=FILE warm
 // starts from a snapshot taken under the SAME flags — the run then
 // executes --rounds additional rounds, bit-identically to the
 // uninterrupted run. A corrupt or mismatched snapshot exits 2 with a
 // typed error on stderr.
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <limits>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 
+#include "chunk/chunked_system.hpp"
 #include "core/choose.hpp"
+#include "core/predicates.hpp"
 #include "failure/failure_model.hpp"
+#include "geometry/rect.hpp"
 #include "grid/path.hpp"
 #include "msg/msg_audit.hpp"
 #include "msg/msg_system.hpp"
@@ -248,6 +266,227 @@ int run_message_mode(const MsgSystemConfig& cfg, std::uint64_t rounds,
   return violation_report.empty() ? 0 : 1;
 }
 
+/// The stochastic environment for the chunked driver: RandomFailRecover's
+/// Bernoulli stream verbatim (one draw per cell per round, in id order,
+/// pr when failed / pf otherwise), applied through ChunkedSystem's
+/// fail/recover transitions. Same encode/decode word layout, so snapshots
+/// carry the schedule exactly like the dense driver's model does.
+class ChunkedFailEnv final : public FailureModel {
+ public:
+  ChunkedFailEnv(double pf, double pr, std::uint64_t seed)
+      : pf_(pf), pr_(pr), rng_(seed) {}
+
+  void apply(System&) override {}  // dense form; unused by this driver
+
+  void apply_chunked(chunk::ChunkedSystem& sys) {
+    for (const CellId id : sys.grid().all_cells()) {
+      if (sys.cell(id).failed) {
+        if (rng_.bernoulli(pr_)) sys.recover(id);
+      } else if (rng_.bernoulli(pf_)) {
+        sys.fail(id);
+      }
+    }
+  }
+
+  void encode_state(std::vector<std::uint64_t>& out) const override {
+    const auto words = rng_.state();
+    out.insert(out.end(), words.begin(), words.end());
+    out.push_back(total_failures_);
+    out.push_back(total_recoveries_);
+  }
+  [[nodiscard]] bool decode_state(
+      std::span<const std::uint64_t> words) override {
+    if (words.size() != 6) return false;
+    rng_.set_state({words[0], words[1], words[2], words[3]});
+    total_failures_ = words[4];
+    total_recoveries_ = words[5];
+    return true;
+  }
+
+ private:
+  double pf_;
+  double pr_;
+  Xoshiro256 rng_;
+  std::uint64_t total_failures_ = 0;
+  std::uint64_t total_recoveries_ = 0;
+};
+
+/// The §III-A oracles of check_all(System) — Safe, Invariants 1/2, and
+/// footprint separation — over a ChunkedSystem, reading live chunks
+/// directly. Parked and virgin chunks provably hold no entities (store
+/// invariant: occupied cells live in live chunks), so the scan cost is
+/// proportional to the materialized region, not N². `seen` is caller-
+/// owned scratch for the disjointness check (reused across rounds).
+std::optional<Violation> check_chunked_safety(
+    const chunk::ChunkedSystem& sys, std::unordered_set<EntityId>& seen) {
+  const Params& prm = sys.params();
+  const double d = prm.center_spacing();
+  const double l = prm.entity_length();
+  const double rs = prm.safety_gap();
+  const double half = l / 2.0;
+  const double eps = kPredicateEps;
+  const chunk::ChunkedCellStore& store = sys.store();
+  const chunk::ChunkLayout& layout = store.layout();
+  seen.clear();
+  for (std::size_t q = 0; q < layout.chunk_count(); ++q) {
+    if (!store.is_live(q)) continue;
+    const chunk::LiveChunk& lc = store.live(q);
+    for (std::size_t slot = 0; slot < lc.cells.size(); ++slot) {
+      const auto& members = lc.cells[slot].members;
+      if (members.empty()) continue;
+      const CellId id = layout.cell_at(q, slot);
+      const auto i = static_cast<double>(id.i);
+      const auto j = static_cast<double>(id.j);
+      for (const Entity& p : members) {
+        if (!seen.insert(p.id).second) {
+          return Violation{"Invariant2", id,
+                           to_string(p.id) + " appears in two cells"};
+        }
+        const bool in_bounds = p.center.x - half >= i - eps &&
+                               p.center.x + half <= i + 1.0 + eps &&
+                               p.center.y - half >= j - eps &&
+                               p.center.y + half <= j + 1.0 + eps;
+        if (!in_bounds) {
+          return Violation{"Invariant1", id,
+                           to_string(p.id) + " at " + to_string(p.center)};
+        }
+      }
+      for (std::size_t a = 0; a < members.size(); ++a) {
+        for (std::size_t b = a + 1; b < members.size(); ++b) {
+          const Vec2 pa = members[a].center;
+          const Vec2 pb = members[b].center;
+          if (std::abs(pa.x - pb.x) < d - eps &&
+              std::abs(pa.y - pb.y) < d - eps) {
+            return Violation{"Safe", id,
+                             to_string(members[a].id) + " vs " +
+                                 to_string(members[b].id)};
+          }
+          const Rect ra = members[a].footprint(l);
+          const Rect rb = members[b].footprint(l);
+          if (ra.overlaps(rb) || ra.linf_gap(rb) < rs - eps) {
+            return Violation{"FootprintGap", id,
+                             to_string(members[a].id) + " vs " +
+                                 to_string(members[b].id)};
+          }
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// The --store=chunked driver: a manual round loop over the sparse-world
+/// engine (the Simulator and its observers drive the dense System only),
+/// auditing every round with the oracle scan above.
+int run_chunked_mode(const SystemConfig& cfg, const std::string& policy,
+                     std::uint64_t seed, RoundScheduler scheduler,
+                     std::uint64_t threads, std::uint64_t rounds, double pf,
+                     double pr, const std::string& metrics_out,
+                     std::uint64_t metrics_every, const SnapshotOptions& snap) {
+  chunk::ChunkedSystem sys(cfg, make_choose_policy(policy, seed));
+  sys.set_round_scheduler(scheduler);
+  if (threads > 0)
+    sys.set_parallel_policy(
+        ParallelPolicy::parallel(static_cast<int>(threads)));
+
+  // Same environment construction as the dense shared driver (seed ^
+  // 0x51D, one Bernoulli per cell per round), so the two stores see the
+  // identical fail/recover schedule for the same flags.
+  std::unique_ptr<FailureModel> failures;
+  ChunkedFailEnv* env = nullptr;
+  if (pf > 0.0) {
+    auto owned = std::make_unique<ChunkedFailEnv>(pf, pr, seed ^ 0x51D);
+    env = owned.get();
+    failures = std::move(owned);
+  } else {
+    failures = std::make_unique<NoFailures>();
+  }
+
+  if (!snap.restore.empty()) {
+    try {
+      snapshot::restore(sys, snapshot::read_file(snap.restore),
+                        failures.get());
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << '\n';
+      return 2;
+    }
+  }
+
+  obs::MetricsRegistry registry;
+  std::ofstream jsonl_file;
+  if (!metrics_out.empty()) {
+    sys.set_metrics(&registry);
+    if (metrics_every > 0) {
+      jsonl_file.open(metrics_out + ".jsonl");
+      if (!jsonl_file) {
+        std::cerr << "cannot open " << metrics_out << ".jsonl\n";
+        return 2;
+      }
+    }
+  }
+
+  std::string violation_report;
+  std::unordered_set<EntityId> oracle_scratch;
+  for (std::uint64_t k = 0; k < rounds; ++k) {
+    if (env != nullptr) env->apply_chunked(sys);
+    sys.update();
+    if (violation_report.empty()) {
+      if (const auto v = check_chunked_safety(sys, oracle_scratch)) {
+        violation_report = v->predicate + " at " + to_string(v->cell) +
+                           " round " + std::to_string(k) + ": " + v->detail;
+      }
+    }
+    if (jsonl_file.is_open() && (k + 1) % metrics_every == 0)
+      jsonl_file << obs::jsonl_snapshot(registry, k + 1);
+    if (!snap.out.empty() && snap.every > 0 && (k + 1) % snap.every == 0) {
+      try {
+        snapshot::write_file(snap.out, snapshot::save(sys, failures.get()));
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << '\n';
+        return 2;
+      }
+    }
+  }
+  if (jsonl_file.is_open()) jsonl_file << obs::jsonl_snapshot(registry, rounds);
+  if (!snap.out.empty()) {
+    try {
+      snapshot::write_file(snap.out, snapshot::save(sys, failures.get()));
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << '\n';
+      return 2;
+    }
+  }
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::cerr << "cannot open " << metrics_out << '\n';
+      return 2;
+    }
+    out << obs::to_prometheus(registry);
+  }
+
+  const chunk::ChunkedCellStore& store = sys.store();
+  std::cout << "store=chunked round=" << sys.round()
+            << " arrivals=" << sys.total_arrivals()
+            << " injected=" << sys.total_injected() << '\n'
+            << "throughput: "
+            << (static_cast<double>(sys.total_arrivals()) /
+                static_cast<double>(rounds))
+            << "  entities in system: " << sys.entity_count() << '\n'
+            << "chunks: live=" << store.live_count()
+            << " parked=" << store.parked_count() << " virgin="
+            << (store.chunk_count() - store.live_count() -
+                store.parked_count())
+            << "  resident bytes: " << store.resident_bytes()
+            << "  materialized total: " << store.stats().materialized_total
+            << '\n'
+            << "safety: "
+            << (violation_report.empty() ? "CLEAN" : violation_report)
+            << '\n';
+  return violation_report.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -295,6 +534,9 @@ int main(int argc, char** argv) {
   const std::string realization = cli.get_string(
       "realization", "shared",
       "protocol realization: shared (variable) | message (passing)");
+  const std::string store_s = cli.get_string(
+      "store", "dense",
+      "cell store: dense (N^2 vector) | chunked (sparse 32x32 tiles)");
   NetOptions net;
   net.loss =
       cli.get_double("net-loss", 0.0, "message drop probability (message)");
@@ -326,6 +568,14 @@ int main(int argc, char** argv) {
 
   if (realization != "shared" && realization != "message") {
     std::cerr << "unknown realization: " << realization << '\n';
+    return 2;
+  }
+  if (store_s != "dense" && store_s != "chunked") {
+    std::cerr << "unknown store: " << store_s << '\n';
+    return 2;
+  }
+  if (store_s == "chunked" && realization == "message") {
+    std::cerr << "--store=chunked requires --realization=shared\n";
     return 2;
   }
   if (snap.every > 0 && snap.out.empty()) {
@@ -366,6 +616,36 @@ int main(int argc, char** argv) {
   } else {
     std::cerr << "unknown movement rule: " << movement << '\n';
     return 2;
+  }
+
+  if (store_s == "chunked") {
+    // Observer-based instrumentation drives the dense System only, and
+    // carving would fail (hence materialize) every off-path chunk —
+    // defeating the sparse store. Typed rejection, same taxonomy as the
+    // message-mode check.
+    if (carve_turns >= 0 || dump_trace || emit_csv || render_every > 0 ||
+        !profile_out.empty() || telemetry) {
+      std::cerr << "--store=chunked supports only the core flags "
+                   "(side/l/rs/v/source/target/rounds/pf/pr/seed), "
+                   "--policy, --movement, --threads, --scheduler, "
+                   "--metrics-*, and --snapshot-*/--restore\n";
+      return 2;
+    }
+    const CellId source = parse_cell(source_s);
+    cfg.sources = {source};
+    cfg.target = target_s.empty() ? CellId{source.i, side - 1}
+                                  : parse_cell(target_s);
+    RoundScheduler scheduler;
+    if (scheduler_s == "active") {
+      scheduler = RoundScheduler::kActiveSet;
+    } else if (scheduler_s == "exhaustive") {
+      scheduler = RoundScheduler::kExhaustive;
+    } else {
+      std::cerr << "unknown scheduler: " << scheduler_s << '\n';
+      return 2;
+    }
+    return run_chunked_mode(cfg, policy, seed, scheduler, threads, rounds, pf,
+                            pr, metrics_out, metrics_every, snap);
   }
 
   std::optional<Path> carved;
