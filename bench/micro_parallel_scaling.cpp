@@ -112,13 +112,19 @@ struct Measurement {
   double coverage = 0.0;   ///< accounted / round wall time
 };
 
+/// `instrumented` attaches telemetry (the breakdown columns). Running
+/// once more with it detached matters beyond speed: only an
+/// unobserved pooled engine takes the fused-barrier run_plan path
+/// (update() needs the per-phase barriers to measure them), so the
+/// uninstrumented twin is what extends the digest check to that path.
 Measurement measure(int side, const ParallelPolicy& policy,
-                    std::uint64_t warmup, std::uint64_t rounds) {
+                    std::uint64_t warmup, std::uint64_t rounds,
+                    bool instrumented = true) {
   System sys(scaling_config(side));
   sys.set_parallel_policy(policy);
   obs::MetricsRegistry reg;
   obs::EngineTelemetry telemetry(reg);
-  sys.set_telemetry(&telemetry);
+  if (instrumented) sys.set_telemetry(&telemetry);
   for (std::uint64_t k = 0; k < warmup; ++k) sys.update();
   telemetry.reset_totals();
   const auto t0 = std::chrono::steady_clock::now();
@@ -189,12 +195,24 @@ int main(int argc, char** argv) {
       "Micro: parallel round-engine scaling",
       "ParallelPolicy engine; serial vs 2/4/8 worker threads, with the\n"
       "engine-telemetry breakdown of where each round's time goes");
-  std::cout << "hardware threads: " << std::thread::hardware_concurrency()
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "hardware threads: " << hw
             << "  (speedup is bounded by physical cores; digests must\n"
                "   match on any machine — that is the determinism check)\n\n";
 
   const std::vector<int> all_sides = {20, 50, 100};
   const std::vector<int> thread_counts = {0, 2, 4, 8};  // 0 = serial
+
+  const int max_requested =
+      *std::max_element(thread_counts.begin(), thread_counts.end());
+  if (hw != 0 && hw < static_cast<unsigned>(max_requested)) {
+    std::cout << "WARNING: only " << hw << " hardware thread"
+              << (hw == 1 ? "" : "s") << " for up to " << max_requested
+              << " requested workers — the oversubscribed widths time-slice\n"
+                 "         one core, so speedup_vs_serial is informational "
+                 "only on this\n"
+                 "         machine (the digest checks remain exact).\n\n";
+  }
 
   struct Row {
     int side = 0;
@@ -259,6 +277,17 @@ int main(int argc, char** argv) {
           digests_agree = false;
           std::cerr << "DIGEST MISMATCH: side=" << side << " threads=" << t
                     << " parallel state diverged from serial\n";
+        }
+        // Fused-engine coverage: one uninstrumented run per parallel
+        // configuration (see measure()'s comment) whose digest must
+        // match the instrumented engines'.
+        const Measurement fused =
+            measure(side, policy, warmup, rounds, /*instrumented=*/false);
+        recorder.note_rounds(warmup + rounds);
+        if (fused.state_digest != dig) {
+          digests_agree = false;
+          std::cerr << "DIGEST MISMATCH: side=" << side << " threads=" << t
+                    << " fused (uninstrumented) engine diverged\n";
         }
       }
       rows.push_back(row);

@@ -242,6 +242,16 @@ void ChunkedSystem::set_parallel_policy(const ParallelPolicy& policy) {
   if (scratch_.shards.size() < width) scratch_.shards.resize(width);
 }
 
+ThreadPool* ChunkedSystem::phase_pool(std::size_t approx_cells) const {
+  ThreadPool* pool = pool_.get();
+  if (pool == nullptr || parallel_.cutover != ParallelPolicy::Cutover::kAuto)
+    return pool;
+  const std::size_t used = shard_count(approx_cells, pool->thread_count());
+  if (used <= 1) return pool;  // parallel_for_shards falls back anyway
+  const auto grain = static_cast<std::size_t>(parallel_.cutover_grain);
+  return approx_cells < grain * used ? nullptr : pool;
+}
+
 void ChunkedSystem::set_metrics(obs::MetricsRegistry* registry) {
   // Same label as the dense shared-variable engine: the exposition must
   // be byte-identical to System's (pinned by the differential suite).
@@ -388,8 +398,10 @@ void ChunkedSystem::run_route_phase() {
     }
   }
 
+  ThreadPool* pool = phase_pool(
+      order.size() * static_cast<std::size_t>(kChunkSide * kChunkSide));
   const auto nshards =
-      pool_ ? static_cast<std::size_t>(pool_->thread_count()) : 1;
+      pool ? static_cast<std::size_t>(pool->thread_count()) : 1;
   for (std::size_t s = 0; s < nshards; ++s)
     scratch_.shards[s].begin_phase();
   const auto body = [&](std::size_t s, ShardRange r) {
@@ -418,7 +430,7 @@ void ChunkedSystem::run_route_phase() {
       }
     }
   };
-  parallel_for_shards(pool_.get(), order.size(), body);
+  parallel_for_shards(pool, order.size(), body);
 
   sched_stats_.route_cells = 0;
   for (std::size_t s = 0; s < nshards; ++s) {
@@ -520,8 +532,12 @@ void ChunkedSystem::run_signal_phase() {
   // A stateful choose policy pins Signal serial — and, here, to a
   // *global row-major* sweep: chunk-major traversal would permute the
   // policy's call sequence relative to the dense serial loop.
-  ThreadPool* pool = choose_->concurrent_safe() ? pool_.get() : nullptr;
   const auto& order = store_.live_order();
+  ThreadPool* pool =
+      choose_->concurrent_safe()
+          ? phase_pool(order.size() *
+                       static_cast<std::size_t>(kChunkSide * kChunkSide))
+          : nullptr;
   const auto nshards =
       pool ? static_cast<std::size_t>(pool->thread_count()) : 1;
   for (std::size_t s = 0; s < nshards; ++s)
@@ -692,8 +708,10 @@ void ChunkedSystem::signal_cell(LiveChunk& lc, const ChunkLayout::Rect& rect,
 void ChunkedSystem::run_move_phase() {
   const bool active = scheduler_ == RoundScheduler::kActiveSet;
   const auto& order = store_.live_order();
+  ThreadPool* pool = phase_pool(
+      order.size() * static_cast<std::size_t>(kChunkSide * kChunkSide));
   const auto nshards =
-      pool_ ? static_cast<std::size_t>(pool_->thread_count()) : 1;
+      pool ? static_cast<std::size_t>(pool->thread_count()) : 1;
   for (std::size_t s = 0; s < nshards; ++s)
     scratch_.shards[s].begin_phase();
   const auto body = [&](std::size_t s, ShardRange r) {
@@ -720,7 +738,7 @@ void ChunkedSystem::run_move_phase() {
       }
     }
   };
-  parallel_for_shards(pool_.get(), order.size(), body);
+  parallel_for_shards(pool, order.size(), body);
 
   sched_stats_.move_cells = 0;
   for (std::size_t s = 0; s < nshards; ++s) {

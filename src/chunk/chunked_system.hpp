@@ -272,6 +272,14 @@ class ChunkedSystem {
 
   [[nodiscard]] bool injection_is_safe(CellId id, Vec2 center) const;
 
+  /// The pool a phase should use, honoring ParallelPolicy's kAuto serial
+  /// cutover: nullptr when the phase's approximate cell workload would
+  /// hand each shard less than cutover_grain cells (the dispatch and
+  /// barrier would then dominate). Bit-identity is unaffected — both
+  /// engines produce identical results (DESIGN.md §6), the cutover only
+  /// picks which one runs.
+  [[nodiscard]] ThreadPool* phase_pool(std::size_t approx_cells) const;
+
   SystemConfig config_;
   Grid grid_;
   ChunkLayout layout_;

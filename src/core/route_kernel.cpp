@@ -1,0 +1,60 @@
+#include "core/route_kernel.hpp"
+
+namespace cellflow {
+
+namespace detail {
+
+void route_min_keys_interior_scalar(const std::uint64_t* dist_raw,
+                                    std::size_t k0, std::size_t n,
+                                    std::size_t side,
+                                    std::uint64_t* keys_out) {
+  const std::uint64_t* base = dist_raw + k0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t w = route_pack_key(base[i - 1], 0);
+    const std::uint64_t s = route_pack_key(base[i - side], 1);
+    const std::uint64_t nb = route_pack_key(base[i + side], 2);
+    const std::uint64_t e = route_pack_key(base[i + 1], 3);
+    std::uint64_t best = w < s ? w : s;
+    if (nb < best) best = nb;
+    if (e < best) best = e;
+    keys_out[i] = best;
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+using KernelFn = void (*)(const std::uint64_t*, std::size_t, std::size_t,
+                          std::size_t, std::uint64_t*);
+
+bool cpu_has_avx2() noexcept {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+KernelFn pick_kernel() noexcept {
+  return cpu_has_avx2() ? &detail::route_min_keys_interior_avx2
+                        : &detail::route_min_keys_interior_scalar;
+}
+
+// Resolved once; both bodies are pure functions of their inputs, so the
+// choice is observational only (bit-identical results either way).
+const KernelFn kKernel = pick_kernel();
+
+}  // namespace
+
+void route_min_keys_interior(const std::uint64_t* dist_raw, std::size_t k0,
+                             std::size_t n, std::size_t side,
+                             std::uint64_t* keys_out) {
+  kKernel(dist_raw, k0, n, side, keys_out);
+}
+
+bool route_kernel_uses_avx2() noexcept {
+  return kKernel == &detail::route_min_keys_interior_avx2;
+}
+
+}  // namespace cellflow

@@ -1,0 +1,77 @@
+// AVX2 body of route_min_keys_interior: four cells per iteration, one
+// unaligned 4-lane load per neighbor direction. Compiled with -mavx2
+// on x86-64 (see src/CMakeLists.txt); route_kernel.cpp only dispatches
+// here after __builtin_cpu_supports("avx2") confirmed the CPU. The
+// lane arithmetic mirrors route_pack_key exactly: a raw is "unusable"
+// iff it is >= kRouteHugeDist unsigned, i.e. (as signed) negative or
+// greater than kRouteHugeDist - 1 — two signed compares, which is all
+// AVX2 offers for 64-bit lanes.
+#include "core/route_kernel.hpp"
+
+#if defined(__x86_64__) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace cellflow::detail {
+
+namespace {
+
+inline __m256i pack_lanes(__m256i raw, long long rank) {
+  const __m256i huge =
+      _mm256_set1_epi64x(static_cast<long long>(kRouteHugeDist - 1));
+  const __m256i none =
+      _mm256_set1_epi64x(static_cast<long long>(kRouteKeyNone));
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i shifted =
+      _mm256_or_si256(_mm256_slli_epi64(raw, 2), _mm256_set1_epi64x(rank));
+  const __m256i bad = _mm256_or_si256(_mm256_cmpgt_epi64(zero, raw),
+                                      _mm256_cmpgt_epi64(raw, huge));
+  return _mm256_blendv_epi8(shifted, none, bad);
+}
+
+inline __m256i min_keys(__m256i a, __m256i b) {
+  // All keys are non-negative in signed terms (max is kRouteKeyNone =
+  // INT64_MAX), so the signed compare orders them correctly.
+  return _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(a, b));
+}
+
+}  // namespace
+
+void route_min_keys_interior_avx2(const std::uint64_t* dist_raw,
+                                  std::size_t k0, std::size_t n,
+                                  std::size_t side, std::uint64_t* keys_out) {
+  const std::uint64_t* base = dist_raw + k0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const auto load = [&](std::ptrdiff_t off) {
+      return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          base + static_cast<std::ptrdiff_t>(i) + off));
+    };
+    const __m256i w = pack_lanes(load(-1), 0);
+    const __m256i s =
+        pack_lanes(load(-static_cast<std::ptrdiff_t>(side)), 1);
+    const __m256i nb = pack_lanes(load(static_cast<std::ptrdiff_t>(side)), 2);
+    const __m256i e = pack_lanes(load(1), 3);
+    const __m256i best = min_keys(min_keys(w, s), min_keys(nb, e));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(keys_out + i), best);
+  }
+  if (i < n)
+    route_min_keys_interior_scalar(dist_raw, k0 + i, n - i, side,
+                                   keys_out + i);
+}
+
+}  // namespace cellflow::detail
+
+#else  // non-AVX2 build of this TU: keep the symbol, defer to scalar.
+
+namespace cellflow::detail {
+
+void route_min_keys_interior_avx2(const std::uint64_t* dist_raw,
+                                  std::size_t k0, std::size_t n,
+                                  std::size_t side, std::uint64_t* keys_out) {
+  route_min_keys_interior_scalar(dist_raw, k0, n, side, keys_out);
+}
+
+}  // namespace cellflow::detail
+
+#endif

@@ -6,9 +6,11 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "core/move.hpp"
 #include "core/route.hpp"
+#include "core/route_kernel.hpp"
 #include "core/signal.hpp"
 #include "obs/engine_telemetry.hpp"
 #include "obs/profiler.hpp"
@@ -39,8 +41,11 @@ ParallelPolicy parallel_policy_from_env() {
         std::string("CELLFLOW_THREADS: expected an integer in [0, 1024], "
                     "got '") +
         raw + "'");
+  // The ambient knob asks for throughput, so it gets the kAuto serial
+  // cutover; callers that need the engine pinned (differential suites)
+  // use set_parallel_policy explicitly.
   return n == 0 ? ParallelPolicy::serial()
-                : ParallelPolicy::parallel(static_cast<int>(n));
+                : ParallelPolicy::parallel_auto(static_cast<int>(n));
 }
 
 void canonical_transfer_order(const Grid& grid,
@@ -81,6 +86,7 @@ System::System(SystemConfig config, std::unique_ptr<ChoosePolicy> choose,
   // Initial state (Figure 3): everything ⊥/∞/empty except the target's
   // distance, which anchors the routing computation at 0.
   cells_[grid_.index_of(config_.target)].dist = Dist::zero();
+  target_k_ = grid_.index_of(config_.target);
   dist_snapshot_.resize(cells_.size());
   // Flatten the (immutable) grid topology into the dense tables the
   // phase loops index directly — see the member comments in system.hpp.
@@ -113,7 +119,10 @@ void System::rebuild_active_sets() {
   occ_b_.assign(cells_.size(), 0);
   occ_refs_.assign(cells_.size(), 0);
   for (std::size_t k = 0; k < cells_.size(); ++k) {
-    dist_snapshot_[k] = cells_[k].dist;
+    const std::uint64_t raw = cells_[k].dist.raw();
+    dist_snapshot_[k] = raw;
+    if (raw >= kRouteHugeDist / 2 && cells_[k].dist.is_finite())
+      huge_dist_seen_ = true;  // snapshot restore can carry corrupted raws
     if (occupied(cells_[k])) apply_occupancy_flip(k);
   }
 }
@@ -147,7 +156,10 @@ void System::note_control_mutation(std::size_t k) {
   // the active scheduler to (a) keep the snapshot invariant, (b) rerun
   // Route over the affected neighborhood next round, and (c) refresh
   // the occupancy of the mutated cell.
-  dist_snapshot_[k] = cells_[k].dist;
+  const std::uint64_t raw = cells_[k].dist.raw();
+  dist_snapshot_[k] = raw;
+  if (raw >= kRouteHugeDist / 2 && cells_[k].dist.is_finite())
+    huge_dist_seen_ = true;  // pins Route to the route_step reference path
   arm_route_neighborhood(k, round_);
   refresh_occupancy(k);
 }
@@ -327,6 +339,27 @@ void System::recover(CellId id) {
   note_control_mutation(grid_.index_of(id));
 }
 
+bool System::decide_cutover() const {
+  // kAuto: run this round serial when the previous round's widest phase
+  // would hand each shard less than the grain's worth of cells — the
+  // pooled round would then be dominated by dispatch and barriers. The
+  // inputs (SchedulerStats, grid size, policy) are engine-independent,
+  // and by §6 both engines are bit-identical, so the choice can never
+  // change results. Round 0 has no stats yet and runs as configured.
+  if (round_ == 0) return false;
+  const std::size_t used =
+      shard_count(cells_.size(), pool_->thread_count());
+  if (used <= 1) return false;
+  const std::uint64_t widest =
+      std::max({sched_stats_.route_cells, sched_stats_.signal_cells,
+                sched_stats_.move_cells});
+  double grain = static_cast<double>(parallel_.cutover_grain);
+  if (ewma_cutover_grain_ > 0.0)
+    grain = std::clamp(ewma_cutover_grain_, 64.0, 4096.0);
+  return static_cast<double>(widest) <
+         grain * static_cast<double>(used);
+}
+
 const RoundEvents& System::update() {
   events_.clear();
   events_.round = round_;
@@ -337,6 +370,12 @@ const RoundEvents& System::update() {
   const bool track = profiler_ != nullptr || telemetry_ != nullptr;
   const auto t_round = track ? ProfClock::now() : ProfClock::time_point{};
   if (telemetry_ != nullptr) round_timing_.reset();
+  // Serial cutover (ParallelPolicy::Cutover::kAuto): the round in
+  // flight uses round_pool_, which this decision may pin to nullptr.
+  const bool cutover =
+      pool_ != nullptr &&
+      parallel_.cutover == ParallelPolicy::Cutover::kAuto && decide_cutover();
+  round_pool_ = cutover ? nullptr : pool_.get();
   // `count_serial`: the phase will run entirely on the calling thread,
   // so its whole wall span — body, merges, glue — is telemetry "work"
   // (pooled phases decompose themselves via note_phase_timing instead).
@@ -345,9 +384,20 @@ const RoundEvents& System::update() {
   // yields more than one shard; Signal additionally pins serial under a
   // stateful choose policy.
   const bool pooled =
-      pool_ != nullptr &&
-      shard_count(cells_.size(), pool_->thread_count()) > 1;
+      round_pool_ != nullptr &&
+      shard_count(cells_.size(), round_pool_->thread_count()) > 1;
   const bool signal_pooled = pooled && choose_->concurrent_safe();
+  // Fused-barrier orchestration (DESIGN.md §6): one run_plan dispatch
+  // covers the whole round when nothing needs the per-phase barriers —
+  // no hook observing intermediate states, no profiler/telemetry
+  // measuring them — and shards are wide enough (>= side cells) that
+  // the Route→Signal gate only ever spans adjacent shards, which is
+  // what makes the in-stage wait deadlock-free.
+  const bool fused =
+      pooled && !phase_hook_ && !track &&
+      cells_.size() / shard_count(cells_.size(),
+                                  round_pool_->thread_count()) >=
+          static_cast<std::size_t>(config_.side);
   const auto timed = [this, track](const char* name, bool count_serial,
                                    auto&& phase) {
     if (!track) {
@@ -362,14 +412,18 @@ const RoundEvents& System::update() {
       round_timing_.serial_work_ns += span_ns(t0, t1);
   };
 
-  timed("route", !pooled, [this] { run_route_phase(); });
-  if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterRoute);
-  timed("signal", !signal_pooled, [this] { run_signal_phase(); });
-  if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterSignal);
-  timed("move", !pooled, [this] { run_move_phase(); });
-  if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterMove);
-  timed("inject", true, [this] { run_inject_phase(); });
-  if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterInject);
+  if (fused) {
+    run_fused_round();
+  } else {
+    timed("route", !pooled, [this] { run_route_phase(); });
+    if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterRoute);
+    timed("signal", !signal_pooled, [this] { run_signal_phase(); });
+    if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterSignal);
+    timed("move", !pooled, [this] { run_move_phase(); });
+    if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterMove);
+    timed("inject", true, [this] { run_inject_phase(); });
+    if (phase_hook_) phase_hook_(*this, UpdatePhase::kAfterInject);
+  }
 
   const auto t_end = track ? ProfClock::now() : ProfClock::time_point{};
   if (profiler_ != nullptr)
@@ -377,7 +431,15 @@ const RoundEvents& System::update() {
   if (telemetry_ != nullptr) {
     obs::RoundBreakdown b;
     b.round_ns = span_ns(t_round, t_end);
-    b.workers = pool_ ? pool_->thread_count() : 1;
+    b.workers = round_pool_ ? round_pool_->thread_count() : 1;
+    b.cutover = cutover;
+    if (pool_) {
+      const DispatchStats ds = pool_->dispatch_stats();
+      b.pool_dispatches = ds.dispatches - last_dispatch_stats_.dispatches;
+      b.pool_spin_wakes = ds.spin_wakes - last_dispatch_stats_.spin_wakes;
+      b.pool_park_wakes = ds.park_wakes - last_dispatch_stats_.park_wakes;
+      last_dispatch_stats_ = ds;
+    }
     b.work_ns = round_timing_.serial_work_ns + round_timing_.pool_busy_ns;
     b.barrier_wait_ns = round_timing_.pool_barrier_ns;
     b.dispatch_ns =
@@ -394,6 +456,32 @@ const RoundEvents& System::update() {
           static_cast<double>(round_timing_.pool_task_ns) /
           (static_cast<double>(pool_->thread_count()) *
            static_cast<double>(b.round_ns));
+    }
+    if (pooled) {
+      // Adaptive cutover grain: a pooled, telemetry-tracked round gives
+      // a live sample of "how many cells per shard would this round's
+      // overhead have paid for" — overhead_ns / (per-cell work × shard
+      // count). The EWMA smooths scheduler noise; decide_cutover clamps
+      // it before use. Timing only selects which of two bit-identical
+      // engines runs (§6), so feeding it back is determinism-safe.
+      const std::uint64_t visited = sched_stats_.route_cells +
+                                    sched_stats_.signal_cells +
+                                    sched_stats_.move_cells;
+      const std::uint64_t overhead = round_timing_.pool_dispatch_ns +
+                                     round_timing_.pool_resume_ns +
+                                     round_timing_.pool_barrier_ns;
+      if (visited > 0 && round_timing_.pool_task_ns > 0) {
+        const double cell_ns =
+            static_cast<double>(round_timing_.pool_task_ns) /
+            static_cast<double>(visited);
+        const std::size_t width =
+            shard_count(cells_.size(), pool_->thread_count());
+        const double sample = static_cast<double>(overhead) /
+                              (cell_ns * static_cast<double>(width));
+        ewma_cutover_grain_ = ewma_cutover_grain_ == 0.0
+                                  ? sample
+                                  : 0.8 * ewma_cutover_grain_ + 0.2 * sample;
+      }
     }
     telemetry_->record_round(b);
     if (profiler_ != nullptr) {
@@ -413,6 +501,106 @@ const RoundEvents& System::update() {
   return events_;
 }
 
+void System::run_fused_round() {
+  // One ThreadPool::run_plan dispatch for the whole round (DESIGN.md
+  // §6). The legacy path pays a dispatch + full barrier per phase; here
+  // the workers wake once and ride three stages:
+  //
+  //   stage 0 (parallel): Route over grid shards, then — when the
+  //     choose policy is concurrent-safe — Signal over the same shard,
+  //     gated per shard instead of globally: shard t's Signal half only
+  //     needs the Route outputs of shards t-1, t, t+1 (every input a
+  //     Signal cell reads lies within `side` cells of it, and update()
+  //     only fuses when each shard spans >= side cells). Deadlock-free:
+  //     tasks are claimed in ascending order and every task publishes
+  //     its Route flag *before* waiting, so the only wait on an
+  //     unclaimed task is the highest claimed task waiting on t+1 —
+  //     and with >= 2 executors (pooled implies it; the caller is
+  //     executor 0) some executor is free to claim t+1.
+  //   stage 1 (serial, workers held): the phase merges, in the same
+  //     shard order as the legacy path — plus the whole Signal phase
+  //     when a stateful choose policy pins it serial.
+  //   stage 2 (parallel): Move over grid shards.
+  //
+  // Same span bodies, same shard ranges, same merge order as the
+  // legacy path ⇒ the §6 bit-identity argument is unchanged.
+  ThreadPool* pool = round_pool_;
+  const std::size_t n = cells_.size();
+  const std::size_t used = shard_count(n, pool->thread_count());
+  const bool signal_fused = choose_->concurrent_safe();
+  const bool active = scheduler_ == RoundScheduler::kActiveSet;
+
+  if (!active) {
+    for (std::size_t k = 0; k < n; ++k)
+      dist_snapshot_[k] = cells_[k].dist.raw();
+  }
+  const auto nshards = static_cast<std::size_t>(pool->thread_count());
+  for (std::size_t s = 0; s < nshards; ++s)
+    scratch_.shards[s].begin_phase();
+
+  // Reset the Route→Signal gate while the workers are quiescent.
+  if (route_ready_cap_ < used) {
+    route_ready_ = std::make_unique<std::atomic<std::uint32_t>[]>(used);
+    route_ready_cap_ = used;
+  }
+  for (std::size_t s = 0; s < used; ++s)
+    route_ready_[s].store(0, std::memory_order_relaxed);
+
+  const auto wait_ready = [this](std::size_t t) {
+    for (int spin = 0; route_ready_[t].load(std::memory_order_acquire) == 0;
+         ++spin) {
+      if (spin >= 256) std::this_thread::yield();
+    }
+  };
+  const auto route_signal_stage = [&](std::size_t t) {
+    const ShardRange r = shard_range_at(n, used, t);
+    route_span(t, r.begin, r.end);
+    route_ready_[t].store(1, std::memory_order_release);
+    if (signal_fused) {
+      if (t > 0) wait_ready(t - 1);
+      if (t + 1 < used) wait_ready(t + 1);
+      signal_span(t, r.begin, r.end);
+    }
+  };
+  const auto merge_stage = [&](std::size_t) {
+    merge_shard_counts(used);
+    merge_route_results(used);
+    if (signal_fused) {
+      merge_signal_results(used);
+    } else {
+      // Stateful choose policy: Signal pinned serial in slot 0, exactly
+      // like the legacy path (the merge then only sees slot 0's output).
+      ShardScratch& sc0 = scratch_.shards[0];
+      sc0.counts.reset();
+      signal_span(0, 0, n);
+      merge_signal_results(used);
+      if (metrics_) round_counts_.merge(sc0.counts);
+    }
+    // Re-arm the shard slots for Move: tallies and the visited counter
+    // restart per phase (the event buffers were already merged above
+    // and are not reused by Move's slots).
+    for (std::size_t s = 0; s < used; ++s) {
+      scratch_.shards[s].counts.reset();
+      scratch_.shards[s].visited = 0;
+    }
+  };
+  const auto move_stage = [&](std::size_t t) {
+    const ShardRange r = shard_range_at(n, used, t);
+    move_span(t, r.begin, r.end);
+  };
+
+  const ThreadPool::PlanStage stages[3] = {
+      {/*parallel=*/true, used, route_signal_stage},
+      {/*parallel=*/false, 1, merge_stage},
+      {/*parallel=*/true, used, move_stage},
+  };
+  pool->run_plan(stages, 3);
+
+  merge_shard_counts(used);
+  merge_move_results(used);
+  run_inject_phase();
+}
+
 void System::run_route_phase() {
   // Phase-parallel Bellman–Ford: every cell reads its neighbors'
   // *previous-round* dist via dist_snapshot_ (Figure 4 semantics). The
@@ -430,16 +618,45 @@ void System::run_route_phase() {
   const bool active = scheduler_ == RoundScheduler::kActiveSet;
   if (!active) {
     for (std::size_t k = 0; k < cells_.size(); ++k)
-      dist_snapshot_[k] = cells_[k].dist;
+      dist_snapshot_[k] = cells_[k].dist.raw();
   }
 
+  ThreadPool* pool = round_pool_;
   const auto nshards =
-      pool_ ? static_cast<std::size_t>(pool_->thread_count()) : 1;
-  const std::size_t used =
-      shard_count(cells_.size(), static_cast<int>(nshards));
-  const bool pooled = pool_ != nullptr && used > 1;
+      pool ? static_cast<std::size_t>(pool->thread_count()) : 1;
   for (std::size_t s = 0; s < nshards; ++s)
     scratch_.shards[s].begin_phase();
+
+  // Active-list sharding (DESIGN.md §6): when the armed set is sparse
+  // (under a quarter of the grid), contiguous grid shards degenerate —
+  // one shard can own the whole armed region while the rest only tally
+  // skips. Instead the calling thread pre-scans the gates into an
+  // ascending cell list, settles the skipped cells' counter obligations
+  // directly (ProtocolCounts merging is additive, so tally order cannot
+  // change the sums), and the pool shards the *list*. route_stamp_ is
+  // frozen for the phase (re-arming happens in the merge), so the
+  // pre-scan sees exactly the gates the shard bodies would have seen.
+  const std::size_t grid_used =
+      shard_count(cells_.size(), static_cast<int>(nshards));
+  const bool use_list = active && pool != nullptr && grid_used > 1 &&
+                        round_ > 0 &&
+                        sched_stats_.route_cells * 4 < cells_.size();
+  if (use_list) {
+    auto& list = scratch_.active_list;
+    list.clear();
+    for (std::size_t k = 0; k < cells_.size(); ++k) {
+      if (route_stamp_[k] >= round_) {
+        list.push_back(static_cast<std::uint32_t>(k));
+      } else if (metrics_ && !cells_[k].failed && k != target_k_) {
+        for (const std::uint32_t nk : nbr_idx_[k])
+          if (nk != kNoNbr) ++round_counts_.route_relaxations;
+      }
+    }
+  }
+  const std::size_t domain =
+      use_list ? scratch_.active_list.size() : cells_.size();
+  const std::size_t used = shard_count(domain, static_cast<int>(nshards));
+  const bool pooled = pool != nullptr && used > 1;
   // Per-shard spans feed the profiler and the imbalance statistic; a
   // serial phase needs neither (imbalance is 1.0 and timed() already
   // covers the wall), so telemetry alone reads no clocks here.
@@ -448,38 +665,19 @@ void System::run_route_phase() {
   const auto body = [&](std::size_t s, ShardRange r) {
     const auto t0 = shard_timing ? obs::PhaseProfiler::Clock::now()
                                  : obs::PhaseProfiler::Clock::time_point{};
-    ShardScratch& sc = scratch_.shards[s];
-    obs::ProtocolCounts* pc = metrics_ ? &sc.counts : nullptr;
-    if (!active) {
-      for (std::size_t k = r.begin; k < r.end; ++k)
-        route_cell(k, pc, nullptr);
-      sc.visited = r.end - r.begin;
-    } else {
-      for (std::size_t k = r.begin; k < r.end; ++k) {
-        if (route_stamp_[k] >= round_) {
-          route_cell(k, pc, &sc.changed);
-          ++sc.visited;
-        } else if (pc != nullptr && !cells_[k].failed) {
-          // The exhaustive loop would have relaxed over every
-          // lattice neighbor (and changed nothing — that is what
-          // quiescence means); the target tallies nothing once
-          // pinned at 0.
-          if (cell_id_[k] != config_.target) {
-            for (const std::uint32_t nk : nbr_idx_[k])
-              if (nk != kNoNbr) ++pc->route_relaxations;
-          }
-        }
-      }
-    }
+    if (use_list)
+      route_list_span(s, r.begin, r.end);
+    else
+      route_span(s, r.begin, r.end);
     if (shard_timing) {
       const auto t1 = obs::PhaseProfiler::Clock::now();
-      sc.span_ns = span_ns(t0, t1);
+      scratch_.shards[s].span_ns = span_ns(t0, t1);
       if (profiler_ != nullptr)
         profiler_->record("route", round_, static_cast<int>(s), t0, t1);
     }
   };
-  parallel_for_shards(pool_.get(), cells_.size(), body);
-  note_phase_timing(0, pool_.get(), used);
+  parallel_for_shards(pool, domain, body);
+  note_phase_timing(0, pool, used);
   // Merge is a separate telemetry component only when the phase pooled
   // (post-barrier serial section); in a serial phase it is simply part
   // of the phase's timed() work span.
@@ -487,22 +685,168 @@ void System::run_route_phase() {
   const auto merge_t0 = merge_timing
                             ? obs::PhaseProfiler::Clock::now()
                             : obs::PhaseProfiler::Clock::time_point{};
-  // Counter determinism: shard tallies merge in ascending shard order,
-  // the same discipline as the event buffers.
-  sched_stats_.route_cells = 0;
-  for (std::size_t s = 0; s < nshards; ++s) {
-    if (metrics_) round_counts_.merge(scratch_.shards[s].counts);
-    sched_stats_.route_cells += scratch_.shards[s].visited;
-  }
+  merge_shard_counts(nshards);
+  merge_route_results(nshards);
+  if (merge_timing)
+    round_timing_.merge_ns +=
+        span_ns(merge_t0, obs::PhaseProfiler::Clock::now());
+}
 
-  if (active) {
+void System::route_span(std::size_t s, std::size_t begin, std::size_t end) {
+  ShardScratch& sc = scratch_.shards[s];
+  obs::ProtocolCounts* pc = metrics_ ? &sc.counts : nullptr;
+  if (scheduler_ != RoundScheduler::kActiveSet) {
+    if (!huge_dist_seen_) {
+      // Packed-key fast path: interior cells (all four lattice neighbors
+      // present) go through the bulk kernel; boundary rows/columns, the
+      // target, and failed cells take the reference route_cell. The
+      // kernel is exact below the guard band (tests/test_route_kernel),
+      // and huge_dist_seen_ pins the whole phase to route_cell the
+      // moment any raw approaches it.
+      const auto side = static_cast<std::size_t>(config_.side);
+      std::size_t k = begin;
+      while (k < end) {
+        const std::size_t j = k / side;
+        const std::size_t i = k % side;
+        if (side < 3 || j == 0 || j + 1 == side) {
+          // Boundary row: scalar to the row's end (or the span's).
+          const std::size_t row_end = std::min(end, (j + 1) * side);
+          for (; k < row_end; ++k) route_cell(k, pc, nullptr);
+          continue;
+        }
+        if (i == 0 || i + 1 >= side) {
+          route_cell(k, pc, nullptr);
+          ++k;
+          continue;
+        }
+        // Interior segment of this row clipped to the span; break it at
+        // the target and at failed cells (route_cell handles those).
+        const std::size_t seg_end = std::min(end, j * side + side - 1);
+        while (k < seg_end) {
+          std::size_t stop = k;
+          while (stop < seg_end && stop != target_k_ && !cells_[stop].failed)
+            ++stop;
+          if (stop > k) route_run_kernel(k, stop - k, sc, pc, nullptr);
+          if (stop < seg_end) route_cell(stop, pc, nullptr);
+          k = stop < seg_end ? stop + 1 : stop;
+        }
+      }
+      sc.visited += end - begin;
+    } else {
+      for (std::size_t k = begin; k < end; ++k) route_cell(k, pc, nullptr);
+      sc.visited += end - begin;
+    }
+  } else {
+    for (std::size_t k = begin; k < end; ++k) {
+      if (route_stamp_[k] >= round_) {
+        route_cell(k, pc, &sc.changed);
+        ++sc.visited;
+      } else if (pc != nullptr && !cells_[k].failed) {
+        // The exhaustive loop would have relaxed over every
+        // lattice neighbor (and changed nothing — that is what
+        // quiescence means); the target tallies nothing once
+        // pinned at 0.
+        if (k != target_k_) {
+          for (const std::uint32_t nk : nbr_idx_[k])
+            if (nk != kNoNbr) ++pc->route_relaxations;
+        }
+      }
+    }
+  }
+}
+
+void System::route_list_span(std::size_t s, std::size_t begin,
+                             std::size_t end) {
+  // Every list entry passed the arming gate on the calling thread, so
+  // the body is unconditional; consecutive interior entries still form
+  // kernel runs (an armed region is usually a contiguous frontier).
+  ShardScratch& sc = scratch_.shards[s];
+  obs::ProtocolCounts* pc = metrics_ ? &sc.counts : nullptr;
+  const auto& list = scratch_.active_list;
+  const auto side = static_cast<std::size_t>(config_.side);
+  std::size_t i = begin;
+  while (i < end) {
+    const std::size_t k = list[i];
+    const std::size_t kj = k / side;
+    const std::size_t ki = k % side;
+    const bool interior = side >= 3 && kj >= 1 && kj + 1 < side && ki >= 1 &&
+                          ki + 1 < side;
+    if (!huge_dist_seen_ && interior && k != target_k_ && !cells_[k].failed) {
+      // Last interior index of this row is kj*side + side - 2.
+      const std::size_t row_int_end = kj * side + side - 1;
+      std::size_t run = i + 1;
+      while (run < end && list[run] == list[run - 1] + 1 &&
+             list[run] < row_int_end &&
+             list[run] != static_cast<std::uint32_t>(target_k_) &&
+             !cells_[list[run]].failed)
+        ++run;
+      route_run_kernel(k, run - i, sc, pc, &sc.changed);
+      sc.visited += run - i;
+      i = run;
+    } else {
+      route_cell(k, pc, &sc.changed);
+      ++sc.visited;
+      ++i;
+    }
+  }
+}
+
+void System::route_run_kernel(std::size_t k0, std::size_t n, ShardScratch& sc,
+                              obs::ProtocolCounts* counts,
+                              std::vector<std::size_t>* changed_out) {
+  const auto side = static_cast<std::size_t>(config_.side);
+  if (sc.keys.size() < n) sc.keys.resize(n);
+  route_min_keys_interior(dist_snapshot_.data(), k0, n, side, sc.keys.data());
+  // Id-rank → dense-offset decode (W < S < N < E for index_of = j*side+i).
+  const std::ptrdiff_t off[4] = {-1, -static_cast<std::ptrdiff_t>(side),
+                                 static_cast<std::ptrdiff_t>(side), 1};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k = k0 + i;
+    CellState& c = cells_[k];
+    const std::uint64_t key = sc.keys[i];
+    Dist nd = Dist::infinity();
+    OptCellId nxt = std::nullopt;
+    std::uint32_t fk = kNoNbr;
+    if (key != kRouteKeyNone) {
+      nd = Dist::from_raw((key >> 2) + 1);
+      const auto nk = static_cast<std::size_t>(
+          static_cast<std::ptrdiff_t>(k) + off[key & 3]);
+      nxt = cell_id_[nk];
+      fk = static_cast<std::uint32_t>(nk);
+    }
+    // Bookkeeping mirrors route_cell exactly (interior ⇒ 4 relaxations).
+    if (counts != nullptr) {
+      counts->route_relaxations += 4;
+      if (c.dist != nd) ++counts->route_dist_changes;
+    }
+    if (changed_out != nullptr && c.dist != nd) changed_out->push_back(k);
+    c.dist = nd;
+    c.next = nxt;
+    feed_[k] = (nxt.has_value() && !c.members.empty()) ? fk : kNoNbr;
+  }
+}
+
+void System::merge_shard_counts(std::size_t used) {
+  // Counter determinism: shard tallies merge in ascending shard order,
+  // the same discipline as the event buffers (merging is additive, so
+  // the order is a convention, not a correctness requirement).
+  if (!metrics_) return;
+  for (std::size_t s = 0; s < used; ++s)
+    round_counts_.merge(scratch_.shards[s].counts);
+}
+
+void System::merge_route_results(std::size_t used) {
+  sched_stats_.route_cells = 0;
+  for (std::size_t s = 0; s < used; ++s)
+    sched_stats_.route_cells += scratch_.shards[s].visited;
+  if (scheduler_ == RoundScheduler::kActiveSet) {
     // Post-barrier merge, shard order: sync the snapshot for changed
     // cells and arm their readers (the lattice neighbors) for next
     // round. A cell's own Route output depends only on its neighbors'
     // dists, so its own change does not re-arm itself.
-    for (std::size_t s = 0; s < nshards; ++s) {
+    for (std::size_t s = 0; s < used; ++s) {
       for (const std::size_t k : scratch_.shards[s].changed) {
-        dist_snapshot_[k] = cells_[k].dist;
+        dist_snapshot_[k] = cells_[k].dist.raw();
         for (const std::uint32_t nk : nbr_idx_[k]) {
           if (nk == kNoNbr) continue;
           std::uint64_t& stamp = route_stamp_[nk];
@@ -511,9 +855,6 @@ void System::run_route_phase() {
       }
     }
   }
-  if (merge_timing)
-    round_timing_.merge_ns +=
-        span_ns(merge_t0, obs::PhaseProfiler::Clock::now());
 }
 
 void System::route_cell(std::size_t k, obs::ProtocolCounts* counts,
@@ -548,7 +889,7 @@ void System::route_cell(std::size_t k, obs::ProtocolCounts* counts,
     const std::uint32_t nk = nbr[d];
     if (nk == kNoNbr) continue;
     nks[n] = nk;
-    nds[n++] = NeighborDist{cell_id_[nk], dist_snapshot_[nk]};
+    nds[n++] = NeighborDist{cell_id_[nk], Dist::from_raw(dist_snapshot_[nk])};
   }
   const RouteResult r = route_step(std::span<const NeighborDist>(nds, n));
   if (counts != nullptr) {
@@ -582,76 +923,119 @@ void System::run_signal_phase() {
   // stateful choose policy (RandomChoose) must observe the serial call
   // sequence, so it pins this phase to the in-order loop; the results
   // are identical either way for concurrent-safe (pure) policies.
-  ThreadPool* pool = choose_->concurrent_safe() ? pool_.get() : nullptr;
+  ThreadPool* pool = choose_->concurrent_safe() ? round_pool_ : nullptr;
   const bool active = scheduler_ == RoundScheduler::kActiveSet;
   const auto nshards =
       pool ? static_cast<std::size_t>(pool->thread_count()) : 1;
-  const std::size_t used =
-      shard_count(cells_.size(), static_cast<int>(nshards));
-  const bool pooled = pool != nullptr && used > 1;
   for (std::size_t s = 0; s < nshards; ++s)
     scratch_.shards[s].begin_phase();
+
+  // Active-list sharding, same shape as Route: occ_refs_ is frozen for
+  // the phase (flips buffer and apply at the barrier), so the calling
+  // thread's pre-scan sees exactly the gates the shard bodies would.
+  const std::size_t grid_used =
+      shard_count(cells_.size(), static_cast<int>(nshards));
+  const bool use_list = active && pool != nullptr && grid_used > 1 &&
+                        round_ > 0 &&
+                        sched_stats_.signal_cells * 4 < cells_.size();
+  if (use_list) {
+    auto& list = scratch_.active_list;
+    list.clear();
+    for (std::size_t k = 0; k < cells_.size(); ++k) {
+      if (occ_refs_[k] > 0) {
+        list.push_back(static_cast<std::uint32_t>(k));
+      } else if (metrics_ && !cells_[k].failed) {
+        ++round_counts_.ne_prev_sizes[0];
+      }
+    }
+  }
+  const std::size_t domain =
+      use_list ? scratch_.active_list.size() : cells_.size();
+  const std::size_t used = shard_count(domain, static_cast<int>(nshards));
+  const bool pooled = pool != nullptr && used > 1;
   const bool shard_timing =
       profiler_ != nullptr || (telemetry_ != nullptr && pooled);
   const auto body = [&](std::size_t s, ShardRange r) {
     const auto t0 = shard_timing ? obs::PhaseProfiler::Clock::now()
                                  : obs::PhaseProfiler::Clock::time_point{};
-    ShardScratch& sc = scratch_.shards[s];
-    obs::ProtocolCounts* pc = metrics_ ? &sc.counts : nullptr;
-    if (!active) {
-      for (std::size_t k = r.begin; k < r.end; ++k)
-        signal_cell(k, sc.blocked, pc, nullptr);
-      sc.visited = r.end - r.begin;
-    } else {
-      for (std::size_t k = r.begin; k < r.end; ++k) {
-        // occ_refs_ is frozen for the duration of the phase (flips
-        // buffer per shard and apply at the barrier), so every
-        // engine takes identical skip decisions. A cell with an
-        // all-unoccupied closed neighborhood maps (⊥,⊥,[]) to
-        // (⊥,⊥,[]) without consulting choose_, so skipping it is
-        // exact — it only owes the exhaustive loop's ne_prev_sizes
-        // tally for live cells.
-        if (occ_refs_[k] > 0) {
-          signal_cell(k, sc.blocked, pc, &sc.flips);
-          ++sc.visited;
-        } else if (pc != nullptr && !cells_[k].failed) {
-          ++pc->ne_prev_sizes[0];
-        }
-      }
-    }
+    if (use_list)
+      signal_list_span(s, r.begin, r.end);
+    else
+      signal_span(s, r.begin, r.end);
     if (shard_timing) {
       const auto t1 = obs::PhaseProfiler::Clock::now();
-      sc.span_ns = span_ns(t0, t1);
+      scratch_.shards[s].span_ns = span_ns(t0, t1);
       if (profiler_ != nullptr)
         profiler_->record("signal", round_, static_cast<int>(s), t0, t1);
     }
   };
-  parallel_for_shards(pool, cells_.size(), body);
+  parallel_for_shards(pool, domain, body);
   note_phase_timing(1, pool, used);
   const bool merge_timing = telemetry_ != nullptr && pooled;
   const auto merge_t0 = merge_timing
                             ? obs::PhaseProfiler::Clock::now()
                             : obs::PhaseProfiler::Clock::time_point{};
-  // Shards cover ascending cell ranges, so concatenating in shard order
-  // reproduces the serial loop's blocked-event order exactly.
+  merge_shard_counts(nshards);
+  merge_signal_results(nshards);
+  if (merge_timing)
+    round_timing_.merge_ns +=
+        span_ns(merge_t0, obs::PhaseProfiler::Clock::now());
+}
+
+void System::signal_span(std::size_t s, std::size_t begin, std::size_t end) {
+  ShardScratch& sc = scratch_.shards[s];
+  obs::ProtocolCounts* pc = metrics_ ? &sc.counts : nullptr;
+  if (scheduler_ != RoundScheduler::kActiveSet) {
+    for (std::size_t k = begin; k < end; ++k)
+      signal_cell(k, sc.blocked, pc, nullptr);
+    sc.visited_b += end - begin;
+  } else {
+    for (std::size_t k = begin; k < end; ++k) {
+      // occ_refs_ is frozen for the duration of the phase (flips
+      // buffer per shard and apply at the barrier), so every
+      // engine takes identical skip decisions. A cell with an
+      // all-unoccupied closed neighborhood maps (⊥,⊥,[]) to
+      // (⊥,⊥,[]) without consulting choose_, so skipping it is
+      // exact — it only owes the exhaustive loop's ne_prev_sizes
+      // tally for live cells.
+      if (occ_refs_[k] > 0) {
+        signal_cell(k, sc.blocked, pc, &sc.flips);
+        ++sc.visited_b;
+      } else if (pc != nullptr && !cells_[k].failed) {
+        ++pc->ne_prev_sizes[0];
+      }
+    }
+  }
+}
+
+void System::signal_list_span(std::size_t s, std::size_t begin,
+                              std::size_t end) {
+  ShardScratch& sc = scratch_.shards[s];
+  obs::ProtocolCounts* pc = metrics_ ? &sc.counts : nullptr;
+  const auto& list = scratch_.active_list;
+  for (std::size_t i = begin; i < end; ++i)
+    signal_cell(list[i], sc.blocked, pc, &sc.flips);
+  sc.visited_b += end - begin;
+}
+
+void System::merge_signal_results(std::size_t used) {
+  // Shards cover ascending cell ranges (or an ascending slice of the
+  // active list), so concatenating in shard order reproduces the serial
+  // loop's blocked-event order exactly.
   sched_stats_.signal_cells = 0;
-  for (std::size_t s = 0; s < nshards; ++s) {
+  for (std::size_t s = 0; s < used; ++s) {
     const ShardScratch& sc = scratch_.shards[s];
     events_.blocked.insert(events_.blocked.end(), sc.blocked.begin(),
                            sc.blocked.end());
-    if (metrics_) round_counts_.merge(sc.counts);
-    sched_stats_.signal_cells += sc.visited;
+    sched_stats_.signal_cells += sc.visited_b;
   }
   // Occupancy flips apply at the barrier, in shard order, so the Move
   // phase's activity reads see the post-Signal occupancy on every
   // engine (a fresh grant makes its destination occupied, which is what
   // schedules the granted mover).
-  for (std::size_t s = 0; s < nshards; ++s)
+  for (std::size_t s = 0; s < used; ++s)
     for (const std::size_t k : scratch_.shards[s].flips)
       apply_occupancy_flip(k);
-  if (merge_timing)
-    round_timing_.merge_ns +=
-        span_ns(merge_t0, obs::PhaseProfiler::Clock::now());
 }
 
 void System::signal_cell(std::size_t k, std::vector<CellId>& blocked_out,
@@ -719,65 +1103,112 @@ void System::run_move_phase() {
   // order, because appends into a shared destination determine Members
   // order and hence downstream traces.
   const bool active = scheduler_ == RoundScheduler::kActiveSet;
+  ThreadPool* pool = round_pool_;
   const auto nshards =
-      pool_ ? static_cast<std::size_t>(pool_->thread_count()) : 1;
-  const std::size_t used =
-      shard_count(cells_.size(), static_cast<int>(nshards));
-  const bool pooled = pool_ != nullptr && used > 1;
+      pool ? static_cast<std::size_t>(pool->thread_count()) : 1;
   for (std::size_t s = 0; s < nshards; ++s)
     scratch_.shards[s].begin_phase();
+
+  // Active-list sharding, same shape as Route/Signal. occ_refs_ here
+  // already reflects this round's Signal output (flips merged at the
+  // Signal barrier) and stays frozen until the Move merge, so the
+  // pre-scan and the shard bodies agree on the gates. Skipped cells owe
+  // no tallies (an inactive cell's move_cell is a tally-free no-op).
+  const std::size_t grid_used =
+      shard_count(cells_.size(), static_cast<int>(nshards));
+  const bool use_list = active && pool != nullptr && grid_used > 1 &&
+                        round_ > 0 &&
+                        sched_stats_.move_cells * 4 < cells_.size();
+  if (use_list) {
+    auto& list = scratch_.active_list;
+    list.clear();
+    for (std::size_t k = 0; k < cells_.size(); ++k)
+      if (occ_refs_[k] > 0) list.push_back(static_cast<std::uint32_t>(k));
+  }
+  const std::size_t domain =
+      use_list ? scratch_.active_list.size() : cells_.size();
+  const std::size_t used = shard_count(domain, static_cast<int>(nshards));
+  const bool pooled = pool != nullptr && used > 1;
   const bool shard_timing =
       profiler_ != nullptr || (telemetry_ != nullptr && pooled);
   const auto body = [&](std::size_t s, ShardRange r) {
     const auto t0 = shard_timing ? obs::PhaseProfiler::Clock::now()
                                  : obs::PhaseProfiler::Clock::time_point{};
-    ShardScratch& sc = scratch_.shards[s];
-    obs::ProtocolCounts* pc = metrics_ ? &sc.counts : nullptr;
-    if (!active) {
-      for (std::size_t k = r.begin; k < r.end; ++k)
-        move_cell(k, sc.moved, sc.pending, sc.crossed, pc);
-      sc.visited = r.end - r.begin;
-    } else {
-      for (std::size_t k = r.begin; k < r.end; ++k) {
-        // An unoccupied cell with an unoccupied closed neighborhood
-        // cannot move: it has no members to relocate or compact,
-        // and a grant in its favor would make its destination (a
-        // lattice neighbor, post-Route) occupied — so move_cell
-        // would be a no-op that tallies nothing. occ_refs_ already
-        // reflects this round's Signal output (flips merged at the
-        // barrier).
-        if (occ_refs_[k] > 0) {
-          move_cell(k, sc.moved, sc.pending, sc.crossed, pc);
-          ++sc.visited;
-        }
-      }
-    }
+    if (use_list)
+      move_list_span(s, r.begin, r.end);
+    else
+      move_span(s, r.begin, r.end);
     if (shard_timing) {
       const auto t1 = obs::PhaseProfiler::Clock::now();
-      sc.span_ns = span_ns(t0, t1);
+      scratch_.shards[s].span_ns = span_ns(t0, t1);
       if (profiler_ != nullptr)
         profiler_->record("move", round_, static_cast<int>(s), t0, t1);
     }
   };
-  parallel_for_shards(pool_.get(), cells_.size(), body);
-  note_phase_timing(2, pool_.get(), used);
-
-  sched_stats_.move_cells = 0;
-  for (std::size_t s = 0; s < nshards; ++s) {
-    const ShardScratch& sc = scratch_.shards[s];
-    events_.moved.insert(events_.moved.end(), sc.moved.begin(),
-                         sc.moved.end());
-    if (metrics_) round_counts_.merge(sc.counts);
-    sched_stats_.move_cells += sc.visited;
-  }
+  parallel_for_shards(pool, domain, body);
+  note_phase_timing(2, pool, used);
 
   const bool merge_timing =
       profiler_ != nullptr || (telemetry_ != nullptr && pooled);
   const auto merge_t0 = merge_timing ? obs::PhaseProfiler::Clock::now()
                                      : obs::PhaseProfiler::Clock::time_point{};
+  merge_shard_counts(nshards);
+  merge_move_results(nshards);
+  if (merge_timing) {
+    const auto merge_t1 = obs::PhaseProfiler::Clock::now();
+    if (profiler_ != nullptr)
+      profiler_->record("merge", round_, -1, merge_t0, merge_t1);
+    if (telemetry_ != nullptr && pooled)
+      round_timing_.merge_ns += span_ns(merge_t0, merge_t1);
+  }
+}
+
+void System::move_span(std::size_t s, std::size_t begin, std::size_t end) {
+  ShardScratch& sc = scratch_.shards[s];
+  obs::ProtocolCounts* pc = metrics_ ? &sc.counts : nullptr;
+  if (scheduler_ != RoundScheduler::kActiveSet) {
+    for (std::size_t k = begin; k < end; ++k)
+      move_cell(k, sc.moved, sc.pending, sc.crossed, pc);
+    sc.visited += end - begin;
+  } else {
+    for (std::size_t k = begin; k < end; ++k) {
+      // An unoccupied cell with an unoccupied closed neighborhood
+      // cannot move: it has no members to relocate or compact,
+      // and a grant in its favor would make its destination (a
+      // lattice neighbor, post-Route) occupied — so move_cell
+      // would be a no-op that tallies nothing. occ_refs_ already
+      // reflects this round's Signal output (flips merged at the
+      // barrier).
+      if (occ_refs_[k] > 0) {
+        move_cell(k, sc.moved, sc.pending, sc.crossed, pc);
+        ++sc.visited;
+      }
+    }
+  }
+}
+
+void System::move_list_span(std::size_t s, std::size_t begin,
+                            std::size_t end) {
+  ShardScratch& sc = scratch_.shards[s];
+  obs::ProtocolCounts* pc = metrics_ ? &sc.counts : nullptr;
+  const auto& list = scratch_.active_list;
+  for (std::size_t i = begin; i < end; ++i)
+    move_cell(list[i], sc.moved, sc.pending, sc.crossed, pc);
+  sc.visited += end - begin;
+}
+
+void System::merge_move_results(std::size_t used) {
+  sched_stats_.move_cells = 0;
+  for (std::size_t s = 0; s < used; ++s) {
+    const ShardScratch& sc = scratch_.shards[s];
+    events_.moved.insert(events_.moved.end(), sc.moved.begin(),
+                         sc.moved.end());
+    sched_stats_.move_cells += sc.visited;
+  }
+
   std::vector<PendingTransfer>& transfers = scratch_.transfers;
   transfers.clear();
-  for (std::size_t s = 0; s < nshards; ++s) {
+  for (std::size_t s = 0; s < used; ++s) {
     std::vector<PendingTransfer>& p = scratch_.shards[s].pending;
     transfers.insert(transfers.end(), std::make_move_iterator(p.begin()),
                      std::make_move_iterator(p.end()));
@@ -799,7 +1230,7 @@ void System::run_move_phase() {
     }
     events_.transfers.push_back(ev);
   }
-  if (active) {
+  if (scheduler_ == RoundScheduler::kActiveSet) {
     // Membership only changes at cells that applied a movement (shrink)
     // or received a delivery (growth); both lists are already in
     // canonical order. refresh_occupancy is idempotent, so overlap
@@ -808,13 +1239,6 @@ void System::run_move_phase() {
       refresh_occupancy(grid_.index_of(id));
     for (const TransferEvent& t : events_.transfers)
       if (!t.consumed) refresh_occupancy(grid_.index_of(t.to));
-  }
-  if (merge_timing) {
-    const auto merge_t1 = obs::PhaseProfiler::Clock::now();
-    if (profiler_ != nullptr)
-      profiler_->record("merge", round_, -1, merge_t0, merge_t1);
-    if (telemetry_ != nullptr && pooled)
-      round_timing_.merge_ns += span_ns(merge_t0, merge_t1);
   }
 }
 

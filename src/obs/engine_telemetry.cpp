@@ -66,6 +66,23 @@ EngineTelemetry::EngineTelemetry(MetricsRegistry& registry,
       "cellflow_engine_serial_fraction",
       "Amdahl estimate over the run: 1 - wall-equivalent work / round wall",
       realization_only);
+  cutover_rounds_ = &registry.counter(
+      "cellflow_engine_cutover_rounds_total",
+      "Rounds the kAuto cutover pinned to the serial engine",
+      realization_only);
+  pool_dispatches_ = &registry.counter(
+      "cellflow_engine_pool_dispatches_total",
+      "Persistent-pool batches published (run/run_plan dispatches)",
+      realization_only);
+  const char* wake_help =
+      "Pool executor wake-ups by kind: spin (epoch observed while "
+      "spinning) vs park (condvar round-trip)";
+  spin_wakes_ = &registry.counter(
+      "cellflow_engine_pool_wakes_total", wake_help,
+      Labels{{"kind", "spin"}, {"realization", std::string(realization)}});
+  park_wakes_ = &registry.counter(
+      "cellflow_engine_pool_wakes_total", wake_help,
+      Labels{{"kind", "park"}, {"realization", std::string(realization)}});
 }
 
 void EngineTelemetry::record_round(const RoundBreakdown& b) {
@@ -78,6 +95,10 @@ void EngineTelemetry::record_round(const RoundBreakdown& b) {
   totals_.imbalance_route_sum += b.imbalance_route;
   totals_.imbalance_signal_sum += b.imbalance_signal;
   totals_.imbalance_move_sum += b.imbalance_move;
+  totals_.rounds_cutover += b.cutover ? 1 : 0;
+  totals_.dispatches += b.pool_dispatches;
+  totals_.spin_wakes += b.pool_spin_wakes;
+  totals_.park_wakes += b.pool_park_wakes;
 
   round_ns_->observe(static_cast<double>(b.round_ns));
   imbalance_route_->observe(b.imbalance_route);
@@ -90,6 +111,10 @@ void EngineTelemetry::record_round(const RoundBreakdown& b) {
   workers_->set(static_cast<double>(b.workers));
   parallel_fraction_->set(b.parallel_work_fraction);
   serial_fraction_->set(totals_.serial_fraction());
+  if (b.cutover) cutover_rounds_->inc(1);
+  if (b.pool_dispatches > 0) pool_dispatches_->inc(b.pool_dispatches);
+  if (b.pool_spin_wakes > 0) spin_wakes_->inc(b.pool_spin_wakes);
+  if (b.pool_park_wakes > 0) park_wakes_->inc(b.pool_park_wakes);
 }
 
 }  // namespace cellflow::obs

@@ -43,167 +43,356 @@ std::uint64_t ns_between(ThreadPool::Clock::time_point a,
   return d > 0 ? static_cast<std::uint64_t>(d) : 0;
 }
 
+// Bounded spin before parking. Short enough that an oversubscribed box
+// (fewer cores than executors) falls through to the condvar quickly —
+// the periodic yield hands the CPU to whoever holds the work.
+constexpr int kSpinIters = 2048;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   CF_EXPECTS(threads >= 1);
+  threads_ = threads;
   const auto n = static_cast<std::size_t>(threads);
+  slots_.resize(n);
   timings_.resize(n);
-  batch_.resize(n);
-  workers_.reserve(n);
-  for (std::size_t t = 0; t < n; ++t)
+  workers_.reserve(n - 1);
+  for (std::size_t t = 1; t < n; ++t)
     workers_.emplace_back([this, t] { worker_loop(t); });
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    const std::lock_guard<std::mutex> lk(mu_);
-    stopping_ = true;
-  }
-  cv_work_.notify_all();
+  quiesce();
+  stopping_.store(true);
+  wake_parked();
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop(std::size_t worker) {
-  std::unique_lock<std::mutex> lk(mu_);
+// The park handshake is a Dekker pair: a waiter publishes parked_ and
+// re-reads the watched counter (both seq_cst) before sleeping; a waker
+// bumps the counter and then reads parked_ (both seq_cst). At least one
+// side therefore observes the other — either the waiter sees the new
+// value and never sleeps, or the waker sees parked_ > 0 and notifies.
+// The empty lock_guard in wake_parked() orders the notify after any
+// in-progress wait() entry on the same mutex, closing the check-to-sleep
+// window.
+bool ThreadPool::wait_change(const std::atomic<std::uint64_t>& v,
+                             std::uint64_t old) {
+  for (int i = 0; i < kSpinIters; ++i) {
+    if (stopping_.load(std::memory_order_relaxed)) return false;
+    if (v.load() != old) {
+      spin_wakes_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    cpu_relax();
+    if ((i & 63) == 63) std::this_thread::yield();
+  }
+  parked_.fetch_add(1);
+  bool stopped = false;
+  {
+    std::unique_lock<std::mutex> lk(park_mu_);
+    park_cv_.wait(lk, [&] {
+      return stopping_.load(std::memory_order_relaxed) || v.load() != old;
+    });
+    stopped = stopping_.load(std::memory_order_relaxed);
+  }
+  parked_.fetch_sub(1, std::memory_order_relaxed);
+  park_wakes_.fetch_add(1, std::memory_order_relaxed);
+  return !stopped;
+}
+
+void ThreadPool::wake_parked() {
+  if (parked_.load() > 0) {
+    { const std::lock_guard<std::mutex> lk(park_mu_); }
+    park_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run_one(std::size_t stage, std::size_t k, BatchSlot* slot) {
+  const PlanStage& st = plan_[stage];
+  Clock::time_point t0{};
+  if (slot != nullptr) t0 = Clock::now();
+  std::exception_ptr err;
+  try {
+    st.task(k);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  if (slot != nullptr) {
+    const Clock::time_point t1 = Clock::now();
+    if (slot->tasks == 0) slot->first_task = t0;
+    slot->last_task = t1;
+    slot->work_ns += ns_between(t0, t1);
+    ++slot->tasks;
+  }
+  if (err) {
+    const std::lock_guard<std::mutex> lk(err_mu_);
+    errors_.emplace_back(stage, k, err);
+    err_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  StageCtl& ctl = stage_ctl_[stage];
+  const std::size_t done = ctl.completed.fetch_add(1) + 1;
+  if (done == st.count && caller_waiting_.load()) {
+    { const std::lock_guard<std::mutex> lk(done_mu_); }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::drain_plan(BatchSlot* slot) {
+  for (;;) {
+    const std::uint64_t adv = advance_.load();
+    if (abort_.load()) return;
+    const std::size_t limit = std::min(stage_limit_.load(), plan_size_);
+    bool claimed = false;
+    for (std::size_t s = 0; s < limit; ++s) {
+      const PlanStage& st = plan_[s];
+      if (!st.parallel) continue;
+      StageCtl& ctl = stage_ctl_[s];
+      while (ctl.next.load(std::memory_order_relaxed) < st.count) {
+        const std::size_t k = ctl.next.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        if (k >= st.count) break;
+        run_one(s, k, slot);
+        claimed = true;
+      }
+    }
+    if (claimed) continue;
+    // Nothing claimable. Once every stage is open the claim counters
+    // can only stay exhausted, so the epoch is over for this executor.
+    if (limit >= plan_size_) return;
+    if (!wait_change(advance_, adv)) return;
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
   std::uint64_t seen = 0;
   for (;;) {
-    cv_work_.wait(lk, [&] { return stopping_ || generation_ != seen; });
-    if (stopping_) return;
-    seen = generation_;
-    const bool timing = timing_;
-    if (timing) {
-      // All timing writes happen with mu_ held, so they are ordinary
-      // (race-free) accesses even though run() reads them afterwards.
-      const Clock::time_point wake = Clock::now();
-      BatchSlot& slot = batch_[worker];
-      slot.generation = seen;
-      slot.wake = wake;
-      slot.work_ns = 0;
-      slot.tasks = 0;
-      timings_[worker].dispatch_ns += ns_between(dispatched_at_, wake);
-      ++timings_[worker].batches;
+    if (!wait_change(seq_, seen)) return;
+    seen = seq_.load();
+    BatchSlot* slot = nullptr;
+    if (timing_.load(std::memory_order_relaxed)) {
+      slot = &slots_[self];
+      slot->epoch = seen;
+      slot->wake = Clock::now();
+      slot->first_task = slot->last_task = slot->wake;
+      slot->work_ns = 0;
+      slot->tasks = 0;
     }
-    while (next_task_ < task_count_) {
-      const std::size_t k = next_task_++;
-      lk.unlock();
-      Clock::time_point t0;
-      if (timing) t0 = Clock::now();
+    drain_plan(slot);
+    // Publishes every plain write above (timing slot, error list) to
+    // the caller, whose quiesce() acquires retired_.
+    retired_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ThreadPool::caller_finish_stage(std::size_t stage, BatchSlot* slot) {
+  const PlanStage& st = plan_[stage];
+  StageCtl& ctl = stage_ctl_[stage];
+  while (ctl.next.load(std::memory_order_relaxed) < st.count) {
+    const std::size_t k = ctl.next.fetch_add(1, std::memory_order_relaxed);
+    if (k >= st.count) break;
+    run_one(stage, k, slot);
+  }
+  int spins = 0;
+  while (ctl.completed.load() < st.count) {
+    if (++spins <= kSpinIters) {
+      cpu_relax();
+      if ((spins & 63) == 0) std::this_thread::yield();
+      continue;
+    }
+    caller_waiting_.store(true);
+    {
+      std::unique_lock<std::mutex> lk(done_mu_);
+      done_cv_.wait(lk, [&] { return ctl.completed.load() >= st.count; });
+    }
+    caller_waiting_.store(false, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::run_plan(const PlanStage* stages, std::size_t count) {
+  CF_EXPECTS_MSG(!in_run_, "ThreadPool::run is not reentrant");
+  if (count == 0) return;
+  quiesce();  // prior epoch retired: plan/slot storage is ours again
+  in_run_ = true;
+  plan_stages_.assign(stages, stages + count);
+  plan_ = plan_stages_.data();
+  plan_size_ = count;
+  if (stage_cap_ < count) {
+    stage_ctl_ = std::make_unique<StageCtl[]>(count);
+    stage_cap_ = count;
+  }
+  for (std::size_t s = 0; s < count; ++s) {
+    stage_ctl_[s].next.store(0, std::memory_order_relaxed);
+    stage_ctl_[s].completed.store(0, std::memory_order_relaxed);
+  }
+  abort_.store(false, std::memory_order_relaxed);
+  stage_limit_.store(0, std::memory_order_relaxed);
+  retired_.store(0, std::memory_order_relaxed);
+  errors_.clear();
+  err_count_.store(0, std::memory_order_relaxed);
+  epoch_timed_ = timing_.load(std::memory_order_relaxed);
+  BatchSlot* slot = nullptr;
+  if (epoch_timed_) {
+    dispatched_at_ = Clock::now();
+    slot = &slots_[0];
+    slot->epoch = epoch_ + 1;
+    slot->wake = dispatched_at_;
+    slot->first_task = slot->last_task = dispatched_at_;
+    slot->work_ns = 0;
+    slot->tasks = 0;
+  }
+  ++epoch_;
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
+  seq_.fetch_add(1);  // publish: everything above happens-before this
+  wake_parked();
+
+  bool aborted = false;
+  for (std::size_t s = 0; s < count; ++s) {
+    stage_limit_.store(s + 1);
+    advance_.fetch_add(1);
+    wake_parked();
+    const PlanStage& st = stages[s];
+    if (st.parallel) {
+      caller_finish_stage(s, slot);
+    } else {
       std::exception_ptr err;
       try {
-        task_(k);
+        st.task(0);
       } catch (...) {
         err = std::current_exception();
       }
-      const Clock::time_point t1 = timing ? Clock::now() : Clock::time_point{};
-      lk.lock();
-      if (timing) {
-        BatchSlot& slot = batch_[worker];
-        if (slot.tasks == 0) slot.first_task = t0;
-        slot.last_task = t1;
-        const std::uint64_t dt = ns_between(t0, t1);
-        slot.work_ns += dt;
-        ++slot.tasks;
-        timings_[worker].work_ns += dt;
-        ++timings_[worker].tasks;
+      if (err) {
+        const std::lock_guard<std::mutex> lk(err_mu_);
+        errors_.emplace_back(s, std::size_t{0}, err);
+        err_count_.fetch_add(1, std::memory_order_relaxed);
       }
-      if (err) errors_.emplace_back(k, err);
-      ++completed_;
-      if (completed_ == task_count_) cv_done_.notify_all();
     }
+    if (err_count_.load(std::memory_order_relaxed) > 0 && s + 1 < count) {
+      // Later stages must not start; workers waiting for them to open
+      // are released by the abort flag instead.
+      aborted = true;
+      abort_.store(true);
+      advance_.fetch_add(1);
+      wake_parked();
+      break;
+    }
+  }
+  if (epoch_timed_) batch_done_ = Clock::now();
+  in_run_ = false;
+  if (aborted || err_count_.load(std::memory_order_relaxed) > 0) {
+    quiesce();  // workers retired: errors_ is stable to read
+    const auto lowest = std::min_element(
+        errors_.begin(), errors_.end(), [](const auto& a, const auto& b) {
+          return std::make_pair(std::get<0>(a), std::get<1>(a)) <
+                 std::make_pair(std::get<0>(b), std::get<1>(b));
+        });
+    const std::exception_ptr err = std::get<2>(*lowest);
+    errors_.clear();
+    err_count_.store(0, std::memory_order_relaxed);
+    std::rethrow_exception(err);
   }
 }
 
 void ThreadPool::run(std::size_t count, FunctionRef<void(std::size_t)> task) {
   if (count == 0) return;
-  std::unique_lock<std::mutex> lk(mu_);
-  CF_EXPECTS_MSG(!task_, "ThreadPool::run is not reentrant");
-  task_ = task;
-  task_count_ = count;
-  next_task_ = 0;
-  completed_ = 0;
-  errors_.clear();
-  if (timing_) dispatched_at_ = Clock::now();
-  ++generation_;
-  cv_work_.notify_all();
-  cv_done_.wait(lk, [&] { return completed_ == task_count_; });
-  if (timing_) {
-    // Barrier wait: each participating worker idled from its last task
-    // end until the whole batch completed.
-    batch_done_ = Clock::now();
-    timed_generation_ = generation_;
-    for (std::size_t w = 0; w < batch_.size(); ++w) {
-      const BatchSlot& slot = batch_[w];
-      if (slot.generation == generation_ && slot.tasks > 0) {
-        timings_[w].busy_ns += ns_between(slot.wake, slot.last_task);
-        timings_[w].barrier_wait_ns += ns_between(slot.last_task, batch_done_);
-      }
-    }
+  PlanStage stage;
+  stage.parallel = true;
+  stage.count = count;
+  stage.task = task;
+  run_plan(&stage, 1);
+}
+
+void ThreadPool::quiesce() const {
+  if (epoch_ == quiesced_epoch_) return;
+  const int target = static_cast<int>(workers_.size());
+  int spins = 0;
+  while (retired_.load(std::memory_order_acquire) < target) {
+    cpu_relax();
+    if ((++spins & 63) == 0) std::this_thread::yield();
   }
-  task_ = nullptr;
-  task_count_ = 0;
-  if (!errors_.empty()) {
-    const auto lowest = std::min_element(
-        errors_.begin(), errors_.end(),
-        [](const auto& a, const auto& b) { return a.first < b.first; });
-    const std::exception_ptr err = lowest->second;
-    errors_.clear();
-    lk.unlock();
-    std::rethrow_exception(err);
+  quiesced_epoch_ = epoch_;
+  if (!epoch_timed_) return;
+  for (std::size_t e = 0; e < slots_.size(); ++e) {
+    const BatchSlot& s = slots_[e];
+    if (s.epoch != epoch_) continue;
+    WorkerTimings& t = timings_[e];
+    t.dispatch_ns += ns_between(dispatched_at_, s.wake);
+    ++t.batches;
+    if (s.tasks > 0) {
+      t.work_ns += s.work_ns;
+      t.tasks += s.tasks;
+      t.busy_ns += ns_between(s.wake, s.last_task);
+      t.barrier_wait_ns += ns_between(s.last_task, batch_done_);
+    }
   }
 }
 
 void ThreadPool::set_timing(bool enabled) {
-  const std::lock_guard<std::mutex> lk(mu_);
-  timing_ = enabled;
+  quiesce();
+  timing_.store(enabled, std::memory_order_relaxed);
 }
 
 WorkerTimings ThreadPool::total_timings() const {
-  const std::lock_guard<std::mutex> lk(mu_);
+  quiesce();
   WorkerTimings total;
   for (const WorkerTimings& t : timings_) total += t;
   return total;
 }
 
 void ThreadPool::timings_by_worker(std::vector<WorkerTimings>& out) const {
-  const std::lock_guard<std::mutex> lk(mu_);
+  quiesce();
   out.clear();
   out.insert(out.end(), timings_.begin(), timings_.end());
 }
 
 void ThreadPool::reset_timings() {
-  const std::lock_guard<std::mutex> lk(mu_);
+  quiesce();
   for (WorkerTimings& t : timings_) t = WorkerTimings{};
-  for (BatchSlot& slot : batch_) slot = BatchSlot{};
-  timed_generation_ = 0;
+  for (BatchSlot& s : slots_) s = BatchSlot{};
 }
 
 void ThreadPool::last_batch_samples(std::vector<BatchWorkerSample>& out) const {
-  const std::lock_guard<std::mutex> lk(mu_);
   out.clear();
-  if (timed_generation_ == 0) return;
-  for (std::size_t w = 0; w < batch_.size(); ++w) {
-    const BatchSlot& slot = batch_[w];
-    if (slot.generation != timed_generation_ || slot.tasks == 0) continue;
-    BatchWorkerSample s;
-    s.worker = static_cast<int>(w);
-    s.wake = slot.wake;
-    s.first_task_start = slot.first_task;
-    s.last_task_end = slot.last_task;
-    s.work_ns = slot.work_ns;
-    s.tasks = slot.tasks;
-    out.push_back(s);
+  quiesce();
+  if (epoch_ == 0 || !epoch_timed_) return;
+  for (std::size_t e = 0; e < slots_.size(); ++e) {
+    const BatchSlot& s = slots_[e];
+    if (s.epoch != epoch_ || s.tasks == 0) continue;
+    BatchWorkerSample b;
+    b.worker = static_cast<int>(e);
+    b.wake = s.wake;
+    b.first_task_start = s.first_task;
+    b.last_task_end = s.last_task;
+    b.work_ns = s.work_ns;
+    b.tasks = s.tasks;
+    out.push_back(b);
   }
 }
 
 ThreadPool::Clock::time_point ThreadPool::last_batch_dispatch() const {
-  const std::lock_guard<std::mutex> lk(mu_);
+  quiesce();
   return dispatched_at_;
 }
 
 ThreadPool::Clock::time_point ThreadPool::last_batch_done() const {
-  const std::lock_guard<std::mutex> lk(mu_);
+  quiesce();
   return batch_done_;
+}
+
+DispatchStats ThreadPool::dispatch_stats() const {
+  DispatchStats s;
+  s.dispatches = dispatches_.load(std::memory_order_relaxed);
+  s.spin_wakes = spin_wakes_.load(std::memory_order_relaxed);
+  s.park_wakes = park_wakes_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void parallel_for_shards(ThreadPool* pool, std::size_t size,

@@ -1,4 +1,4 @@
-// Fixed-size worker pool and deterministic range sharding for the
+// Persistent worker pool and deterministic range sharding for the
 // parallel round engine (core/system.hpp's ParallelPolicy).
 //
 // Determinism contract: parallelism here is *structural only*. Work is
@@ -9,21 +9,34 @@
 // thread counts (shard s always covers the same indices). Which worker
 // executes which shard, and when, is deliberately unspecified.
 //
-// The pool is intentionally tiny: a fixed set of workers, one blocking
-// run() at a time, no task queue, no futures. That is exactly what a
-// barrier-synchronized phase loop needs, and nothing more. Batches are
-// passed as FunctionRef (util/function_ref.hpp) so dispatching a phase
-// performs no heap allocation regardless of how much the phase lambda
-// captures — part of the zero-allocation round contract (DESIGN.md §10).
+// Orchestration model (DESIGN.md §6): ThreadPool(threads) spawns
+// threads - 1 OS workers and enlists the *calling* thread as executor 0,
+// so a pool of width 1 runs everything inline with zero synchronization.
+// Workers are persistent: between batches they spin briefly on an atomic
+// epoch counter and then park on a condition variable, so dispatching a
+// batch is one atomic increment plus (only when someone actually parked)
+// a wakeup — not a mutex/condvar round-trip per phase. run_plan() goes
+// further and publishes a whole round's stage sequence up front: one
+// dispatch covers every phase, the caller opens stages with a single
+// atomic store each, and workers ride from stage to stage without
+// re-parking when the stages are close together.
+//
+// Batches are passed as FunctionRef (util/function_ref.hpp) so
+// dispatching performs no heap allocation regardless of how much the
+// phase lambda captures — part of the zero-allocation round contract
+// (DESIGN.md §10).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -62,25 +75,28 @@ struct ShardRange {
 [[nodiscard]] std::vector<ShardRange> shard_ranges(std::size_t size,
                                                    int shards);
 
-/// Cumulative per-worker wall-time accounting for a pool with timing
+/// Cumulative per-executor wall-time accounting for a pool with timing
 /// enabled (ThreadPool::set_timing). All fields are sums over every
-/// batch the worker participated in since construction / the last
+/// batch the executor participated in since construction / the last
 /// reset_timings(). Timings are observational only — they are outside
 /// the determinism contract (DESIGN.md §6/§7) and never influence which
-/// shard runs where.
-/// For every worker that executed >= 1 task in a batch,
+/// shard runs where (the serial cutover consumes *round-level* timing
+/// via core/system.hpp, and by §6 both engines are bit-identical, so
+/// even that choice cannot change results).
+/// For every executor that ran >= 1 task in a batch,
 /// dispatch_ns + busy_ns + barrier_wait_ns partitions the batch's
 /// dispatch -> batch-done wall span exactly; busy_ns >= work_ns, the
-/// surplus being queue-claim lock waits and OS preemption gaps between
-/// task bodies (which is why round accounting sums busy, not work —
-/// on an oversubscribed machine the difference is most of the story).
+/// surplus being claim contention and OS preemption gaps between task
+/// bodies (which is why round accounting sums busy, not work — on an
+/// oversubscribed machine the difference is most of the story).
+/// Executor 0 is the dispatching thread itself, so its dispatch_ns is 0.
 struct WorkerTimings {
   std::uint64_t work_ns = 0;          ///< time spent inside task bodies
   std::uint64_t busy_ns = 0;          ///< first wake -> own last task end
   std::uint64_t barrier_wait_ns = 0;  ///< finished own tasks, batch not done
-  std::uint64_t dispatch_ns = 0;      ///< run() notified -> worker woke
+  std::uint64_t dispatch_ns = 0;      ///< dispatch published -> executor woke
   std::uint64_t tasks = 0;            ///< task bodies executed
-  std::uint64_t batches = 0;          ///< run() batches the worker woke for
+  std::uint64_t batches = 0;          ///< dispatched batches participated in
 
   WorkerTimings& operator+=(const WorkerTimings& o) noexcept {
     work_ns += o.work_ns;
@@ -103,16 +119,39 @@ struct WorkerTimings {
   }
 };
 
-/// A fixed set of worker threads executing one indexed task batch at a
-/// time. run() blocks the caller until every task finished; the pool is
-/// idle between run() calls. Not reentrant: run() must not be called
-/// concurrently or from inside a task (the latter would deadlock).
+/// How often the pool woke workers, and how: a spin wake observed the
+/// new epoch while still spinning (cheap), a park wake needed the
+/// condvar (a futex round-trip). Observational, cumulative, monotone.
+struct DispatchStats {
+  std::uint64_t dispatches = 0;  ///< run()/run_plan() batches published
+  std::uint64_t spin_wakes = 0;  ///< executor waits resolved while spinning
+  std::uint64_t park_wakes = 0;  ///< executor waits that parked on the cv
+};
+
+/// A fixed set of persistent executors running one indexed task batch
+/// (or one multi-stage plan) at a time. run()/run_plan() block the
+/// caller — which doubles as executor 0 — until everything finished; the
+/// pool is idle between calls. Not reentrant: run()/run_plan() must not
+/// be called concurrently or from inside a task (the latter would
+/// deadlock).
 class ThreadPool {
  public:
   using Clock = std::chrono::steady_clock;
 
-  /// One worker's participation in the most recent run() batch; valid
-  /// between run() calls, only for workers that executed >= 1 task.
+  /// One stage of a run_plan() batch. Parallel stages execute
+  /// task(k) for k in [0, count) across all executors; serial stages
+  /// execute task(0) on the caller while the workers hold at the stage
+  /// boundary (so a serial stage may safely touch any state the
+  /// preceding parallel stages wrote). Stages are strictly barriered:
+  /// stage s+1 never starts before every task of stage s completed.
+  struct PlanStage {
+    bool parallel = true;
+    std::size_t count = 0;  ///< tasks for a parallel stage; ignored serial
+    FunctionRef<void(std::size_t)> task;
+  };
+
+  /// One executor's participation in the most recent batch; valid
+  /// between run() calls, only for executors that ran >= 1 task.
   struct BatchWorkerSample {
     int worker = -1;
     Clock::time_point wake;             ///< first wake after dispatch
@@ -122,7 +161,9 @@ class ThreadPool {
     std::uint64_t tasks = 0;
   };
 
-  /// Spawns `threads` workers. Precondition: threads >= 1.
+  /// Makes a pool of `threads` executors: threads - 1 spawned workers
+  /// plus the calling thread of each run()/run_plan(). threads == 1
+  /// spawns nothing and runs batches inline. Precondition: threads >= 1.
   explicit ThreadPool(int threads);
 
   /// Joins all workers (any in-flight run() must have returned).
@@ -131,50 +172,70 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  [[nodiscard]] int thread_count() const noexcept {
-    return static_cast<int>(workers_.size());
-  }
+  [[nodiscard]] int thread_count() const noexcept { return threads_; }
 
   /// Executes task(k) for every k in [0, count), distributed over the
-  /// workers, and returns when all have completed. If tasks threw, the
+  /// executors, and returns when all have completed. If tasks threw, the
   /// exception of the *lowest* task index is rethrown (a deterministic
   /// choice, independent of scheduling); the remaining tasks still ran.
   /// The task callable only needs to outlive this (blocking) call.
   void run(std::size_t count, FunctionRef<void(std::size_t)> task);
 
-  /// Enables/disables per-worker timing. Off by default: when off, run()
-  /// performs zero clock reads. All timing state is preallocated in the
-  /// constructor and written only under the pool mutex, so enabling it
-  /// keeps run() allocation-free and race-free. Takes effect at the next
-  /// run(); must not be called concurrently with run().
-  void set_timing(bool enabled);
-  [[nodiscard]] bool timing_enabled() const noexcept { return timing_; }
+  /// Executes a stage sequence under a single dispatch: workers wake
+  /// once, then ride the plan's stage barriers (opened by the caller
+  /// with one atomic store each) instead of being re-dispatched per
+  /// phase. If any task threw, stages after the faulting one are not
+  /// started (the faulting stage still runs to completion) and the
+  /// exception of the lowest (stage, task) pair is rethrown. The stage
+  /// array and every referenced callable must outlive the call.
+  void run_plan(const PlanStage* stages, std::size_t count);
 
-  /// Sum of every worker's cumulative timings since construction or the
-  /// last reset_timings(). Callable between run() calls.
+  /// Enables/disables per-executor timing. Off by default: when off,
+  /// batch execution performs zero clock reads. Takes effect at the next
+  /// batch; must not be called concurrently with run()/run_plan().
+  void set_timing(bool enabled);
+  [[nodiscard]] bool timing_enabled() const noexcept {
+    return timing_.load(std::memory_order_relaxed);
+  }
+
+  /// Sum of every executor's cumulative timings since construction or
+  /// the last reset_timings(). Callable between batches.
   [[nodiscard]] WorkerTimings total_timings() const;
 
-  /// Per-worker cumulative timings, indexed by worker. out is cleared
-  /// and refilled (capacity reuse keeps repeated calls allocation-free).
+  /// Per-executor cumulative timings, indexed by executor. out is
+  /// cleared and refilled (capacity reuse keeps repeated calls
+  /// allocation-free).
   void timings_by_worker(std::vector<WorkerTimings>& out) const;
 
   void reset_timings();
 
-  /// Per-worker samples of the most recent run() batch (only workers
-  /// that executed >= 1 task appear, in worker order). Empty when timing
-  /// is off or no batch has run. out is cleared and refilled.
+  /// Per-executor samples of the most recent batch (only executors that
+  /// ran >= 1 task appear, in executor order). Empty when timing is off
+  /// or no batch has run. out is cleared and refilled.
   void last_batch_samples(std::vector<BatchWorkerSample>& out) const;
 
-  /// Timestamps bracketing the most recent timed batch: when run()
-  /// published the tasks and when the last task completed.
+  /// Timestamps bracketing the most recent timed batch: when the tasks
+  /// were published and when the last task completed.
   [[nodiscard]] Clock::time_point last_batch_dispatch() const;
   [[nodiscard]] Clock::time_point last_batch_done() const;
 
+  /// Cumulative dispatch/wake counters (never reset; reads are cheap).
+  [[nodiscard]] DispatchStats dispatch_stats() const;
+
  private:
-  // Per-worker slot for the batch currently / most recently run;
-  // guarded by mu_. `generation` tags which batch the slot belongs to.
+  // Per-parallel-stage claim state. next hands out task indices via
+  // fetch_add; completed counts finished bodies. Re-zeroed by the
+  // caller before each plan is published (workers are quiescent then).
+  struct StageCtl {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+  };
+
+  // Per-executor timing slot for the current epoch. Written only by the
+  // owning executor while the epoch runs; the caller reads it after the
+  // owner retired (release/acquire via retired_), so no locks needed.
   struct BatchSlot {
-    std::uint64_t generation = 0;
+    std::uint64_t epoch = 0;
     Clock::time_point wake;
     Clock::time_point first_task;
     Clock::time_point last_task;
@@ -182,28 +243,66 @@ class ThreadPool {
     std::uint64_t tasks = 0;
   };
 
-  void worker_loop(std::size_t worker);
+  void worker_loop(std::size_t self);
+  // Spin-then-park until v != old (returns true) or stopping_ (false).
+  bool wait_change(const std::atomic<std::uint64_t>& v, std::uint64_t old);
+  void wake_parked();
+  // Executes every claimable task of the published plan until the plan
+  // is fully claimed (or aborted); used by workers for the whole epoch.
+  void drain_plan(BatchSlot* slot);
+  void run_one(std::size_t stage, std::size_t k, BatchSlot* slot);
+  void caller_finish_stage(std::size_t stage, BatchSlot* slot);
+  // Waits for every worker to retire the last epoch and folds its
+  // timing slots into timings_. Idempotent per epoch; called before
+  // reusing plan storage and by the observational accessors.
+  void quiesce() const;
 
+  int threads_ = 1;
   std::vector<std::thread> workers_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  // Current batch, guarded by mu_.
-  FunctionRef<void(std::size_t)> task_;
-  std::size_t task_count_ = 0;
-  std::size_t next_task_ = 0;
-  std::size_t completed_ = 0;
-  std::uint64_t generation_ = 0;
-  bool stopping_ = false;
-  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
-  // Timing state, guarded by mu_. Preallocated to thread_count() slots.
-  bool timing_ = false;
+  // Plan published before each seq_ bump. Stage descriptors are copied
+  // into pool-owned storage because stragglers may still *scan* them
+  // (never invoke — every task is claimed before run_plan returns)
+  // after the caller's frame is gone; stable until the next quiesce()
+  // proves all workers retired.
+  std::vector<PlanStage> plan_stages_;
+  const PlanStage* plan_ = nullptr;
+  std::size_t plan_size_ = 0;
+  std::unique_ptr<StageCtl[]> stage_ctl_;
+  std::size_t stage_cap_ = 0;
+  std::atomic<std::size_t> stage_limit_{0};  ///< stages open to workers
+  std::atomic<bool> abort_{false};
+
+  std::atomic<std::uint64_t> seq_{0};      ///< epoch: bumps per dispatch
+  std::atomic<std::uint64_t> advance_{0};  ///< bumps per stage open/abort
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> parked_{0};
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+
+  std::atomic<int> retired_{0};  ///< workers done with the current epoch
+  std::atomic<bool> caller_waiting_{false};
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+
+  std::mutex err_mu_;
+  std::atomic<int> err_count_{0};
+  std::vector<std::tuple<std::size_t, std::size_t, std::exception_ptr>>
+      errors_;
+
+  std::atomic<std::uint64_t> dispatches_{0};
+  std::atomic<std::uint64_t> spin_wakes_{0};
+  std::atomic<std::uint64_t> park_wakes_{0};
+
+  std::atomic<bool> timing_{false};
+  bool epoch_timed_ = false;
+  bool in_run_ = false;
+  std::uint64_t epoch_ = 0;  ///< seq_ value of the current/last plan
   Clock::time_point dispatched_at_;
   Clock::time_point batch_done_;
-  std::uint64_t timed_generation_ = 0;  ///< generation of last timed batch
-  std::vector<WorkerTimings> timings_;
-  std::vector<BatchSlot> batch_;
+  mutable std::uint64_t quiesced_epoch_ = 0;
+  mutable std::vector<BatchSlot> slots_;
+  mutable std::vector<WorkerTimings> timings_;
 };
 
 /// Runs body(shard_index, range) over the shard_ranges() partition of

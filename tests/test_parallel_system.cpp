@@ -498,8 +498,10 @@ TEST(ParallelPolicyEnv, ParsesValidValuesAndRejectsGarbage) {
   const std::string saved = old != nullptr ? old : "";
   const bool had = old != nullptr;
 
+  // The ambient knob opts into the kAuto serial cutover (a throughput
+  // default); explicit set_parallel_policy callers still get kNever.
   ASSERT_EQ(setenv("CELLFLOW_THREADS", "3", 1), 0);
-  EXPECT_EQ(parallel_policy_from_env(), ParallelPolicy::parallel(3));
+  EXPECT_EQ(parallel_policy_from_env(), ParallelPolicy::parallel_auto(3));
   ASSERT_EQ(setenv("CELLFLOW_THREADS", "0", 1), 0);
   EXPECT_EQ(parallel_policy_from_env(), ParallelPolicy::serial());
   ASSERT_EQ(setenv("CELLFLOW_THREADS", "", 1), 0);

@@ -1,0 +1,110 @@
+// Equivalence of core/route_kernel.hpp's packed-key argmin with the
+// reference route_step (core/route.hpp) — including ∞ neighbors, ties
+// (which route_step breaks by neighbor id), zero distances, and the
+// huge-raw guard band. The kernel only ever runs on interior cells of
+// the dense grid, so the oracle below builds exactly that geometry.
+#include "core/route_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/route.hpp"
+#include "grid/grid.hpp"
+#include "util/rng.hpp"
+
+namespace cellflow {
+namespace {
+
+// Decodes a packed key the way System's fast path does.
+RouteResult decode(std::uint64_t key, const Grid& grid, CellId cell) {
+  if (key == kRouteKeyNone) return RouteResult{Dist::infinity(), std::nullopt};
+  // Id-rank order of the four lattice neighbors: W < S < N < E.
+  static constexpr std::array<std::pair<int, int>, 4> kRankStep = {
+      {{-1, 0}, {0, -1}, {0, 1}, {1, 0}}};
+  const auto [di, dj] = kRankStep[key & 3];
+  const CellId next{cell.i + di, cell.j + dj};
+  (void)grid;
+  return RouteResult{Dist::finite((key >> 2) + 1), next};
+}
+
+RouteResult oracle(const Grid& grid, const std::vector<Dist>& dist,
+                   CellId cell) {
+  std::vector<NeighborDist> nds;
+  for (const Direction d : kAllDirections) {
+    const auto nb = grid.neighbor(cell, d);
+    if (!nb) continue;
+    nds.push_back(NeighborDist{*nb, dist[grid.index_of(*nb)]});
+  }
+  return route_step(nds);
+}
+
+TEST(RouteKernel, MatchesRouteStepOnRandomFields) {
+  const int side = 13;
+  const Grid grid(side);
+  Xoshiro256 rng(0xC0FFEEu);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Dist> dist(static_cast<std::size_t>(side * side));
+    std::vector<std::uint64_t> raw(dist.size());
+    for (std::size_t k = 0; k < dist.size(); ++k) {
+      const std::uint64_t r = rng();
+      // Mix infinities, small values (forcing ties), and larger ones.
+      if ((r & 7) == 0) {
+        dist[k] = Dist::infinity();
+      } else {
+        dist[k] = Dist::finite((r >> 3) % 5);
+      }
+      raw[k] = dist[k].raw();
+    }
+    for (int j = 1; j < side - 1; ++j) {
+      const std::size_t row =
+          static_cast<std::size_t>(j) * static_cast<std::size_t>(side) + 1;
+      const std::size_t n = static_cast<std::size_t>(side) - 2;
+      std::vector<std::uint64_t> keys(n);
+      route_min_keys_interior(raw.data(), row, n, static_cast<std::size_t>(side),
+                              keys.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        const CellId cell{static_cast<std::int32_t>(i) + 1, j};
+        const RouteResult got = decode(keys[i], grid, cell);
+        const RouteResult want = oracle(grid, dist, cell);
+        ASSERT_EQ(got.dist, want.dist) << "cell " << cell.i << "," << cell.j;
+        ASSERT_EQ(got.next, want.next) << "cell " << cell.i << "," << cell.j;
+      }
+    }
+  }
+}
+
+TEST(RouteKernel, HugeRawsPackToNone) {
+  // Raws at/above the guard band (only reachable via adversarial state
+  // corruption) must not produce a finite key — System falls back to
+  // route_step for exactness there, but the kernel must stay safe.
+  EXPECT_EQ(route_pack_key(kRouteHugeDist, 0), kRouteKeyNone);
+  EXPECT_EQ(route_pack_key(~0ull, 3), kRouteKeyNone);
+  EXPECT_EQ(route_pack_key(kRouteHugeDist - 1, 3),
+            ((kRouteHugeDist - 1) << 2) | 3u);
+}
+
+TEST(RouteKernel, ScalarAndDispatchedBodiesAgree) {
+  // On AVX2 hardware this pins SIMD == scalar lane-for-lane; elsewhere
+  // both sides are the scalar body and the test is vacuous but valid.
+  const std::size_t side = 16;
+  Xoshiro256 rng(7);
+  std::vector<std::uint64_t> raw(side * side);
+  for (auto& r : raw) {
+    const std::uint64_t v = rng();
+    r = ((v & 3) == 0) ? ~0ull : ((v & 3) == 1) ? (v >> 2) : (v % 9);
+  }
+  for (std::size_t j = 1; j + 1 < side; ++j) {
+    const std::size_t row = j * side + 1;
+    const std::size_t n = side - 2;
+    std::vector<std::uint64_t> a(n), b(n);
+    route_min_keys_interior(raw.data(), row, n, side, a.data());
+    detail::route_min_keys_interior_scalar(raw.data(), row, n, side, b.data());
+    EXPECT_EQ(a, b) << "row " << j;
+  }
+}
+
+}  // namespace
+}  // namespace cellflow

@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/check.hpp"
@@ -168,6 +170,97 @@ TEST(ParallelForShards, ShardOrderConcatenationIsAscending) {
   std::vector<std::size_t> expected(n);
   std::iota(expected.begin(), expected.end(), std::size_t{0});
   EXPECT_EQ(merged, expected);
+}
+
+TEST(PlanStage, StagesAreStrictlyBarriered) {
+  // A later stage must observe every write of the earlier one: stage 0
+  // fills hits, the serial stage sums it, stage 2 checks the sum.
+  ThreadPool pool(4);
+  const std::size_t n = 64;
+  std::vector<int> hits(n, 0);
+  int serial_sum = 0;
+  std::atomic<int> checked{0};
+  const auto fill = [&](std::size_t k) { hits[k] = 1; };
+  const auto sum = [&](std::size_t) {
+    serial_sum = std::accumulate(hits.begin(), hits.end(), 0);
+  };
+  const auto check = [&](std::size_t) {
+    if (serial_sum == static_cast<int>(n)) checked.fetch_add(1);
+  };
+  const ThreadPool::PlanStage stages[] = {
+      {true, n, fill}, {false, 0, sum}, {true, 8, check}};
+  pool.run_plan(stages, 3);
+  EXPECT_EQ(serial_sum, static_cast<int>(n));
+  EXPECT_EQ(checked.load(), 8);
+}
+
+TEST(PlanStage, SerialStageRunsOnTheCallingThread) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  const auto body = [&](std::size_t) { seen = std::this_thread::get_id(); };
+  const ThreadPool::PlanStage stages[] = {{false, 0, body}};
+  pool.run_plan(stages, 1);
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(PlanStage, AbortSkipsLaterStagesAndRethrowsLowestPair) {
+  ThreadPool pool(4);
+  std::atomic<int> later{0};
+  const auto faulty = [](std::size_t k) {
+    if (k == 2 || k == 5) throw std::runtime_error("task " + std::to_string(k));
+  };
+  const auto after = [&](std::size_t) { later.fetch_add(1); };
+  const ThreadPool::PlanStage stages[] = {{true, 8, faulty}, {true, 8, after}};
+  try {
+    pool.run_plan(stages, 2);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 2");
+  }
+  EXPECT_EQ(later.load(), 0);
+  // The pool stays usable after an aborted plan.
+  std::vector<int> hits(8, 0);
+  pool.run(hits.size(), [&](std::size_t k) { ++hits[k]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 8);
+}
+
+TEST(PlanStage, ReusableAcrossManyPlans) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> total{0};
+  const auto add = [&](std::size_t k) { total.fetch_add(k + 1); };
+  const auto noop = [](std::size_t) {};
+  for (int i = 0; i < 50; ++i) {
+    const ThreadPool::PlanStage stages[] = {
+        {true, 16, add}, {false, 0, noop}, {true, 16, add}};
+    pool.run_plan(stages, 3);
+  }
+  EXPECT_EQ(total.load(), 50u * 2u * (16u * 17u / 2u));
+}
+
+TEST(PlanStage, PoolOfOneRunsEverythingInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  const auto body = [&](std::size_t) {
+    if (std::this_thread::get_id() != caller) off_thread.fetch_add(1);
+  };
+  const ThreadPool::PlanStage stages[] = {{true, 7, body}, {false, 0, body}};
+  pool.run_plan(stages, 2);
+  EXPECT_EQ(off_thread.load(), 0);
+}
+
+TEST(ThreadPool, DispatchStatsCountEachPublishedBatch) {
+  ThreadPool pool(2);
+  const DispatchStats before = pool.dispatch_stats();
+  const auto noop = [](std::size_t) {};
+  pool.run(4, noop);
+  const ThreadPool::PlanStage stages[] = {{true, 4, noop}, {true, 4, noop}};
+  pool.run_plan(stages, 2);  // a whole plan is a single dispatch
+  const DispatchStats after = pool.dispatch_stats();
+  EXPECT_EQ(after.dispatches - before.dispatches, 2u);
+  EXPECT_GE(after.spin_wakes + after.park_wakes,
+            before.spin_wakes + before.park_wakes);
 }
 
 }  // namespace

@@ -9,8 +9,11 @@
 // its threshold (obs/sidecar.hpp: max(margin, disp-mult x observed
 // relative dispersion), one-sided per metric direction — a faster run
 // never fails). Sidecars present on only one side, informational columns
-// and provenance changes (build type, compiler, git SHA) are reported
-// but never fail the gate.
+// and benign provenance changes (build type, git SHA) are reported but
+// never fail the gate. Cross-hardware pairs (hardware_threads or compiler
+// provenance differ) are REFUSED outright — the timings are not
+// comparable — unless --allow-cross-hardware downgrades the refusal to a
+// warning. Exit codes: 0 clean, 1 regression, 2 error, 3 refused.
 //
 // A second mode synthesizes a doctored sidecar for testing the gate
 // itself (the benchdiff.inject ctest fixture):
@@ -104,6 +107,23 @@ void print_report(const CompareReport& report, bool verbose_ok) {
   }
 }
 
+// Timings from different machines (or different compilers) are not
+// comparable — a "regression" across such a pair is hardware drift, not
+// a code change. Returns a human-readable reason when the pair crosses
+// that line, empty when it is comparable (v1 sidecars carry no
+// provenance — hardware_threads 0 / empty compiler — and stay exempt).
+std::string cross_hardware_reason(const Sidecar& base, const Sidecar& fresh) {
+  const auto& b = base.provenance;
+  const auto& f = fresh.provenance;
+  if (b.hardware_threads != 0 && f.hardware_threads != 0 &&
+      b.hardware_threads != f.hardware_threads)
+    return "hardware_threads " + std::to_string(b.hardware_threads) + " -> " +
+           std::to_string(f.hardware_threads);
+  if (!b.compiler.empty() && !f.compiler.empty() && b.compiler != f.compiler)
+    return "compiler " + b.compiler + " -> " + f.compiler;
+  return "";
+}
+
 void note_provenance_drift(const Sidecar& base, const Sidecar& fresh) {
   const auto& b = base.provenance;
   const auto& f = fresh.provenance;
@@ -137,6 +157,10 @@ int main(int argc, char** argv) {
       "disp-mult", 4.0, "threshold >= this multiple of observed dispersion");
   const bool verbose = cli.get_bool(
       "verbose", false, "print every comparison, not just notable ones");
+  const bool allow_cross_hardware = cli.get_bool(
+      "allow-cross-hardware", false,
+      "downgrade the cross-hardware refusal (hardware_threads/compiler "
+      "provenance mismatch) to a warning and compare anyway");
   const std::string scale_in = cli.get_string(
       "scale-sidecar", "", "sidecar to doctor (testing the gate itself)");
   const std::string scale_out =
@@ -171,6 +195,7 @@ int main(int argc, char** argv) {
 
     int regressions = 0;
     int compared = 0;
+    int refused = 0;
     for (const auto& [name, fresh_path] : fresh_files) {
       const auto it = std::find_if(
           base_files.begin(), base_files.end(),
@@ -181,6 +206,20 @@ int main(int argc, char** argv) {
       }
       const Sidecar base = cellflow::obs::parse_sidecar(read_file(it->second));
       const Sidecar cur = cellflow::obs::parse_sidecar(read_file(fresh_path));
+      const std::string cross = cross_hardware_reason(base, cur);
+      if (!cross.empty()) {
+        if (!allow_cross_hardware) {
+          std::cout << name << ": REFUSED (" << cross
+                    << "; baseline was recorded on different hardware — "
+                       "regenerate it on this machine or pass "
+                       "--allow-cross-hardware)\n";
+          ++refused;
+          continue;
+        }
+        std::cout << name << ": warning: cross-hardware comparison (" << cross
+                  << ") — timings are not comparable; gate results are "
+                     "advisory\n";
+      }
       const CompareReport report = cellflow::obs::compare_sidecars(
           base, cur, options);
       std::cout << report.bench << ": "
@@ -198,6 +237,15 @@ int main(int argc, char** argv) {
           fresh_files.begin(), fresh_files.end(),
           [&name = name](const auto& p) { return p.first == name; });
       if (!in_fresh) std::cout << name << ": only in baseline\n";
+    }
+    if (refused > 0) {
+      // Distinct exit code so callers (scripts/run_bench.sh --check, the
+      // benchcheck ctest fixture) can tell "baselines are from another
+      // machine" apart from a regression (1) or a hard error (2).
+      std::cout << "bench_diff: REFUSED (" << refused
+                << " cross-hardware pair(s); --allow-cross-hardware to "
+                   "override)\n";
+      return 3;
     }
     if (compared == 0)
       throw std::runtime_error("no sidecar pairs to compare");
